@@ -1,0 +1,104 @@
+//! The legacy Request Unit model (§7, Lessons Learned).
+//!
+//! The service originally billed in Request Units: abstract "units of
+//! database usage" where **1 RU = the cost of a prepared point read of a
+//! 64-byte row**, folding CPU, network and disk I/O into a single scalar.
+//! RUs proved opaque — users could not compare an RU bill to the vCPU
+//! price of a dedicated cluster — and were replaced by estimated CPU with
+//! network and storage I/O billed separately. The model is kept here both
+//! for the historical comparison and as the baseline for the `ab_ecpu`
+//! ablation.
+
+use crate::model::BatchFeatures;
+
+/// RU cost coefficients, normalized so that a prepared point read of a
+/// 64-byte row costs exactly 1 RU.
+#[derive(Debug, Clone)]
+pub struct RuModel {
+    /// RU per read batch.
+    pub read_batch: f64,
+    /// RU per individual read request.
+    pub read_request: f64,
+    /// RU per KiB read.
+    pub read_kib: f64,
+    /// RU per write batch.
+    pub write_batch: f64,
+    /// RU per individual write request.
+    pub write_request: f64,
+    /// RU per KiB written.
+    pub write_kib: f64,
+    /// RU per KiB of network egress to the client.
+    pub egress_kib: f64,
+    /// RU per SQL-layer CPU second.
+    pub sql_cpu_second: f64,
+}
+
+impl Default for RuModel {
+    fn default() -> Self {
+        // Derived from the published CockroachDB Serverless RU table shape:
+        // a point read = 1 RU (batch 0.5 + request 0.4 + 64B payload 0.1).
+        RuModel {
+            read_batch: 0.50,
+            read_request: 0.40,
+            read_kib: 1.60,
+            write_batch: 1.00,
+            write_request: 1.00,
+            write_kib: 3.00,
+            egress_kib: 1.00,
+            sql_cpu_second: 330.0,
+        }
+    }
+}
+
+impl RuModel {
+    /// RU cost of one KV batch.
+    pub fn batch_cost(&self, batch: &BatchFeatures) -> f64 {
+        let kib = batch.bytes as f64 / 1024.0;
+        if batch.is_write {
+            self.write_batch + self.write_request * batch.requests as f64 + self.write_kib * kib
+        } else {
+            self.read_batch + self.read_request * batch.requests as f64 + self.read_kib * kib
+        }
+    }
+
+    /// RU cost of SQL-layer activity: CPU plus client egress.
+    pub fn sql_cost(&self, cpu_seconds: f64, egress_bytes: u64) -> f64 {
+        self.sql_cpu_second * cpu_seconds + self.egress_kib * egress_bytes as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_read_is_one_ru() {
+        let m = RuModel::default();
+        let cost = m.batch_cost(&BatchFeatures { is_write: false, requests: 1, bytes: 64 });
+        assert!((cost - 1.0).abs() < 1e-9, "{cost}");
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let m = RuModel::default();
+        let read = m.batch_cost(&BatchFeatures { is_write: false, requests: 1, bytes: 64 });
+        let write = m.batch_cost(&BatchFeatures { is_write: true, requests: 1, bytes: 64 });
+        assert!(write > read);
+    }
+
+    #[test]
+    fn cost_scales_with_payload() {
+        let m = RuModel::default();
+        let small = m.batch_cost(&BatchFeatures { is_write: false, requests: 1, bytes: 64 });
+        let large = m.batch_cost(&BatchFeatures { is_write: false, requests: 1, bytes: 64 * 1024 });
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn sql_cost_combines_cpu_and_egress() {
+        let m = RuModel::default();
+        assert_eq!(m.sql_cost(0.0, 0), 0.0);
+        assert!((m.sql_cost(1.0, 0) - 330.0).abs() < 1e-9);
+        assert!((m.sql_cost(0.0, 2048) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dynamic CPU admission slots (§5.1.3).
+//!
+//! "We dynamically estimate a count of concurrent admitted operations that
+//! will keep the CPU utilization high (90+%, so work-conserving), while
+//! minimizing queueing of runnable threads in the CPU scheduler. This
+//! dynamic estimation is done by high frequency sampling (1000Hz) of the
+//! runnable queue lengths in the CPU scheduler, and using an additive
+//! increase-decrease feedback loop."
+//!
+//! Under simulation the runnable queue is available as an exact
+//! time-weighted average (see `crdb_sim::cpu`), which the embedder feeds to
+//! [`SlotController::tick`] on each adjustment interval; the controller
+//! applies additive increase when the CPU has headroom and the slots are
+//! saturated, and additive decrease when runnable threads are queueing.
+
+/// Tuning for the AIMD slot controller.
+#[derive(Debug, Clone)]
+pub struct SlotConfig {
+    /// Lower bound on total slots (always allow some concurrency).
+    pub min_slots: usize,
+    /// Upper bound on total slots.
+    pub max_slots: usize,
+    /// Runnable threads per vCPU above which we shed concurrency.
+    pub runnable_high_per_vcpu: f64,
+    /// Utilization above which the node is considered busy enough that
+    /// saturated slots justify an increase.
+    pub util_target: f64,
+    /// Additive increase step.
+    pub inc_step: usize,
+    /// Additive decrease step.
+    pub dec_step: usize,
+}
+
+impl Default for SlotConfig {
+    fn default() -> Self {
+        SlotConfig {
+            min_slots: 4,
+            max_slots: 1024,
+            runnable_high_per_vcpu: 1.0,
+            util_target: 0.9,
+            inc_step: 1,
+            dec_step: 2,
+        }
+    }
+}
+
+/// The per-node CPU slot pool.
+#[derive(Debug)]
+pub struct SlotController {
+    config: SlotConfig,
+    slots: usize,
+    used: usize,
+    /// Whether all slots were simultaneously in use at any point since the
+    /// last tick — the saturation signal for additive increase.
+    saturated_since_tick: bool,
+}
+
+impl SlotController {
+    /// Creates a controller starting with `initial` slots.
+    pub fn new(config: SlotConfig, initial: usize) -> Self {
+        let slots = initial.clamp(config.min_slots, config.max_slots);
+        SlotController { config, slots, used: 0, saturated_since_tick: false }
+    }
+
+    /// Current total slot count.
+    pub fn total(&self) -> usize {
+        self.slots
+    }
+
+    /// Currently held slots.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Free slots.
+    pub fn available(&self) -> usize {
+        self.slots.saturating_sub(self.used)
+    }
+
+    /// Attempts to acquire one slot.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.used < self.slots {
+            self.used += 1;
+            if self.used >= self.slots {
+                self.saturated_since_tick = true;
+            }
+            true
+        } else {
+            self.saturated_since_tick = true;
+            false
+        }
+    }
+
+    /// Releases a previously acquired slot.
+    pub fn release(&mut self) {
+        debug_assert!(self.used > 0, "release without acquire");
+        self.used = self.used.saturating_sub(1);
+    }
+
+    /// One feedback-loop step. `avg_runnable` is the average runnable-queue
+    /// length over the interval, `utilization` the average CPU utilization
+    /// in `[0, 1]`, and `vcpus` the node's CPU count.
+    pub fn tick(&mut self, avg_runnable: f64, utilization: f64, vcpus: f64) {
+        let runnable_per_vcpu = avg_runnable / vcpus.max(1.0);
+        if runnable_per_vcpu > self.config.runnable_high_per_vcpu {
+            // Threads are queueing in the OS scheduler: decrease.
+            self.slots = self
+                .slots
+                .saturating_sub(self.config.dec_step)
+                .max(self.config.min_slots);
+        } else if self.saturated_since_tick && utilization < self.config.util_target {
+            // Slots are the bottleneck but CPU has headroom: increase.
+            self.slots = (self.slots + self.config.inc_step).min(self.config.max_slots);
+        } else if self.saturated_since_tick {
+            // Saturated at target utilization: small probe upward keeps the
+            // system work-conserving without overshooting.
+            self.slots = (self.slots + 1).min(self.config.max_slots);
+        }
+        self.saturated_since_tick = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(initial: usize) -> SlotController {
+        SlotController::new(SlotConfig::default(), initial)
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut c = controller(8);
+        assert_eq!(c.total(), 8);
+        for _ in 0..8 {
+            assert!(c.try_acquire());
+        }
+        assert!(!c.try_acquire(), "pool exhausted");
+        assert_eq!(c.available(), 0);
+        c.release();
+        assert!(c.try_acquire());
+    }
+
+    #[test]
+    fn decrease_when_runnable_queue_builds() {
+        let mut c = controller(100);
+        for _ in 0..10 {
+            c.tick(64.0, 1.0, 8.0); // 8 runnable per vCPU: overloaded
+        }
+        assert!(c.total() < 100, "slots shed: {}", c.total());
+        assert!(c.total() >= SlotConfig::default().min_slots);
+    }
+
+    #[test]
+    fn increase_when_saturated_with_headroom() {
+        let mut c = controller(4);
+        for _ in 0..20 {
+            while c.try_acquire() {}
+            c.tick(0.0, 0.5, 8.0); // no queueing, CPU half idle
+            for _ in 0..c.used() {
+                c.release();
+            }
+        }
+        assert!(c.total() > 4, "slots grew: {}", c.total());
+    }
+
+    #[test]
+    fn stable_when_not_saturated() {
+        let mut c = controller(16);
+        for _ in 0..10 {
+            c.tick(0.0, 0.3, 8.0); // idle, never saturated
+        }
+        assert_eq!(c.total(), 16);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = SlotConfig { min_slots: 2, max_slots: 6, ..Default::default() };
+        let mut c = SlotController::new(cfg, 100);
+        assert_eq!(c.total(), 6, "clamped to max at construction");
+        for _ in 0..50 {
+            c.tick(100.0, 1.0, 1.0);
+        }
+        assert_eq!(c.total(), 2, "never below min");
+        for _ in 0..50 {
+            while c.try_acquire() {}
+            c.tick(0.0, 0.1, 8.0);
+            for _ in 0..c.used() {
+                c.release();
+            }
+        }
+        assert_eq!(c.total(), 6, "never above max");
+    }
+
+    #[test]
+    fn converges_under_alternating_pressure() {
+        // Alternate overload and underload; the slot count must stay inside
+        // bounds and react in the right direction each time.
+        let mut c = controller(32);
+        let mut after_overload = 0;
+        for round in 0..100 {
+            if round % 2 == 0 {
+                let before = c.total();
+                c.tick(50.0, 1.0, 4.0);
+                assert!(c.total() <= before);
+                after_overload = c.total();
+            } else {
+                while c.try_acquire() {}
+                let before = c.total();
+                c.tick(0.0, 0.5, 4.0);
+                assert!(c.total() >= before);
+                for _ in 0..c.used() {
+                    c.release();
+                }
+            }
+        }
+        assert!(after_overload >= SlotConfig::default().min_slots);
+    }
+}

@@ -1,0 +1,267 @@
+//! Write-bandwidth admission (§5.1.3–§5.1.4).
+//!
+//! The observable write bottleneck in an LSM is either (a) the bandwidth at
+//! which memtables flush into L0, or (b) the bandwidth at which L0 files
+//! compact down — a backlog in L0 raises read amplification. Both
+//! capacities are re-estimated at 15-second intervals from the storage
+//! engine's instrumentation and expressed as the refill rate of a token
+//! bucket where **one token = one write byte**.
+//!
+//! Because a logical write turns into more physical bytes (raft log,
+//! state-machine apply, write amplification), the controller charges
+//! requests through a fitted linear model `actual = a·x + b` rather than
+//! their raw size.
+
+use std::time::Duration;
+
+use crdb_storage::metrics::LinearModel;
+use crdb_storage::StorageMetrics;
+use crdb_util::bucket::TokenBucket;
+use crdb_util::stats::Ewma;
+use crdb_util::time::SimTime;
+
+/// Tuning for the write controller.
+#[derive(Debug, Clone)]
+pub struct WriteConfig {
+    /// Interval between capacity re-estimations (paper: 15 s).
+    pub estimation_interval: Duration,
+    /// L0 file count at which compaction capacity becomes the binding
+    /// constraint.
+    pub l0_overload_files: usize,
+    /// Smoothing for capacity estimates.
+    pub smoothing_alpha: f64,
+    /// Floor on the token rate, bytes/s, so the bucket never wedges.
+    pub min_rate: f64,
+    /// Initial rate before any observation, bytes/s.
+    pub initial_rate: f64,
+    /// Burst allowance as seconds of refill.
+    pub burst_seconds: f64,
+}
+
+impl Default for WriteConfig {
+    fn default() -> Self {
+        WriteConfig {
+            estimation_interval: Duration::from_secs(15),
+            l0_overload_files: 8,
+            smoothing_alpha: 0.5,
+            min_rate: 64.0 * 1024.0,
+            initial_rate: 16.0 * 1024.0 * 1024.0,
+            burst_seconds: 1.0,
+        }
+    }
+}
+
+/// Per-node write admission state.
+pub struct WriteController {
+    config: WriteConfig,
+    bucket: TokenBucket,
+    /// Smoothed flush capacity estimate, bytes/s.
+    flush_capacity: Ewma,
+    /// Smoothed L0 compaction capacity estimate, bytes/s.
+    l0_capacity: Ewma,
+    /// Requested-bytes → physical-bytes model (§5.1.4).
+    model: LinearModel,
+    last_metrics: StorageMetrics,
+    last_estimate_at: SimTime,
+}
+
+impl WriteController {
+    /// Creates a controller with the given configuration.
+    pub fn new(config: WriteConfig) -> Self {
+        let rate = config.initial_rate;
+        let burst = rate * config.burst_seconds;
+        let alpha = config.smoothing_alpha;
+        WriteController {
+            config,
+            bucket: TokenBucket::new(rate, burst),
+            flush_capacity: Ewma::new(alpha),
+            l0_capacity: Ewma::new(alpha),
+            model: LinearModel::new(0.99),
+            last_metrics: StorageMetrics::default(),
+            last_estimate_at: SimTime::ZERO,
+        }
+    }
+
+    /// Predicted physical bytes for a request writing `requested` logical
+    /// bytes, per the fitted linear model.
+    pub fn predict_bytes(&self, requested: f64) -> f64 {
+        // Before the model has data it predicts y = x; physical bytes are
+        // always at least the logical bytes.
+        self.model.predict(requested).max(requested)
+    }
+
+    /// Attempts to admit a write of `requested` logical bytes. On success
+    /// the predicted physical bytes are deducted; on failure returns the
+    /// wait until enough tokens accrue.
+    pub fn try_admit(&mut self, now: SimTime, requested: f64) -> Result<(), Duration> {
+        let charge = self.predict_bytes(requested);
+        self.bucket.try_take(now, charge)
+    }
+
+    /// Records the observed physical cost of a completed write that
+    /// requested `requested` bytes; trains the linear model and settles the
+    /// difference against the bucket (extra debt or refund).
+    pub fn observe_actual(&mut self, now: SimTime, requested: f64, actual: f64) {
+        let predicted = self.predict_bytes(requested);
+        self.model.observe(requested, actual);
+        let diff = actual - predicted;
+        if diff > 0.0 {
+            self.bucket.take_debt(now, diff);
+        } else if diff < 0.0 {
+            self.bucket.put_back(now, -diff);
+        }
+    }
+
+    /// Re-estimates capacity from a storage metrics snapshot. Call every
+    /// [`WriteConfig::estimation_interval`].
+    pub fn estimate_capacity(&mut self, now: SimTime, metrics: StorageMetrics, l0_files: usize) {
+        let dt = now.duration_since(self.last_estimate_at).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        let delta = metrics.delta(&self.last_metrics);
+        self.last_metrics = metrics;
+        self.last_estimate_at = now;
+
+        // Observed throughputs over the interval. When the engine was idle
+        // these are zero, which must *not* collapse the estimate — an idle
+        // disk is not a slow disk — so only fold in intervals with work.
+        let flush_rate = delta.flush_bytes as f64 / dt;
+        if delta.flush_count > 0 {
+            self.flush_capacity.record(flush_rate);
+        }
+        let l0_rate = delta.l0_compact_bytes as f64 / dt;
+        if delta.l0_compact_bytes > 0 {
+            self.l0_capacity.record(l0_rate);
+        }
+
+        let flush_cap = self.flush_capacity.get();
+        let l0_cap = self.l0_capacity.get();
+        let mut rate = match (flush_cap > 0.0, l0_cap > 0.0) {
+            (true, true) => flush_cap.min(l0_cap),
+            (true, false) => flush_cap,
+            (false, true) => l0_cap,
+            (false, false) => self.config.initial_rate,
+        };
+        // An L0 backlog means compaction is falling behind: throttle the
+        // incoming rate below the compaction capacity so L0 drains.
+        if l0_files >= self.config.l0_overload_files && l0_cap > 0.0 {
+            rate = rate.min(l0_cap * 0.5);
+        }
+        rate = rate.max(self.config.min_rate);
+        self.bucket.set_rate(now, rate);
+    }
+
+    /// Current token refill rate in bytes/s.
+    pub fn rate(&self) -> f64 {
+        self.bucket.rate()
+    }
+
+    /// Time until `requested` logical bytes could be admitted.
+    pub fn time_until_admit(&mut self, now: SimTime, requested: f64) -> Duration {
+        let charge = self.predict_bytes(requested);
+        self.bucket.time_until(now, charge)
+    }
+
+    /// Current `(a, b)` of the request-to-physical-bytes model.
+    pub fn model_coefficients(&self) -> (f64, f64) {
+        self.model.coefficients()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn metrics(flush_bytes: u64, flush_count: u64, l0_bytes: u64) -> StorageMetrics {
+        StorageMetrics {
+            flush_bytes,
+            flush_count,
+            l0_compact_bytes: l0_bytes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn admits_until_tokens_run_out() {
+        let mut c = WriteController::new(WriteConfig {
+            initial_rate: 1000.0,
+            burst_seconds: 1.0,
+            ..Default::default()
+        });
+        assert!(c.try_admit(t(0.0), 600.0).is_ok());
+        assert!(c.try_admit(t(0.0), 600.0).is_err(), "burst exhausted");
+        // Tokens refill at 1000/s.
+        assert!(c.try_admit(t(1.0), 600.0).is_ok());
+    }
+
+    #[test]
+    fn capacity_tracks_observed_flush_rate() {
+        let mut c = WriteController::new(WriteConfig::default());
+        // 150 MB flushed in 15 s => 10 MB/s.
+        c.estimate_capacity(t(15.0), metrics(150 << 20, 10, 0), 0);
+        let rate = c.rate();
+        assert!((rate - 10.0 * (1 << 20) as f64).abs() / rate < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn l0_backlog_halves_rate() {
+        let mut c = WriteController::new(WriteConfig::default());
+        c.estimate_capacity(t(15.0), metrics(150 << 20, 10, 150 << 20), 0);
+        let healthy = c.rate();
+        c.estimate_capacity(t(30.0), metrics(300 << 20, 20, 300 << 20), 20);
+        assert!(c.rate() < healthy, "throttled under L0 backlog: {} < {healthy}", c.rate());
+    }
+
+    #[test]
+    fn idle_interval_does_not_collapse_estimate() {
+        let mut c = WriteController::new(WriteConfig::default());
+        c.estimate_capacity(t(15.0), metrics(150 << 20, 10, 0), 0);
+        let rate = c.rate();
+        // Nothing flushed in the next interval (idle tenant).
+        c.estimate_capacity(t(30.0), metrics(150 << 20, 10, 0), 0);
+        assert_eq!(c.rate(), rate, "idle interval keeps the estimate");
+    }
+
+    #[test]
+    fn model_learns_write_amplification() {
+        let mut c = WriteController::new(WriteConfig::default());
+        // Observe ops whose physical cost is 2x + 100 (raft + overhead).
+        for i in 1..=50 {
+            let x = (i * 100) as f64;
+            c.observe_actual(t(i as f64), x, 2.0 * x + 100.0);
+        }
+        let (a, b) = c.model_coefficients();
+        assert!((a - 2.0).abs() < 0.05, "a={a}");
+        assert!((b - 100.0).abs() < 20.0, "b={b}");
+        assert!(c.predict_bytes(1000.0) > 2000.0);
+    }
+
+    #[test]
+    fn underprediction_creates_debt() {
+        let mut c = WriteController::new(WriteConfig {
+            initial_rate: 1000.0,
+            burst_seconds: 1.0,
+            ..Default::default()
+        });
+        c.try_admit(t(0.0), 500.0).unwrap();
+        // The write actually cost 3000 bytes: the bucket goes into debt and
+        // the next admit must wait.
+        c.observe_actual(t(0.0), 500.0, 3000.0);
+        let wait = c.try_admit(t(0.0), 100.0).unwrap_err();
+        assert!(wait.as_secs_f64() > 1.0, "debt imposes wait: {wait:?}");
+    }
+
+    #[test]
+    fn min_rate_floor_holds() {
+        let cfg = WriteConfig { min_rate: 5000.0, ..Default::default() };
+        let mut c = WriteController::new(cfg);
+        // Tiny observed capacity.
+        c.estimate_capacity(t(15.0), metrics(10, 1, 10), 100);
+        assert!(c.rate() >= 5000.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The "Traditional" (Dedicated) deployment baseline (§6.1).
+//!
+//! "The traditional cluster has a single KV+SQL CRDB process on each VM."
+//! One tenant owns the whole cluster; SQL execution runs in
+//! [`ExecMode::Traditional`], fused with the KV process — no
+//! inter-process marshalling, no proxy, no autoscaler. This is the
+//! baseline for the efficiency comparison (Fig. 6) and the "actual CPU"
+//! reference for the estimated-CPU accuracy experiment (Fig. 11).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crdb_kv::client::KvClient;
+use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+use crdb_sim::{Sim, Topology};
+use crdb_sql::coord::SqlError;
+use crdb_sql::exec::QueryOutput;
+use crdb_sql::node::{ExecMode, NodeState, SqlNode, SqlNodeConfig};
+use crdb_sql::system_db::SystemDatabase;
+use crdb_sql::value::Datum;
+use crdb_util::time::dur;
+use crdb_util::{RegionId, SqlInstanceId, TenantId};
+
+/// A dedicated single-tenant cluster: one fused SQL+KV process per VM.
+pub struct DedicatedCluster {
+    /// The simulation.
+    pub sim: Sim,
+    /// The KV substrate (same machines).
+    pub kv: KvCluster,
+    /// One SQL engine per VM, co-located with its KV node.
+    pub sql_nodes: Vec<Rc<SqlNode>>,
+    /// The single tenant.
+    pub tenant: TenantId,
+    sessions: RefCell<Vec<u64>>,
+}
+
+impl DedicatedCluster {
+    /// Builds a dedicated cluster and runs the simulation until every SQL
+    /// engine is ready.
+    pub fn new(
+        sim: &Sim,
+        topology: Topology,
+        kv_config: KvClusterConfig,
+        mut sql_config: SqlNodeConfig,
+    ) -> Rc<DedicatedCluster> {
+        sql_config.mode = ExecMode::Traditional;
+        let kv = KvCluster::new(sim, topology, kv_config);
+        let tenant = TenantId::FIRST_APP;
+        let cert = kv.create_tenant(tenant);
+        let system_db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
+
+        let mut sql_nodes = Vec::new();
+        let mut sessions = Vec::new();
+        for (i, kv_node_id) in kv.node_ids().into_iter().enumerate() {
+            let location = kv.node_location(kv_node_id).expect("node exists");
+            let client = KvClient::new(kv.clone(), cert.clone(), location);
+            let mut cfg = sql_config.clone();
+            cfg.location = location;
+            let node = SqlNode::new(sim, SqlInstanceId(i as u64 + 1), client, cfg);
+            node.start(&system_db, || {});
+            sql_nodes.push(node);
+        }
+        sim.run_for(dur::secs(10));
+        for node in &sql_nodes {
+            assert_eq!(node.state(), NodeState::Ready, "dedicated SQL engine ready");
+            sessions.push(node.open_session("root").expect("session"));
+        }
+        Rc::new(DedicatedCluster {
+            sim: sim.clone(),
+            kv,
+            sql_nodes,
+            tenant,
+            sessions: RefCell::new(sessions),
+        })
+    }
+
+    /// Executes a statement on the `i`-th VM's SQL engine.
+    pub fn execute_on(
+        &self,
+        i: usize,
+        sql: &str,
+        params: Vec<Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        let node = Rc::clone(&self.sql_nodes[i % self.sql_nodes.len()]);
+        let session = self.sessions.borrow()[i % self.sql_nodes.len()];
+        node.execute(session, sql, params, cb);
+    }
+
+    /// Total CPU-seconds consumed across the cluster (SQL engines + KV
+    /// nodes) — the "actual CPU" of Fig. 11.
+    pub fn total_cpu_seconds(&self) -> f64 {
+        let sql: f64 = self.sql_nodes.iter().map(|n| n.sql_cpu_seconds()).sum();
+        let kv: f64 = self
+            .kv
+            .node_ids()
+            .into_iter()
+            .filter_map(|id| self.kv.node(id))
+            .map(|n| n.cpu.cumulative_usage_total())
+            .sum();
+        sql + kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn dedicated_cluster_serves_sql() {
+        let sim = Sim::new(7);
+        let cluster = DedicatedCluster::new(
+            &sim,
+            Topology::single_region("us-east1", 3),
+            KvClusterConfig::default(),
+            SqlNodeConfig::default(),
+        );
+        assert_eq!(cluster.sql_nodes.len(), 3);
+        let done = Rc::new(StdRefCell::new(false));
+        {
+            let d = Rc::clone(&done);
+            let c2 = Rc::clone(&cluster);
+            cluster.execute_on(0, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", vec![], move |r| {
+                r.unwrap();
+                let d2 = Rc::clone(&d);
+                let c3 = Rc::clone(&c2);
+                c2.execute_on(0, "INSERT INTO t VALUES (1, 10)", vec![], move |r| {
+                    r.unwrap();
+                    // A different VM's engine sees the same data.
+                    c3.execute_on(1, "SELECT v FROM t WHERE id = 1", vec![], move |r| {
+                        let out = r.unwrap();
+                        assert_eq!(out.rows[0][0], Datum::Int(10));
+                        *d2.borrow_mut() = true;
+                    });
+                });
+            });
+        }
+        sim.run_for(dur::secs(30));
+        assert!(*done.borrow(), "query chain completed");
+        assert!(cluster.total_cpu_seconds() > 0.0);
+    }
+
+    #[test]
+    fn all_engines_traditional_mode() {
+        let sim = Sim::new(8);
+        let cluster = DedicatedCluster::new(
+            &sim,
+            Topology::single_region("us-east1", 3),
+            KvClusterConfig::default(),
+            SqlNodeConfig::default(),
+        );
+        for n in &cluster.sql_nodes {
+            assert_eq!(n.config.mode, ExecMode::Traditional);
+        }
+    }
+}

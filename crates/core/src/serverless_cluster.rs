@@ -1,0 +1,347 @@
+//! The full CockroachDB Serverless assembly (Fig. 4).
+//!
+//! One [`ServerlessCluster`] wires together everything the paper
+//! describes: the shared multi-tenant KV cluster, the warm pod pool, the
+//! routing proxy, the autoscaler with its metrics pipeline, per-tenant
+//! system databases with multi-region localities, and the estimated-CPU
+//! accounting loop that feeds each tenant's distributed token bucket.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crdb_accounting::model::EcpuModel;
+use crdb_kv::client::KvClient;
+use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+use crdb_kv::cost::TrafficStats;
+use crdb_serverless::autoscaler::{Autoscaler, AutoscalerConfig};
+use crdb_serverless::metrics::{MetricsPipeline, PipelineConfig};
+use crdb_serverless::pool::{ColdStartConfig, WarmPool};
+use crdb_serverless::proxy::{Connection, Proxy, ProxyConfig, ProxyError};
+use crdb_serverless::registry::Registry;
+use crdb_sim::{Location, Sim, Topology};
+use crdb_sql::coord::SqlError;
+use crdb_sql::exec::QueryOutput;
+use crdb_sql::node::{ExecMode, SqlNodeConfig};
+use crdb_sql::system_db::SystemDatabase;
+use crdb_sql::value::Datum;
+use crdb_util::time::dur;
+use crdb_util::{RegionId, SqlInstanceId, TenantId};
+
+use crate::tenant::{estimated_kv_cpu_seconds, TenantInfo};
+
+/// Configuration for a serverless deployment.
+#[derive(Clone)]
+pub struct ServerlessConfig {
+    /// Region/zone topology.
+    pub topology: Topology,
+    /// Shared KV cluster settings.
+    pub kv: KvClusterConfig,
+    /// Template for SQL nodes (location overridden per tenant).
+    pub sql: SqlNodeConfig,
+    /// Cold-start flow settings.
+    pub coldstart: ColdStartConfig,
+    /// Autoscaler settings.
+    pub autoscaler: AutoscalerConfig,
+    /// Proxy settings.
+    pub proxy: ProxyConfig,
+    /// Metrics pipeline settings.
+    pub pipeline: PipelineConfig,
+    /// Whether tenant system databases get the §3.2.5 multi-region
+    /// optimizations.
+    pub multi_region_optimized: bool,
+    /// Accounting loop interval.
+    pub accounting_interval: Duration,
+    /// The estimated-CPU model used for billing and quota enforcement
+    /// (scale it together with the cost model in scaled experiments).
+    pub ecpu_model: EcpuModel,
+}
+
+impl Default for ServerlessConfig {
+    fn default() -> Self {
+        ServerlessConfig {
+            topology: Topology::single_region("us-central1", 3),
+            kv: KvClusterConfig::default(),
+            sql: SqlNodeConfig { mode: ExecMode::Serverless, ..Default::default() },
+            coldstart: ColdStartConfig::default(),
+            autoscaler: AutoscalerConfig::default(),
+            proxy: ProxyConfig::default(),
+            pipeline: PipelineConfig::direct(),
+            multi_region_optimized: true,
+            accounting_interval: dur::secs(1),
+            ecpu_model: EcpuModel::default_model(),
+        }
+    }
+}
+
+/// A running serverless deployment.
+pub struct ServerlessCluster {
+    /// The simulation.
+    pub sim: Sim,
+    /// The shared KV cluster.
+    pub kv: KvCluster,
+    /// Tenant/node registry.
+    pub registry: Registry,
+    /// The proxy.
+    pub proxy: Rc<Proxy>,
+    /// The autoscaler.
+    pub autoscaler: Rc<Autoscaler>,
+    /// Metrics pipeline.
+    pub pipeline: Rc<MetricsPipeline>,
+    /// Warm pod pool.
+    pub pool: Rc<WarmPool>,
+    tenants: Rc<RefCell<HashMap<TenantId, Rc<TenantInfo>>>>,
+    /// Preferred placement for a tenant's next SQL nodes (set by probers
+    /// and multi-region tests before connecting).
+    preferred_location: Rc<RefCell<HashMap<TenantId, Location>>>,
+    ecpu_model: Rc<EcpuModel>,
+    config: ServerlessConfig,
+    next_tenant: Cell<u64>,
+}
+
+impl ServerlessCluster {
+    /// Builds and starts a deployment on `sim`.
+    pub fn new(sim: &Sim, config: ServerlessConfig) -> Rc<ServerlessCluster> {
+        let kv = KvCluster::new(sim, config.topology.clone(), config.kv.clone());
+        let tenants: Rc<RefCell<HashMap<TenantId, Rc<TenantInfo>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let preferred_location: Rc<RefCell<HashMap<TenantId, Location>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let next_instance = Rc::new(Cell::new(1u64));
+
+        // SQL node factory: certificate from tenant state, placement from
+        // the preferred location (default: tenant home region).
+        let factory = {
+            let tenants = Rc::clone(&tenants);
+            let preferred = Rc::clone(&preferred_location);
+            let kv = kv.clone();
+            let sim = sim.clone();
+            let sql_template = config.sql.clone();
+            let next_instance = Rc::clone(&next_instance);
+            Rc::new(move |tenant: TenantId| {
+                let info = tenants
+                    .borrow()
+                    .get(&tenant)
+                    .cloned()
+                    .expect("factory called for unknown tenant");
+                let location = preferred
+                    .borrow()
+                    .get(&tenant)
+                    .copied()
+                    .unwrap_or(Location::new(info.home_region, 0));
+                let client = KvClient::new(kv.clone(), info.cert.clone(), location);
+                let id = next_instance.get();
+                next_instance.set(id + 1);
+                let mut cfg = sql_template.clone();
+                cfg.location = location;
+                crdb_sql::node::SqlNode::new(&sim, SqlInstanceId(id), client, cfg)
+            })
+        };
+        let registry = Registry::new(factory);
+
+        // Per-tenant system database provider.
+        let system_db_provider: crdb_serverless::proxy::SystemDbProvider = {
+            let tenants = Rc::clone(&tenants);
+            let optimized = config.multi_region_optimized;
+            Rc::new(move |tenant: TenantId| {
+                let tenants = tenants.borrow();
+                let info = tenants.get(&tenant);
+                let (home, regions) = info
+                    .map(|i| (i.home_region, i.regions.clone()))
+                    .unwrap_or((RegionId(0), vec![RegionId(0)]));
+                if optimized {
+                    SystemDatabase::optimized(home, regions)
+                } else {
+                    SystemDatabase::unoptimized(home, regions)
+                }
+            })
+        };
+
+        let pool = WarmPool::new(sim, config.coldstart.clone());
+        let pipeline = MetricsPipeline::start(sim, registry.clone(), config.pipeline.clone());
+        let proxy = Proxy::start(
+            sim,
+            config.proxy.clone(),
+            registry.clone(),
+            Rc::clone(&pool),
+            Rc::clone(&system_db_provider),
+        );
+        let autoscaler = Autoscaler::start(
+            sim,
+            config.autoscaler.clone(),
+            registry.clone(),
+            Rc::clone(&pipeline),
+            Rc::clone(&pool),
+            system_db_provider,
+        );
+
+        let cluster = Rc::new(ServerlessCluster {
+            sim: sim.clone(),
+            kv,
+            registry,
+            proxy,
+            autoscaler,
+            pipeline,
+            pool,
+            tenants,
+            preferred_location,
+            ecpu_model: Rc::new(config.ecpu_model.clone()),
+            config,
+            next_tenant: Cell::new(TenantId::FIRST_APP.raw()),
+        });
+        cluster.start_accounting_loop();
+        cluster
+    }
+
+    fn start_accounting_loop(self: &Rc<Self>) {
+        let this = Rc::clone(self);
+        let interval = self.config.accounting_interval;
+        self.sim.schedule_periodic(interval, move || {
+            this.run_accounting_step(interval.as_secs_f64());
+            true
+        });
+    }
+
+    /// One accounting step: measure per-node SQL CPU deltas and tenant KV
+    /// traffic deltas, convert to estimated CPU, and charge quotas.
+    fn run_accounting_step(&self, interval_secs: f64) {
+        let now = self.sim.now();
+        let kv_node_ids = self.kv.node_ids();
+        for (tenant, info) in self.tenants.borrow().iter() {
+            // KV traffic delta across all KV nodes.
+            let mut traffic = TrafficStats::default();
+            for &nid in &kv_node_ids {
+                if let Some(node) = self.kv.node(nid) {
+                    let t = node.traffic_stats(*tenant);
+                    traffic.read_batches += t.read_batches;
+                    traffic.read_requests += t.read_requests;
+                    traffic.read_bytes += t.read_bytes;
+                    traffic.write_batches += t.write_batches;
+                    traffic.write_requests += t.write_requests;
+                    traffic.write_bytes += t.write_bytes;
+                }
+            }
+            let delta = traffic.delta(&info.last_traffic.borrow());
+            *info.last_traffic.borrow_mut() = traffic;
+            let kv_est = estimated_kv_cpu_seconds(&self.ecpu_model, &delta, interval_secs);
+
+            // Per-node SQL CPU deltas.
+            let nodes: Vec<Rc<crdb_sql::node::SqlNode>> = self
+                .registry
+                .with_tenant(*tenant, |e| {
+                    e.nodes
+                        .iter()
+                        .cloned()
+                        .chain(e.draining.iter().map(|(n, _)| Rc::clone(n)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut usage: Vec<(SqlInstanceId, f64)> = Vec::new();
+            let mut total_sql = 0.0;
+            let share = if nodes.is_empty() { 0.0 } else { kv_est / nodes.len() as f64 };
+            for node in &nodes {
+                let total = node.sql_cpu_seconds();
+                let mut last = info.last_sql_cpu.borrow_mut();
+                let prev = last.insert(SqlInstanceId(node.instance_id.raw()), total).unwrap_or(0.0);
+                let sql_delta = (total - prev).max(0.0);
+                total_sql += sql_delta;
+                usage.push((node.instance_id, (sql_delta + share) * 1000.0));
+            }
+            *info.ecpu_seconds.borrow_mut() += total_sql + kv_est;
+            info.charge(now, &usage);
+        }
+    }
+
+    /// Creates a virtual cluster spanning `regions` with an optional CPU
+    /// quota in vCPUs. Returns its tenant ID.
+    pub fn create_tenant(&self, regions: Vec<RegionId>, quota_vcpus: Option<f64>) -> TenantId {
+        let id = TenantId(self.next_tenant.get());
+        self.next_tenant.set(id.raw() + 1);
+        let regions = if regions.is_empty() { vec![RegionId(0)] } else { regions };
+        let cert = self.kv.create_tenant_homed(id, regions.first().copied());
+        let info = Rc::new(TenantInfo::new(id, cert, regions, quota_vcpus));
+        self.tenants.borrow_mut().insert(id, info);
+        self.registry.add_tenant(id, self.sim.now());
+        id
+    }
+
+    /// Tenant state.
+    pub fn tenant(&self, id: TenantId) -> Option<Rc<TenantInfo>> {
+        self.tenants.borrow().get(&id).cloned()
+    }
+
+    /// Sets where a tenant's next SQL nodes should start (used by
+    /// per-region cold-start probers).
+    pub fn set_preferred_location(&self, tenant: TenantId, location: Location) {
+        self.preferred_location.borrow_mut().insert(tenant, location);
+    }
+
+    /// Connects a client (startup message → tenant) through the proxy.
+    pub fn connect(
+        &self,
+        tenant: TenantId,
+        source_ip: &str,
+        user: &str,
+        cb: impl FnOnce(Result<Rc<Connection>, ProxyError>) + 'static,
+    ) {
+        self.proxy.connect(tenant, source_ip, user, true, cb);
+    }
+
+    /// Executes a statement on a proxied connection, honoring the
+    /// tenant's quota gate (§5.2.2): over-quota nodes run their queries at
+    /// the trickle's smooth reduced rate rather than stopping.
+    pub fn execute(
+        self: &Rc<Self>,
+        conn: &Rc<Connection>,
+        sql: &str,
+        params: Vec<Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        let gate = self
+            .tenant(conn.tenant)
+            .and_then(|info| info.gate_until(conn.node().instance_id))
+            .filter(|&until| until > self.sim.now());
+        let proxy = Rc::clone(&self.proxy);
+        let conn2 = Rc::clone(conn);
+        let sql = sql.to_string();
+        match gate {
+            None => proxy.execute(&conn2, &sql, params, cb),
+            Some(until) => {
+                self.sim.schedule_at(until, move || {
+                    proxy.execute(&conn2, &sql, params, cb);
+                });
+            }
+        }
+    }
+
+    /// Closes a connection.
+    pub fn close(&self, conn: &Rc<Connection>) {
+        self.proxy.close(conn);
+    }
+
+    /// Cumulative estimated CPU (seconds) attributed to a tenant.
+    pub fn tenant_ecpu_seconds(&self, tenant: TenantId) -> f64 {
+        self.tenant(tenant).map_or(0.0, |i| *i.ecpu_seconds.borrow())
+    }
+
+    /// Whether the tenant is currently suspended (scaled to zero).
+    pub fn is_suspended(&self, tenant: TenantId) -> bool {
+        self.registry.is_suspended(tenant)
+    }
+
+    /// Ready SQL node count for a tenant.
+    pub fn sql_node_count(&self, tenant: TenantId) -> usize {
+        self.registry.node_count(tenant)
+    }
+
+    /// The configuration (for experiments).
+    pub fn config(&self) -> &ServerlessConfig {
+        &self.config
+    }
+
+    /// The estimated-CPU model in use.
+    pub fn ecpu_model(&self) -> Rc<EcpuModel> {
+        Rc::clone(&self.ecpu_model)
+    }
+}

@@ -1,0 +1,269 @@
+//! The KV batch API (§3.1).
+//!
+//! "Each SQL query is translated into a batched sequence of lower-level KV
+//! requests like GET, PUT, and DELETE." A [`BatchRequest`] carries the
+//! tenant identity (checked at the security boundary), an optional
+//! transaction, and a list of requests that must all target one tenant's
+//! keyspace. Batches are the unit of admission control and of the
+//! estimated-CPU feature extraction.
+
+use bytes::Bytes;
+use crdb_util::{NodeId, RangeId, TenantId};
+
+use crate::hlc::Timestamp;
+use crate::txn::TxnMeta;
+
+/// One request within a batch.
+#[derive(Debug, Clone)]
+pub enum RequestKind {
+    /// Point read of `key` at the batch read timestamp.
+    Get {
+        /// Tenant-prefixed key.
+        key: Bytes,
+    },
+    /// Ordered scan of `[start, end)` returning at most `limit` pairs.
+    Scan {
+        /// Span start (tenant-prefixed).
+        start: Bytes,
+        /// Span end (exclusive).
+        end: Bytes,
+        /// Maximum pairs to return.
+        limit: usize,
+    },
+    /// Non-transactional blind write.
+    Put {
+        /// Tenant-prefixed key.
+        key: Bytes,
+        /// New value.
+        value: Bytes,
+    },
+    /// Non-transactional delete.
+    Delete {
+        /// Tenant-prefixed key.
+        key: Bytes,
+    },
+    /// Transactional provisional write (requires `txn`); `None` deletes.
+    WriteIntent {
+        /// Tenant-prefixed key.
+        key: Bytes,
+        /// Provisional value (`None` = delete).
+        value: Option<Bytes>,
+    },
+    /// Finalizes the batch's transaction (anchor range holds the record).
+    EndTxn {
+        /// Commit (true) or roll back (false).
+        commit: bool,
+    },
+    /// Commit-time read validation: fails if anything in the span changed
+    /// after `since` (committed version or foreign intent).
+    RefreshSpan {
+        /// Span start (tenant-prefixed).
+        start: Bytes,
+        /// Span end (exclusive).
+        end: Bytes,
+        /// The reader's snapshot timestamp.
+        since: Timestamp,
+    },
+    /// Resolves a previously written intent after its transaction
+    /// finalized. `commit_ts = None` discards the intent (abort).
+    ResolveIntent {
+        /// Tenant-prefixed key.
+        key: Bytes,
+        /// Commit timestamp, or `None` on abort.
+        commit_ts: Option<Timestamp>,
+    },
+}
+
+impl RequestKind {
+    /// Whether this request mutates state (routes through the write queue).
+    pub fn is_write(&self) -> bool {
+        !matches!(
+            self,
+            RequestKind::Get { .. } | RequestKind::Scan { .. } | RequestKind::RefreshSpan { .. }
+        )
+    }
+
+    /// Approximate payload bytes carried by the request.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            RequestKind::Get { key } | RequestKind::Delete { key } => key.len(),
+            RequestKind::Scan { start, end, .. }
+            | RequestKind::RefreshSpan { start, end, .. } => start.len() + end.len(),
+            RequestKind::Put { key, value } => key.len() + value.len(),
+            RequestKind::WriteIntent { key, value } => {
+                key.len() + value.as_ref().map_or(0, |v| v.len())
+            }
+            RequestKind::EndTxn { .. } => 16,
+            RequestKind::ResolveIntent { key, .. } => key.len(),
+        }
+    }
+
+    /// The primary key this request targets (scan start for scans).
+    pub fn primary_key(&self) -> &Bytes {
+        match self {
+            RequestKind::Get { key }
+            | RequestKind::Put { key, .. }
+            | RequestKind::Delete { key }
+            | RequestKind::WriteIntent { key, .. }
+            | RequestKind::ResolveIntent { key, .. } => key,
+            RequestKind::Scan { start, .. } | RequestKind::RefreshSpan { start, .. } => start,
+            RequestKind::EndTxn { .. } => {
+                panic!("EndTxn routes via the transaction anchor key")
+            }
+        }
+    }
+}
+
+/// A batch of KV requests from one tenant.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The issuing tenant (must match the presented certificate).
+    pub tenant: TenantId,
+    /// Snapshot timestamp for reads.
+    pub read_ts: Timestamp,
+    /// Enclosing transaction, if any.
+    pub txn: Option<TxnMeta>,
+    /// The requests, executed in order.
+    pub requests: Vec<RequestKind>,
+}
+
+impl BatchRequest {
+    /// Whether any request in the batch writes.
+    pub fn is_write(&self) -> bool {
+        self.requests.iter().any(|r| r.is_write())
+    }
+
+    /// Total payload bytes across requests.
+    pub fn payload_bytes(&self) -> usize {
+        self.requests.iter().map(|r| r.payload_bytes()).sum()
+    }
+}
+
+/// Per-request response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseKind {
+    /// Point-read result.
+    Value(Option<Bytes>),
+    /// Scan result: tenant-prefixed keys and values.
+    Pairs(Vec<(Bytes, Bytes)>),
+    /// Write acknowledged.
+    Ok,
+}
+
+/// Batch-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvError {
+    /// Request targeted a key outside the authenticated tenant's keyspace.
+    Unauthorized,
+    /// The receiving node does not hold the lease; retry at the indicated
+    /// node (mirrors CockroachDB's NotLeaseHolderError redirect).
+    NotLeaseholder {
+        /// The range involved.
+        range: RangeId,
+        /// Best-known current leaseholder, if any.
+        leaseholder: Option<NodeId>,
+    },
+    /// No range contains the requested key (stale directory cache).
+    RangeNotFound,
+    /// A write ran into a newer committed value; the transaction must
+    /// restart at a higher timestamp.
+    WriteTooOld {
+        /// The conflicting committed timestamp.
+        existing: Timestamp,
+    },
+    /// A read or write ran into another transaction's intent.
+    IntentConflict {
+        /// The other transaction.
+        other_txn: u64,
+    },
+    /// The batch's transaction was aborted (e.g. by a conflicting pusher).
+    TxnAborted,
+    /// The operation waited past its deadline in admission queues.
+    AdmissionTimeout,
+    /// The node is shutting down or dead.
+    NodeUnavailable,
+}
+
+/// The outcome of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchResponse {
+    /// Per-request results (aligned with the request vector) on success.
+    pub results: Vec<ResponseKind>,
+    /// Error, if the batch failed as a unit.
+    pub error: Option<KvError>,
+    /// Total response payload bytes (for egress accounting).
+    pub response_bytes: usize,
+}
+
+impl BatchResponse {
+    /// A successful response.
+    pub fn ok(results: Vec<ResponseKind>) -> Self {
+        let response_bytes = results
+            .iter()
+            .map(|r| match r {
+                ResponseKind::Value(v) => v.as_ref().map_or(0, |v| v.len()),
+                ResponseKind::Pairs(pairs) => {
+                    pairs.iter().map(|(k, v)| k.len() + v.len()).sum()
+                }
+                ResponseKind::Ok => 0,
+            })
+            .sum();
+        BatchResponse { results, error: None, response_bytes }
+    }
+
+    /// A failed response.
+    pub fn err(error: KvError) -> Self {
+        BatchResponse { results: Vec::new(), error: Some(error), response_bytes: 0 }
+    }
+
+    /// Whether the batch succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::make_key;
+
+    #[test]
+    fn write_classification() {
+        let key = make_key(TenantId(2), b"k");
+        assert!(!RequestKind::Get { key: key.clone() }.is_write());
+        assert!(!RequestKind::Scan { start: key.clone(), end: key.clone(), limit: 1 }.is_write());
+        assert!(RequestKind::Put { key: key.clone(), value: Bytes::from_static(b"v") }.is_write());
+        assert!(RequestKind::Delete { key: key.clone() }.is_write());
+        assert!(RequestKind::WriteIntent { key, value: None }.is_write());
+        assert!(RequestKind::EndTxn { commit: true }.is_write());
+    }
+
+    #[test]
+    fn batch_payload_and_write_detection() {
+        let key = make_key(TenantId(2), b"key1");
+        let batch = BatchRequest {
+            tenant: TenantId(2),
+            read_ts: Timestamp::ZERO,
+            txn: None,
+            requests: vec![
+                RequestKind::Get { key: key.clone() },
+                RequestKind::Put { key: key.clone(), value: Bytes::from_static(b"abc") },
+            ],
+        };
+        assert!(batch.is_write());
+        assert_eq!(batch.payload_bytes(), key.len() * 2 + 3);
+    }
+
+    #[test]
+    fn response_byte_accounting() {
+        let r = BatchResponse::ok(vec![
+            ResponseKind::Value(Some(Bytes::from_static(b"12345"))),
+            ResponseKind::Pairs(vec![(Bytes::from_static(b"k"), Bytes::from_static(b"vv"))]),
+            ResponseKind::Ok,
+        ]);
+        assert!(r.is_ok());
+        assert_eq!(r.response_bytes, 5 + 3);
+        let e = BatchResponse::err(KvError::RangeNotFound);
+        assert!(!e.is_ok());
+    }
+}

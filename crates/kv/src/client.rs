@@ -1,0 +1,442 @@
+//! The client-side batch router (CockroachDB's DistSender equivalent).
+//!
+//! A [`KvClient`] belongs to one SQL node: it holds the tenant certificate,
+//! a [`RangeCache`] refreshed by META follower reads (§3.2.5), and the
+//! client's network location. `send` splits a batch by range, dispatches
+//! sub-batches over the simulated network to the cached leaseholders,
+//! retries on redirects / stale caches / intent conflicts, and reassembles
+//! responses in request order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use crdb_sim::Location;
+use crdb_util::time::dur;
+
+use crate::auth::TenantCert;
+use crate::batch::{BatchRequest, BatchResponse, KvError, RequestKind, ResponseKind};
+use crate::cluster::KvCluster;
+use crate::directory::{CacheEntry, RangeCache};
+use crate::hlc::Timestamp;
+use crate::txn::TxnMeta;
+
+/// Maximum redirect/stale-cache retries per sub-batch.
+const MAX_ROUTING_RETRIES: u32 = 8;
+/// Maximum intent-conflict retries per sub-batch.
+const MAX_CONFLICT_RETRIES: u32 = 32;
+
+struct ClientInner {
+    cluster: KvCluster,
+    cert: TenantCert,
+    location: Location,
+    cache: RefCell<RangeCache>,
+}
+
+/// A cloneable handle to one SQL node's KV client.
+#[derive(Clone)]
+pub struct KvClient {
+    inner: Rc<ClientInner>,
+}
+
+impl KvClient {
+    /// Creates a client at `location` authenticated by `cert`.
+    pub fn new(cluster: KvCluster, cert: TenantCert, location: Location) -> KvClient {
+        KvClient {
+            inner: Rc::new(ClientInner {
+                cluster,
+                cert,
+                location,
+                cache: RefCell::new(RangeCache::new()),
+            }),
+        }
+    }
+
+    /// The authenticated tenant certificate.
+    pub fn cert(&self) -> &TenantCert {
+        &self.inner.cert
+    }
+
+    /// The client's location.
+    pub fn location(&self) -> Location {
+        self.inner.location
+    }
+
+    /// The owning cluster.
+    pub fn cluster(&self) -> &KvCluster {
+        &self.inner.cluster
+    }
+
+    /// META lookup statistics: `(meta_lookups, cache_hits)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.inner.cache.borrow();
+        (c.meta_lookups, c.cache_hits)
+    }
+
+    /// Sends a batch, invoking `cb` with the merged response. All requests
+    /// must belong to this client's tenant keyspace (enforced server-side
+    /// too). Sub-batches run concurrently; the whole batch fails on the
+    /// first sub-batch error.
+    pub fn send(&self, batch: BatchRequest, cb: impl FnOnce(BatchResponse) + 'static) {
+        // Pieces: (original request index, span-order, request)
+        let mut pieces: Vec<(usize, usize, RequestKind)> = Vec::new();
+        for (i, req) in batch.requests.iter().enumerate() {
+            pieces.push((i, 0, req.clone()));
+        }
+        let n_results = batch.requests.len();
+        let state = Rc::new(DispatchState {
+            client: self.clone(),
+            template: BatchRequest { requests: Vec::new(), ..batch },
+            results: RefCell::new(vec![Vec::new(); n_results]),
+            outstanding: RefCell::new(0),
+            finished: RefCell::new(Some(Box::new(cb))),
+        });
+        *state.outstanding.borrow_mut() = 1; // guard against sync completion
+        for (idx, order, req) in pieces {
+            DispatchState::dispatch_piece(&state, idx, order, req, 0, 0);
+        }
+        DispatchState::piece_done(&state); // release the guard
+    }
+
+    /// Convenience: non-transactional point read.
+    pub fn get(&self, key: Bytes, cb: impl FnOnce(Result<Option<Bytes>, KvError>) + 'static) {
+        let batch = BatchRequest {
+            tenant: self.inner.cert.tenant(),
+            read_ts: self.inner.cluster.now_ts(),
+            txn: None,
+            requests: vec![RequestKind::Get { key }],
+        };
+        self.send(batch, move |resp| match resp.error {
+            Some(e) => cb(Err(e)),
+            None => match resp.results.into_iter().next() {
+                Some(ResponseKind::Value(v)) => cb(Ok(v)),
+                _ => cb(Err(KvError::RangeNotFound)),
+            },
+        });
+    }
+
+    /// Convenience: non-transactional write.
+    pub fn put(&self, key: Bytes, value: Bytes, cb: impl FnOnce(Result<(), KvError>) + 'static) {
+        let batch = BatchRequest {
+            tenant: self.inner.cert.tenant(),
+            read_ts: self.inner.cluster.now_ts(),
+            txn: None,
+            requests: vec![RequestKind::Put { key, value }],
+        };
+        self.send(batch, move |resp| match resp.error {
+            Some(e) => cb(Err(e)),
+            None => cb(Ok(())),
+        });
+    }
+
+    /// Convenience: snapshot scan.
+    pub fn scan(
+        &self,
+        start: Bytes,
+        end: Bytes,
+        limit: usize,
+        cb: impl FnOnce(Result<Vec<(Bytes, Bytes)>, KvError>) + 'static,
+    ) {
+        let batch = BatchRequest {
+            tenant: self.inner.cert.tenant(),
+            read_ts: self.inner.cluster.now_ts(),
+            txn: None,
+            requests: vec![RequestKind::Scan { start, end, limit }],
+        };
+        self.send(batch, move |resp| match resp.error {
+            Some(e) => cb(Err(e)),
+            None => match resp.results.into_iter().next() {
+                Some(ResponseKind::Pairs(p)) => cb(Ok(p)),
+                _ => cb(Err(KvError::RangeNotFound)),
+            },
+        });
+    }
+
+    /// Resolves the range containing `key`, using the cache or a META
+    /// follower read (one network hop to the nearest node, §3.2.5).
+    fn resolve(&self, key: Bytes, cb: impl FnOnce(Option<CacheEntry>) + 'static) {
+        if let Some(entry) = self.inner.cache.borrow_mut().lookup(&key) {
+            cb(Some(entry));
+            return;
+        }
+        let cluster = self.inner.cluster.clone();
+        let this = self.clone();
+        let nearest = match cluster.nearest_node(self.inner.location) {
+            Some(n) => n,
+            None => {
+                cb(None);
+                return;
+            }
+        };
+        let topo = cluster.topology();
+        let sim = cluster.sim.clone();
+        let my_loc = self.inner.location;
+        let node_loc = nearest.location;
+        // Request hop.
+        topo.send(&sim, my_loc, node_loc, move || {
+            // Follower read of META on the nearest node: the directory is
+            // read as-of-now (staleness is tolerated because stale entries
+            // just cause a redirect).
+            let entry = {
+                let inner = cluster.inner.borrow();
+                inner.directory.lookup(&key).map(|r| CacheEntry {
+                    desc: r.desc.clone(),
+                    leaseholder: r.lease.holder,
+                })
+            };
+            let topo2 = cluster.topology();
+            let sim2 = cluster.sim.clone();
+            // Response hop.
+            topo2.send(&sim2, node_loc, my_loc, move || {
+                if let Some(e) = entry.clone() {
+                    this.inner.cache.borrow_mut().fill_from_meta(e);
+                }
+                cb(entry);
+            });
+        });
+    }
+}
+
+/// In-flight state for one client batch.
+struct DispatchState {
+    client: KvClient,
+    /// Batch header (tenant, read_ts, txn) without requests.
+    template: BatchRequest,
+    /// Per original request index: `(span_order, response)` pieces.
+    results: RefCell<Vec<Vec<(usize, ResponseKind)>>>,
+    outstanding: RefCell<usize>,
+    finished: RefCell<Option<Box<dyn FnOnce(BatchResponse)>>>,
+}
+
+impl DispatchState {
+    fn routing_key(template: &BatchRequest, req: &RequestKind) -> Bytes {
+        match req {
+            RequestKind::EndTxn { .. } => template
+                .txn
+                .as_ref()
+                .map(|t| t.anchor_key.clone())
+                .unwrap_or_else(|| Bytes::from_static(b"")),
+            other => other.primary_key().clone(),
+        }
+    }
+
+    /// Routes one piece (a single request clamped to one range).
+    fn dispatch_piece(
+        state: &Rc<Self>,
+        idx: usize,
+        order: usize,
+        req: RequestKind,
+        routing_retries: u32,
+        conflict_retries: u32,
+    ) {
+        *state.outstanding.borrow_mut() += 1;
+        let key = Self::routing_key(&state.template, &req);
+        let st = Rc::clone(state);
+        state.client.clone().resolve(key, move |entry| {
+            let entry = match entry {
+                Some(e) => e,
+                None => {
+                    st.fail(KvError::RangeNotFound);
+                    return;
+                }
+            };
+            // A scan crossing the range boundary splits here: the in-range
+            // prefix executes now, the remainder re-dispatches.
+            let mut req = req;
+            if let RequestKind::Scan { start, end, limit } = &req {
+                if end.as_ref() > entry.desc.end.as_ref() && start.as_ref() < entry.desc.end.as_ref()
+                {
+                    let tail = RequestKind::Scan {
+                        start: entry.desc.end.clone(),
+                        end: end.clone(),
+                        limit: *limit,
+                    };
+                    Self::dispatch_piece(&st, idx, order + 1, tail, 0, 0);
+                    req = RequestKind::Scan {
+                        start: start.clone(),
+                        end: entry.desc.end.clone(),
+                        limit: *limit,
+                    };
+                }
+            }
+            st.send_to_node(idx, order, req, entry, routing_retries, conflict_retries);
+        });
+    }
+
+    fn send_to_node(
+        self: Rc<Self>,
+        idx: usize,
+        order: usize,
+        req: RequestKind,
+        entry: CacheEntry,
+        routing_retries: u32,
+        conflict_retries: u32,
+    ) {
+        let client = self.client.clone();
+        let cluster = client.inner.cluster.clone();
+        let node = match cluster.node(entry.leaseholder) {
+            Some(n) => n,
+            None => {
+                self.fail(KvError::NodeUnavailable);
+                return;
+            }
+        };
+        let topo = cluster.topology();
+        let sim = cluster.sim.clone();
+        let my_loc = client.inner.location;
+        let node_loc = node.location;
+        let sub = BatchRequest {
+            tenant: self.template.tenant,
+            read_ts: self.template.read_ts,
+            txn: self.template.txn.clone(),
+            requests: vec![req.clone()],
+        };
+        let cert = client.inner.cert.clone();
+        let st = Rc::clone(&self);
+        topo.send(&sim, my_loc, node_loc, move || {
+            let topo2 = st.client.inner.cluster.topology();
+            let sim2 = st.client.inner.cluster.sim.clone();
+            let st2 = Rc::clone(&st);
+            let req2 = req.clone();
+            node.receive(&cert, sub, move |resp| {
+                // Return hop, then handle.
+                let st3 = Rc::clone(&st2);
+                topo2.send(&sim2, node_loc, my_loc, move || {
+                    st3.handle_response(idx, order, req2, resp, routing_retries, conflict_retries);
+                });
+            });
+        });
+    }
+
+    fn handle_response(
+        self: Rc<Self>,
+        idx: usize,
+        order: usize,
+        req: RequestKind,
+        resp: BatchResponse,
+        routing_retries: u32,
+        conflict_retries: u32,
+    ) {
+        match resp.error {
+            None => {
+                let result = resp.results.into_iter().next().unwrap_or(ResponseKind::Ok);
+                self.results.borrow_mut()[idx].push((order, result));
+                Self::piece_done(&self);
+            }
+            Some(KvError::NotLeaseholder { leaseholder, .. }) => {
+                let key = Self::routing_key(&self.template, &req);
+                if let Some(holder) = leaseholder {
+                    self.client.inner.cache.borrow_mut().update_leaseholder(&key, holder);
+                } else {
+                    self.client.inner.cache.borrow_mut().invalidate(&key);
+                }
+                self.retry_routing(idx, order, req, routing_retries, conflict_retries);
+            }
+            Some(KvError::RangeNotFound) | Some(KvError::NodeUnavailable) => {
+                // A dead node or stale descriptor: refresh from META. The
+                // lease-check loop moves leases off dead nodes within its
+                // period, so retries back off long enough to observe that.
+                let key = Self::routing_key(&self.template, &req);
+                self.client.inner.cache.borrow_mut().invalidate(&key);
+                let st = Rc::clone(&self);
+                let sim = self.client.inner.cluster.sim.clone();
+                let backoff = dur::ms(50 * (1 + routing_retries as u64));
+                sim.schedule_after(backoff, move || {
+                    st.retry_routing(idx, order, req, routing_retries, conflict_retries);
+                });
+            }
+            Some(KvError::IntentConflict { .. })
+                if conflict_retries < MAX_CONFLICT_RETRIES && !req.is_write() =>
+            {
+                // Back off briefly and retry: the conflicting transaction
+                // commits or aborts shortly (short commit windows).
+                let st = Rc::clone(&self);
+                let sim = self.client.inner.cluster.sim.clone();
+                let backoff = dur::ms(1 + 2 * conflict_retries as u64);
+                sim.schedule_after(backoff, move || {
+                    Self::dispatch_piece(&st, idx, order, req, routing_retries, conflict_retries + 1);
+                    Self::piece_done(&st);
+                });
+            }
+            Some(e) => self.fail(e),
+        }
+    }
+
+    fn retry_routing(
+        self: Rc<Self>,
+        idx: usize,
+        order: usize,
+        req: RequestKind,
+        routing_retries: u32,
+        conflict_retries: u32,
+    ) {
+        if routing_retries >= MAX_ROUTING_RETRIES {
+            self.fail(KvError::RangeNotFound);
+            return;
+        }
+        let st = Rc::clone(&self);
+        Self::dispatch_piece(&st, idx, order, req, routing_retries + 1, conflict_retries);
+        Self::piece_done(&self);
+    }
+
+    fn fail(self: &Rc<Self>, error: KvError) {
+        if let Some(cb) = self.finished.borrow_mut().take() {
+            cb(BatchResponse::err(error));
+        }
+        Self::piece_done(self);
+    }
+
+    fn piece_done(state: &Rc<Self>) {
+        let remaining = {
+            let mut o = state.outstanding.borrow_mut();
+            *o -= 1;
+            *o
+        };
+        if remaining > 0 {
+            return;
+        }
+        let cb = match state.finished.borrow_mut().take() {
+            Some(cb) => cb,
+            None => return, // already failed
+        };
+        // Merge: scans concatenate their pieces in span order.
+        let mut merged = Vec::new();
+        for pieces in state.results.borrow_mut().iter_mut() {
+            pieces.sort_by_key(|(order, _)| *order);
+            if pieces.len() == 1 {
+                merged.push(pieces.remove(0).1);
+                continue;
+            }
+            let mut pairs: Vec<(Bytes, Bytes)> = Vec::new();
+            let mut fallback = ResponseKind::Ok;
+            let mut is_scan = false;
+            for (_, piece) in pieces.drain(..) {
+                match piece {
+                    ResponseKind::Pairs(p) => {
+                        is_scan = true;
+                        pairs.extend(p);
+                    }
+                    other => fallback = other,
+                }
+            }
+            if is_scan {
+                merged.push(ResponseKind::Pairs(pairs));
+            } else {
+                merged.push(fallback);
+            }
+        }
+        cb(BatchResponse::ok(merged));
+    }
+}
+
+/// Builds the `TxnMeta` for a new transaction anchored at `anchor_key`.
+pub fn make_txn_meta(cluster: &KvCluster, anchor_key: Bytes) -> TxnMeta {
+    let id = cluster.begin_txn();
+    let ts = cluster.now_ts();
+    TxnMeta { txn_id: id, anchor_key, start_ts: ts, write_ts: ts }
+}
+
+/// Helper for tests and single-shot operations: a timestamp for snapshots.
+pub fn snapshot_ts(cluster: &KvCluster) -> Timestamp {
+    cluster.now_ts()
+}

@@ -1,0 +1,312 @@
+//! The range directory (META) and client-side range caches.
+//!
+//! "When a KV node receives a request from the SQL layer for a range that
+//! it does not know about locally, it redirects the request to the right
+//! node using a range directory whose root is known to all KV nodes via a
+//! gossip protocol" (§3.1). "Follower reads are used to read from the META
+//! range … a good fit because the KV nodes will redirect requests if a
+//! range moves" (§3.2.5).
+//!
+//! The authoritative directory maps range start keys to range state; SQL
+//! clients hold a [`RangeCache`] of possibly-stale entries refreshed by
+//! META lookups. Under simulation a META lookup is served by the *nearest*
+//! replica (follower read — no cross-region hop), which is exactly what
+//! makes multi-region cold starts cheap.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use crdb_util::{NodeId, RangeId};
+
+use crate::range::{RangeDescriptor, RangeState};
+
+/// The authoritative range directory (the META range content).
+#[derive(Debug, Default)]
+pub struct Directory {
+    /// Range start key → range ID.
+    by_start: BTreeMap<Bytes, RangeId>,
+    /// Range ID → state.
+    ranges: BTreeMap<RangeId, RangeState>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Installs a new range.
+    pub fn insert(&mut self, state: RangeState) {
+        self.by_start.insert(state.desc.start.clone(), state.desc.id);
+        self.ranges.insert(state.desc.id, state);
+    }
+
+    /// Removes a range (during merges/splits).
+    pub fn remove(&mut self, id: RangeId) -> Option<RangeState> {
+        let state = self.ranges.remove(&id)?;
+        self.by_start.remove(&state.desc.start);
+        Some(state)
+    }
+
+    /// The range containing `key`, if any.
+    pub fn lookup(&self, key: &[u8]) -> Option<&RangeState> {
+        let key_b = Bytes::copy_from_slice(key);
+        let (_, id) = self.by_start.range(..=key_b).next_back()?;
+        let state = self.ranges.get(id)?;
+        if state.desc.contains(key) {
+            Some(state)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the range containing `key`.
+    pub fn lookup_mut(&mut self, key: &[u8]) -> Option<&mut RangeState> {
+        let id = {
+            let key_b = Bytes::copy_from_slice(key);
+            let (_, id) = self.by_start.range(..=key_b).next_back()?;
+            *id
+        };
+        let state = self.ranges.get_mut(&id)?;
+        if state.desc.contains(key) {
+            Some(state)
+        } else {
+            None
+        }
+    }
+
+    /// State of a specific range.
+    pub fn get(&self, id: RangeId) -> Option<&RangeState> {
+        self.ranges.get(&id)
+    }
+
+    /// Mutable state of a specific range.
+    pub fn get_mut(&mut self, id: RangeId) -> Option<&mut RangeState> {
+        self.ranges.get_mut(&id)
+    }
+
+    /// Iterates all ranges.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeState> {
+        self.ranges.values()
+    }
+
+    /// Mutably iterates all ranges.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RangeState> {
+        self.ranges.values_mut()
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// All ranges whose span intersects `[start, end)`, in key order.
+    pub fn ranges_overlapping(&self, start: &[u8], end: &[u8]) -> Vec<&RangeState> {
+        let mut out = Vec::new();
+        // The range containing `start` may begin before it.
+        if let Some(first) = self.lookup(start) {
+            out.push(first);
+        }
+        let start_b = Bytes::copy_from_slice(start);
+        for (s, id) in self.by_start.range(start_b..) {
+            if s.as_ref() >= end {
+                break;
+            }
+            if out.last().map(|r| r.desc.id) == Some(*id) {
+                continue;
+            }
+            if let Some(r) = self.ranges.get(id) {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+/// A cached directory entry held by a client.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The cached descriptor.
+    pub desc: RangeDescriptor,
+    /// Last-known leaseholder.
+    pub leaseholder: NodeId,
+}
+
+/// A client-side, possibly stale view of the directory.
+#[derive(Debug, Default)]
+pub struct RangeCache {
+    by_start: BTreeMap<Bytes, CacheEntry>,
+    /// Lookups that had to go to META (cold or invalidated).
+    pub meta_lookups: u64,
+    /// Lookups served from cache.
+    pub cache_hits: u64,
+}
+
+impl RangeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RangeCache::default()
+    }
+
+    /// A cached entry covering `key`, if present.
+    pub fn lookup(&mut self, key: &[u8]) -> Option<CacheEntry> {
+        let key_b = Bytes::copy_from_slice(key);
+        let (_, entry) = self.by_start.range(..=key_b).next_back()?;
+        if entry.desc.contains(key) {
+            self.cache_hits += 1;
+            Some(entry.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Installs an entry (from a META lookup or a redirect hint).
+    pub fn insert(&mut self, entry: CacheEntry) {
+        // Evict any entries overlapping the new descriptor (stale splits).
+        let start = entry.desc.start.clone();
+        let end = entry.desc.end.clone();
+        let stale: Vec<Bytes> = self
+            .by_start
+            .range(..end.clone())
+            .filter(|(_, e)| e.desc.end.as_ref() > start.as_ref())
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in stale {
+            self.by_start.remove(&k);
+        }
+        self.by_start.insert(start, entry);
+    }
+
+    /// Records a META lookup (stats) and installs the result.
+    pub fn fill_from_meta(&mut self, entry: CacheEntry) {
+        self.meta_lookups += 1;
+        self.insert(entry);
+    }
+
+    /// Drops the entry covering `key` (after a redirect or range-not-found).
+    pub fn invalidate(&mut self, key: &[u8]) {
+        let key_b = Bytes::copy_from_slice(key);
+        let found = self.by_start.range(..=key_b).next_back().map(|(k, _)| k.clone());
+        if let Some(k) = found {
+            self.by_start.remove(&k);
+        }
+    }
+
+    /// Updates the cached leaseholder after a redirect hint.
+    pub fn update_leaseholder(&mut self, key: &[u8], holder: NodeId) {
+        let key_b = Bytes::copy_from_slice(key);
+        let found = self.by_start.range(..=key_b).next_back().map(|(k, _)| k.clone());
+        if let Some(k) = found {
+            if let Some(e) = self.by_start.get_mut(&k) {
+                if e.desc.contains(key) {
+                    e.leaseholder = holder;
+                }
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_start.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys;
+    use crdb_util::TenantId;
+
+    fn mkrange(id: u64, t: u64, start: &[u8], end: &[u8]) -> RangeState {
+        RangeState::new(
+            RangeDescriptor {
+                id: RangeId(id),
+                start: keys::make_key(TenantId(t), start),
+                end: if end.is_empty() {
+                    keys::tenant_span_end(TenantId(t))
+                } else {
+                    keys::make_key(TenantId(t), end)
+                },
+                replicas: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn directory_lookup_by_containment() {
+        let mut d = Directory::new();
+        d.insert(mkrange(1, 5, b"", b"m"));
+        d.insert(mkrange(2, 5, b"m", b""));
+        let k = keys::make_key(TenantId(5), b"apple");
+        assert_eq!(d.lookup(&k).unwrap().desc.id, RangeId(1));
+        let k = keys::make_key(TenantId(5), b"zebra");
+        assert_eq!(d.lookup(&k).unwrap().desc.id, RangeId(2));
+        let k = keys::make_key(TenantId(6), b"a");
+        assert!(d.lookup(&k).is_none(), "no range for unknown tenant");
+    }
+
+    #[test]
+    fn overlapping_ranges_in_order() {
+        let mut d = Directory::new();
+        d.insert(mkrange(1, 5, b"", b"g"));
+        d.insert(mkrange(2, 5, b"g", b"p"));
+        d.insert(mkrange(3, 5, b"p", b""));
+        let start = keys::make_key(TenantId(5), b"c");
+        let end = keys::make_key(TenantId(5), b"r");
+        let ids: Vec<_> = d.ranges_overlapping(&start, &end).iter().map(|r| r.desc.id).collect();
+        assert_eq!(ids, vec![RangeId(1), RangeId(2), RangeId(3)]);
+        let narrow_end = keys::make_key(TenantId(5), b"h");
+        let ids: Vec<_> =
+            d.ranges_overlapping(&start, &narrow_end).iter().map(|r| r.desc.id).collect();
+        assert_eq!(ids, vec![RangeId(1), RangeId(2)]);
+    }
+
+    #[test]
+    fn cache_hit_miss_and_invalidate() {
+        let mut c = RangeCache::new();
+        let k = keys::make_key(TenantId(5), b"x");
+        assert!(c.lookup(&k).is_none());
+        let r = mkrange(1, 5, b"", b"");
+        c.fill_from_meta(CacheEntry { desc: r.desc.clone(), leaseholder: NodeId(2) });
+        assert_eq!(c.lookup(&k).unwrap().leaseholder, NodeId(2));
+        assert_eq!(c.meta_lookups, 1);
+        assert_eq!(c.cache_hits, 1);
+        c.invalidate(&k);
+        assert!(c.lookup(&k).is_none());
+    }
+
+    #[test]
+    fn stale_entries_evicted_on_split_install() {
+        let mut c = RangeCache::new();
+        let whole = mkrange(1, 5, b"", b"");
+        c.insert(CacheEntry { desc: whole.desc.clone(), leaseholder: NodeId(1) });
+        // A split produced two halves; inserting one evicts the stale whole.
+        let left = mkrange(2, 5, b"", b"m");
+        c.insert(CacheEntry { desc: left.desc.clone(), leaseholder: NodeId(1) });
+        let right_key = keys::make_key(TenantId(5), b"z");
+        assert!(c.lookup(&right_key).is_none(), "stale whole-range entry gone");
+        let left_key = keys::make_key(TenantId(5), b"a");
+        assert_eq!(c.lookup(&left_key).unwrap().desc.id, RangeId(2));
+    }
+
+    #[test]
+    fn update_leaseholder_hint() {
+        let mut c = RangeCache::new();
+        let r = mkrange(1, 5, b"", b"");
+        c.insert(CacheEntry { desc: r.desc.clone(), leaseholder: NodeId(1) });
+        let k = keys::make_key(TenantId(5), b"q");
+        c.update_leaseholder(&k, NodeId(3));
+        assert_eq!(c.lookup(&k).unwrap().leaseholder, NodeId(3));
+    }
+}

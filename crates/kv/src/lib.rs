@@ -1,0 +1,58 @@
+//! The transactional key-value layer (§3.1) with cluster virtualization
+//! (§3.2).
+//!
+//! This crate reproduces the KV half of CockroachDB's two-layer
+//! architecture as the paper describes it:
+//!
+//! - an ordered logical keyspace of opaque byte pairs, **partitioned per
+//!   tenant by a key prefix** ([`keys`], §3.2.1) — the KV layer enforces
+//!   that no two tenants share a range;
+//! - MVCC storage with write intents and transaction records ([`mvcc`],
+//!   [`txn`]) over the [`crdb_storage`] LSM engine;
+//! - **ranges** — CockroachDB's shards — with size-based splitting, a META
+//!   directory locating ranges (readable via stale follower reads,
+//!   §3.2.5), epoch-based node liveness, range leases, and quorum
+//!   replication ([`range`], [`directory`], [`liveness`], [`replication`]);
+//! - the **SQL/KV security boundary** ([`auth`], §3.2.3): every batch
+//!   authenticates with a tenant certificate and may only touch its own
+//!   keyspace (the system tenant bypasses the check, §3.2.4);
+//! - per-node **admission control** integration and a ground-truth CPU
+//!   [`cost`] model that charges simulated CPU for every batch — the
+//!   reference against which the estimated-CPU model is trained and
+//!   evaluated (Fig. 5, Fig. 11);
+//! - [`node::KvNode`] and [`cluster::KvCluster`] — the deployable node and
+//!   multi-node cluster running on the discrete-event simulator.
+//!
+//! ## Fidelity notes (see DESIGN.md)
+//!
+//! The *data path* is real: bytes land in real LSM engines on every
+//! replica, MVCC versions and intents are really written and resolved, and
+//! reads merge real versions. *Timing* is simulated: service latency comes
+//! from the cost model + admission queues + CPU scheduler, and replication
+//! waits simulated quorum round trips. Transactions use buffered writes
+//! with a two-phase commit (intents, then transaction record flip),
+//! matching CockroachDB's behaviour for the workloads evaluated; the
+//! timestamp cache is approximated by retry-on-conflict.
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod batch;
+pub mod client;
+pub mod cluster;
+pub mod cost;
+pub mod directory;
+pub mod hlc;
+pub mod keys;
+pub mod liveness;
+pub mod mvcc;
+pub mod node;
+pub mod range;
+pub mod replication;
+pub mod txn;
+
+pub use batch::{BatchRequest, BatchResponse, KvError, RequestKind, ResponseKind};
+pub use client::KvClient;
+pub use cluster::{KvCluster, KvClusterConfig};
+pub use hlc::Timestamp;
+pub use node::KvNode;

@@ -1,0 +1,583 @@
+//! Multi-version concurrency control over the LSM engine.
+//!
+//! Every logical key stores a history of timestamped versions plus at most
+//! one provisional *write intent*. The storage layout inside each node's
+//! engine:
+//!
+//! ```text
+//! 'v' + key + 0x00 + (MAX - ts.wall) + (MAX - ts.logical) -> [1][value] | [0]
+//! 'i' + key                                               -> intent meta
+//! 't' + txn_id                                            -> txn record
+//! ```
+//!
+//! The 0x00 separator between user key and inverted timestamp keeps scan
+//! bounds correct when one user key is a prefix of another (or of a span
+//! end); span scans additionally filter decoded user keys against the
+//! requested bounds.
+//!
+//! Inverted timestamps make newer versions sort first, so "newest version
+//! ≤ read_ts" is a short forward scan. Tombstoned versions (deletes) are
+//! materialized as `[0]` so history is preserved until GC.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use crdb_storage::{Engine, WriteBatch};
+
+use crate::hlc::Timestamp;
+use crate::txn::{TxnRecord, TxnStatus};
+
+/// How much MVCC history writes preserve: versions older than this (below
+/// the newest one readable at `now - GC_WINDOW`) are garbage-collected
+/// inline on write. CockroachDB's default `gc.ttlseconds` is far larger;
+/// the simulation's transactions are sub-second, so a short window keeps
+/// hot-key version chains bounded without breaking any reader.
+pub const GC_WINDOW_NANOS: u64 = 5_000_000_000;
+
+const VERSION_TAG: u8 = b'v';
+const INTENT_TAG: u8 = b'i';
+const TXN_TAG: u8 = b't';
+
+fn version_key(key: &[u8], ts: Timestamp) -> Bytes {
+    let mut b = BytesMut::with_capacity(key.len() + 14);
+    b.put_u8(VERSION_TAG);
+    b.put_slice(key);
+    b.put_u8(0x00); // separator: see module docs
+    b.put_u64(u64::MAX - ts.wall);
+    b.put_u32(u32::MAX - ts.logical);
+    b.freeze()
+}
+
+fn version_prefix(key: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(key.len() + 1);
+    b.put_u8(VERSION_TAG);
+    b.put_slice(key);
+    b.freeze()
+}
+
+fn intent_key(key: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(key.len() + 1);
+    b.put_u8(INTENT_TAG);
+    b.put_slice(key);
+    b.freeze()
+}
+
+fn txn_key(txn_id: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(9);
+    b.put_u8(TXN_TAG);
+    b.put_u64(txn_id);
+    b.freeze()
+}
+
+/// Splits a version storage key back into `(user_key, ts)`.
+fn decode_version_key(storage_key: &[u8]) -> Option<(Bytes, Timestamp)> {
+    if storage_key.len() < 14 || storage_key[0] != VERSION_TAG {
+        return None;
+    }
+    let sep = storage_key.len() - 13;
+    if storage_key[sep] != 0x00 {
+        return None;
+    }
+    let user = Bytes::copy_from_slice(&storage_key[1..sep]);
+    let wall = u64::MAX - u64::from_be_bytes(storage_key[sep + 1..sep + 9].try_into().ok()?);
+    let logical =
+        u32::MAX - u32::from_be_bytes(storage_key[sep + 9..sep + 13].try_into().ok()?);
+    Some((user, Timestamp { wall, logical }))
+}
+
+fn encode_value(value: Option<&Bytes>) -> Bytes {
+    match value {
+        Some(v) => {
+            let mut b = BytesMut::with_capacity(v.len() + 1);
+            b.put_u8(1);
+            b.put_slice(v);
+            b.freeze()
+        }
+        None => Bytes::from_static(&[0]),
+    }
+}
+
+fn decode_value(raw: &Bytes) -> Option<Bytes> {
+    match raw.first() {
+        Some(1) => Some(raw.slice(1..)),
+        _ => None,
+    }
+}
+
+/// A provisional write by an in-flight transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intent {
+    /// Owning transaction.
+    pub txn_id: u64,
+    /// Provisional timestamp.
+    pub ts: Timestamp,
+    /// Provisional value (`None` = delete).
+    pub value: Option<Bytes>,
+}
+
+fn encode_intent(intent: &Intent) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u64(intent.txn_id);
+    b.put_u64(intent.ts.wall);
+    b.put_u32(intent.ts.logical);
+    match &intent.value {
+        Some(v) => {
+            b.put_u8(1);
+            b.put_slice(v);
+        }
+        None => b.put_u8(0),
+    }
+    b.freeze()
+}
+
+fn decode_intent(raw: &Bytes) -> Option<Intent> {
+    if raw.len() < 21 {
+        return None;
+    }
+    let txn_id = u64::from_be_bytes(raw[0..8].try_into().ok()?);
+    let wall = u64::from_be_bytes(raw[8..16].try_into().ok()?);
+    let logical = u32::from_be_bytes(raw[16..20].try_into().ok()?);
+    let value = match raw[20] {
+        1 => Some(raw.slice(21..)),
+        _ => None,
+    };
+    Some(Intent { txn_id, ts: Timestamp { wall, logical }, value })
+}
+
+/// Result of an MVCC point read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadResult {
+    /// The newest committed value at or below the read timestamp (`None` =
+    /// no value / deleted).
+    Value(Option<Bytes>),
+    /// The read ran into an intent from another transaction.
+    Intent(Intent),
+}
+
+/// Writes a committed version directly (non-transactional path, and the
+/// final step of intent resolution).
+pub fn put_version(engine: &Engine, key: &[u8], ts: Timestamp, value: Option<&Bytes>) {
+    let mut batch = WriteBatch::new();
+    batch.put(version_key(key, ts), encode_value(value));
+    engine.apply(&batch);
+    gc_key_inline(engine, key, ts);
+}
+
+/// Inline GC: drops versions of `key` older than the newest version
+/// readable at `ts - GC_WINDOW` (hot keys otherwise accumulate unbounded
+/// history that every span scan must walk).
+fn gc_key_inline(engine: &Engine, key: &[u8], ts: Timestamp) {
+    let keep_after = Timestamp { wall: ts.wall.saturating_sub(GC_WINDOW_NANOS), logical: 0 };
+    gc_versions(engine, key, keep_after);
+}
+
+/// Reads the newest committed version of `key` at or below `ts`. If
+/// `observe_intents` and an intent (from a different transaction than
+/// `own_txn`) exists with `intent.ts <= ts`, the intent is surfaced.
+pub fn get(
+    engine: &Engine,
+    key: &[u8],
+    ts: Timestamp,
+    own_txn: Option<u64>,
+) -> ReadResult {
+    if let Some(raw) = engine.get(&intent_key(key)) {
+        if let Some(intent) = decode_intent(&raw) {
+            if Some(intent.txn_id) == own_txn {
+                // Read-your-writes: the provisional value wins.
+                return ReadResult::Value(intent.value);
+            }
+            if intent.ts <= ts {
+                return ReadResult::Intent(intent);
+            }
+        }
+    }
+    let start = version_key(key, ts); // newest version <= ts sorts first
+    let mut prefix_end = BytesMut::from(version_prefix(key).as_ref());
+    prefix_end.put_u8(0x00);
+    prefix_end.put_slice(&[0xff; 13]);
+    for (k, raw) in engine.scan(&start, &prefix_end, 1) {
+        if let Some((user, _vts)) = decode_version_key(&k) {
+            if user.as_ref() == key {
+                return ReadResult::Value(decode_value(&raw));
+            }
+        }
+    }
+    ReadResult::Value(None)
+}
+
+/// Scans `[start, end)` at `ts`, returning up to `limit` live pairs and
+/// every foreign intent encountered in the span.
+pub fn scan(
+    engine: &Engine,
+    start: &[u8],
+    end: &[u8],
+    ts: Timestamp,
+    limit: usize,
+    own_txn: Option<u64>,
+) -> (Vec<(Bytes, Bytes)>, Vec<(Bytes, Intent)>) {
+    // Collect intents over the span.
+    let mut intents = Vec::new();
+    let mut own_intents: std::collections::HashMap<Bytes, Option<Bytes>> = Default::default();
+    for (k, raw) in engine.scan(&intent_key(start), &intent_key(end), usize::MAX) {
+        if let Some(intent) = decode_intent(&raw) {
+            let user = Bytes::copy_from_slice(&k[1..]);
+            if Some(intent.txn_id) == own_txn {
+                own_intents.insert(user, intent.value);
+            } else if intent.ts <= ts {
+                intents.push((user, intent));
+            }
+        }
+    }
+    // Walk versions, picking the newest committed <= ts per user key.
+    let mut out: Vec<(Bytes, Bytes)> = Vec::new();
+    let mut current: Option<Bytes> = None;
+    let mut scan_end = BytesMut::from(version_prefix(end).as_ref());
+    scan_end.put_slice(&[0xff; 14]);
+    for (k, raw) in engine.scan(&version_prefix(start), &scan_end, usize::MAX) {
+        if out.len() >= limit {
+            break;
+        }
+        let (user, vts) = match decode_version_key(&k) {
+            Some(x) => x,
+            None => continue,
+        };
+        if user.as_ref() < start || user.as_ref() >= end {
+            continue;
+        }
+        if current.as_ref() == Some(&user) {
+            continue; // already emitted (or skipped) the newest visible
+        }
+        if vts > ts {
+            continue; // newer than the snapshot; keep looking older
+        }
+        current = Some(user.clone());
+        // Own provisional write shadows the committed version.
+        let value = match own_intents.remove(&user) {
+            Some(v) => v,
+            None => decode_value(&raw),
+        };
+        if let Some(v) = value {
+            out.push((user, v));
+        }
+    }
+    // Own intents on keys with no committed versions still surface.
+    for (user, value) in own_intents {
+        if let Some(v) = value {
+            if user.as_ref() >= start && user.as_ref() < end && out.len() < limit {
+                out.push((user, v));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    (out, intents)
+}
+
+/// Conflict detected while writing an intent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteConflict {
+    /// A committed version newer than the writer's timestamp exists.
+    WriteTooOld(Timestamp),
+    /// Another transaction holds an intent on the key.
+    Intent(Intent),
+}
+
+/// Writes a provisional intent for `txn_id` at `ts`. Fails on conflicts;
+/// rewriting one's own intent is allowed (last write in the txn wins).
+///
+/// `read_since` is the transaction's snapshot timestamp: a committed
+/// version newer than it fails the write even when it is older than the
+/// (pushed) provisional timestamp `ts`. This is the per-key atomic
+/// read-modify-write validation that closes the gap between a refresh and
+/// the intent write — the stand-in for CockroachDB's timestamp cache.
+pub fn write_intent(
+    engine: &Engine,
+    key: &[u8],
+    txn_id: u64,
+    ts: Timestamp,
+    read_since: Timestamp,
+    value: Option<&Bytes>,
+) -> Result<(), WriteConflict> {
+    if let Some(raw) = engine.get(&intent_key(key)) {
+        if let Some(existing) = decode_intent(&raw) {
+            if existing.txn_id != txn_id {
+                return Err(WriteConflict::Intent(existing));
+            }
+        }
+    }
+    // Nothing may have committed past the snapshot (or past the
+    // provisional write timestamp).
+    let threshold = read_since.min(ts);
+    match newest_version_ts(engine, key) {
+        Some(vts) if vts > threshold => return Err(WriteConflict::WriteTooOld(vts)),
+        _ => {}
+    }
+    let intent = Intent { txn_id, ts, value: value.cloned() };
+    let mut batch = WriteBatch::new();
+    batch.put(intent_key(key), encode_intent(&intent));
+    engine.apply(&batch);
+    Ok(())
+}
+
+fn newest_version_ts(engine: &Engine, key: &[u8]) -> Option<Timestamp> {
+    let start = version_prefix(key);
+    let mut end = BytesMut::from(start.as_ref());
+    end.put_u8(0x00);
+    end.put_slice(&[0xff; 13]);
+    engine
+        .scan(&start, &end, 1)
+        .first()
+        .and_then(|(k, _)| decode_version_key(k))
+        .filter(|(user, _)| user.as_ref() == key)
+        .map(|(_, ts)| ts)
+}
+
+/// Resolves `txn_id`'s intent on `key`: commit promotes it to a version
+/// at `commit_ts`; abort discards it. Resolution is idempotent, may race
+/// with other resolvers, and is a no-op when the key's intent belongs to a
+/// *different* transaction — without the ownership check, a failed
+/// transaction's cleanup could delete a concurrent transaction's intent
+/// and silently lose its committed write.
+pub fn resolve_intent(engine: &Engine, key: &[u8], txn_id: u64, commit_ts: Option<Timestamp>) {
+    let raw = match engine.get(&intent_key(key)) {
+        Some(r) => r,
+        None => return,
+    };
+    let intent = match decode_intent(&raw) {
+        Some(i) => i,
+        None => return,
+    };
+    if intent.txn_id != txn_id {
+        return;
+    }
+    let mut batch = WriteBatch::new();
+    batch.delete(intent_key(key));
+    if let Some(ts) = commit_ts {
+        batch.put(version_key(key, ts), encode_value(intent.value.as_ref()));
+    }
+    engine.apply(&batch);
+    if let Some(ts) = commit_ts {
+        gc_key_inline(engine, key, ts);
+    }
+}
+
+/// Persists a transaction record.
+pub fn put_txn_record(engine: &Engine, record: &TxnRecord) {
+    let mut batch = WriteBatch::new();
+    batch.put(txn_key(record.txn_id), record.encode());
+    engine.apply(&batch);
+}
+
+/// Loads a transaction record.
+pub fn get_txn_record(engine: &Engine, txn_id: u64) -> Option<TxnRecord> {
+    engine.get(&txn_key(txn_id)).and_then(|raw| TxnRecord::decode(&raw))
+}
+
+/// Garbage-collects versions of `key` older than `keep_after` (keeping the
+/// newest version at or below it so reads at `keep_after` still succeed).
+pub fn gc_versions(engine: &Engine, key: &[u8], keep_after: Timestamp) {
+    let start = version_key(key, keep_after);
+    let mut end = BytesMut::from(version_prefix(key).as_ref());
+    end.put_u8(0x00);
+    end.put_slice(&[0xff; 13]);
+    let versions = engine.scan(&start, &end, usize::MAX);
+    // The first entry is the newest <= keep_after: keep it, drop the rest.
+    // Version keys are write-once, so entries still living in the memtable
+    // are removed physically (no tombstone churn on hot keys); entries
+    // already flushed need a tombstone to shadow lower levels.
+    let mut batch = WriteBatch::new();
+    for (k, _) in versions.iter().skip(1) {
+        if !engine.gc_remove_if_in_memtable(k) {
+            batch.delete(k.clone());
+        }
+    }
+    if !batch.is_empty() {
+        engine.apply(&batch);
+    }
+}
+
+/// Validates that nothing in `[start, end)` changed after `since`:
+/// returns `Err(ts)` if a committed version newer than `since` exists, or
+/// if another transaction holds an intent in the span. Used by the
+/// coordinator's commit-time *read refresh* (the stand-in for
+/// CockroachDB's timestamp cache + refresh spans).
+pub fn refresh_span(
+    engine: &Engine,
+    start: &[u8],
+    end: &[u8],
+    since: Timestamp,
+    own_txn: Option<u64>,
+) -> Result<(), Timestamp> {
+    // Foreign intents in the span are conflicts regardless of timestamp.
+    for (_, raw) in engine.scan(&intent_key(start), &intent_key(end), usize::MAX) {
+        if let Some(intent) = decode_intent(&raw) {
+            if Some(intent.txn_id) != own_txn {
+                return Err(intent.ts);
+            }
+        }
+    }
+    let mut scan_end = BytesMut::from(version_prefix(end).as_ref());
+    scan_end.put_slice(&[0xff; 14]);
+    for (k, _) in engine.scan(&version_prefix(start), &scan_end, usize::MAX) {
+        if let Some((user, vts)) = decode_version_key(&k) {
+            if user.as_ref() >= start && user.as_ref() < end && vts > since {
+                return Err(vts);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns whether any transaction record has the given status — test and
+/// tooling helper.
+pub fn txn_has_status(engine: &Engine, txn_id: u64, status: TxnStatus) -> bool {
+    get_txn_record(engine, txn_id).map_or(false, |r| r.status == status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdb_storage::LsmConfig;
+
+    fn engine() -> Engine {
+        Engine::new(LsmConfig::tiny())
+    }
+
+    fn ts(wall: u64) -> Timestamp {
+        Timestamp { wall, logical: 0 }
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn versions_are_read_at_snapshot() {
+        let e = engine();
+        put_version(&e, b"k", ts(10), Some(&b("v10")));
+        put_version(&e, b"k", ts(20), Some(&b("v20")));
+        assert_eq!(get(&e, b"k", ts(5), None), ReadResult::Value(None));
+        assert_eq!(get(&e, b"k", ts(10), None), ReadResult::Value(Some(b("v10"))));
+        assert_eq!(get(&e, b"k", ts(15), None), ReadResult::Value(Some(b("v10"))));
+        assert_eq!(get(&e, b"k", ts(25), None), ReadResult::Value(Some(b("v20"))));
+    }
+
+    #[test]
+    fn delete_version_hides_value() {
+        let e = engine();
+        put_version(&e, b"k", ts(10), Some(&b("v")));
+        put_version(&e, b"k", ts(20), None);
+        assert_eq!(get(&e, b"k", ts(15), None), ReadResult::Value(Some(b("v"))));
+        assert_eq!(get(&e, b"k", ts(25), None), ReadResult::Value(None));
+    }
+
+    #[test]
+    fn intent_lifecycle_commit() {
+        let e = engine();
+        put_version(&e, b"k", ts(10), Some(&b("old")));
+        write_intent(&e, b"k", 1, ts(20), ts(20), Some(&b("new"))).unwrap();
+        // Foreign reader at ts>=20 sees the intent.
+        match get(&e, b"k", ts(25), None) {
+            ReadResult::Intent(i) => assert_eq!(i.txn_id, 1),
+            other => panic!("expected intent, got {other:?}"),
+        }
+        // Reader below the intent timestamp reads around it.
+        assert_eq!(get(&e, b"k", ts(15), None), ReadResult::Value(Some(b("old"))));
+        // Own transaction reads its provisional value.
+        assert_eq!(get(&e, b"k", ts(25), Some(1)), ReadResult::Value(Some(b("new"))));
+        resolve_intent(&e, b"k", 1, Some(ts(30)));
+        assert_eq!(get(&e, b"k", ts(35), None), ReadResult::Value(Some(b("new"))));
+        assert_eq!(get(&e, b"k", ts(25), None), ReadResult::Value(Some(b("old"))));
+    }
+
+    #[test]
+    fn intent_lifecycle_abort() {
+        let e = engine();
+        write_intent(&e, b"k", 1, ts(20), ts(20), Some(&b("doomed"))).unwrap();
+        resolve_intent(&e, b"k", 1, None);
+        assert_eq!(get(&e, b"k", ts(30), None), ReadResult::Value(None));
+        // Idempotent.
+        resolve_intent(&e, b"k", 1, None);
+        // Wrong owner: no-op.
+        write_intent(&e, b"k", 7, ts(40), ts(40), Some(&b("again"))).unwrap();
+        resolve_intent(&e, b"k", 9, None);
+        assert_eq!(get(&e, b"k", ts(50), Some(7)), ReadResult::Value(Some(b("again"))));
+    }
+
+    #[test]
+    fn write_conflicts() {
+        let e = engine();
+        put_version(&e, b"k", ts(30), Some(&b("newer")));
+        match write_intent(&e, b"k", 1, ts(20), ts(20), Some(&b("late"))) {
+            Err(WriteConflict::WriteTooOld(t)) => assert_eq!(t, ts(30)),
+            other => panic!("expected WriteTooOld, got {other:?}"),
+        }
+        write_intent(&e, b"other", 1, ts(40), ts(40), Some(&b("mine"))).unwrap();
+        match write_intent(&e, b"other", 2, ts(50), ts(50), Some(&b("theirs"))) {
+            Err(WriteConflict::Intent(i)) => assert_eq!(i.txn_id, 1),
+            other => panic!("expected intent conflict, got {other:?}"),
+        }
+        // Rewriting one's own intent succeeds.
+        write_intent(&e, b"other", 1, ts(45), ts(45), Some(&b("mine2"))).unwrap();
+        assert_eq!(get(&e, b"other", ts(60), Some(1)), ReadResult::Value(Some(b("mine2"))));
+    }
+
+    #[test]
+    fn scan_merges_versions_and_skips_deletes() {
+        let e = engine();
+        for (k, t, v) in [("a", 10, Some("a1")), ("b", 10, Some("b1")), ("b", 20, None), ("c", 30, Some("c1"))] {
+            put_version(&e, k.as_bytes(), ts(t), v.map(b).as_ref());
+        }
+        let (pairs, intents) = scan(&e, b"a", b"z", ts(25), 100, None);
+        assert!(intents.is_empty());
+        assert_eq!(pairs, vec![(b("a"), b("a1"))]);
+        let (pairs, _) = scan(&e, b"a", b"z", ts(15), 100, None);
+        assert_eq!(pairs.len(), 2, "b visible before its delete");
+        let (pairs, _) = scan(&e, b"a", b"z", ts(35), 100, None);
+        assert_eq!(pairs, vec![(b("a"), b("a1")), (b("c"), b("c1"))]);
+    }
+
+    #[test]
+    fn scan_surfaces_foreign_intents_and_merges_own() {
+        let e = engine();
+        put_version(&e, b"a", ts(10), Some(&b("a1")));
+        write_intent(&e, b"b", 7, ts(20), ts(20), Some(&b("mine"))).unwrap();
+        write_intent(&e, b"c", 8, ts(20), ts(20), Some(&b("theirs"))).unwrap();
+        let (pairs, intents) = scan(&e, b"a", b"z", ts(30), 100, Some(7));
+        assert_eq!(pairs, vec![(b("a"), b("a1")), (b("b"), b("mine"))]);
+        assert_eq!(intents.len(), 1);
+        assert_eq!(intents[0].0, b("c"));
+        assert_eq!(intents[0].1.txn_id, 8);
+    }
+
+    #[test]
+    fn scan_limit_applies_to_live_rows() {
+        let e = engine();
+        for i in 0..10u32 {
+            put_version(&e, format!("k{i}").as_bytes(), ts(10), Some(&b("v")));
+        }
+        let (pairs, _) = scan(&e, b"k", b"l", ts(20), 3, None);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, b("k0"));
+    }
+
+    #[test]
+    fn txn_records_roundtrip() {
+        let e = engine();
+        let rec = TxnRecord { txn_id: 42, status: TxnStatus::Committed(ts(99)) };
+        put_txn_record(&e, &rec);
+        assert_eq!(get_txn_record(&e, 42), Some(rec));
+        assert!(txn_has_status(&e, 42, TxnStatus::Committed(ts(99))));
+        assert_eq!(get_txn_record(&e, 43), None);
+    }
+
+    #[test]
+    fn gc_drops_old_versions_but_keeps_snapshot() {
+        let e = engine();
+        for t in [10, 20, 30, 40] {
+            put_version(&e, b"k", ts(t), Some(&b(&format!("v{t}"))));
+        }
+        gc_versions(&e, b"k", ts(25));
+        // Reads at >= 20 still work; reads below 20 lost history.
+        assert_eq!(get(&e, b"k", ts(25), None), ReadResult::Value(Some(b("v20"))));
+        assert_eq!(get(&e, b"k", ts(45), None), ReadResult::Value(Some(b("v40"))));
+        assert_eq!(get(&e, b"k", ts(15), None), ReadResult::Value(None));
+    }
+}

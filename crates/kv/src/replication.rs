@@ -1,0 +1,77 @@
+//! Raft-style quorum replication timing.
+//!
+//! The data path applies replicated mutations to every replica's engine
+//! synchronously (the simulation is single-threaded, so replicas are never
+//! observably inconsistent); what is *simulated* is the commit latency — a
+//! write acknowledges only after a majority of replicas (counting the
+//! leaseholder itself) would have acked, i.e. after the `(quorum-1)`-th
+//! fastest follower round trip.
+
+use std::time::Duration;
+
+use crdb_sim::{Location, Sim, Topology};
+
+/// The delay until a write proposed by the leaseholder is committed by a
+/// quorum: the `(quorum-1)`-th smallest follower RTT (zero for a
+/// single-replica range).
+pub fn quorum_commit_delay(
+    sim: &Sim,
+    topology: &Topology,
+    leader: Location,
+    followers: &[Location],
+) -> Duration {
+    let replicas = followers.len() + 1;
+    let quorum = replicas / 2 + 1;
+    let follower_acks_needed = quorum - 1;
+    if follower_acks_needed == 0 {
+        return Duration::ZERO;
+    }
+    let mut rtts: Vec<Duration> =
+        followers.iter().map(|&f| topology.sample_rtt(sim, leader, f)).collect();
+    rtts.sort();
+    rtts[follower_acks_needed - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdb_util::time::dur;
+    use crdb_util::RegionId;
+
+    #[test]
+    fn single_replica_commits_immediately() {
+        let sim = Sim::new(1);
+        let t = Topology::single_region("us-east1", 3);
+        let leader = Location::new(RegionId(0), 0);
+        assert_eq!(quorum_commit_delay(&sim, &t, leader, &[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn three_replicas_wait_for_fastest_follower() {
+        let sim = Sim::new(1);
+        let t = Topology::three_region();
+        let leader = Location::new(RegionId(0), 0);
+        let near = Location::new(RegionId(0), 1); // same region: ~1.5ms RTT
+        let far = Location::new(RegionId(2), 0); // asia: ~180ms RTT
+        let d = quorum_commit_delay(&sim, &t, leader, &[near, far]);
+        // Quorum = 2 of 3: the leader plus its *fastest* follower.
+        assert!(d < dur::ms(3), "near follower suffices: {d:?}");
+    }
+
+    #[test]
+    fn five_replicas_wait_for_second_follower() {
+        let sim = Sim::new(1);
+        let t = Topology::three_region();
+        let leader = Location::new(RegionId(0), 0);
+        let followers = [
+            Location::new(RegionId(0), 1), // ~1.5ms
+            Location::new(RegionId(1), 0), // ~105ms
+            Location::new(RegionId(1), 1), // ~105ms
+            Location::new(RegionId(2), 0), // ~180ms
+        ];
+        let d = quorum_commit_delay(&sim, &t, leader, &followers);
+        // Quorum = 3 of 5: leader + 2 fastest followers -> bounded by the
+        // europe RTT, far below the asia RTT.
+        assert!(d > dur::ms(50) && d < dur::ms(130), "{d:?}");
+    }
+}

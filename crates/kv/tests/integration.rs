@@ -1,0 +1,424 @@
+//! End-to-end KV cluster tests: batches travel the full path — client
+//! routing, simulated network, authorization, lease checks, admission
+//! control, CPU service, MVCC execution, quorum replication — against a
+//! real multi-node cluster on the discrete-event simulator.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use crdb_kv::batch::{BatchRequest, KvError, RequestKind};
+use crdb_kv::client::{make_txn_meta, KvClient};
+use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+use crdb_kv::keys;
+use crdb_sim::{Location, Sim, Topology};
+use crdb_util::time::dur;
+use crdb_util::time::SimTime;
+use crdb_util::{RegionId, TenantId};
+
+fn setup(seed: u64) -> (Sim, KvCluster) {
+    let sim = Sim::new(seed);
+    let cluster = KvCluster::new(
+        &sim,
+        Topology::single_region("us-east1", 3),
+        KvClusterConfig::default(),
+    );
+    (sim, cluster)
+}
+
+fn client_for(cluster: &KvCluster, tenant: TenantId) -> KvClient {
+    let cert = cluster.create_tenant(tenant);
+    KvClient::new(cluster.clone(), cert, Location::new(RegionId(0), 0))
+}
+
+fn k(t: u64, s: &str) -> Bytes {
+    keys::make_key(TenantId(t), s.as_bytes())
+}
+
+#[test]
+fn put_get_roundtrip_over_network() {
+    let (sim, cluster) = setup(1);
+    let client = client_for(&cluster, TenantId(2));
+    let got = Rc::new(RefCell::new(None));
+
+    let g = Rc::clone(&got);
+    let c2 = client.clone();
+    client.put(k(2, "hello"), Bytes::from_static(b"world"), move |r| {
+        r.expect("put succeeds");
+        c2.get(k(2, "hello"), move |r| {
+            *g.borrow_mut() = Some(r.expect("get succeeds"));
+        });
+    });
+    sim.run_for(dur::secs(2));
+    assert_eq!(*got.borrow(), Some(Some(Bytes::from_static(b"world"))));
+    // The operation took simulated time (network + admission + CPU).
+    assert!(sim.events_executed() > 4);
+}
+
+#[test]
+fn unauthorized_cross_tenant_read_rejected_end_to_end() {
+    let (sim, cluster) = setup(2);
+    let t2 = client_for(&cluster, TenantId(2));
+    let _t3 = client_for(&cluster, TenantId(3));
+    let result = Rc::new(RefCell::new(None));
+
+    // Tenant 2's client asks for tenant 3's key.
+    let r = Rc::clone(&result);
+    t2.get(k(3, "secret"), move |res| {
+        *r.borrow_mut() = Some(res);
+    });
+    sim.run_for(dur::secs(2));
+    assert_eq!(*result.borrow(), Some(Err(KvError::Unauthorized)));
+}
+
+#[test]
+fn scan_spanning_split_ranges() {
+    let (sim, cluster) = setup(3);
+    let client = client_for(&cluster, TenantId(2));
+
+    // Write enough rows, then force a split so the scan crosses ranges.
+    let written = Rc::new(RefCell::new(0u32));
+    for i in 0..50u32 {
+        let w = Rc::clone(&written);
+        client.put(k(2, &format!("row/{i:04}")), Bytes::from(vec![b'x'; 64]), move |r| {
+            r.expect("put");
+            *w.borrow_mut() += 1;
+        });
+    }
+    sim.run_for(dur::secs(5));
+    assert_eq!(*written.borrow(), 50);
+
+    // Force splits so the scan crosses range boundaries.
+    for id in 1..=4u64 {
+        cluster.split_range(crdb_util::RangeId(id));
+    }
+    assert!(cluster.tenant_range_count(TenantId(2)) >= 2, "tenant has multiple ranges");
+
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.scan(k(2, "row/"), k(2, "row0"), 1000, move |r| {
+        *g.borrow_mut() = Some(r.expect("scan"));
+    });
+    sim.run_for(dur::secs(5));
+    let rows = got.borrow().clone().expect("scan finished");
+    assert_eq!(rows.len(), 50, "all rows found across ranges");
+    // Sorted and complete.
+    for (i, (key, _)) in rows.iter().enumerate() {
+        assert_eq!(key, &k(2, &format!("row/{i:04}")));
+    }
+}
+
+#[test]
+fn transactional_commit_is_atomic_and_isolated() {
+    let (sim, cluster) = setup(4);
+    let client = client_for(&cluster, TenantId(2));
+
+    // Seed two accounts.
+    client.put(k(2, "acct/a"), Bytes::from_static(b"100"), |r| r.unwrap());
+    client.put(k(2, "acct/b"), Bytes::from_static(b"0"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // Transfer: write intents on both keys, then commit, then resolve.
+    let txn = make_txn_meta(&cluster, k(2, "acct/a"));
+    let write = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: txn.start_ts,
+        txn: Some(txn.clone()),
+        requests: vec![
+            RequestKind::WriteIntent { key: k(2, "acct/a"), value: Some(Bytes::from_static(b"60")) },
+            RequestKind::WriteIntent { key: k(2, "acct/b"), value: Some(Bytes::from_static(b"40")) },
+        ],
+    };
+    let committed = Rc::new(RefCell::new(false));
+    {
+        let client2 = client.clone();
+        let txn2 = txn.clone();
+        let committed = Rc::clone(&committed);
+        client.send(write, move |resp| {
+            assert!(resp.is_ok(), "intents written: {:?}", resp.error);
+            let commit = BatchRequest {
+                tenant: TenantId(2),
+                read_ts: txn2.start_ts,
+                txn: Some(txn2.clone()),
+                requests: vec![RequestKind::EndTxn { commit: true }],
+            };
+            let client3 = client2.clone();
+            let txn3 = txn2.clone();
+            client2.send(commit, move |resp| {
+                assert!(resp.is_ok(), "commit: {:?}", resp.error);
+                let resolve = BatchRequest {
+                    tenant: TenantId(2),
+                    read_ts: txn3.start_ts,
+                    txn: Some(txn3.clone()),
+                    requests: vec![
+                        RequestKind::ResolveIntent { key: k(2, "acct/a"), commit_ts: Some(txn3.write_ts) },
+                        RequestKind::ResolveIntent { key: k(2, "acct/b"), commit_ts: Some(txn3.write_ts) },
+                    ],
+                };
+                let committed = Rc::clone(&committed);
+                client3.send(resolve, move |resp| {
+                    assert!(resp.is_ok());
+                    *committed.borrow_mut() = true;
+                });
+            });
+        });
+    }
+    sim.run_for(dur::secs(5));
+    assert!(*committed.borrow());
+
+    // Both new values visible (responses may arrive in either order).
+    let vals = Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+    for key in ["acct/a", "acct/b"] {
+        let v = Rc::clone(&vals);
+        client.get(k(2, key), move |r| {
+            v.borrow_mut().insert(key, r.unwrap());
+        });
+    }
+    sim.run_for(dur::secs(2));
+    assert_eq!(vals.borrow().get("acct/a"), Some(&Some(Bytes::from_static(b"60"))));
+    assert_eq!(vals.borrow().get("acct/b"), Some(&Some(Bytes::from_static(b"40"))));
+}
+
+#[test]
+fn aborted_txn_leaves_no_trace() {
+    let (sim, cluster) = setup(5);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "key"), Bytes::from_static(b"original"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    let txn = make_txn_meta(&cluster, k(2, "key"));
+    let write = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: txn.start_ts,
+        txn: Some(txn.clone()),
+        requests: vec![RequestKind::WriteIntent {
+            key: k(2, "key"),
+            value: Some(Bytes::from_static(b"doomed")),
+        }],
+    };
+    {
+        let client2 = client.clone();
+        let txn2 = txn.clone();
+        client.send(write, move |resp| {
+            assert!(resp.is_ok());
+            let abort = BatchRequest {
+                tenant: TenantId(2),
+                read_ts: txn2.start_ts,
+                txn: Some(txn2.clone()),
+                requests: vec![
+                    RequestKind::EndTxn { commit: false },
+                    RequestKind::ResolveIntent { key: k(2, "key"), commit_ts: None },
+                ],
+            };
+            client2.send(abort, move |resp| assert!(resp.is_ok()));
+        });
+    }
+    sim.run_for(dur::secs(5));
+
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.get(k(2, "key"), move |r| *g.borrow_mut() = Some(r.unwrap()));
+    sim.run_for(dur::secs(2));
+    assert_eq!(*got.borrow(), Some(Some(Bytes::from_static(b"original"))));
+}
+
+#[test]
+fn reader_waits_out_pending_intent_then_sees_commit() {
+    let (sim, cluster) = setup(6);
+    let client = client_for(&cluster, TenantId(2));
+
+    let txn = make_txn_meta(&cluster, k(2, "contested"));
+    let write = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: txn.start_ts,
+        txn: Some(txn.clone()),
+        requests: vec![RequestKind::WriteIntent {
+            key: k(2, "contested"),
+            value: Some(Bytes::from_static(b"v1")),
+        }],
+    };
+    client.send(write, |resp| assert!(resp.is_ok()));
+    sim.run_for(dur::secs(1));
+
+    // A foreign reader at a later timestamp hits the intent and retries;
+    // commit the txn shortly after, and the read completes.
+    let got = Rc::new(RefCell::new(None));
+    {
+        let g = Rc::clone(&got);
+        client.get(k(2, "contested"), move |r| *g.borrow_mut() = Some(r));
+    }
+    {
+        let client2 = client.clone();
+        let txn2 = txn.clone();
+        sim.schedule_after(dur::ms(20), move || {
+            let commit = BatchRequest {
+                tenant: TenantId(2),
+                read_ts: txn2.start_ts,
+                txn: Some(txn2.clone()),
+                requests: vec![RequestKind::EndTxn { commit: true }],
+            };
+            client2.send(commit, |resp| assert!(resp.is_ok()));
+        });
+    }
+    sim.run_for(dur::secs(10));
+    let r = got.borrow().clone().expect("read completed");
+    assert_eq!(r.unwrap(), Some(Bytes::from_static(b"v1")), "read resolved the committed intent");
+}
+
+#[test]
+fn write_write_conflict_surfaces_as_error() {
+    let (sim, cluster) = setup(7);
+    let client = client_for(&cluster, TenantId(2));
+
+    let txn1 = make_txn_meta(&cluster, k(2, "hot"));
+    let w1 = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: txn1.start_ts,
+        txn: Some(txn1.clone()),
+        requests: vec![RequestKind::WriteIntent { key: k(2, "hot"), value: Some(Bytes::from_static(b"1")) }],
+    };
+    client.send(w1, |resp| assert!(resp.is_ok()));
+    sim.run_for(dur::secs(1));
+
+    // A second txn tries to write the same key while txn1 is pending: it
+    // retries for a while, then fails with a conflict.
+    let txn2 = make_txn_meta(&cluster, k(2, "hot"));
+    let w2 = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: txn2.start_ts,
+        txn: Some(txn2.clone()),
+        requests: vec![RequestKind::WriteIntent { key: k(2, "hot"), value: Some(Bytes::from_static(b"2")) }],
+    };
+    let outcome = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&outcome);
+    client.send(w2, move |resp| *o.borrow_mut() = Some(resp.error));
+    sim.run_for(dur::secs(30));
+    let oc = outcome.borrow().clone();
+    match oc {
+        Some(Some(KvError::IntentConflict { other_txn })) => assert_eq!(other_txn, txn1.txn_id),
+        other => panic!("expected intent conflict, got {other:?}"),
+    }
+}
+
+#[test]
+fn lease_transfer_redirects_clients() {
+    let (sim, cluster) = setup(8);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "x"), Bytes::from_static(b"1"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // Kill the leaseholder of the tenant's range.
+    let holder = {
+        let ids = cluster.node_ids();
+        ids.into_iter()
+            .find(|&n| cluster.lease_count(n) > 0 && {
+                // find the node holding tenant 2's lease
+                true
+            })
+            .unwrap()
+    };
+    cluster.set_node_alive(holder, false);
+    sim.run_for(dur::secs(30)); // liveness lapses, lease moves
+
+    // The client's cached leaseholder is stale; the request must redirect
+    // and still succeed.
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.get(k(2, "x"), move |r| *g.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(10));
+    let g = got.borrow().clone();
+    match g {
+        Some(Ok(v)) => assert_eq!(v, Some(Bytes::from_static(b"1"))),
+        other => panic!("read after lease transfer failed: {other:?}"),
+    }
+}
+
+#[test]
+fn multi_region_write_pays_quorum_latency() {
+    let sim = Sim::new(9);
+    let cluster = KvCluster::new(
+        &sim,
+        Topology::three_region(),
+        KvClusterConfig { nodes_per_region: 1, ..Default::default() },
+    );
+    let cert = cluster.create_tenant(TenantId(2));
+    let client = KvClient::new(cluster.clone(), cert, Location::new(RegionId(0), 0));
+
+    let done_at = Rc::new(RefCell::new(None));
+    let d = Rc::clone(&done_at);
+    let s2 = sim.clone();
+    let start = sim.now();
+    client.put(k(2, "geo"), Bytes::from_static(b"v"), move |r| {
+        r.unwrap();
+        *d.borrow_mut() = Some(s2.now().duration_since(start));
+    });
+    sim.run_for(dur::secs(5));
+    let elapsed = done_at.borrow().expect("write finished");
+    // Replicas are one per region; quorum needs the faster of the
+    // us→europe (~105ms) RTT, so the write takes at least ~100ms and far
+    // less than the slowest path would suggest.
+    assert!(elapsed > dur::ms(80), "quorum latency paid: {elapsed:?}");
+    assert!(elapsed < dur::ms(400), "not waiting for the slowest replica: {elapsed:?}");
+}
+
+#[test]
+fn admission_keeps_noisy_neighbor_from_starving_victim() {
+    let (sim, cluster) = setup(10);
+    let noisy = client_for(&cluster, TenantId(2));
+    let victim = client_for(&cluster, TenantId(3));
+
+    // The noisy tenant floods 400 writes; the victim sends 20 point reads
+    // spread over the same window.
+    for i in 0..400u32 {
+        noisy.put(k(2, &format!("n{i:05}")), Bytes::from(vec![0u8; 256]), |_| {});
+    }
+    // Seed the victim's key.
+    victim.put(k(3, "v"), Bytes::from_static(b"ok"), |r| r.unwrap());
+    sim.run_for(dur::ms(100));
+
+    let latencies = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..20u32 {
+        let lat = Rc::clone(&latencies);
+        let victim2 = victim.clone();
+        let sim2 = sim.clone();
+        sim.schedule_after(dur::ms(100 + i as u64 * 10), move || {
+            let start = sim2.now();
+            let sim3 = sim2.clone();
+            let lat = Rc::clone(&lat);
+            victim2.get(k(3, "v"), move |r| {
+                r.expect("victim read succeeds");
+                lat.borrow_mut().push(sim3.now().duration_since(start));
+            });
+        });
+    }
+    sim.run_for(dur::secs(30));
+    let lats = latencies.borrow();
+    assert_eq!(lats.len(), 20, "all victim reads completed");
+    let max = lats.iter().max().unwrap();
+    assert!(
+        *max < dur::ms(500),
+        "victim reads stay fast under admission control: max {max:?}"
+    );
+}
+
+#[test]
+fn deterministic_replay_same_seed() {
+    let run = |seed| {
+        let (sim, cluster) = setup(seed);
+        let client = client_for(&cluster, TenantId(2));
+        let done = Rc::new(RefCell::new(SimTime::ZERO));
+        for i in 0..50u32 {
+            let d = Rc::clone(&done);
+            let s = sim.clone();
+            client.put(k(2, &format!("d{i}")), Bytes::from_static(b"v"), move |r| {
+                r.unwrap();
+                *d.borrow_mut() = s.now();
+            });
+        }
+        sim.run_for(dur::secs(5));
+        let at = done.borrow().as_nanos();
+        (at, sim.events_executed())
+    };
+    assert_eq!(run(11), run(11), "same seed, same trace");
+    assert_ne!(run(11).0, run(12).0, "different seed, different timing");
+}

@@ -1,0 +1,154 @@
+//! Property tests: MVCC reads must match a reference model of versioned
+//! maps under arbitrary interleavings of writes, intents, resolutions
+//! and GC.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use crdb_kv::hlc::Timestamp;
+use crdb_kv::mvcc;
+use crdb_storage::{Engine, LsmConfig};
+use proptest::prelude::*;
+
+fn ts(wall: u64) -> Timestamp {
+    Timestamp { wall, logical: 0 }
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key{:03}", k % 16).into_bytes()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Committed version write at a fresh timestamp.
+    Put(u8, Option<u8>),
+    /// Read at a past or current timestamp.
+    Get(u8, u64),
+    /// Span scan at a timestamp.
+    Scan(u8, u8, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<Option<u8>>()).prop_map(|(k, v)| Op::Put(k, v)),
+        3 => (any::<u8>(), 0u64..200).prop_map(|(k, back)| Op::Get(k, back)),
+        2 => (any::<u8>(), any::<u8>(), 0u64..200).prop_map(|(a, b, back)| Op::Scan(a, b, back)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reads at any snapshot agree with a model that replays the version
+    /// history (restricted to the GC window, which the model honours).
+    #[test]
+    fn mvcc_matches_versioned_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let engine = Engine::new(LsmConfig::tiny());
+        // Model: key -> sorted (ts, value) history.
+        let mut model: BTreeMap<Vec<u8>, Vec<(u64, Option<u8>)>> = BTreeMap::new();
+        let mut now: u64 = 1_000;
+        let gc_window = crdb_kv::mvcc::GC_WINDOW_NANOS;
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    now += 10;
+                    let value = v.map(|b| Bytes::from(vec![b]));
+                    mvcc::put_version(&engine, &key(k), ts(now), value.as_ref());
+                    model.entry(key(k)).or_default().push((now, v));
+                }
+                Op::Get(k, back) => {
+                    // Only query inside the GC window.
+                    let back = back.min(gc_window / 2);
+                    let read_at = now.saturating_sub(back);
+                    let got = match mvcc::get(&engine, &key(k), ts(read_at), None) {
+                        mvcc::ReadResult::Value(v) => v,
+                        mvcc::ReadResult::Intent(_) => unreachable!("no intents written"),
+                    };
+                    let want = model
+                        .get(&key(k))
+                        .and_then(|h| h.iter().rev().find(|(t, _)| *t <= read_at))
+                        .and_then(|(_, v)| *v)
+                        .map(|b| Bytes::from(vec![b]));
+                    prop_assert_eq!(got, want, "get k={} at {}", k % 16, read_at);
+                }
+                Op::Scan(a, b, back) => {
+                    let back = back.min(gc_window / 2);
+                    let read_at = now.saturating_sub(back);
+                    let (lo, hi) = if key(a) <= key(b) { (key(a), key(b)) } else { (key(b), key(a)) };
+                    let (pairs, intents) =
+                        mvcc::scan(&engine, &lo, &hi, ts(read_at), usize::MAX, None);
+                    prop_assert!(intents.is_empty());
+                    let want: Vec<(Vec<u8>, u8)> = model
+                        .range(lo.clone()..hi.clone())
+                        .filter_map(|(k, h)| {
+                            h.iter()
+                                .rev()
+                                .find(|(t, _)| *t <= read_at)
+                                .and_then(|(_, v)| *v)
+                                .map(|v| (k.clone(), v))
+                        })
+                        .collect();
+                    let got: Vec<(Vec<u8>, u8)> =
+                        pairs.iter().map(|(k, v)| (k.to_vec(), v[0])).collect();
+                    prop_assert_eq!(got, want, "scan at {}", read_at);
+                }
+            }
+        }
+    }
+
+    /// Intents: a committed resolution surfaces the value at its commit
+    /// timestamp; an aborted one never surfaces.
+    #[test]
+    fn intent_resolution_visibility(
+        txn_id in 1u64..1000,
+        commit in any::<bool>(),
+        base in 1_000u64..2_000,
+    ) {
+        let engine = Engine::new(LsmConfig::tiny());
+        let k = b"contended";
+        mvcc::put_version(&engine, k, ts(base), Some(&Bytes::from_static(b"old")));
+        mvcc::write_intent(&engine, k, txn_id, ts(base + 100), ts(base + 100), Some(&Bytes::from_static(b"new")))
+            .expect("intent");
+        // Readers below the intent see around it.
+        match mvcc::get(&engine, k, ts(base + 50), None) {
+            mvcc::ReadResult::Value(v) => prop_assert_eq!(v, Some(Bytes::from_static(b"old"))),
+            other => prop_assert!(false, "{other:?}"),
+        }
+        // Readers above it see the intent.
+        prop_assert!(matches!(
+            mvcc::get(&engine, k, ts(base + 200), None),
+            mvcc::ReadResult::Intent(_)
+        ));
+        let commit_ts = commit.then_some(ts(base + 150));
+        mvcc::resolve_intent(&engine, k, txn_id, commit_ts);
+        let expected = if commit { Bytes::from_static(b"new") } else { Bytes::from_static(b"old") };
+        match mvcc::get(&engine, k, ts(base + 200), None) {
+            mvcc::ReadResult::Value(v) => prop_assert_eq!(v, Some(expected)),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// refresh_span detects exactly the spans that changed after the
+    /// snapshot.
+    #[test]
+    fn refresh_span_detects_changes(
+        snap_back in 1u64..50,
+        changed_key in any::<u8>(),
+        probe_key in any::<u8>(),
+    ) {
+        let engine = Engine::new(LsmConfig::tiny());
+        let now = 10_000u64;
+        let snapshot = ts(now - snap_back);
+        // A change after the snapshot on changed_key.
+        mvcc::put_version(&engine, &key(changed_key), ts(now), Some(&Bytes::from_static(b"x")));
+        let mut end = key(probe_key);
+        end.push(0xff);
+        let result = mvcc::refresh_span(&engine, &key(probe_key), &end, snapshot, None);
+        if key(probe_key) == key(changed_key) {
+            prop_assert!(result.is_err(), "must detect the newer version");
+        } else {
+            prop_assert!(result.is_ok(), "untouched span refreshes clean");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The proxy service (§4.2.2, §4.2.4).
+//!
+//! "Upon receiving a new connection, a proxy server analyzes the incoming
+//! PostgreSQL startup message to identify the tenant. If a tenant has
+//! multiple SQL nodes, the proxy selects a SQL node from the pool using a
+//! 'least connections' algorithm." The proxy also resumes suspended
+//! tenants on first connection, throttles failed authentication with
+//! exponential backoff, enforces IP allow/deny lists, and migrates idle
+//! sessions between SQL nodes using the serialized-session protocol.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crdb_sim::Sim;
+use crdb_sql::coord::SqlError;
+use crdb_sql::exec::QueryOutput;
+use crdb_sql::node::{NodeState, SqlNode};
+use crdb_sql::session::SessionSnapshot;
+use crdb_sql::system_db::SystemDatabase;
+use crdb_sql::value::Datum;
+use crdb_util::time::{dur, SimTime};
+use crdb_util::TenantId;
+
+use crate::pool::WarmPool;
+use crate::registry::Registry;
+
+/// Supplies the (per-tenant) system-database configuration used during
+/// cold starts — multi-region tenants differ in home region (§4.2.5).
+pub type SystemDbProvider = Rc<dyn Fn(TenantId) -> SystemDatabase>;
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// One-way latency client ↔ proxy ↔ SQL node (local hops).
+    pub hop_latency: Duration,
+    /// Base auth-throttle backoff; doubles per consecutive failure.
+    pub auth_backoff_base: Duration,
+    /// Connection rebalance loop interval.
+    pub rebalance_interval: Duration,
+    /// Imbalance (in connections) that triggers migration between nodes.
+    pub rebalance_threshold: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            hop_latency: dur::us(400),
+            auth_backoff_base: dur::secs(1),
+            rebalance_interval: dur::secs(10),
+            rebalance_threshold: 2,
+        }
+    }
+}
+
+/// Errors surfaced to connecting clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyError {
+    /// The startup message names an unknown tenant.
+    UnknownTenant,
+    /// The source IP is deny-listed (or not allow-listed).
+    Denied,
+    /// Too many failed authentications from this source; retry later.
+    Throttled,
+    /// Authentication failed at the backend.
+    AuthFailed,
+    /// No SQL node could be started for the tenant.
+    NodeUnavailable,
+    /// SQL error on an established connection.
+    Sql(SqlError),
+}
+
+/// A proxied client connection.
+pub struct Connection {
+    /// Connection ID.
+    pub id: u64,
+    /// The tenant.
+    pub tenant: TenantId,
+    node: RefCell<Rc<SqlNode>>,
+    session: Cell<u64>,
+    /// Times this connection was migrated between SQL nodes.
+    pub migrations: Cell<u64>,
+}
+
+impl Connection {
+    /// The SQL node currently serving this connection.
+    pub fn node(&self) -> Rc<SqlNode> {
+        self.node.borrow().clone()
+    }
+
+    /// The session ID on the current node.
+    pub fn session(&self) -> u64 {
+        self.session.get()
+    }
+}
+
+struct ThrottleState {
+    consecutive_failures: u32,
+    blocked_until: SimTime,
+}
+
+/// The proxy service.
+pub struct Proxy {
+    sim: Sim,
+    config: ProxyConfig,
+    registry: Registry,
+    pool: Rc<WarmPool>,
+    system_db: SystemDbProvider,
+    conns: RefCell<HashMap<u64, Rc<Connection>>>,
+    next_conn: Cell<u64>,
+    throttle: RefCell<HashMap<String, ThrottleState>>,
+    /// Per-tenant allowlist (None = all allowed).
+    allowlist: RefCell<HashMap<TenantId, Vec<String>>>,
+    /// Per-tenant denylist (co-specified by intrusion detection, §4.2.2).
+    denylist: RefCell<HashMap<TenantId, Vec<String>>>,
+    /// Tenants with a resume in flight and the connects waiting on it.
+    resuming: RefCell<HashMap<TenantId, Vec<Box<dyn FnOnce(Result<Rc<SqlNode>, ProxyError>)>>>>,
+    /// Total connections accepted.
+    pub connects: Cell<u64>,
+    /// Total session migrations performed.
+    pub migrations: Cell<u64>,
+    /// Connects that triggered a tenant resume (cold start).
+    pub cold_starts: Cell<u64>,
+}
+
+impl Proxy {
+    /// Creates a proxy and starts its rebalance loop.
+    pub fn start(
+        sim: &Sim,
+        config: ProxyConfig,
+        registry: Registry,
+        pool: Rc<WarmPool>,
+        system_db: SystemDbProvider,
+    ) -> Rc<Proxy> {
+        let proxy = Rc::new(Proxy {
+            sim: sim.clone(),
+            config: config.clone(),
+            registry,
+            pool,
+            system_db,
+            conns: RefCell::new(HashMap::new()),
+            next_conn: Cell::new(1),
+            throttle: RefCell::new(HashMap::new()),
+            allowlist: RefCell::new(HashMap::new()),
+            denylist: RefCell::new(HashMap::new()),
+            resuming: RefCell::new(HashMap::new()),
+            connects: Cell::new(0),
+            migrations: Cell::new(0),
+            cold_starts: Cell::new(0),
+        });
+        let p = Rc::clone(&proxy);
+        sim.schedule_periodic(config.rebalance_interval, move || {
+            p.rebalance();
+            true
+        });
+        proxy
+    }
+
+    /// Sets a tenant's IP allowlist (`None` clears it).
+    pub fn set_allowlist(&self, tenant: TenantId, ips: Option<Vec<String>>) {
+        match ips {
+            Some(v) => {
+                self.allowlist.borrow_mut().insert(tenant, v);
+            }
+            None => {
+                self.allowlist.borrow_mut().remove(&tenant);
+            }
+        }
+    }
+
+    /// Adds to a tenant's denylist.
+    pub fn deny_ip(&self, tenant: TenantId, ip: &str) {
+        self.denylist.borrow_mut().entry(tenant).or_default().push(ip.to_string());
+    }
+
+    fn check_ip(&self, tenant: TenantId, ip: &str) -> bool {
+        if let Some(denied) = self.denylist.borrow().get(&tenant) {
+            if denied.iter().any(|d| d == ip) {
+                return false;
+            }
+        }
+        if let Some(allowed) = self.allowlist.borrow().get(&tenant) {
+            return allowed.iter().any(|a| a == ip);
+        }
+        true
+    }
+
+    fn check_throttle(&self, ip: &str) -> bool {
+        let now = self.sim.now();
+        self.throttle
+            .borrow()
+            .get(ip)
+            .map_or(true, |t| t.blocked_until <= now)
+    }
+
+    fn record_auth_failure(&self, ip: &str) {
+        let now = self.sim.now();
+        let mut throttle = self.throttle.borrow_mut();
+        let entry = throttle
+            .entry(ip.to_string())
+            .or_insert(ThrottleState { consecutive_failures: 0, blocked_until: SimTime::ZERO });
+        entry.consecutive_failures += 1;
+        let backoff = self.config.auth_backoff_base * 2u32.pow(entry.consecutive_failures.min(10) - 1);
+        entry.blocked_until = now + backoff;
+    }
+
+    fn record_auth_success(&self, ip: &str) {
+        self.throttle.borrow_mut().remove(ip);
+    }
+
+    /// Handles a new client connection: identifies the tenant from the
+    /// startup message, applies security controls, resumes the tenant if
+    /// suspended, picks the least-connections node, and opens a session.
+    /// `auth_ok` models the backend authentication result.
+    pub fn connect(
+        self: &Rc<Self>,
+        tenant: TenantId,
+        source_ip: &str,
+        user: &str,
+        auth_ok: bool,
+        cb: impl FnOnce(Result<Rc<Connection>, ProxyError>) + 'static,
+    ) {
+        if !self.registry.has_tenant(tenant) {
+            cb(Err(ProxyError::UnknownTenant));
+            return;
+        }
+        if !self.check_ip(tenant, source_ip) {
+            cb(Err(ProxyError::Denied));
+            return;
+        }
+        if !self.check_throttle(source_ip) {
+            cb(Err(ProxyError::Throttled));
+            return;
+        }
+        if !auth_ok {
+            // The failure is detected from the backend response; throttle
+            // further attempts from this origin (§4.2.2).
+            self.record_auth_failure(source_ip);
+            let hop = self.config.hop_latency * 4;
+            self.sim.schedule_after(hop, move || cb(Err(ProxyError::AuthFailed)));
+            return;
+        }
+        self.record_auth_success(source_ip);
+
+        let this = Rc::clone(self);
+        let user = user.to_string();
+        self.with_ready_node(tenant, move |node| match node {
+            Err(e) => cb(Err(e)),
+            Ok(node) => {
+                let hop = this.config.hop_latency * 2;
+                let this2 = Rc::clone(&this);
+                this.sim.schedule_after(hop, move || {
+                    match node.open_session(&user) {
+                        Err(e) => cb(Err(ProxyError::Sql(e))),
+                        Ok(session) => {
+                            let id = this2.next_conn.get();
+                            this2.next_conn.set(id + 1);
+                            let conn = Rc::new(Connection {
+                                id,
+                                tenant,
+                                node: RefCell::new(node),
+                                session: Cell::new(session),
+                                migrations: Cell::new(0),
+                            });
+                            this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
+                            this2.registry.with_tenant(tenant, |e| {
+                                e.connections += 1;
+                                e.last_active = this2.sim.now();
+                            });
+                            this2.connects.set(this2.connects.get() + 1);
+                            cb(Ok(conn));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Finds a ready node via least-connections, resuming the tenant when
+    /// it is scaled to zero.
+    fn with_ready_node(
+        self: &Rc<Self>,
+        tenant: TenantId,
+        cb: impl FnOnce(Result<Rc<SqlNode>, ProxyError>) + 'static,
+    ) {
+        let ready = self
+            .registry
+            .with_tenant(tenant, |e| e.ready_nodes())
+            .unwrap_or_default();
+        if let Some(node) = ready.iter().min_by_key(|n| n.session_count()) {
+            cb(Ok(Rc::clone(node)));
+            return;
+        }
+        // Scale from zero: one resume at a time; concurrent connects wait.
+        let mut resuming = self.resuming.borrow_mut();
+        let waiters = resuming.entry(tenant).or_default();
+        waiters.push(Box::new(cb));
+        if waiters.len() > 1 {
+            return; // resume already in flight
+        }
+        drop(resuming);
+        self.cold_starts.set(self.cold_starts.get() + 1);
+        let this = Rc::clone(self);
+        let sdb = (self.system_db)(tenant);
+        self.pool.acquire_and_start(&self.registry.clone(), &sdb, tenant, move |node| {
+            this.registry.with_tenant(tenant, |e| {
+                e.suspended = false;
+                e.nodes.push(Rc::clone(&node));
+                e.last_active = this.sim.now();
+            });
+            let waiters = this.resuming.borrow_mut().remove(&tenant).unwrap_or_default();
+            for w in waiters {
+                w(Ok(Rc::clone(&node)));
+            }
+        });
+    }
+
+    /// Executes a statement on a connection (client → proxy → node hops
+    /// included).
+    pub fn execute(
+        self: &Rc<Self>,
+        conn: &Rc<Connection>,
+        sql: &str,
+        params: Vec<Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        let node = conn.node();
+        let session = conn.session();
+        let hop = self.config.hop_latency * 2;
+        let sim = self.sim.clone();
+        let sql = sql.to_string();
+        let registry = self.registry.clone();
+        let tenant = conn.tenant;
+        self.sim.schedule_after(hop, move || {
+            registry.with_tenant(tenant, |e| e.last_active = sim.now());
+            let sim2 = sim.clone();
+            node.execute(session, &sql, params, move |r| {
+                sim2.schedule_after(hop, move || cb(r));
+            });
+        });
+    }
+
+    /// Closes a connection.
+    pub fn close(&self, conn: &Rc<Connection>) {
+        conn.node().close_session(conn.session());
+        self.conns.borrow_mut().remove(&conn.id);
+        self.registry.with_tenant(conn.tenant, |e| {
+            e.connections = e.connections.saturating_sub(1);
+        });
+    }
+
+    /// Migrates one connection to `target` if its session is idle;
+    /// returns whether the migration happened.
+    pub fn migrate(&self, conn: &Rc<Connection>, target: &Rc<SqlNode>) -> Result<(), SqlError> {
+        let old = conn.node();
+        if Rc::ptr_eq(&old, target) {
+            return Ok(());
+        }
+        let snapshot: SessionSnapshot = old.serialize_session(conn.session())?;
+        // Wire format roundtrip, as in production.
+        let decoded = SessionSnapshot::decode(&snapshot.encode())
+            .ok_or(SqlError::State("snapshot decode failed".into()))?;
+        let new_session = target.restore_session(&decoded)?;
+        old.close_session(conn.session());
+        *conn.node.borrow_mut() = Rc::clone(target);
+        conn.session.set(new_session);
+        conn.migrations.set(conn.migrations.get() + 1);
+        self.migrations.set(self.migrations.get() + 1);
+        Ok(())
+    }
+
+    /// Periodic connection rebalancing (§4.2.2): drains first, then
+    /// smooths imbalance across ready nodes.
+    pub fn rebalance(self: &Rc<Self>) {
+        let conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
+        for conn in conns {
+            let node = conn.node();
+            if node.state() == NodeState::Draining || node.state() == NodeState::Stopped {
+                let ready = self
+                    .registry
+                    .with_tenant(conn.tenant, |e| e.ready_nodes())
+                    .unwrap_or_default();
+                if let Some(target) = ready.iter().min_by_key(|n| n.session_count()) {
+                    let _ = self.migrate(&conn, target);
+                }
+                continue;
+            }
+            // Smooth distribution: move from crowded to sparse nodes.
+            let ready = self
+                .registry
+                .with_tenant(conn.tenant, |e| e.ready_nodes())
+                .unwrap_or_default();
+            if ready.len() < 2 {
+                continue;
+            }
+            if let Some(target) = ready.iter().min_by_key(|n| n.session_count()) {
+                let here = node.session_count() as u64;
+                let there = target.session_count() as u64;
+                if here > there + self.config.rebalance_threshold {
+                    let _ = self.migrate(&conn, target);
+                }
+            }
+        }
+    }
+
+    /// Open proxied connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.borrow().len()
+    }
+}

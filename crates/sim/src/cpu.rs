@@ -1,0 +1,408 @@
+//! Processor-sharing CPU model.
+//!
+//! Each simulated node owns a [`CpuScheduler`] with a fixed number of
+//! vCPUs. Work is submitted as *tasks* that need a known amount of CPU
+//! time; while `n` tasks are active on `c` vCPUs, each progresses at rate
+//! `min(1, c/n)` — the behaviour of a fair OS scheduler under load.
+//!
+//! The model exposes exactly the signals the paper's systems consume:
+//!
+//! - per-task actual CPU consumption, attributed to a tenant (the language
+//!   runtime instrumentation of §5.1.4),
+//! - the *runnable queue length* (`max(0, n - c)`), the quantity the 1000 Hz
+//!   sampler feeds to the AIMD slot controller (§5.1.3), available here as
+//!   an exact time-weighted integral rather than a sampled approximation,
+//! - cumulative busy time, from which utilization metrics are derived for
+//!   the autoscaler (§4.2.3) and the evaluation figures.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crdb_util::time::SimTime;
+use crdb_util::TenantId;
+
+use crate::engine::{EventId, Sim};
+
+const EPS: f64 = 1e-12;
+/// Work below this many CPU-seconds is sub-resolution (the virtual clock
+/// ticks in nanoseconds) and treated as complete.
+const DONE_THRESHOLD: f64 = 2e-9;
+
+struct Task {
+    remaining: f64,
+    tenant: TenantId,
+    on_complete: Box<dyn FnOnce()>,
+}
+
+struct Inner {
+    vcpus: f64,
+    tasks: Vec<Task>,
+    last: SimTime,
+    completion: Option<EventId>,
+    usage: HashMap<TenantId, f64>,
+    busy_integral: f64,
+    runnable_integral: f64,
+    /// Scheduler-contention overhead factor: with `r` runnable threads per
+    /// vCPU beyond capacity, productive work slows by `1 + k·r` (context
+    /// switching, cache pressure, GC — the superlinear collapse real
+    /// overloaded nodes exhibit). Zero by default.
+    contention_overhead: f64,
+}
+
+impl Inner {
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        if dt <= 0.0 {
+            self.last = now;
+            return;
+        }
+        let n = self.tasks.len() as f64;
+        if n > 0.0 {
+            let rate = self.effective_rate(n);
+            for t in &mut self.tasks {
+                let used = (rate * dt).min(t.remaining);
+                t.remaining -= used;
+                *self.usage.entry(t.tenant).or_insert(0.0) += used;
+            }
+            self.busy_integral += n.min(self.vcpus) * dt;
+            self.runnable_integral += (n - self.vcpus).max(0.0) * dt;
+        }
+        self.last = now;
+    }
+
+    fn next_completion_in(&self) -> Option<f64> {
+        let n = self.tasks.len() as f64;
+        if n == 0.0 {
+            return None;
+        }
+        let rate = self.effective_rate(n);
+        let min_remaining = self.tasks.iter().map(|t| t.remaining).fold(f64::MAX, f64::min);
+        Some((min_remaining / rate).max(0.0))
+    }
+
+    /// Per-task productive rate for `n` active tasks: fair sharing plus
+    /// the contention-overhead slowdown.
+    fn effective_rate(&self, n: f64) -> f64 {
+        let fair = (self.vcpus / n).min(1.0);
+        let excess = ((n - self.vcpus) / self.vcpus).max(0.0);
+        fair / (1.0 + self.contention_overhead * excess)
+    }
+}
+
+/// A shared handle to one node's CPU.
+#[derive(Clone)]
+pub struct CpuScheduler {
+    sim: Sim,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl CpuScheduler {
+    /// Creates a scheduler with `vcpus` virtual CPUs.
+    pub fn new(sim: Sim, vcpus: f64) -> Self {
+        assert!(vcpus > 0.0);
+        let last = sim.now();
+        CpuScheduler {
+            sim,
+            inner: Rc::new(RefCell::new(Inner {
+                vcpus,
+                tasks: Vec::new(),
+                last,
+                completion: None,
+                usage: HashMap::new(),
+                busy_integral: 0.0,
+                runnable_integral: 0.0,
+                contention_overhead: 0.0,
+            })),
+        }
+    }
+
+    /// Sets the contention-overhead factor (see `Inner`); experiments that
+    /// study overload collapse (Fig. 12) enable it.
+    pub fn set_contention_overhead(&self, k: f64) {
+        assert!(k >= 0.0);
+        let now = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        inner.advance(now);
+        inner.contention_overhead = k;
+        drop(inner);
+        self.reschedule();
+    }
+
+    /// The configured vCPU count.
+    pub fn vcpus(&self) -> f64 {
+        self.inner.borrow().vcpus
+    }
+
+    /// Submits a task needing `cpu_seconds` of CPU, attributed to `tenant`.
+    /// `on_complete` fires when the task has received its full CPU time.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        cpu_seconds: f64,
+        on_complete: impl FnOnce() + 'static,
+    ) {
+        assert!(cpu_seconds >= 0.0, "negative cpu cost");
+        let now = self.sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.advance(now);
+            inner.tasks.push(Task {
+                remaining: cpu_seconds.max(EPS),
+                tenant,
+                on_complete: Box::new(on_complete),
+            });
+        }
+        self.reschedule();
+    }
+
+    fn reschedule(&self) {
+        let now = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        if let Some(ev) = inner.completion.take() {
+            self.sim.cancel(ev);
+        }
+        if let Some(dt) = inner.next_completion_in() {
+            let this = self.clone();
+            // Round up to the clock resolution: a zero-delay completion
+            // event would re-fire at the same instant without advancing
+            // task accounting (dt=0), livelocking the simulation.
+            let nanos = (dt * 1e9).ceil().max(1.0) as u64;
+            let at = now + std::time::Duration::from_nanos(nanos);
+            inner.completion = Some(self.sim.schedule_at(at, move || this.on_completion()));
+        }
+    }
+
+    fn on_completion(&self) {
+        let now = self.sim.now();
+        let finished: Vec<Box<dyn FnOnce()>> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.completion = None;
+            inner.advance(now);
+            let mut done = Vec::new();
+            let mut i = 0;
+            while i < inner.tasks.len() {
+                if inner.tasks[i].remaining <= DONE_THRESHOLD {
+                    done.push(inner.tasks.swap_remove(i).on_complete);
+                } else {
+                    i += 1;
+                }
+            }
+            done
+        };
+        self.reschedule();
+        // Run callbacks with no borrow held: they may submit new tasks.
+        for cb in finished {
+            cb();
+        }
+    }
+
+    /// Number of currently active tasks.
+    pub fn active_tasks(&self) -> usize {
+        self.inner.borrow().tasks.len()
+    }
+
+    /// Instantaneous runnable-queue length: tasks beyond the vCPU count.
+    pub fn runnable_len(&self) -> f64 {
+        let inner = self.inner.borrow();
+        (inner.tasks.len() as f64 - inner.vcpus).max(0.0)
+    }
+
+    /// Cumulative CPU-seconds of capacity used since construction.
+    pub fn cumulative_busy(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.busy_integral
+    }
+
+    /// Cumulative time-weighted integral of the runnable queue length.
+    /// The AIMD controller differentiates this to get the average runnable
+    /// length over its sampling interval.
+    pub fn cumulative_runnable(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.runnable_integral
+    }
+
+    /// Cumulative CPU-seconds consumed by `tenant`.
+    pub fn cumulative_usage(&self, tenant: TenantId) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.usage.get(&tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative CPU-seconds consumed across all tenants.
+    pub fn cumulative_usage_total(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.sim.now();
+        inner.advance(now);
+        inner.usage.values().sum()
+    }
+}
+
+/// Tracks utilization of a [`CpuScheduler`] between samples: each call to
+/// [`UtilizationProbe::sample`] returns average utilization (0..=1) since
+/// the previous call.
+pub struct UtilizationProbe {
+    cpu: CpuScheduler,
+    last_busy: f64,
+    last_at: SimTime,
+}
+
+impl UtilizationProbe {
+    /// Creates a probe anchored at the present.
+    pub fn new(sim: &Sim, cpu: CpuScheduler) -> Self {
+        let last_busy = cpu.cumulative_busy();
+        UtilizationProbe { cpu, last_busy, last_at: sim.now() }
+    }
+
+    /// Average utilization in `[0, 1]` since the last sample.
+    pub fn sample(&mut self, now: SimTime) -> f64 {
+        let busy = self.cpu.cumulative_busy();
+        let dt = now.duration_since(self.last_at).as_secs_f64();
+        let util = if dt <= 0.0 {
+            0.0
+        } else {
+            (busy - self.last_busy) / (dt * self.cpu.vcpus())
+        };
+        self.last_busy = busy;
+        self.last_at = now;
+        util.clamp(0.0, 1.0)
+    }
+
+    /// Average vCPUs in use since the last sample (not normalized).
+    pub fn sample_vcpus(&mut self, now: SimTime) -> f64 {
+        self.sample(now) * self.cpu.vcpus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdb_util::time::dur;
+    use std::cell::Cell;
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 4.0);
+        let done = Rc::new(Cell::new(None));
+        let d = Rc::clone(&done);
+        let s = sim.clone();
+        cpu.submit(TenantId(2), 0.5, move || d.set(Some(s.now())));
+        sim.run_to_completion();
+        let at = done.get().expect("completed").as_secs_f64();
+        assert!((at - 0.5).abs() < 1e-9, "{at}");
+    }
+
+    #[test]
+    fn oversubscription_slows_tasks() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 1.0);
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let d = Rc::clone(&done);
+            cpu.submit(TenantId(2), 1.0, move || d.set(d.get() + 1));
+        }
+        // 4 tasks of 1 cpu-second on 1 vCPU: each runs at 1/4 speed and all
+        // finish together at t=4.
+        sim.run_until(SimTime::from_secs_f64(3.9));
+        assert_eq!(done.get(), 0);
+        sim.run_until(SimTime::from_secs_f64(4.1));
+        assert_eq!(done.get(), 4);
+    }
+
+    #[test]
+    fn usage_attribution_per_tenant() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 2.0);
+        cpu.submit(TenantId(2), 1.0, || {});
+        cpu.submit(TenantId(3), 2.0, || {});
+        sim.run_to_completion();
+        assert!((cpu.cumulative_usage(TenantId(2)) - 1.0).abs() < 1e-9);
+        assert!((cpu.cumulative_usage(TenantId(3)) - 2.0).abs() < 1e-9);
+        assert!((cpu.cumulative_usage_total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runnable_queue_accounting() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 2.0);
+        for _ in 0..6 {
+            cpu.submit(TenantId(2), 1.0, || {});
+        }
+        assert_eq!(cpu.runnable_len(), 4.0);
+        // 6 tasks × 1s work on 2 vCPUs -> all complete at t=3; runnable
+        // integral = 4 × 3 = 12.
+        sim.run_to_completion();
+        assert!((cpu.cumulative_runnable() - 12.0).abs() < 1e-6);
+        assert_eq!(cpu.runnable_len(), 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 1.0);
+        let t_first = Rc::new(Cell::new(None));
+        let t_second = Rc::new(Cell::new(None));
+        {
+            let tf = Rc::clone(&t_first);
+            let s = sim.clone();
+            cpu.submit(TenantId(2), 1.0, move || tf.set(Some(s.now().as_secs_f64())));
+        }
+        {
+            let cpu2 = cpu.clone();
+            let ts = Rc::clone(&t_second);
+            let s = sim.clone();
+            sim.schedule_after(dur::ms(500), move || {
+                let s2 = s.clone();
+                cpu2.submit(TenantId(3), 0.25, move || ts.set(Some(s2.now().as_secs_f64())));
+            });
+        }
+        sim.run_to_completion();
+        // Task1 runs alone 0..0.5 (0.5 done), shares 0.5.. at 1/2 rate.
+        // Task2 (0.25 work at 1/2 rate) finishes at t=1.0; task1 then has
+        // 0.25 left at full rate, finishing at 1.25.
+        assert!((t_second.get().unwrap() - 1.0).abs() < 1e-9);
+        assert!((t_first.get().unwrap() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_probe() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 4.0);
+        let mut probe = UtilizationProbe::new(&sim, cpu.clone());
+        cpu.submit(TenantId(2), 2.0, || {});
+        sim.run_until(SimTime::from_secs_f64(4.0));
+        // 2 cpu-seconds over 4s on 4 vCPUs = 12.5%.
+        let u = probe.sample(sim.now());
+        assert!((u - 0.125).abs() < 1e-9, "{u}");
+        // Nothing since.
+        sim.run_for(dur::secs(1));
+        assert_eq!(probe.sample(sim.now()), 0.0);
+    }
+
+    #[test]
+    fn completion_callback_can_resubmit() {
+        let sim = Sim::new(1);
+        let cpu = CpuScheduler::new(sim.clone(), 1.0);
+        let count = Rc::new(Cell::new(0));
+        fn chain(cpu: CpuScheduler, count: Rc<Cell<u32>>, depth: u32) {
+            if depth == 0 {
+                return;
+            }
+            let cpu2 = cpu.clone();
+            cpu.submit(TenantId(2), 0.1, move || {
+                count.set(count.get() + 1);
+                chain(cpu2.clone(), count, depth - 1);
+            });
+        }
+        chain(cpu, Rc::clone(&count), 5);
+        sim.run_to_completion();
+        assert_eq!(count.get(), 5);
+        assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cluster topology and the simulated network.
+//!
+//! Stands in for the production multi-region network (§4.2.5, §6.5.2). A
+//! [`Topology`] names the regions of the host cluster and holds a one-way
+//! latency matrix; [`Topology::send`] delivers a message (a closure) after
+//! the appropriate latency plus jitter. The default three-region topology
+//! mirrors the paper's evaluation: `us-central1`, `europe-west1`,
+//! `asia-southeast1`, with public inter-region round-trip times.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crdb_util::time::dur;
+use crdb_util::RegionId;
+use rand::Rng;
+
+use crate::engine::Sim;
+
+/// Where a process runs: a region and a zone within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// The cloud region.
+    pub region: RegionId,
+    /// The availability zone index within the region.
+    pub zone: u32,
+}
+
+impl Location {
+    /// Convenience constructor.
+    pub fn new(region: RegionId, zone: u32) -> Self {
+        Location { region, zone }
+    }
+}
+
+/// Regions, zones, and network latency between them.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    regions: Vec<String>,
+    /// One-way latency between region pairs, indexed by raw region id.
+    latency: HashMap<(RegionId, RegionId), Duration>,
+    /// One-way latency between zones of the same region.
+    inter_zone: Duration,
+    /// One-way latency within a zone.
+    intra_zone: Duration,
+    /// Multiplicative jitter bound (e.g. 0.1 = up to +10%).
+    jitter: f64,
+}
+
+impl Topology {
+    /// A single-region topology with `zones` zones — the shape of the
+    /// single-region experiments (Figs. 6, 12, 13, Table 1).
+    pub fn single_region(name: &str, _zones: u32) -> Self {
+        Topology {
+            regions: vec![name.to_string()],
+            latency: HashMap::new(),
+            inter_zone: dur::us(750),
+            intra_zone: dur::us(250),
+            jitter: 0.05,
+        }
+    }
+
+    /// The paper's three-region evaluation topology (§6.5.2), with one-way
+    /// latencies derived from public GCP round-trip measurements:
+    /// us-central1 ↔ europe-west1 ≈ 105 ms RTT, us-central1 ↔
+    /// asia-southeast1 ≈ 180 ms RTT, europe-west1 ↔ asia-southeast1 ≈
+    /// 250 ms RTT.
+    pub fn three_region() -> Self {
+        let mut t = Topology {
+            regions: vec![
+                "us-central1".to_string(),
+                "europe-west1".to_string(),
+                "asia-southeast1".to_string(),
+            ],
+            latency: HashMap::new(),
+            inter_zone: dur::us(750),
+            intra_zone: dur::us(250),
+            jitter: 0.05,
+        };
+        t.set_rtt(RegionId(0), RegionId(1), dur::ms(105));
+        t.set_rtt(RegionId(0), RegionId(2), dur::ms(180));
+        t.set_rtt(RegionId(1), RegionId(2), dur::ms(250));
+        t
+    }
+
+    /// Sets the round-trip time between two regions (stored as symmetric
+    /// one-way latencies).
+    pub fn set_rtt(&mut self, a: RegionId, b: RegionId, rtt: Duration) {
+        let one_way = rtt / 2;
+        self.latency.insert((a, b), one_way);
+        self.latency.insert((b, a), one_way);
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// All region ids.
+    pub fn regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        (0..self.regions.len() as u64).map(RegionId)
+    }
+
+    /// Human-readable region name.
+    pub fn region_name(&self, r: RegionId) -> &str {
+        &self.regions[r.raw() as usize]
+    }
+
+    /// Looks up a region by name.
+    pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
+        self.regions.iter().position(|n| n == name).map(|i| RegionId(i as u64))
+    }
+
+    /// Deterministic base one-way latency between two locations, before
+    /// jitter.
+    pub fn base_latency(&self, from: Location, to: Location) -> Duration {
+        if from.region != to.region {
+            *self
+                .latency
+                .get(&(from.region, to.region))
+                .unwrap_or(&dur::ms(100))
+        } else if from.zone != to.zone {
+            self.inter_zone
+        } else {
+            self.intra_zone
+        }
+    }
+
+    /// Samples a one-way latency including jitter using the simulation RNG.
+    pub fn sample_latency(&self, sim: &Sim, from: Location, to: Location) -> Duration {
+        let base = self.base_latency(from, to);
+        let factor = 1.0 + sim.with_rng(|r| r.gen_range(0.0..self.jitter));
+        Duration::from_secs_f64(base.as_secs_f64() * factor)
+    }
+
+    /// Delivers `message` (a closure) after the simulated one-way network
+    /// latency from `from` to `to`.
+    pub fn send(&self, sim: &Sim, from: Location, to: Location, message: impl FnOnce() + 'static) {
+        let latency = self.sample_latency(sim, from, to);
+        sim.schedule_after(latency, message);
+    }
+
+    /// Round-trip time between two locations (two sampled one-way hops).
+    pub fn sample_rtt(&self, sim: &Sim, a: Location, b: Location) -> Duration {
+        self.sample_latency(sim, a, b) + self.sample_latency(sim, b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn three_region_latencies() {
+        let t = Topology::three_region();
+        let us = Location::new(RegionId(0), 0);
+        let eu = Location::new(RegionId(1), 0);
+        let asia = Location::new(RegionId(2), 0);
+        assert_eq!(t.base_latency(us, eu), dur::us(52_500));
+        assert_eq!(t.base_latency(eu, asia), dur::ms(125));
+        assert_eq!(t.base_latency(us, asia), dur::ms(90));
+        // Symmetry.
+        assert_eq!(t.base_latency(eu, us), t.base_latency(us, eu));
+    }
+
+    #[test]
+    fn zone_latencies() {
+        let t = Topology::single_region("us-east1", 3);
+        let a = Location::new(RegionId(0), 0);
+        let b = Location::new(RegionId(0), 1);
+        assert_eq!(t.base_latency(a, a), dur::us(250));
+        assert_eq!(t.base_latency(a, b), dur::us(750));
+    }
+
+    #[test]
+    fn region_lookup() {
+        let t = Topology::three_region();
+        assert_eq!(t.region_by_name("europe-west1"), Some(RegionId(1)));
+        assert_eq!(t.region_name(RegionId(2)), "asia-southeast1");
+        assert_eq!(t.region_by_name("mars-north1"), None);
+        assert_eq!(t.regions().count(), 3);
+    }
+
+    #[test]
+    fn send_delivers_after_latency() {
+        let sim = Sim::new(7);
+        let t = Topology::three_region();
+        let us = Location::new(RegionId(0), 0);
+        let asia = Location::new(RegionId(2), 0);
+        let arrived = Rc::new(RefCell::new(None));
+        let a = Rc::clone(&arrived);
+        let s = sim.clone();
+        t.send(&sim, us, asia, move || *a.borrow_mut() = Some(s.now()));
+        sim.run_to_completion();
+        let at = arrived.borrow().expect("delivered");
+        let secs = at.as_secs_f64();
+        // 90ms one-way + up to 5% jitter.
+        assert!((0.090..0.095).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let measure = |seed| {
+            let sim = Sim::new(seed);
+            let t = Topology::three_region();
+            let us = Location::new(RegionId(0), 0);
+            let eu = Location::new(RegionId(1), 0);
+            t.sample_latency(&sim, us, eu)
+        };
+        assert_eq!(measure(1), measure(1));
+        assert_ne!(measure(1), measure(2));
+    }
+}

@@ -1,0 +1,441 @@
+//! The SQL-side transaction coordinator.
+//!
+//! SQL statements buffer their writes in the coordinator; reads merge the
+//! buffer over MVCC snapshots (read-your-writes). Commit runs the
+//! two-phase KV protocol: write intents for every buffered key (one
+//! batch, split per range by the KV client), flip the transaction record
+//! via `EndTxn`, then resolve intents. Conflicts surface as retryable
+//! errors — the session layer re-runs the transaction, which is also how
+//! the production system behaves under `RETRY_SERIALIZABLE`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use crdb_kv::batch::{BatchRequest, KvError, RequestKind, ResponseKind};
+use crdb_kv::client::{make_txn_meta, KvClient};
+use crdb_kv::keys as kvkeys;
+use crdb_kv::txn::TxnMeta;
+
+use crate::expr::EvalError;
+
+/// SQL-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexing/parsing failure.
+    Parse(String),
+    /// Planning failure (unknown table, unbound column, …).
+    Plan(String),
+    /// Runtime expression error.
+    Eval(EvalError),
+    /// KV-layer error (non-retryable).
+    Kv(KvError),
+    /// Serialization conflict: the transaction should be retried.
+    Retry(String),
+    /// Constraint violation (duplicate primary key, null in non-null).
+    Constraint(String),
+    /// Session/transaction state misuse.
+    State(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SqlError::Kv(e) => write!(f, "kv error: {e:?}"),
+            SqlError::Retry(m) => write!(f, "restart transaction: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::State(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl SqlError {
+    /// Whether the enclosing transaction should be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SqlError::Retry(_))
+    }
+}
+
+fn map_kv_error(e: KvError) -> SqlError {
+    match e {
+        KvError::WriteTooOld { .. } => SqlError::Retry("write too old".into()),
+        KvError::IntentConflict { other_txn } => {
+            SqlError::Retry(format!("conflict with txn {other_txn}"))
+        }
+        KvError::TxnAborted => SqlError::Retry("transaction aborted".into()),
+        other => SqlError::Kv(other),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Pending,
+    Committed,
+    Aborted,
+}
+
+struct TxnInner {
+    client: KvClient,
+    meta: TxnMeta,
+    /// Buffered writes on *unprefixed* user keys (`None` = delete).
+    writes: BTreeMap<Bytes, Option<Bytes>>,
+    /// Read spans (unprefixed, half-open) validated at commit — the
+    /// coordinator-side refresh that stands in for the timestamp cache.
+    reads: Vec<(Bytes, Bytes)>,
+    state: TxnState,
+    /// KV batches issued (stats for CPU accounting and eCPU features).
+    pub kv_batches: u64,
+}
+
+fn point_span(key: &Bytes) -> (Bytes, Bytes) {
+    let mut end = key.to_vec();
+    end.push(0x00);
+    (key.clone(), Bytes::from(end))
+}
+
+/// A SQL transaction handle (cheap to clone).
+#[derive(Clone)]
+pub struct Txn {
+    inner: Rc<RefCell<TxnInner>>,
+}
+
+impl Txn {
+    /// Begins a transaction on `client`.
+    pub fn begin(client: &KvClient) -> Txn {
+        // The anchor is provisional until the first write is known.
+        let meta = make_txn_meta(client.cluster(), Bytes::from_static(b""));
+        Txn {
+            inner: Rc::new(RefCell::new(TxnInner {
+                client: client.clone(),
+                meta,
+                writes: BTreeMap::new(),
+                reads: Vec::new(),
+                state: TxnState::Pending,
+                kv_batches: 0,
+            })),
+        }
+    }
+
+    fn tenant(&self) -> crdb_util::TenantId {
+        self.inner.borrow().client.cert().tenant()
+    }
+
+    fn prefixed(&self, key: &[u8]) -> Bytes {
+        kvkeys::make_key(self.tenant(), key)
+    }
+
+    /// Number of KV batches this transaction has issued.
+    pub fn kv_batches(&self) -> u64 {
+        self.inner.borrow().kv_batches
+    }
+
+    /// Whether any writes are buffered.
+    pub fn has_writes(&self) -> bool {
+        !self.inner.borrow().writes.is_empty()
+    }
+
+    /// Buffers a put of an unprefixed user key.
+    pub fn put(&self, key: Bytes, value: Bytes) {
+        self.inner.borrow_mut().writes.insert(key, Some(value));
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&self, key: Bytes) {
+        self.inner.borrow_mut().writes.insert(key, None);
+    }
+
+    /// Reads a single key at the transaction's snapshot, seeing buffered
+    /// writes first.
+    pub fn read(&self, key: Bytes, cb: impl FnOnce(Result<Option<Bytes>, SqlError>) + 'static) {
+        {
+            let inner = self.inner.borrow();
+            if let Some(buffered) = inner.writes.get(&key) {
+                let v = buffered.clone();
+                drop(inner);
+                cb(Ok(v));
+                return;
+            }
+        }
+        let (client, read_ts, meta) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.kv_batches += 1;
+            let span = point_span(&key);
+            inner.reads.push(span);
+            (inner.client.clone(), inner.meta.start_ts, inner.meta.clone())
+        };
+        let batch = BatchRequest {
+            tenant: self.tenant(),
+            read_ts,
+            txn: Some(meta),
+            requests: vec![RequestKind::Get { key: self.prefixed(&key) }],
+        };
+        client.send(batch, move |resp| match resp.error {
+            Some(e) => cb(Err(map_kv_error(e))),
+            None => match resp.results.into_iter().next() {
+                Some(ResponseKind::Value(v)) => cb(Ok(v)),
+                _ => cb(Err(SqlError::Kv(KvError::RangeNotFound))),
+            },
+        });
+    }
+
+    /// Batched point reads: one KV batch of Gets (unprefixed keys);
+    /// results align with the input keys.
+    pub fn read_many(
+        &self,
+        keys: Vec<Bytes>,
+        cb: impl FnOnce(Result<Vec<Option<Bytes>>, SqlError>) + 'static,
+    ) {
+        if keys.is_empty() {
+            cb(Ok(Vec::new()));
+            return;
+        }
+        // Partition into buffered hits and KV misses.
+        let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
+        let mut miss_idx = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(buffered) = inner.writes.get(key) {
+                    results[i] = Some(buffered.clone());
+                } else {
+                    miss_idx.push(i);
+                }
+            }
+        }
+        if miss_idx.is_empty() {
+            cb(Ok(results.into_iter().map(|r| r.unwrap()).collect()));
+            return;
+        }
+        let (client, read_ts, meta) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.kv_batches += 1;
+            for &i in &miss_idx {
+                let span = point_span(&keys[i]);
+                inner.reads.push(span);
+            }
+            (inner.client.clone(), inner.meta.start_ts, inner.meta.clone())
+        };
+        let requests: Vec<RequestKind> = miss_idx
+            .iter()
+            .map(|&i| RequestKind::Get { key: self.prefixed(&keys[i]) })
+            .collect();
+        let batch =
+            BatchRequest { tenant: self.tenant(), read_ts, txn: Some(meta), requests };
+        client.send(batch, move |resp| {
+            if let Some(e) = resp.error {
+                cb(Err(map_kv_error(e)));
+                return;
+            }
+            for (slot, r) in miss_idx.into_iter().zip(resp.results) {
+                results[slot] = Some(match r {
+                    ResponseKind::Value(v) => v,
+                    _ => None,
+                });
+            }
+            cb(Ok(results.into_iter().map(|r| r.unwrap()).collect()));
+        });
+    }
+
+    /// Scans `[start, end)` (unprefixed), overlaying buffered writes, and
+    /// returns up to `limit` pairs.
+    pub fn scan(
+        &self,
+        start: Bytes,
+        end: Bytes,
+        limit: usize,
+        cb: impl FnOnce(Result<Vec<(Bytes, Bytes)>, SqlError>) + 'static,
+    ) {
+        let (client, read_ts, meta) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.kv_batches += 1;
+            inner.reads.push((start.clone(), end.clone()));
+            (inner.client.clone(), inner.meta.start_ts, inner.meta.clone())
+        };
+        let tenant = self.tenant();
+        let pstart = self.prefixed(&start);
+        let pend = self.prefixed(&end);
+        let this = self.clone();
+        let batch = BatchRequest {
+            tenant,
+            read_ts,
+            txn: Some(meta),
+            requests: vec![RequestKind::Scan { start: pstart, end: pend, limit: usize::MAX }],
+        };
+        client.send(batch, move |resp| {
+            if let Some(e) = resp.error {
+                cb(Err(map_kv_error(e)));
+                return;
+            }
+            let pairs = match resp.results.into_iter().next() {
+                Some(ResponseKind::Pairs(p)) => p,
+                _ => Vec::new(),
+            };
+            // Strip the tenant prefix and overlay the write buffer.
+            let mut merged: BTreeMap<Bytes, Bytes> = BTreeMap::new();
+            for (k, v) in pairs {
+                if let Some(user) = kvkeys::strip_prefix(tenant, &k) {
+                    merged.insert(user, v);
+                }
+            }
+            {
+                let inner = this.inner.borrow();
+                for (k, v) in inner.writes.range(start.clone()..end.clone()) {
+                    match v {
+                        Some(val) => {
+                            merged.insert(k.clone(), val.clone());
+                        }
+                        None => {
+                            merged.remove(k);
+                        }
+                    }
+                }
+            }
+            cb(Ok(merged.into_iter().take(limit).collect()));
+        });
+    }
+
+    /// Commits: intents → transaction record → resolution. Read-only
+    /// transactions commit locally.
+    pub fn commit(&self, cb: impl FnOnce(Result<(), SqlError>) + 'static) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.state != TxnState::Pending {
+                cb(Err(SqlError::State("transaction already finished".into())));
+                return;
+            }
+            if inner.writes.is_empty() {
+                inner.state = TxnState::Committed;
+                drop(inner);
+                cb(Ok(()));
+                return;
+            }
+        }
+        let (client, mut meta, writes, reads) = {
+            let inner = self.inner.borrow();
+            (
+                inner.client.clone(),
+                inner.meta.clone(),
+                inner.writes.clone(),
+                inner.reads.clone(),
+            )
+        };
+        let tenant = self.tenant();
+        let anchor = self.prefixed(writes.keys().next().expect("non-empty"));
+        meta.anchor_key = anchor;
+        // Commit at a *fresh* timestamp (CockroachDB pushes the write
+        // timestamp at commit): back-dating writes to the start timestamp
+        // would make them appear inside concurrent snapshots taken after
+        // our reads, invisibly to their refresh validation.
+        meta.write_ts = client.cluster().now_ts();
+        self.inner.borrow_mut().meta = meta.clone();
+
+        // Read refresh first (§"timestamp cache" stand-in): fails with a
+        // retryable error if anything this transaction read changed after
+        // its snapshot. Within a range the refresh + intents execute
+        // atomically at the leaseholder.
+        let mut intents: Vec<RequestKind> = reads
+            .iter()
+            .map(|(s0, e0)| RequestKind::RefreshSpan {
+                start: self.prefixed(s0),
+                end: self.prefixed(e0),
+                since: meta.start_ts,
+            })
+            .collect();
+        intents.extend(writes.iter().map(|(k, v)| RequestKind::WriteIntent {
+            key: self.prefixed(k),
+            value: v.clone(),
+        }));
+        let intent_keys: Vec<Bytes> = writes.keys().map(|k| self.prefixed(k)).collect();
+        let n_batches = 3;
+        self.inner.borrow_mut().kv_batches += n_batches;
+
+        let batch = BatchRequest {
+            tenant,
+            read_ts: meta.start_ts,
+            txn: Some(meta.clone()),
+            requests: intents,
+        };
+        let this = self.clone();
+        client.send(batch, move |resp| {
+            if let Some(e) = resp.error {
+                this.inner.borrow_mut().state = TxnState::Aborted;
+                // Best-effort cleanup of any intents that did land.
+                this.cleanup_intents(&intent_keys, None);
+                cb(Err(map_kv_error(e)));
+                return;
+            }
+            let (client, meta) = {
+                let inner = this.inner.borrow();
+                (inner.client.clone(), inner.meta.clone())
+            };
+            let commit = BatchRequest {
+                tenant,
+                read_ts: meta.start_ts,
+                txn: Some(meta.clone()),
+                requests: vec![RequestKind::EndTxn { commit: true }],
+            };
+            let this2 = this.clone();
+            client.send(commit, move |resp| {
+                if let Some(e) = resp.error {
+                    this2.inner.borrow_mut().state = TxnState::Aborted;
+                    this2.cleanup_intents(&intent_keys, None);
+                    cb(Err(map_kv_error(e)));
+                    return;
+                }
+                this2.inner.borrow_mut().state = TxnState::Committed;
+                // Resolve intents (synchronously before acking, keeping
+                // the evaluation deterministic; production resolves the
+                // non-anchor ranges asynchronously).
+                let commit_ts = this2.inner.borrow().meta.write_ts;
+                this2.cleanup_intents(&intent_keys, Some(commit_ts));
+                cb(Ok(()));
+            });
+        });
+    }
+
+    fn cleanup_intents(&self, keys: &[Bytes], commit_ts: Option<crdb_kv::Timestamp>) {
+        let (client, meta) = {
+            let inner = self.inner.borrow();
+            (inner.client.clone(), inner.meta.clone())
+        };
+        let requests: Vec<RequestKind> = keys
+            .iter()
+            .map(|k| RequestKind::ResolveIntent { key: k.clone(), commit_ts })
+            .collect();
+        if requests.is_empty() {
+            return;
+        }
+        let batch = BatchRequest {
+            tenant: self.tenant(),
+            read_ts: meta.start_ts,
+            txn: Some(meta),
+            requests,
+        };
+        client.send(batch, |_resp| {});
+    }
+
+    /// Rolls the transaction back, discarding buffered writes.
+    pub fn rollback(&self, cb: impl FnOnce(Result<(), SqlError>) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != TxnState::Pending {
+            cb(Err(SqlError::State("transaction already finished".into())));
+            return;
+        }
+        inner.state = TxnState::Aborted;
+        inner.writes.clear();
+        drop(inner);
+        // No intents exist before commit (writes are buffered), so local
+        // cleanup suffices.
+        cb(Ok(()));
+    }
+
+    /// Whether the transaction is still open.
+    pub fn is_pending(&self) -> bool {
+        self.inner.borrow().state == TxnState::Pending
+    }
+}

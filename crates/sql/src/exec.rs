@@ -1,0 +1,847 @@
+//! The query executor.
+//!
+//! Executes [`PlanNode`] trees against a [`Txn`] in continuation-passing
+//! style (the KV layer is callback-driven under simulation). Scans fetch
+//! via KV spans; secondary-index scans and lookup joins batch their
+//! primary-key lookups into single KV batches — the access patterns whose
+//! costs the estimated-CPU model is built on.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::coord::{SqlError, Txn};
+use crate::expr::Expr;
+use crate::parser::AggFunc;
+use crate::plan::{check_row, Plan, PlanNode, ScanConstraint};
+use crate::rowcodec;
+use crate::schema::{TableDescriptor, PRIMARY_INDEX_ID};
+use crate::value::{Datum, Row};
+
+/// Execution statistics, accumulated per statement for CPU accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Rows produced by scans and lookups.
+    pub rows_read: u64,
+    /// Bytes of keys+values fetched.
+    pub bytes_read: u64,
+    /// Rows written (insert/update/delete).
+    pub rows_written: u64,
+    /// Bytes of keys+values written.
+    pub bytes_written: u64,
+}
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML.
+    pub rows_affected: u64,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+type RowsCb = Box<dyn FnOnce(Result<Vec<Row>, SqlError>)>;
+
+/// A total order over datums for sorting and grouping: NULL first, then
+/// bools, then numerics (cross-type), then strings.
+pub fn datum_total_cmp(a: &Datum, b: &Datum) -> Ordering {
+    fn rank(d: &Datum) -> u8 {
+        match d {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) | Datum::Float(_) => 2,
+            Datum::Str(_) => 3,
+        }
+    }
+    match (rank(a).cmp(&rank(b)), a, b) {
+        (Ordering::Equal, Datum::Bool(x), Datum::Bool(y)) => x.cmp(y),
+        (Ordering::Equal, Datum::Str(x), Datum::Str(y)) => x.cmp(y),
+        (Ordering::Equal, Datum::Null, Datum::Null) => Ordering::Equal,
+        (Ordering::Equal, x, y) => x
+            .as_f64()
+            .partial_cmp(&y.as_f64())
+            .unwrap_or(Ordering::Equal),
+        (ord, _, _) => ord,
+    }
+}
+
+/// Executes a plan, producing a [`QueryOutput`].
+pub fn execute(
+    txn: &Txn,
+    plan: Plan,
+    params: Vec<Datum>,
+    cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+) {
+    let stats = Rc::new(RefCell::new(ExecStats::default()));
+    match plan {
+        Plan::Query(node) => {
+            let columns = node.scope();
+            let st = Rc::clone(&stats);
+            run_node(txn.clone(), Rc::new(params), node, st, Box::new(move |rows| {
+                match rows {
+                    Ok(rows) => cb(Ok(QueryOutput {
+                        columns,
+                        rows_affected: 0,
+                        rows,
+                        stats: *stats.borrow(),
+                    })),
+                    Err(e) => cb(Err(e)),
+                }
+            }));
+        }
+        Plan::Insert { table, rows } => {
+            execute_insert(txn.clone(), table, rows, params, stats, cb);
+        }
+        Plan::Update { scan, table, sets } => {
+            execute_update(txn.clone(), *scan, table, sets, params, stats, cb);
+        }
+        Plan::Delete { scan, table } => {
+            execute_delete(txn.clone(), *scan, table, params, stats, cb);
+        }
+        other => cb(Err(SqlError::State(format!(
+            "plan {other:?} must be handled by the session layer"
+        )))),
+    }
+}
+
+fn eval_bound(e: &Expr, params: &[Datum]) -> Result<Datum, SqlError> {
+    e.eval(&Vec::new(), params).map_err(SqlError::Eval)
+}
+
+/// Computes the KV span for a scan constraint.
+fn constraint_span(
+    table: &TableDescriptor,
+    index_id: u64,
+    c: &ScanConstraint,
+    params: &[Datum],
+) -> Result<(Bytes, Bytes), SqlError> {
+    let mut eq_datums = Vec::with_capacity(c.eq_prefix.len());
+    for e in &c.eq_prefix {
+        eq_datums.push(eval_bound(e, params)?);
+    }
+    let prefix = rowcodec::key_with_prefix(table, index_id, &eq_datums);
+    let mut start = prefix.clone();
+    let mut end = rowcodec::prefix_span_end(&prefix);
+    if let Some(lower) = &c.lower {
+        let d = eval_bound(&lower.expr, params)?;
+        let mut datums = eq_datums.clone();
+        datums.push(d);
+        let key = rowcodec::key_with_prefix(table, index_id, &datums);
+        start = if lower.inclusive { key } else { rowcodec::prefix_span_end(&key) };
+    }
+    if let Some(upper) = &c.upper {
+        let d = eval_bound(&upper.expr, params)?;
+        let mut datums = eq_datums;
+        datums.push(d);
+        let key = rowcodec::key_with_prefix(table, index_id, &datums);
+        end = if upper.inclusive { rowcodec::prefix_span_end(&key) } else { key };
+    }
+    Ok((start, end))
+}
+
+fn run_node(
+    txn: Txn,
+    params: Rc<Vec<Datum>>,
+    node: PlanNode,
+    stats: Rc<RefCell<ExecStats>>,
+    cb: RowsCb,
+) {
+    match node {
+        PlanNode::Values { rows, .. } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let mut row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    match e.eval(&Vec::new(), &params) {
+                        Ok(d) => row.push(d),
+                        Err(e) => {
+                            cb(Err(SqlError::Eval(e)));
+                            return;
+                        }
+                    }
+                }
+                out.push(row);
+            }
+            cb(Ok(out));
+        }
+        PlanNode::Scan { table, index_id, index_cols, constraint, filter, .. } => {
+            let span = match constraint_span(&table, index_id, &constraint, &params) {
+                Ok(s) => s,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let st = Rc::clone(&stats);
+            let params2 = Rc::clone(&params);
+            let txn2 = txn.clone();
+            fetch_span(txn, table, index_id, index_cols.len(), span, st, Box::new(move |rows| {
+                let rows = match rows {
+                    Ok(r) => r,
+                    Err(e) => {
+                        cb(Err(e));
+                        return;
+                    }
+                };
+                let _ = txn2;
+                match apply_filter(rows, &filter, &params2) {
+                    Ok(rows) => cb(Ok(rows)),
+                    Err(e) => cb(Err(e)),
+                }
+            }));
+        }
+        PlanNode::Filter { input, predicate } => {
+            let params2 = Rc::clone(&params);
+            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
+                Ok(rows) => match apply_filter(rows, &Some(predicate), &params2) {
+                    Ok(rows) => cb(Ok(rows)),
+                    Err(e) => cb(Err(e)),
+                },
+                Err(e) => cb(Err(e)),
+            }));
+        }
+        PlanNode::Project { input, exprs, .. } => {
+            let params2 = Rc::clone(&params);
+            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
+                Ok(rows) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let mut projected = Vec::with_capacity(exprs.len());
+                        for e in &exprs {
+                            match e.eval(&row, &params2) {
+                                Ok(d) => projected.push(d),
+                                Err(e) => {
+                                    cb(Err(SqlError::Eval(e)));
+                                    return;
+                                }
+                            }
+                        }
+                        out.push(projected);
+                    }
+                    cb(Ok(out));
+                }
+                Err(e) => cb(Err(e)),
+            }));
+        }
+        PlanNode::LookupJoin { input, table, left_key_cols, residual, .. } => {
+            let params2 = Rc::clone(&params);
+            let txn2 = txn.clone();
+            let st = Rc::clone(&stats);
+            run_node(txn, params, *input, stats, Box::new(move |rows| {
+                let left_rows = match rows {
+                    Ok(r) => r,
+                    Err(e) => {
+                        cb(Err(e));
+                        return;
+                    }
+                };
+                // Batched point-lookups of the right PK.
+                let keys: Vec<Bytes> = left_rows
+                    .iter()
+                    .map(|row| {
+                        let pk: Vec<Datum> =
+                            left_key_cols.iter().map(|&i| row[i].clone()).collect();
+                        rowcodec::primary_key_from_datums(&table, &pk)
+                    })
+                    .collect();
+                let table2 = table.clone();
+                let params3 = Rc::clone(&params2);
+                let keys2 = keys.clone();
+                txn2.read_many(keys, move |values| {
+                    let values = match values {
+                        Ok(v) => v,
+                        Err(e) => {
+                            cb(Err(e));
+                            return;
+                        }
+                    };
+                    let mut joined = Vec::new();
+                    for ((left, value), key) in
+                        left_rows.into_iter().zip(values).zip(keys2)
+                    {
+                        let value = match value {
+                            Some(v) => v,
+                            None => continue, // inner join: no match
+                        };
+                        st.borrow_mut().rows_read += 1;
+                        st.borrow_mut().bytes_read += (key.len() + value.len()) as u64;
+                        let right = match rowcodec::decode_row(&table2, &key, &value) {
+                            Some(r) => r,
+                            None => continue,
+                        };
+                        let mut row = left;
+                        row.extend(right);
+                        joined.push(row);
+                    }
+                    match apply_filter(joined, &residual, &params3) {
+                        Ok(rows) => cb(Ok(rows)),
+                        Err(e) => cb(Err(e)),
+                    }
+                });
+            }));
+        }
+        PlanNode::HashJoin { left, right, left_col, right_col, residual, .. } => {
+            let params2 = Rc::clone(&params);
+            let txn2 = txn.clone();
+            let st = Rc::clone(&stats);
+            run_node(txn, Rc::clone(&params), *left, Rc::clone(&stats), Box::new(move |lrows| {
+                let lrows = match lrows {
+                    Ok(r) => r,
+                    Err(e) => {
+                        cb(Err(e));
+                        return;
+                    }
+                };
+                let params3 = Rc::clone(&params2);
+                run_node(txn2, params2, *right, st, Box::new(move |rrows| {
+                    let rrows = match rrows {
+                        Ok(r) => r,
+                        Err(e) => {
+                            cb(Err(e));
+                            return;
+                        }
+                    };
+                    // Build side: sort right rows by key datum.
+                    let mut joined = Vec::new();
+                    for l in &lrows {
+                        for r in &rrows {
+                            if l[left_col].sql_eq(&r[right_col]) {
+                                let mut row = l.clone();
+                                row.extend(r.iter().cloned());
+                                joined.push(row);
+                            }
+                        }
+                    }
+                    match apply_filter(joined, &residual, &params3) {
+                        Ok(rows) => cb(Ok(rows)),
+                        Err(e) => cb(Err(e)),
+                    }
+                }));
+            }));
+        }
+        PlanNode::Aggregate { input, group, aggs, output_map, .. } => {
+            let params2 = Rc::clone(&params);
+            run_node(txn, params, *input, stats, Box::new(move |rows| {
+                let rows = match rows {
+                    Ok(r) => r,
+                    Err(e) => {
+                        cb(Err(e));
+                        return;
+                    }
+                };
+                match aggregate(rows, &group, &aggs, &output_map, &params2) {
+                    Ok(out) => cb(Ok(out)),
+                    Err(e) => cb(Err(e)),
+                }
+            }));
+        }
+        PlanNode::Sort { input, keys } => {
+            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
+                Ok(mut rows) => {
+                    rows.sort_by(|a, b| {
+                        for &(idx, desc) in &keys {
+                            let ord = datum_total_cmp(&a[idx], &b[idx]);
+                            let ord = if desc { ord.reverse() } else { ord };
+                            if ord != Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                        Ordering::Equal
+                    });
+                    cb(Ok(rows));
+                }
+                Err(e) => cb(Err(e)),
+            }));
+        }
+        PlanNode::Limit { input, n } => {
+            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
+                Ok(mut rows) => {
+                    rows.truncate(n as usize);
+                    cb(Ok(rows));
+                }
+                Err(e) => cb(Err(e)),
+            }));
+        }
+    }
+}
+
+/// Fetches the rows of one index span, resolving secondary-index entries
+/// to full rows via batched PK lookups.
+fn fetch_span(
+    txn: Txn,
+    table: TableDescriptor,
+    index_id: u64,
+    n_indexed: usize,
+    span: (Bytes, Bytes),
+    stats: Rc<RefCell<ExecStats>>,
+    cb: RowsCb,
+) {
+    let (start, end) = span;
+    if index_id == PRIMARY_INDEX_ID {
+        txn.scan(start, end, usize::MAX, move |pairs| {
+            let pairs = match pairs {
+                Ok(p) => p,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let mut rows = Vec::with_capacity(pairs.len());
+            for (k, v) in pairs {
+                stats.borrow_mut().rows_read += 1;
+                stats.borrow_mut().bytes_read += (k.len() + v.len()) as u64;
+                if let Some(row) = rowcodec::decode_row(&table, &k, &v) {
+                    rows.push(row);
+                }
+            }
+            cb(Ok(rows));
+        });
+        return;
+    }
+    // Secondary index: scan entries, then batched primary lookups.
+    let txn2 = txn.clone();
+    txn.scan(start, end, usize::MAX, move |pairs| {
+        let pairs = match pairs {
+            Ok(p) => p,
+            Err(e) => {
+                cb(Err(e));
+                return;
+            }
+        };
+        let mut keys = Vec::with_capacity(pairs.len());
+        for (k, _) in &pairs {
+            if let Some(pk) = rowcodec::decode_index_entry(&table, index_id, n_indexed, k) {
+                keys.push(rowcodec::primary_key_from_datums(&table, &pk));
+            }
+        }
+        let keys2 = keys.clone();
+        txn2.read_many(keys, move |values| {
+            let values = match values {
+                Ok(v) => v,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let mut rows = Vec::new();
+            for (key, value) in keys2.into_iter().zip(values) {
+                if let Some(v) = value {
+                    stats.borrow_mut().rows_read += 1;
+                    stats.borrow_mut().bytes_read += (key.len() + v.len()) as u64;
+                    if let Some(row) = rowcodec::decode_row(&table, &key, &v) {
+                        rows.push(row);
+                    }
+                }
+            }
+            cb(Ok(rows));
+        });
+    });
+}
+
+fn apply_filter(
+    rows: Vec<Row>,
+    filter: &Option<Expr>,
+    params: &[Datum],
+) -> Result<Vec<Row>, SqlError> {
+    match filter {
+        None => Ok(rows),
+        Some(f) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if f.eval(&row, params).map_err(SqlError::Eval)?.is_true() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+struct AggState {
+    count: u64,
+    sum: f64,
+    sum_int: i64,
+    all_int: bool,
+    min: Option<Datum>,
+    max: Option<Datum>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, sum_int: 0, all_int: true, min: None, max: None }
+    }
+
+    fn fold(&mut self, d: &Datum) {
+        if d.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(v) = d.as_f64() {
+            self.sum += v;
+        }
+        match d {
+            Datum::Int(i) => self.sum_int = self.sum_int.wrapping_add(*i),
+            _ => self.all_int = false,
+        }
+        let better_min = self.min.as_ref().map_or(true, |m| datum_total_cmp(d, m).is_lt());
+        if better_min {
+            self.min = Some(d.clone());
+        }
+        let better_max = self.max.as_ref().map_or(true, |m| datum_total_cmp(d, m).is_gt());
+        if better_max {
+            self.max = Some(d.clone());
+        }
+    }
+
+    fn result(&self, func: AggFunc) -> Datum {
+        match func {
+            AggFunc::Count => Datum::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Datum::Null
+                } else if self.all_int {
+                    Datum::Int(self.sum_int)
+                } else {
+                    Datum::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+        }
+    }
+}
+
+fn aggregate(
+    rows: Vec<Row>,
+    group: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    output_map: &[usize],
+    params: &[Datum],
+) -> Result<Vec<Row>, SqlError> {
+    // Groups keyed by evaluated group datums, kept in sorted order.
+    let mut groups: Vec<(Vec<Datum>, Vec<AggState>)> = Vec::new();
+    for row in &rows {
+        let mut key = Vec::with_capacity(group.len());
+        for g in group {
+            key.push(g.eval(row, params).map_err(SqlError::Eval)?);
+        }
+        let pos = groups.binary_search_by(|(k, _)| {
+            for (a, b) in k.iter().zip(&key) {
+                let ord = datum_total_cmp(a, b);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let idx = match pos {
+            Ok(i) => i,
+            Err(i) => {
+                groups.insert(i, (key, aggs.iter().map(|_| AggState::new()).collect()));
+                i
+            }
+        };
+        for ((func, arg), state) in aggs.iter().zip(groups[idx].1.iter_mut()) {
+            match arg {
+                None => {
+                    debug_assert_eq!(*func, AggFunc::Count);
+                    state.count += 1;
+                }
+                Some(e) => {
+                    let v = e.eval(row, params).map_err(SqlError::Eval)?;
+                    state.fold(&v);
+                }
+            }
+        }
+    }
+    // Global aggregation over zero rows still yields one output row.
+    if groups.is_empty() && group.is_empty() {
+        groups.push((Vec::new(), aggs.iter().map(|_| AggState::new()).collect()));
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, states) in groups {
+        let mut full: Row = key;
+        for ((func, _), state) in aggs.iter().zip(&states) {
+            full.push(state.result(*func));
+        }
+        let row: Row = output_map.iter().map(|&i| full[i].clone()).collect();
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn execute_insert(
+    txn: Txn,
+    table: TableDescriptor,
+    row_exprs: Vec<Vec<Expr>>,
+    params: Vec<Datum>,
+    stats: Rc<RefCell<ExecStats>>,
+    cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+) {
+    // Evaluate and validate all rows first.
+    let mut rows = Vec::with_capacity(row_exprs.len());
+    for exprs in &row_exprs {
+        let mut row = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            match e.eval(&Vec::new(), &params) {
+                Ok(d) => row.push(d),
+                Err(e) => {
+                    cb(Err(SqlError::Eval(e)));
+                    return;
+                }
+            }
+        }
+        // Int literals going into float columns widen.
+        for (i, col) in table.columns.iter().enumerate() {
+            if col.ty == crate::value::ColumnType::Float {
+                if let Datum::Int(v) = row[i] {
+                    row[i] = Datum::Float(v as f64);
+                }
+            }
+        }
+        if let Err(e) = check_row(&table, &row) {
+            cb(Err(e));
+            return;
+        }
+        rows.push(row);
+    }
+    // Uniqueness check on primary keys.
+    let pk_keys: Vec<Bytes> = rows.iter().map(|r| rowcodec::primary_key(&table, r)).collect();
+    let table2 = table.clone();
+    txn.clone().read_many(pk_keys.clone(), move |existing| {
+        let existing = match existing {
+            Ok(v) => v,
+            Err(e) => {
+                cb(Err(e));
+                return;
+            }
+        };
+        if existing.iter().any(|v| v.is_some()) {
+            if std::env::var("CRDB_DEBUG_DUP").is_ok() {
+                for (k, v) in pk_keys.iter().zip(&existing) {
+                    if v.is_some() {
+                        eprintln!("DUP key={:?} table={}", k, table2.name);
+                    }
+                }
+            }
+            cb(Err(SqlError::Constraint("duplicate primary key".into())));
+            return;
+        }
+        let n = rows.len() as u64;
+        for (row, key) in rows.iter().zip(&pk_keys) {
+            let value = rowcodec::encode_row_value(&table2, row);
+            stats.borrow_mut().rows_written += 1;
+            stats.borrow_mut().bytes_written += (key.len() + value.len()) as u64;
+            txn.put(key.clone(), value);
+            for idx in &table2.indexes {
+                let ikey = rowcodec::index_entry_key(&table2, idx.id, &idx.columns, row);
+                stats.borrow_mut().bytes_written += ikey.len() as u64;
+                txn.put(ikey, Bytes::new());
+            }
+        }
+        cb(Ok(QueryOutput {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            rows_affected: n,
+            stats: *stats.borrow(),
+        }));
+    });
+}
+
+fn execute_update(
+    txn: Txn,
+    scan: PlanNode,
+    table: TableDescriptor,
+    sets: Vec<(usize, Expr)>,
+    params: Vec<Datum>,
+    stats: Rc<RefCell<ExecStats>>,
+    cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+) {
+    let params = Rc::new(params);
+    let params2 = Rc::clone(&params);
+    let txn2 = txn.clone();
+    let st = Rc::clone(&stats);
+    run_node(txn, Rc::clone(&params), scan, Rc::clone(&stats), Box::new(move |rows| {
+        let rows = match rows {
+            Ok(r) => r,
+            Err(e) => {
+                cb(Err(e));
+                return;
+            }
+        };
+        let mut affected = 0u64;
+        for old in rows {
+            let mut new = old.clone();
+            for (col, e) in &sets {
+                match e.eval(&old, &params2) {
+                    Ok(mut d) => {
+                        if table.columns[*col].ty == crate::value::ColumnType::Float {
+                            if let Datum::Int(v) = d {
+                                d = Datum::Float(v as f64);
+                            }
+                        }
+                        new[*col] = d;
+                    }
+                    Err(e) => {
+                        cb(Err(SqlError::Eval(e)));
+                        return;
+                    }
+                }
+            }
+            if let Err(e) = check_row(&table, &new) {
+                cb(Err(e));
+                return;
+            }
+            let old_key = rowcodec::primary_key(&table, &old);
+            let new_key = rowcodec::primary_key(&table, &new);
+            if old_key != new_key {
+                txn2.delete(old_key.clone());
+            }
+            let value = rowcodec::encode_row_value(&table, &new);
+            st.borrow_mut().rows_written += 1;
+            st.borrow_mut().bytes_written += (new_key.len() + value.len()) as u64;
+            txn2.put(new_key, value);
+            for idx in &table.indexes {
+                let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &old);
+                let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &new);
+                if old_entry != new_entry {
+                    txn2.delete(old_entry);
+                    txn2.put(new_entry, Bytes::new());
+                }
+            }
+            affected += 1;
+        }
+        cb(Ok(QueryOutput {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            rows_affected: affected,
+            stats: *st.borrow(),
+        }));
+    }));
+}
+
+fn execute_delete(
+    txn: Txn,
+    scan: PlanNode,
+    table: TableDescriptor,
+    params: Vec<Datum>,
+    stats: Rc<RefCell<ExecStats>>,
+    cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+) {
+    let txn2 = txn.clone();
+    let st = Rc::clone(&stats);
+    run_node(txn, Rc::new(params), scan, Rc::clone(&stats), Box::new(move |rows| {
+        let rows = match rows {
+            Ok(r) => r,
+            Err(e) => {
+                cb(Err(e));
+                return;
+            }
+        };
+        let mut affected = 0u64;
+        for row in rows {
+            let key = rowcodec::primary_key(&table, &row);
+            st.borrow_mut().rows_written += 1;
+            st.borrow_mut().bytes_written += key.len() as u64;
+            txn2.delete(key);
+            for idx in &table.indexes {
+                txn2.delete(rowcodec::index_entry_key(&table, idx.id, &idx.columns, &row));
+            }
+            affected += 1;
+        }
+        cb(Ok(QueryOutput {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            rows_affected: affected,
+            stats: *st.borrow(),
+        }));
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_over_datums() {
+        let mut v = vec![
+            Datum::Str("b".into()),
+            Datum::Int(5),
+            Datum::Null,
+            Datum::Float(2.5),
+            Datum::Bool(true),
+            Datum::Str("a".into()),
+        ];
+        v.sort_by(datum_total_cmp);
+        assert_eq!(
+            v,
+            vec![
+                Datum::Null,
+                Datum::Bool(true),
+                Datum::Float(2.5),
+                Datum::Int(5),
+                Datum::Str("a".into()),
+                Datum::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn agg_state_results() {
+        let mut s = AggState::new();
+        for i in [1i64, 2, 3] {
+            s.fold(&Datum::Int(i));
+        }
+        assert_eq!(s.result(AggFunc::Count), Datum::Int(3));
+        assert_eq!(s.result(AggFunc::Sum), Datum::Int(6));
+        assert_eq!(s.result(AggFunc::Avg), Datum::Float(2.0));
+        assert_eq!(s.result(AggFunc::Min), Datum::Int(1));
+        assert_eq!(s.result(AggFunc::Max), Datum::Int(3));
+        // Nulls ignored; empty aggregates.
+        let empty = AggState::new();
+        assert_eq!(empty.result(AggFunc::Sum), Datum::Null);
+        assert_eq!(empty.result(AggFunc::Count), Datum::Int(0));
+        let mut mixed = AggState::new();
+        mixed.fold(&Datum::Int(1));
+        mixed.fold(&Datum::Float(0.5));
+        assert_eq!(mixed.result(AggFunc::Sum), Datum::Float(1.5));
+    }
+
+    #[test]
+    fn aggregate_groups_rows() {
+        let rows = vec![
+            vec![Datum::Int(1), Datum::Int(10)],
+            vec![Datum::Int(2), Datum::Int(20)],
+            vec![Datum::Int(1), Datum::Int(5)],
+        ];
+        let group = vec![Expr::Column(0)];
+        let aggs = vec![(AggFunc::Sum, Some(Expr::Column(1)))];
+        let out = aggregate(rows, &group, &aggs, &[0, 1], &[]).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                vec![Datum::Int(1), Datum::Int(15)],
+                vec![Datum::Int(2), Datum::Int(20)],
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_over_no_rows() {
+        let out = aggregate(vec![], &[], &[(AggFunc::Count, None)], &[0], &[]).unwrap();
+        assert_eq!(out, vec![vec![Datum::Int(0)]]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Expression AST and evaluation.
+
+use std::fmt;
+
+use crate::value::{Datum, Row};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// An expression over the columns of the current scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal datum.
+    Literal(Datum),
+    /// A column reference, resolved to a scope ordinal at plan time.
+    Column(usize),
+    /// An unresolved column name (only before binding).
+    Name(String),
+    /// A prepared-statement parameter (1-based).
+    Param(usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Type mismatch for an operator.
+    TypeMismatch(&'static str),
+    /// Division by zero.
+    DivisionByZero,
+    /// An unbound name or parameter survived to execution.
+    Unbound(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch(op) => write!(f, "type mismatch in {op}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::Unbound(n) => write!(f, "unbound reference {n}"),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates against a row (scope columns) with bound parameters.
+    pub fn eval(&self, row: &Row, params: &[Datum]) -> Result<Datum, EvalError> {
+        match self {
+            Expr::Literal(d) => Ok(d.clone()),
+            Expr::Column(i) => {
+                row.get(*i).cloned().ok_or_else(|| EvalError::Unbound(format!("column {i}")))
+            }
+            Expr::Name(n) => Err(EvalError::Unbound(n.clone())),
+            Expr::Param(n) => params
+                .get(*n - 1)
+                .cloned()
+                .ok_or_else(|| EvalError::Unbound(format!("${n}"))),
+            Expr::Not(e) => match e.eval(row, params)? {
+                Datum::Bool(b) => Ok(Datum::Bool(!b)),
+                Datum::Null => Ok(Datum::Null),
+                _ => Err(EvalError::TypeMismatch("NOT")),
+            },
+            Expr::Bin(op, l, r) => {
+                use BinOp::*;
+                match op {
+                    And | Or => {
+                        let lv = l.eval(row, params)?;
+                        // Short-circuit.
+                        match (op, &lv) {
+                            (And, Datum::Bool(false)) => return Ok(Datum::Bool(false)),
+                            (Or, Datum::Bool(true)) => return Ok(Datum::Bool(true)),
+                            _ => {}
+                        }
+                        let rv = r.eval(row, params)?;
+                        match (lv, rv) {
+                            (Datum::Bool(a), Datum::Bool(b)) => {
+                                Ok(Datum::Bool(if *op == And { a && b } else { a || b }))
+                            }
+                            (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
+                            _ => Err(EvalError::TypeMismatch("AND/OR")),
+                        }
+                    }
+                    Eq | Ne | Lt | Le | Gt | Ge => {
+                        let lv = l.eval(row, params)?;
+                        let rv = r.eval(row, params)?;
+                        match lv.sql_cmp(&rv) {
+                            None => Ok(Datum::Null),
+                            Some(ord) => {
+                                let b = match op {
+                                    Eq => ord.is_eq(),
+                                    Ne => !ord.is_eq(),
+                                    Lt => ord.is_lt(),
+                                    Le => ord.is_le(),
+                                    Gt => ord.is_gt(),
+                                    Ge => ord.is_ge(),
+                                    _ => unreachable!(),
+                                };
+                                Ok(Datum::Bool(b))
+                            }
+                        }
+                    }
+                    Add | Sub | Mul | Div | Mod => {
+                        let lv = l.eval(row, params)?;
+                        let rv = r.eval(row, params)?;
+                        if lv.is_null() || rv.is_null() {
+                            return Ok(Datum::Null);
+                        }
+                        // Integer arithmetic stays integer (except /).
+                        if let (Datum::Int(a), Datum::Int(b)) = (&lv, &rv) {
+                            return match op {
+                                Add => Ok(Datum::Int(a.wrapping_add(*b))),
+                                Sub => Ok(Datum::Int(a.wrapping_sub(*b))),
+                                Mul => Ok(Datum::Int(a.wrapping_mul(*b))),
+                                Mod => {
+                                    if *b == 0 {
+                                        Err(EvalError::DivisionByZero)
+                                    } else {
+                                        Ok(Datum::Int(a % b))
+                                    }
+                                }
+                                Div => {
+                                    if *b == 0 {
+                                        Err(EvalError::DivisionByZero)
+                                    } else {
+                                        Ok(Datum::Float(*a as f64 / *b as f64))
+                                    }
+                                }
+                                _ => unreachable!(),
+                            };
+                        }
+                        let a = lv.as_f64().ok_or(EvalError::TypeMismatch("arith"))?;
+                        let b = rv.as_f64().ok_or(EvalError::TypeMismatch("arith"))?;
+                        match op {
+                            Add => Ok(Datum::Float(a + b)),
+                            Sub => Ok(Datum::Float(a - b)),
+                            Mul => Ok(Datum::Float(a * b)),
+                            Div => {
+                                if b == 0.0 {
+                                    Err(EvalError::DivisionByZero)
+                                } else {
+                                    Ok(Datum::Float(a / b))
+                                }
+                            }
+                            Mod => Err(EvalError::TypeMismatch("%")),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves [`Expr::Name`] nodes against a scope of column names;
+    /// names may be qualified (`table.col`) or bare.
+    pub fn bind(&mut self, scope: &[String]) -> Result<(), String> {
+        match self {
+            Expr::Name(n) => {
+                let idx = resolve_name(scope, n)?;
+                *self = Expr::Column(idx);
+                Ok(())
+            }
+            Expr::Bin(_, l, r) => {
+                l.bind(scope)?;
+                r.bind(scope)
+            }
+            Expr::Not(e) => e.bind(scope),
+            _ => Ok(()),
+        }
+    }
+
+    /// Substitutes parameters with literal values (used when caching
+    /// bound plans).
+    pub fn references_params(&self) -> bool {
+        match self {
+            Expr::Param(_) => true,
+            Expr::Bin(_, l, r) => l.references_params() || r.references_params(),
+            Expr::Not(e) => e.references_params(),
+            _ => false,
+        }
+    }
+}
+
+/// Resolves a possibly-qualified name in a scope. A bare name matches a
+/// qualified scope entry's suffix; ambiguity is an error.
+pub fn resolve_name(scope: &[String], name: &str) -> Result<usize, String> {
+    let mut matches = scope.iter().enumerate().filter(|(_, s)| {
+        s.as_str() == name || s.rsplit('.').next() == Some(name)
+    });
+    match (matches.next(), matches.next()) {
+        (Some((i, _)), None) => Ok(i),
+        (None, _) => Err(format!("column {name} not found")),
+        (Some(_), Some(_)) => Err(format!("column {name} is ambiguous")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i64) -> Expr {
+        Expr::Literal(Datum::Int(i))
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Bin(BinOp::Add, Box::new(lit(2)), Box::new(lit(3)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Int(5));
+        let e = Expr::Bin(BinOp::Div, Box::new(lit(7)), Box::new(lit(2)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Float(3.5));
+        let e = Expr::Bin(BinOp::Div, Box::new(lit(1)), Box::new(lit(0)));
+        assert_eq!(e.eval(&vec![], &[]), Err(EvalError::DivisionByZero));
+        let e = Expr::Bin(BinOp::Mod, Box::new(lit(7)), Box::new(lit(3)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Int(1));
+    }
+
+    #[test]
+    fn comparisons_and_null() {
+        let e = Expr::Bin(BinOp::Lt, Box::new(lit(1)), Box::new(lit(2)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Bool(true));
+        let e = Expr::Bin(BinOp::Eq, Box::new(Expr::Literal(Datum::Null)), Box::new(lit(2)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Null);
+        let e = Expr::Bin(BinOp::Add, Box::new(Expr::Literal(Datum::Null)), Box::new(lit(2)));
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        // FALSE AND <error> short-circuits.
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Literal(Datum::Bool(false))),
+            Box::new(Expr::Name("unbound".into())),
+        );
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Bool(false));
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Literal(Datum::Bool(true))),
+            Box::new(Expr::Name("unbound".into())),
+        );
+        assert_eq!(e.eval(&vec![], &[]).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn columns_and_params() {
+        let row = vec![Datum::Int(10), Datum::Str("x".into())];
+        let e = Expr::Bin(BinOp::Mul, Box::new(Expr::Column(0)), Box::new(Expr::Param(1)));
+        assert_eq!(e.eval(&row, &[Datum::Int(3)]).unwrap(), Datum::Int(30));
+        assert!(e.references_params());
+        assert!(!Expr::Column(0).references_params());
+    }
+
+    #[test]
+    fn binding_names() {
+        let scope = vec!["t.a".to_string(), "t.b".to_string(), "u.b".to_string()];
+        let mut e = Expr::Name("a".into());
+        e.bind(&scope).unwrap();
+        assert_eq!(e, Expr::Column(0));
+        let mut e = Expr::Name("u.b".into());
+        e.bind(&scope).unwrap();
+        assert_eq!(e, Expr::Column(2));
+        let mut e = Expr::Name("b".into());
+        assert!(e.bind(&scope).is_err(), "ambiguous bare name");
+        let mut e = Expr::Name("zzz".into());
+        assert!(e.bind(&scope).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; identifiers are lower-cased here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `$n` prepared-statement parameter (1-based).
+    Param(usize),
+    /// Punctuation or operator.
+    Sym(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(n) => write!(f, "${n}"),
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenizes SQL text. Returns an error message on malformed input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err("unterminated string literal".into()),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("bare $".into());
+                }
+                let n: usize = input[start..j].parse().map_err(|_| "bad param")?;
+                if n == 0 {
+                    return Err("params are 1-based".into());
+                }
+                out.push(Token::Param(n));
+                i = j;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !is_float))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| "bad float")?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| "bad int")?));
+                }
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_ascii_lowercase()));
+                i = j;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym("<="));
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(">="));
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token::Sym("!="));
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym("!="));
+                i += 2;
+            }
+            '=' => {
+                out.push(Token::Sym("="));
+                i += 1;
+            }
+            '<' => {
+                out.push(Token::Sym("<"));
+                i += 1;
+            }
+            '>' => {
+                out.push(Token::Sym(">"));
+                i += 1;
+            }
+            '(' | ')' | ',' | '*' | '+' | '-' | '/' | '%' | '.' | ';' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '%' => "%",
+                    '.' => ".",
+                    _ => ";",
+                };
+                out.push(Token::Sym(sym));
+                i += 1;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("a".into()),
+                Token::Sym(","),
+                Token::Ident("b".into()),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Ident("where".into()),
+                Token::Ident("a".into()),
+                Token::Sym(">="),
+                Token::Int(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        let toks = tokenize("1 2.5 'it''s' $3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Str("it's".into()),
+                Token::Param(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        let toks = tokenize("a <> b -- trailing\n c != d <= e >= f").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["!=", "!=", "<=", ">="]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("$0").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        let toks = tokenize("SeLeCt FooBar").unwrap();
+        assert_eq!(toks[1], Token::Ident("foobar".into()));
+    }
+}

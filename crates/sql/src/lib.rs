@@ -1,0 +1,48 @@
+//! The per-tenant SQL layer (§3.1, §3.2.2).
+//!
+//! Each tenant runs its own instance of this layer in its own process (a
+//! "SQL node", §4.1): it owns no durable state beyond what it reads and
+//! writes through the KV batch API, which is what makes SQL nodes cheap to
+//! start, stop and migrate — the architectural key to sub-second cold
+//! starts.
+//!
+//! - [`value`], [`schema`], [`rowcodec`] — datums, table/index
+//!   descriptors, and the order-preserving row↔KV encoding.
+//! - [`lexer`], [`parser`], [`expr`] — a SQL dialect sufficient for the
+//!   paper's workloads (DDL, DML, filters, aggregates, order/limit,
+//!   joins).
+//! - [`plan`], [`exec`] — logical planning (span extraction from
+//!   predicates, index selection, lookup joins) and a callback-driven
+//!   executor over the KV client.
+//! - [`coord`] — the transaction coordinator: buffered writes,
+//!   read-your-writes, parallel intent writes, commit via transaction
+//!   record flip, intent resolution.
+//! - [`session`] — SQL sessions, prepared statements, and the serialized
+//!   session + revival token used for dynamic session migration (§4.2.4).
+//! - [`system_db`] — the per-tenant system database with multi-region
+//!   table localities (global / regional-by-row, §3.2.5): descriptor reads
+//!   and `sql_instances` registration with locality-aware latency, the
+//!   determinant of multi-region cold-start time (Fig. 10b).
+//! - [`node`] — the SQL node: startup sequence (certificate wait → KV
+//!   connect → system reads → instance registration), query execution,
+//!   DistSQL-lite placement (Traditional vs Serverless process boundaries,
+//!   §6.1), and CPU accounting.
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod node;
+pub mod parser;
+pub mod plan;
+pub mod rowcodec;
+pub mod schema;
+pub mod session;
+pub mod system_db;
+pub mod value;
+
+pub use node::{SqlNode, SqlNodeConfig};
+pub use session::Session;
+pub use value::Datum;

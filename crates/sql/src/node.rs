@@ -1,0 +1,729 @@
+//! The SQL node: a per-tenant SQL process (§4.1).
+//!
+//! A SQL node owns no durable state — schema and data live behind the KV
+//! API — so it can be created, drained and destroyed freely. Its life
+//! cycle mirrors §4.3.1: created (possibly pre-warmed before the tenant is
+//! known), *started* against a tenant (certificate available → connect to
+//! KV → blocking system-database reads/writes → ready), then serving
+//! sessions until drained.
+//!
+//! Cold-start latency is the sum of (a) the real KV work it performs
+//! (catalog scan, instance registration) and (b) the modeled
+//! system-database access latencies of [`crate::system_db`], which carry
+//! the multi-region locality arithmetic of Fig. 10b.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use crdb_kv::client::KvClient;
+use crdb_sim::cpu::CpuScheduler;
+use crdb_sim::{Location, Sim};
+use crdb_util::time::{dur, SimTime};
+use crdb_util::{SqlInstanceId, TenantId};
+
+use crate::coord::{SqlError, Txn};
+use crate::exec::{execute, QueryOutput};
+use crate::parser::{parse, Statement};
+use crate::plan::{plan_statement, Catalog, Plan};
+use crate::rowcodec;
+use crate::schema::TableDescriptor;
+use crate::session::{Session, SessionSnapshot};
+use crate::system_db::SystemDatabase;
+
+/// Where query execution runs relative to the KV process (§6.1): the
+/// Traditional deployment fuses SQL and KV in one process; Serverless
+/// separates them, paying marshalling costs on scan-heavy plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-process KV+SQL (the paper's "traditional" cluster).
+    Traditional,
+    /// Separate SQL process (CockroachDB Serverless).
+    Serverless,
+}
+
+/// SQL node configuration. All SQL nodes get the same shape in production:
+/// 4 vCPUs and 12 GB RAM (§4.2.3).
+#[derive(Debug, Clone)]
+pub struct SqlNodeConfig {
+    /// vCPU allocation.
+    pub vcpus: f64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Placement.
+    pub location: Location,
+    /// Base CPU-seconds per statement.
+    pub cpu_per_statement: f64,
+    /// CPU-seconds per row processed.
+    pub cpu_per_row: f64,
+    /// CPU-seconds per byte processed.
+    pub cpu_per_byte: f64,
+    /// Extra CPU-seconds per byte crossing the SQL/KV process boundary
+    /// (marshal + unmarshal), charged only in [`ExecMode::Serverless`].
+    pub cpu_marshal_per_byte: f64,
+    /// Extra CPU-seconds per row crossing the process boundary — "the
+    /// rows need to be marshaled and un-marshaled between the processes"
+    /// (§6.1.2); per-row framing dominates the per-byte cost.
+    pub cpu_marshal_per_row: f64,
+    /// CPU-seconds of process initialization during cold start.
+    pub startup_cpu: f64,
+    /// Modeled resident memory of an idle SQL node with one connection
+    /// (§6.2 reports 180 MiB).
+    pub idle_memory_bytes: u64,
+    /// Modeled additional memory per active session.
+    pub memory_per_session: u64,
+    /// Background CPU of a running SQL node (connection keepalives,
+    /// metrics emission, GC) in CPU-seconds per second; §6.2 measures
+    /// 0.15 for an idle node with one connection.
+    pub idle_cpu_per_second: f64,
+}
+
+impl Default for SqlNodeConfig {
+    fn default() -> Self {
+        SqlNodeConfig {
+            vcpus: 4.0,
+            mode: ExecMode::Serverless,
+            location: Location::new(crdb_util::RegionId(0), 0),
+            cpu_per_statement: 40e-6,
+            cpu_per_row: 3e-6,
+            cpu_per_byte: 2e-9,
+            cpu_marshal_per_byte: 6e-9,
+            cpu_marshal_per_row: 3.5e-6,
+            startup_cpu: 50e-3,
+            idle_memory_bytes: 180 << 20,
+            memory_per_session: 4 << 20,
+            idle_cpu_per_second: 0.15,
+        }
+    }
+}
+
+impl SqlNodeConfig {
+    /// Returns a copy with every CPU cost multiplied by `factor` (pairs
+    /// with `CostModel::scaled` for scaled-cost experiments).
+    pub fn scaled(&self, factor: f64) -> SqlNodeConfig {
+        SqlNodeConfig {
+            cpu_per_statement: self.cpu_per_statement * factor,
+            cpu_per_row: self.cpu_per_row * factor,
+            cpu_per_byte: self.cpu_per_byte * factor,
+            cpu_marshal_per_byte: self.cpu_marshal_per_byte * factor,
+            cpu_marshal_per_row: self.cpu_marshal_per_row * factor,
+            ..self.clone()
+        }
+    }
+}
+
+/// SQL node life-cycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Process exists, tenant unknown (pre-warmed pool).
+    Created,
+    /// Executing the cold-start sequence.
+    Starting,
+    /// Serving queries.
+    Ready,
+    /// No new connections; existing sessions draining (§4.2.3).
+    Draining,
+    /// Shut down.
+    Stopped,
+}
+
+/// A per-tenant SQL node.
+pub struct SqlNode {
+    /// This node's instance ID (registered in `system.sql_instances`).
+    pub instance_id: SqlInstanceId,
+    /// The owning tenant.
+    pub tenant: TenantId,
+    sim: Sim,
+    /// The node's CPU.
+    pub cpu: CpuScheduler,
+    client: KvClient,
+    /// Configuration.
+    pub config: SqlNodeConfig,
+    catalog: Rc<RefCell<Catalog>>,
+    state: Cell<NodeState>,
+    sessions: RefCell<HashMap<u64, Session>>,
+    next_session_id: Cell<u64>,
+    /// Statements executed.
+    pub queries_executed: Cell<u64>,
+    /// Cold start duration, once started.
+    pub cold_start: Cell<Option<std::time::Duration>>,
+    /// Per-tenant session-revival secret (shared by the tenant's nodes;
+    /// derived here from the tenant id — a stand-in for a managed secret).
+    revival_secret: u64,
+    /// Retired nodes (e.g. pending a version upgrade) drain but are never
+    /// reclaimed by the autoscaler.
+    retired: Cell<bool>,
+}
+
+impl SqlNode {
+    /// Creates a node bound to a tenant's KV client (certificate inside).
+    pub fn new(sim: &Sim, instance_id: SqlInstanceId, client: KvClient, config: SqlNodeConfig) -> Rc<SqlNode> {
+        let tenant = client.cert().tenant();
+        Rc::new(SqlNode {
+            instance_id,
+            tenant,
+            sim: sim.clone(),
+            cpu: CpuScheduler::new(sim.clone(), config.vcpus),
+            client,
+            config,
+            catalog: Rc::new(RefCell::new(Catalog::new())),
+            state: Cell::new(NodeState::Created),
+            sessions: RefCell::new(HashMap::new()),
+            next_session_id: Cell::new(1),
+            queries_executed: Cell::new(0),
+            cold_start: Cell::new(None),
+            revival_secret: 0x5eed_0000 ^ tenant.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            retired: Cell::new(false),
+        })
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> NodeState {
+        self.state.get()
+    }
+
+    /// Modeled resident memory (Fig. 7b accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        self.config.idle_memory_bytes
+            + self.sessions.borrow().len() as u64 * self.config.memory_per_session
+    }
+
+    /// Cumulative SQL CPU-seconds consumed by this node.
+    pub fn sql_cpu_seconds(&self) -> f64 {
+        self.cpu.cumulative_usage_total()
+    }
+
+    /// Runs the cold-start sequence (§4.3.1 / §3.2.5): process init CPU,
+    /// blocking system-database accesses with locality-modeled latency,
+    /// real catalog load, and instance registration. `on_ready` fires when
+    /// the node can accept queries.
+    pub fn start(self: &Rc<Self>, system_db: &SystemDatabase, on_ready: impl FnOnce() + 'static) {
+        assert_eq!(self.state.get(), NodeState::Created, "start() on fresh nodes only");
+        self.state.set(NodeState::Starting);
+        let started_at = self.sim.now();
+        let topology = self.client.cluster().topology();
+
+        // Total modeled latency of the blocking system-table accesses.
+        let sys_latency = system_db.cold_start_latency(&topology, self.config.location);
+
+        let node = Rc::clone(self);
+        self.cpu.submit(self.tenant, self.config.startup_cpu, move || {
+            let node2 = Rc::clone(&node);
+            node.sim.schedule_after(sys_latency, move || {
+                // Real catalog load: scan persisted descriptors.
+                let node3 = Rc::clone(&node2);
+                node2.load_catalog(move || {
+                    // Register this instance for DistSQL discovery.
+                    let node4 = Rc::clone(&node3);
+                    node3.register_instance(move || {
+                        node4.state.set(NodeState::Ready);
+                        node4.cold_start.set(Some(
+                            node4.sim.now().duration_since(started_at),
+                        ));
+                        node4.start_background_loop();
+                        on_ready();
+                    });
+                });
+            });
+        });
+    }
+
+    /// Background CPU burn while the node runs (§6.2's idle 0.15 CPU-s/s):
+    /// keepalives, metrics, GC.
+    fn start_background_loop(self: &Rc<Self>) {
+        if self.config.idle_cpu_per_second <= 0.0 {
+            return;
+        }
+        let node = Rc::clone(self);
+        self.sim.schedule_periodic(dur::secs(1), move || {
+            if node.state.get() == NodeState::Stopped {
+                return false;
+            }
+            node.cpu.submit(node.tenant, node.config.idle_cpu_per_second, || {});
+            true
+        });
+    }
+
+    fn load_catalog(self: &Rc<Self>, cb: impl FnOnce() + 'static) {
+        let node = Rc::clone(self);
+        self.client.scan(
+            crdb_kv::keys::make_key(self.tenant, b"desc/"),
+            crdb_kv::keys::make_key(self.tenant, b"desc0"),
+            usize::MAX,
+            move |pairs| {
+                if let Ok(pairs) = pairs {
+                    let mut catalog = node.catalog.borrow_mut();
+                    for (_, v) in pairs {
+                        if let Some(desc) = TableDescriptor::decode(&v) {
+                            catalog.install(desc);
+                        }
+                    }
+                }
+                cb();
+            },
+        );
+    }
+
+    fn register_instance(self: &Rc<Self>, cb: impl FnOnce() + 'static) {
+        let mut key = BytesMut::new();
+        key.put_slice(b"sqlinst/");
+        key.put_u64(self.instance_id.raw());
+        let mut value = BytesMut::new();
+        value.put_u64(self.config.location.region.raw());
+        value.put_u32(self.config.location.zone);
+        self.client.put(
+            crdb_kv::keys::make_key(self.tenant, &key.freeze()),
+            value.freeze(),
+            move |_| cb(),
+        );
+    }
+
+    /// Opens a session for `user`; returns its ID.
+    pub fn open_session(&self, user: &str) -> Result<u64, SqlError> {
+        if self.state.get() != NodeState::Ready {
+            return Err(SqlError::State(format!("node is {:?}", self.state.get())));
+        }
+        let id = self.next_session_id.get();
+        self.next_session_id.set(id + 1);
+        self.sessions.borrow_mut().insert(id, Session::new(id, user));
+        Ok(id)
+    }
+
+    /// Closes a session.
+    pub fn close_session(&self, id: u64) {
+        self.sessions.borrow_mut().remove(&id);
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.borrow().len()
+    }
+
+    /// Sets a session variable.
+    pub fn set_session_var(&self, session: u64, key: &str, value: &str) -> Result<(), SqlError> {
+        let mut sessions = self.sessions.borrow_mut();
+        let s = sessions.get_mut(&session).ok_or(SqlError::State("no such session".into()))?;
+        s.settings.insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    /// Registers a prepared statement.
+    pub fn prepare(&self, session: u64, name: &str, sql: &str) -> Result<(), SqlError> {
+        parse(sql).map_err(SqlError::Parse)?;
+        let mut sessions = self.sessions.borrow_mut();
+        let s = sessions.get_mut(&session).ok_or(SqlError::State("no such session".into()))?;
+        s.prepared.insert(name.to_string(), sql.to_string());
+        Ok(())
+    }
+
+    /// Executes a prepared statement by name.
+    pub fn execute_prepared(
+        self: &Rc<Self>,
+        session: u64,
+        name: &str,
+        params: Vec<crate::value::Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        let sql = {
+            let sessions = self.sessions.borrow();
+            match sessions.get(&session).and_then(|s| s.prepared.get(name)) {
+                Some(s) => s.clone(),
+                None => {
+                    cb(Err(SqlError::State(format!("unknown prepared statement {name}"))));
+                    return;
+                }
+            }
+        };
+        self.execute(session, &sql, params, cb);
+    }
+
+    /// Parses, plans and executes one statement in the given session.
+    pub fn execute(
+        self: &Rc<Self>,
+        session: u64,
+        sql: &str,
+        params: Vec<crate::value::Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        if !matches!(self.state.get(), NodeState::Ready | NodeState::Draining) {
+            cb(Err(SqlError::State(format!("node is {:?}", self.state.get()))));
+            return;
+        }
+        let stmt = match parse(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                cb(Err(SqlError::Parse(e)));
+                return;
+            }
+        };
+        self.execute_statement(session, stmt, params, 0, Box::new(cb));
+    }
+
+    fn execute_statement(
+        self: &Rc<Self>,
+        session: u64,
+        stmt: Statement,
+        params: Vec<crate::value::Datum>,
+        attempt: u32,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        self.queries_executed.set(self.queries_executed.get() + 1);
+        // Transaction control first.
+        match &stmt {
+            Statement::Begin => {
+                let mut sessions = self.sessions.borrow_mut();
+                let s = match sessions.get_mut(&session) {
+                    Some(s) => s,
+                    None => {
+                        cb(Err(SqlError::State("no such session".into())));
+                        return;
+                    }
+                };
+                if s.txn.as_ref().map_or(false, |t| t.is_pending()) {
+                    drop(sessions);
+                    cb(Err(SqlError::State("transaction already open".into())));
+                    return;
+                }
+                s.txn = Some(Txn::begin(&self.client));
+                // Release the borrow before the callback: it may issue the
+                // next statement synchronously.
+                drop(sessions);
+                cb(Ok(QueryOutput::default()));
+                return;
+            }
+            Statement::Commit | Statement::Rollback => {
+                let txn = {
+                    let mut sessions = self.sessions.borrow_mut();
+                    match sessions.get_mut(&session).and_then(|s| s.txn.take()) {
+                        Some(t) => t,
+                        None => {
+                            cb(Err(SqlError::State("no transaction open".into())));
+                            return;
+                        }
+                    }
+                };
+                let finish = move |r: Result<(), SqlError>| match r {
+                    Ok(()) => cb(Ok(QueryOutput::default())),
+                    Err(e) => cb(Err(e)),
+                };
+                if matches!(stmt, Statement::Commit) {
+                    txn.commit(finish);
+                } else {
+                    txn.rollback(finish);
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let plan = match plan_statement(&mut self.catalog.borrow_mut(), &stmt) {
+            Ok(p) => p,
+            Err(SqlError::Plan(msg)) if msg.starts_with("unknown table") && attempt == 0 => {
+                // The table may have been created by another SQL node since
+                // this node loaded its catalog: refresh the descriptors
+                // (the analogue of a descriptor-lease refresh) and retry.
+                let node = Rc::clone(self);
+                self.load_catalog(move || {
+                    node.execute_statement(session, stmt, params, 1, cb);
+                });
+                return;
+            }
+            Err(e) => {
+                cb(Err(e));
+                return;
+            }
+        };
+
+        // DDL runs autocommit against the catalog + descriptor storage.
+        match plan {
+            Plan::CreateTable(desc) => {
+                let desc2 = desc.clone();
+                self.persist_descriptor(&desc, Box::new({
+                    let node = Rc::clone(self);
+                    move |r| match r {
+                        Ok(()) => {
+                            node.catalog.borrow_mut().install(desc2);
+                            cb(Ok(QueryOutput::default()));
+                        }
+                        Err(e) => cb(Err(e)),
+                    }
+                }));
+                return;
+            }
+            Plan::CreateIndex { table, index } => {
+                self.backfill_index(table, index, cb);
+                return;
+            }
+            Plan::DropTable(desc) => {
+                self.drop_table(desc, cb);
+                return;
+            }
+            Plan::Begin | Plan::Commit | Plan::Rollback => unreachable!("handled above"),
+            other => {
+                // Query / DML.
+                let (txn, autocommit) = {
+                    let sessions = self.sessions.borrow();
+                    match sessions.get(&session).and_then(|s| s.txn.clone()) {
+                        Some(t) if t.is_pending() => (t, false),
+                        _ => (Txn::begin(&self.client), true),
+                    }
+                };
+                let node = Rc::clone(self);
+                let stmt2 = stmt.clone();
+                let params2 = params.clone();
+                let txn_for_cb = txn.clone();
+                execute(&txn, other, params, move |result| {
+                    let txn = txn_for_cb;
+                    match result {
+                        Err(e) if e.is_retryable() && autocommit && attempt < 5 => {
+                            // Retry the whole autocommit statement at a new
+                            // timestamp after a short backoff.
+                            let node2 = Rc::clone(&node);
+                            node.sim.schedule_after(
+                                dur::ms(2 << attempt),
+                                move || {
+                                    node2.execute_statement(
+                                        session,
+                                        stmt2,
+                                        params2,
+                                        attempt + 1,
+                                        cb,
+                                    )
+                                },
+                            );
+                        }
+                        Err(e) => cb(Err(e)),
+                        Ok(output) => {
+                            if autocommit {
+                                let node2 = Rc::clone(&node);
+                                let txn2 = txn.clone();
+                                txn.commit(move |r| match r {
+                                    Err(e) if e.is_retryable() && attempt < 5 => {
+                                        let node3 = Rc::clone(&node2);
+                                        node2.sim.schedule_after(
+                                            dur::ms(2 << attempt),
+                                            move || {
+                                                node3.execute_statement(
+                                                    session,
+                                                    stmt2,
+                                                    params2,
+                                                    attempt + 1,
+                                                    cb,
+                                                )
+                                            },
+                                        );
+                                    }
+                                    Err(e) => cb(Err(e)),
+                                    Ok(()) => {
+                                        let _ = txn2;
+                                        node2.finish_with_cpu(output, cb);
+                                    }
+                                });
+                            } else {
+                                node.finish_with_cpu(output, cb);
+                            }
+                        }
+                    }
+                });
+                return;
+            }
+        }
+    }
+
+    /// Charges SQL-layer CPU for a completed statement, then responds.
+    fn finish_with_cpu(
+        self: &Rc<Self>,
+        output: QueryOutput,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        let stats = output.stats;
+        let mut cost = self.config.cpu_per_statement
+            + stats.rows_read as f64 * self.config.cpu_per_row
+            + (stats.bytes_read + stats.bytes_written) as f64 * self.config.cpu_per_byte
+            + stats.rows_written as f64 * self.config.cpu_per_row;
+        if self.config.mode == ExecMode::Serverless {
+            // Rows crossing the SQL/KV process boundary pay marshalling
+            // (§6.1.2): full scans hurt, point reads barely notice.
+            cost += stats.bytes_read as f64 * self.config.cpu_marshal_per_byte
+                + stats.rows_read as f64 * self.config.cpu_marshal_per_row;
+        }
+        self.cpu.submit(self.tenant, cost, move || cb(Ok(output)));
+    }
+
+    fn persist_descriptor(
+        &self,
+        desc: &TableDescriptor,
+        cb: Box<dyn FnOnce(Result<(), SqlError>)>,
+    ) {
+        let mut key = BytesMut::new();
+        key.put_slice(b"desc/");
+        key.put_u64(desc.id);
+        self.client.put(
+            crdb_kv::keys::make_key(self.tenant, &key.freeze()),
+            desc.encode(),
+            move |r| cb(r.map_err(SqlError::Kv)),
+        );
+    }
+
+    fn backfill_index(
+        self: &Rc<Self>,
+        table: TableDescriptor,
+        index: crate::schema::IndexDescriptor,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        // Scan the whole primary index and write entries transactionally.
+        let txn = Txn::begin(&self.client);
+        let start = rowcodec::index_prefix(table.id, crate::schema::PRIMARY_INDEX_ID).freeze();
+        let end = rowcodec::index_prefix_end(table.id, crate::schema::PRIMARY_INDEX_ID);
+        let node = Rc::clone(self);
+        let txn2 = txn.clone();
+        txn.scan(start, end, usize::MAX, move |pairs| {
+            let pairs = match pairs {
+                Ok(p) => p,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let mut n = 0u64;
+            for (k, v) in pairs {
+                if let Some(row) = rowcodec::decode_row(&table, &k, &v) {
+                    txn2.put(
+                        rowcodec::index_entry_key(&table, index.id, &index.columns, &row),
+                        Bytes::new(),
+                    );
+                    n += 1;
+                }
+            }
+            let table2 = table.clone();
+            let node2 = Rc::clone(&node);
+            txn2.commit(move |r| match r {
+                Err(e) => cb(Err(e)),
+                Ok(()) => {
+                    node2.persist_descriptor(&table2, Box::new({
+                        let node3 = Rc::clone(&node2);
+                        let table3 = table2.clone();
+                        move |r| match r {
+                            Ok(()) => {
+                                node3.catalog.borrow_mut().install(table3);
+                                cb(Ok(QueryOutput {
+                                    rows_affected: n,
+                                    ..Default::default()
+                                }));
+                            }
+                            Err(e) => cb(Err(e)),
+                        }
+                    }));
+                }
+            });
+        });
+    }
+
+    fn drop_table(
+        self: &Rc<Self>,
+        desc: TableDescriptor,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        // Delete every key of the table (all indexes), then the descriptor.
+        let txn = Txn::begin(&self.client);
+        let start = rowcodec::index_prefix(desc.id, 0).freeze();
+        let end = rowcodec::index_prefix_end(desc.id, u32::MAX as u64);
+        let node = Rc::clone(self);
+        let txn2 = txn.clone();
+        txn.scan(start, end, usize::MAX, move |pairs| {
+            let pairs = match pairs {
+                Ok(p) => p,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            for (k, _) in pairs {
+                txn2.delete(k);
+            }
+            let mut dkey = BytesMut::new();
+            dkey.put_slice(b"desc/");
+            dkey.put_u64(desc.id);
+            txn2.delete(dkey.freeze());
+            let name = desc.name.clone();
+            let node2 = Rc::clone(&node);
+            txn2.commit(move |r| match r {
+                Err(e) => cb(Err(e)),
+                Ok(()) => {
+                    node2.catalog.borrow_mut().remove(&name);
+                    cb(Ok(QueryOutput::default()));
+                }
+            });
+        });
+    }
+
+    /// Serializes an idle session for migration (§4.2.4).
+    pub fn serialize_session(&self, session: u64) -> Result<SessionSnapshot, SqlError> {
+        let sessions = self.sessions.borrow();
+        let s = sessions.get(&session).ok_or(SqlError::State("no such session".into()))?;
+        SessionSnapshot::capture(s, self.tenant.raw(), self.sim.now().as_nanos(), self.revival_secret)
+    }
+
+    /// Restores a migrated session; returns the new session ID.
+    pub fn restore_session(&self, snapshot: &SessionSnapshot) -> Result<u64, SqlError> {
+        if self.state.get() != NodeState::Ready {
+            return Err(SqlError::State(format!("node is {:?}", self.state.get())));
+        }
+        let id = self.next_session_id.get();
+        self.next_session_id.set(id + 1);
+        let session = snapshot.restore(id, self.tenant.raw(), self.revival_secret)?;
+        self.sessions.borrow_mut().insert(id, session);
+        Ok(id)
+    }
+
+    /// Puts the node into draining: existing sessions keep working, new
+    /// sessions are refused.
+    pub fn drain(&self) {
+        if self.state.get() == NodeState::Ready {
+            self.state.set(NodeState::Draining);
+        }
+    }
+
+    /// Returns a draining node to Ready — the autoscaler reuses draining
+    /// nodes before pulling from the warm pool (§4.2.3). Retired nodes
+    /// (rolling upgrades) are not reusable.
+    pub fn set_ready_for_reuse(&self) {
+        if self.state.get() == NodeState::Draining && !self.retired.get() {
+            self.state.set(NodeState::Ready);
+        }
+    }
+
+    /// Marks the node as retiring (rolling upgrade, §6.4): it drains and
+    /// must not be reclaimed for scale-up.
+    pub fn retire(&self) {
+        self.retired.set(true);
+        self.drain();
+    }
+
+    /// Whether the node has been retired.
+    pub fn is_retired(&self) -> bool {
+        self.retired.get()
+    }
+
+    /// Stops the node.
+    pub fn shutdown(&self) {
+        self.state.set(NodeState::Stopped);
+        self.sessions.borrow_mut().clear();
+    }
+
+    /// The node's KV client (for tests and the orchestrator).
+    pub fn kv_client(&self) -> &KvClient {
+        &self.client
+    }
+
+    /// Read access to the catalog (for tests).
+    pub fn catalog(&self) -> Rc<RefCell<Catalog>> {
+        Rc::clone(&self.catalog)
+    }
+
+    /// Current time (from the shared simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}

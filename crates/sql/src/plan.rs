@@ -1,0 +1,1038 @@
+//! Logical planning.
+//!
+//! The planner binds names, extracts KV spans from primary-key (or
+//! secondary-index) constraints, chooses between full scans, index scans
+//! and lookup joins, and produces the [`PlanNode`] tree the executor
+//! walks. Span endpoints stay as expressions so one prepared plan serves
+//! every parameter binding ("same query, same plan" — §6.7).
+
+use std::collections::HashMap;
+
+use crate::expr::{resolve_name, BinOp, Expr};
+use crate::parser::{AggFunc, SelectItem, SelectStmt, Statement};
+use crate::schema::{Column, IndexDescriptor, TableDescriptor, PRIMARY_INDEX_ID};
+use crate::coord::SqlError;
+use crate::value::ColumnType;
+
+/// The per-tenant table catalog (a cache of `system.descriptor`).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, TableDescriptor>,
+    next_table_id: u64,
+}
+
+/// First table ID for user tables (lower IDs are reserved for system
+/// tables, mirroring CockroachDB).
+pub const FIRST_USER_TABLE_ID: u64 = 100;
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog { tables: HashMap::new(), next_table_id: FIRST_USER_TABLE_ID }
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&TableDescriptor> {
+        self.tables.get(name)
+    }
+
+    /// Registers a descriptor (from DDL or a system.descriptor read).
+    pub fn install(&mut self, desc: TableDescriptor) {
+        self.next_table_id = self.next_table_id.max(desc.id + 1);
+        self.tables.insert(desc.name.clone(), desc);
+    }
+
+    /// Removes a table.
+    pub fn remove(&mut self, name: &str) -> Option<TableDescriptor> {
+        self.tables.remove(name)
+    }
+
+    /// Allocates the next table ID.
+    pub fn allocate_table_id(&mut self) -> u64 {
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        id
+    }
+
+    /// All descriptors.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDescriptor> {
+        self.tables.values()
+    }
+}
+
+/// A bound on a key span, to be evaluated with parameters at execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanBound {
+    /// The bound expression.
+    pub expr: Expr,
+    /// Whether the bound is inclusive.
+    pub inclusive: bool,
+}
+
+/// How a scan constrains its index.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanConstraint {
+    /// Equality-constrained leading index columns, in index order.
+    pub eq_prefix: Vec<Expr>,
+    /// Optional range on the next index column.
+    pub lower: Option<SpanBound>,
+    /// Optional upper range bound.
+    pub upper: Option<SpanBound>,
+}
+
+/// An executable plan node. The row scope of each node is tracked in
+/// `scope` (qualified column names) for tests and EXPLAIN-style output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Literal rows (FROM-less SELECT).
+    Values {
+        /// Row expressions.
+        rows: Vec<Vec<Expr>>,
+        /// Output names.
+        scope: Vec<String>,
+    },
+    /// Table scan via primary key or a secondary index.
+    Scan {
+        /// The table.
+        table: TableDescriptor,
+        /// The chosen index (`PRIMARY_INDEX_ID` for the primary).
+        index_id: u64,
+        /// Columns of the chosen index (empty for primary).
+        index_cols: Vec<usize>,
+        /// Span constraint.
+        constraint: ScanConstraint,
+        /// Residual filter applied after the scan.
+        filter: Option<Expr>,
+        /// Output scope (qualified `alias.col` names).
+        scope: Vec<String>,
+    },
+    /// Nested lookup join: for each left row, batched point-lookups of
+    /// the right table's primary key.
+    LookupJoin {
+        /// Left input.
+        input: Box<PlanNode>,
+        /// Right table.
+        table: TableDescriptor,
+        /// Left scope ordinals supplying the right PK, in PK order.
+        left_key_cols: Vec<usize>,
+        /// Residual ON predicate over the joined scope.
+        residual: Option<Expr>,
+        /// Output scope.
+        scope: Vec<String>,
+    },
+    /// Hash join on a single equality pair.
+    HashJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Left scope ordinal.
+        left_col: usize,
+        /// Right scope ordinal.
+        right_col: usize,
+        /// Residual ON predicate over the joined scope.
+        residual: Option<Expr>,
+        /// Output scope.
+        scope: Vec<String>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Scalar projection.
+    Project {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output names.
+        scope: Vec<String>,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Group-key expressions (over input scope).
+        group: Vec<Expr>,
+        /// Aggregates: function and argument.
+        aggs: Vec<(AggFunc, Option<Expr>)>,
+        /// Output names (group names then agg names).
+        scope: Vec<String>,
+        /// Mapping from SELECT-item order to output columns.
+        output_map: Vec<usize>,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Keys: output ordinal + descending flag.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Maximum rows.
+        n: u64,
+    },
+}
+
+impl PlanNode {
+    /// The output scope of this node.
+    pub fn scope(&self) -> Vec<String> {
+        match self {
+            PlanNode::Values { scope, .. }
+            | PlanNode::Scan { scope, .. }
+            | PlanNode::LookupJoin { scope, .. }
+            | PlanNode::HashJoin { scope, .. }
+            | PlanNode::Project { scope, .. }
+            | PlanNode::Aggregate { scope, .. } => scope.clone(),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. } => input.scope(),
+        }
+    }
+}
+
+/// A planned statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A row-returning query.
+    Query(PlanNode),
+    /// INSERT: evaluated rows are written through the row codec.
+    Insert {
+        /// Target table.
+        table: TableDescriptor,
+        /// Row expressions aligned with table columns (defaults filled).
+        rows: Vec<Vec<Expr>>,
+    },
+    /// UPDATE: scan, then rewrite matching rows.
+    Update {
+        /// The scan producing target rows.
+        scan: Box<PlanNode>,
+        /// Target table.
+        table: TableDescriptor,
+        /// Assignments: column ordinal → expression over the scan scope.
+        sets: Vec<(usize, Expr)>,
+    },
+    /// DELETE: scan, then remove matching rows.
+    Delete {
+        /// The scan producing target rows.
+        scan: Box<PlanNode>,
+        /// Target table.
+        table: TableDescriptor,
+    },
+    /// CREATE TABLE.
+    CreateTable(TableDescriptor),
+    /// CREATE INDEX (descriptor updated, backfill performed).
+    CreateIndex {
+        /// Updated descriptor including the new index.
+        table: TableDescriptor,
+        /// The new index.
+        index: IndexDescriptor,
+    },
+    /// DROP TABLE.
+    DropTable(TableDescriptor),
+    /// BEGIN.
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+}
+
+/// Plans a parsed statement against a catalog.
+pub fn plan_statement(catalog: &mut Catalog, stmt: &Statement) -> Result<Plan, SqlError> {
+    match stmt {
+        Statement::Begin => Ok(Plan::Begin),
+        Statement::Commit => Ok(Plan::Commit),
+        Statement::Rollback => Ok(Plan::Rollback),
+        Statement::CreateTable { name, columns, primary_key } => {
+            if catalog.table(name).is_some() {
+                return Err(SqlError::Plan(format!("table {name} already exists")));
+            }
+            let cols: Vec<Column> = columns
+                .iter()
+                .map(|(n, ty, nullable)| Column {
+                    name: n.clone(),
+                    ty: *ty,
+                    nullable: *nullable && !primary_key.contains(n),
+                })
+                .collect();
+            let mut pk = Vec::new();
+            for pkcol in primary_key {
+                let i = cols
+                    .iter()
+                    .position(|c| &c.name == pkcol)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown pk column {pkcol}")))?;
+                pk.push(i);
+            }
+            let desc = TableDescriptor {
+                id: catalog.allocate_table_id(),
+                name: name.clone(),
+                columns: cols,
+                primary_key: pk,
+                indexes: Vec::new(),
+            };
+            Ok(Plan::CreateTable(desc))
+        }
+        Statement::CreateIndex { name, table, columns } => {
+            let desc = catalog
+                .table(table)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
+            let mut cols = Vec::new();
+            for c in columns {
+                cols.push(
+                    desc.column_index(c)
+                        .ok_or_else(|| SqlError::Plan(format!("unknown column {c}")))?,
+                );
+            }
+            let index = IndexDescriptor {
+                id: desc.indexes.iter().map(|i| i.id).max().unwrap_or(PRIMARY_INDEX_ID) + 1,
+                name: name.clone(),
+                columns: cols,
+            };
+            let mut updated = desc;
+            updated.indexes.push(index.clone());
+            Ok(Plan::CreateIndex { table: updated, index })
+        }
+        Statement::DropTable { name } => {
+            let desc = catalog
+                .table(name)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {name}")))?;
+            Ok(Plan::DropTable(desc))
+        }
+        Statement::Insert { table, columns, values } => {
+            let desc = catalog
+                .table(table)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
+            let target: Vec<usize> = if columns.is_empty() {
+                (0..desc.columns.len()).collect()
+            } else {
+                let mut t = Vec::new();
+                for c in columns {
+                    t.push(
+                        desc.column_index(c)
+                            .ok_or_else(|| SqlError::Plan(format!("unknown column {c}")))?,
+                    );
+                }
+                t
+            };
+            let mut rows = Vec::with_capacity(values.len());
+            for v in values {
+                if v.len() != target.len() {
+                    return Err(SqlError::Plan(format!(
+                        "INSERT has {} values for {} columns",
+                        v.len(),
+                        target.len()
+                    )));
+                }
+                let mut row: Vec<Expr> =
+                    vec![Expr::Literal(crate::value::Datum::Null); desc.columns.len()];
+                for (expr, &col) in v.iter().zip(&target) {
+                    row[col] = expr.clone();
+                }
+                rows.push(row);
+            }
+            Ok(Plan::Insert { table: desc, rows })
+        }
+        Statement::Select(sel) => Ok(Plan::Query(plan_select(catalog, sel)?)),
+        Statement::Update { table, sets, filter } => {
+            let desc = catalog
+                .table(table)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
+            let scan = plan_table_scan(&desc, None, filter.clone())?;
+            let scope = scan.scope();
+            let mut bound_sets = Vec::new();
+            for (col, e) in sets {
+                let i = desc
+                    .column_index(col)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column {col}")))?;
+                let mut e = e.clone();
+                e.bind(&scope).map_err(SqlError::Plan)?;
+                bound_sets.push((i, e));
+            }
+            Ok(Plan::Update { scan: Box::new(scan), table: desc, sets: bound_sets })
+        }
+        Statement::Delete { table, filter } => {
+            let desc = catalog
+                .table(table)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
+            let scan = plan_table_scan(&desc, None, filter.clone())?;
+            Ok(Plan::Delete { scan: Box::new(scan), table: desc })
+        }
+    }
+}
+
+/// Splits an expression into its top-level AND conjuncts.
+fn conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin(BinOp::And, l, r) => {
+            let mut out = conjuncts(*l);
+            out.extend(conjuncts(*r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// A comparison `col <op> value-expr` extracted from a conjunct.
+struct ColCmp {
+    col: usize,
+    op: BinOp,
+    value: Expr,
+}
+
+fn as_col_cmp(e: &Expr, scope: &[String]) -> Option<ColCmp> {
+    if let Expr::Bin(op, l, r) = e {
+        let flip = |op: BinOp| match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        };
+        let is_value = |e: &Expr| matches!(e, Expr::Literal(_) | Expr::Param(_));
+        if let Expr::Name(n) = l.as_ref() {
+            if is_value(r) {
+                if let Ok(col) = resolve_name(scope, n) {
+                    return Some(ColCmp { col, op: *op, value: (**r).clone() });
+                }
+            }
+        }
+        if let Expr::Name(n) = r.as_ref() {
+            if is_value(l) {
+                if let Ok(col) = resolve_name(scope, n) {
+                    return Some(ColCmp { col, op: flip(*op), value: (**l).clone() });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Plans a scan of `table` (aliased) with an optional filter: picks the
+/// primary index or a secondary index based on equality prefixes.
+fn plan_table_scan(
+    table: &TableDescriptor,
+    alias: Option<&str>,
+    filter: Option<Expr>,
+) -> Result<PlanNode, SqlError> {
+    let alias = alias.unwrap_or(&table.name);
+    let scope: Vec<String> =
+        table.columns.iter().map(|c| format!("{alias}.{}", c.name)).collect();
+
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut eq: HashMap<usize, Expr> = HashMap::new();
+    let mut ranges: Vec<ColCmp> = Vec::new();
+    if let Some(f) = filter {
+        for c in conjuncts(f) {
+            match as_col_cmp(&c, &scope) {
+                Some(cmp) if cmp.op == BinOp::Eq && !eq.contains_key(&cmp.col) => {
+                    eq.insert(cmp.col, cmp.value.clone());
+                    residual.push(c); // keep as residual for correctness
+                }
+                Some(cmp) if matches!(cmp.op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) => {
+                    ranges.push(cmp);
+                    residual.push(c);
+                }
+                _ => residual.push(c),
+            }
+        }
+    }
+
+    // Choose the index with the longest equality prefix; primary wins ties.
+    let score = |cols: &[usize]| -> usize {
+        let mut n = 0;
+        for c in cols {
+            if eq.contains_key(c) {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    };
+    let pk_score = score(&table.primary_key);
+    let mut best: (u64, Vec<usize>, usize) =
+        (PRIMARY_INDEX_ID, table.primary_key.clone(), pk_score);
+    for idx in &table.indexes {
+        let s = score(&idx.columns);
+        if s > best.2 {
+            best = (idx.id, idx.columns.clone(), s);
+        }
+    }
+    let (index_id, index_cols, eq_len) = best;
+
+    let mut constraint = ScanConstraint::default();
+    for &c in index_cols.iter().take(eq_len) {
+        constraint.eq_prefix.push(eq[&c].clone());
+    }
+    // A range constraint on the next index column tightens the span.
+    if let Some(&next_col) = index_cols.get(eq_len) {
+        for cmp in &ranges {
+            if cmp.col != next_col {
+                continue;
+            }
+            match cmp.op {
+                BinOp::Ge => {
+                    constraint.lower =
+                        Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
+                }
+                BinOp::Gt => {
+                    constraint.lower =
+                        Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
+                }
+                BinOp::Le => {
+                    constraint.upper =
+                        Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
+                }
+                BinOp::Lt => {
+                    constraint.upper =
+                        Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Bind the residual filter.
+    let filter = residual
+        .into_iter()
+        .map(|mut e| {
+            e.bind(&scope).map_err(SqlError::Plan)?;
+            Ok(e)
+        })
+        .collect::<Result<Vec<_>, SqlError>>()?
+        .into_iter()
+        .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
+
+    Ok(PlanNode::Scan {
+        table: table.clone(),
+        index_id,
+        index_cols,
+        constraint,
+        filter,
+        scope,
+    })
+}
+
+fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError> {
+    // FROM-less SELECT.
+    let (base_table, base_alias) = match &sel.from {
+        None => {
+            let mut rows = vec![Vec::new()];
+            let mut scope = Vec::new();
+            for (i, item) in sel.items.iter().enumerate() {
+                match item {
+                    SelectItem::Expr { expr, alias } => {
+                        rows[0].push(expr.clone());
+                        scope.push(alias.clone().unwrap_or_else(|| format!("column{}", i + 1)));
+                    }
+                    _ => return Err(SqlError::Plan("* requires FROM".into())),
+                }
+            }
+            return Ok(PlanNode::Values { rows, scope });
+        }
+        Some((t, a)) => (t.clone(), a.clone()),
+    };
+
+    let base_desc = catalog
+        .table(&base_table)
+        .cloned()
+        .ok_or_else(|| SqlError::Plan(format!("unknown table {base_table}")))?;
+
+    // Push the WHERE clause into the base scan when there are no joins;
+    // with joins, the filter applies after the join (simpler and correct).
+    let mut node = if sel.joins.is_empty() {
+        plan_table_scan(&base_desc, base_alias.as_deref(), sel.filter.clone())?
+    } else {
+        plan_table_scan(&base_desc, base_alias.as_deref(), None)?
+    };
+
+    // Joins, left-deep.
+    for join in &sel.joins {
+        let right = catalog
+            .table(&join.table)
+            .cloned()
+            .ok_or_else(|| SqlError::Plan(format!("unknown table {}", join.table)))?;
+        let right_alias = join.alias.clone().unwrap_or_else(|| join.table.clone());
+        let left_scope = node.scope();
+        let right_scope: Vec<String> =
+            right.columns.iter().map(|c| format!("{right_alias}.{}", c.name)).collect();
+        let joined_scope: Vec<String> =
+            left_scope.iter().chain(right_scope.iter()).cloned().collect();
+
+        // Decompose ON into eq pairs between left and right columns.
+        let mut eq_pairs: Vec<(usize, usize)> = Vec::new(); // (left ord, right col ord)
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in conjuncts(join.on.clone()) {
+            let mut matched = false;
+            if let Expr::Bin(BinOp::Eq, l, r) = &c {
+                if let (Expr::Name(a), Expr::Name(b)) = (l.as_ref(), r.as_ref()) {
+                    let la = resolve_name(&left_scope, a);
+                    let rb = resolve_name(&right_scope, b);
+                    if let (Ok(la), Ok(rb)) = (la, rb) {
+                        eq_pairs.push((la, rb));
+                        matched = true;
+                    } else {
+                        let lb = resolve_name(&left_scope, b);
+                        let ra = resolve_name(&right_scope, a);
+                        if let (Ok(lb), Ok(ra)) = (lb, ra) {
+                            eq_pairs.push((lb, ra));
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            if !matched {
+                residual.push(c);
+            }
+        }
+        if eq_pairs.is_empty() {
+            return Err(SqlError::Plan("JOIN requires an equality condition".into()));
+        }
+        let residual = residual
+            .into_iter()
+            .map(|mut e| {
+                e.bind(&joined_scope).map_err(SqlError::Plan)?;
+                Ok(e)
+            })
+            .collect::<Result<Vec<_>, SqlError>>()?
+            .into_iter()
+            .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
+
+        // Lookup join when the eq pairs cover the right PK.
+        let covers_pk = right.primary_key.len() <= eq_pairs.len()
+            && right
+                .primary_key
+                .iter()
+                .all(|pkc| eq_pairs.iter().any(|(_, rc)| rc == pkc));
+        if covers_pk {
+            let mut left_key_cols = Vec::new();
+            for pkc in &right.primary_key {
+                let (lc, _) = eq_pairs.iter().find(|(_, rc)| rc == pkc).unwrap();
+                left_key_cols.push(*lc);
+            }
+            node = PlanNode::LookupJoin {
+                input: Box::new(node),
+                table: right,
+                left_key_cols,
+                residual,
+                scope: joined_scope,
+            };
+        } else {
+            let (lc, rc) = eq_pairs[0];
+            // Fold the remaining eq pairs into the residual.
+            let mut residual = residual;
+            for &(l, r) in &eq_pairs[1..] {
+                let e = Expr::Bin(
+                    BinOp::Eq,
+                    Box::new(Expr::Column(l)),
+                    Box::new(Expr::Column(left_scope.len() + r)),
+                );
+                residual = Some(match residual {
+                    Some(prev) => Expr::Bin(BinOp::And, Box::new(prev), Box::new(e)),
+                    None => e,
+                });
+            }
+            let right_node = plan_table_scan(&right, Some(&right_alias), None)?;
+            node = PlanNode::HashJoin {
+                left: Box::new(node),
+                right: Box::new(right_node),
+                left_col: lc,
+                right_col: rc,
+                residual,
+                scope: joined_scope,
+            };
+        }
+    }
+
+    // Post-join filter.
+    if !sel.joins.is_empty() {
+        if let Some(f) = &sel.filter {
+            let scope = node.scope();
+            let mut f = f.clone();
+            f.bind(&scope).map_err(SqlError::Plan)?;
+            node = PlanNode::Filter { input: Box::new(node), predicate: f };
+        }
+    }
+
+    let scope = node.scope();
+    let has_aggs = sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Agg { .. }))
+        || !sel.group_by.is_empty();
+
+    if has_aggs {
+        // Bind group-by expressions over the input scope.
+        let mut group = Vec::new();
+        let mut group_names = Vec::new();
+        for g in &sel.group_by {
+            let mut e = g.clone();
+            let name = match g {
+                Expr::Name(n) => n.clone(),
+                _ => format!("group{}", group.len() + 1),
+            };
+            e.bind(&scope).map_err(SqlError::Plan)?;
+            group.push(e);
+            group_names.push(name);
+        }
+        let mut aggs = Vec::new();
+        let mut out_scope = group_names.clone();
+        let mut output_map = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Agg { func, arg, alias } => {
+                    let arg = match arg {
+                        Some(a) => {
+                            let mut a = a.clone();
+                            a.bind(&scope).map_err(SqlError::Plan)?;
+                            Some(a)
+                        }
+                        None => None,
+                    };
+                    output_map.push(group.len() + aggs.len());
+                    aggs.push((*func, arg));
+                    out_scope.push(alias.clone().unwrap_or_else(|| {
+                        format!("agg{}", aggs.len())
+                    }));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    // Must match a group expression.
+                    let mut bound = expr.clone();
+                    bound.bind(&scope).map_err(SqlError::Plan)?;
+                    let pos = group
+                        .iter()
+                        .position(|g| *g == bound)
+                        .ok_or_else(|| SqlError::Plan("non-grouped column in SELECT".into()))?;
+                    output_map.push(pos);
+                    if let Some(a) = alias {
+                        out_scope[pos] = a.clone();
+                    }
+                }
+                SelectItem::Star => {
+                    return Err(SqlError::Plan("* with GROUP BY is unsupported".into()))
+                }
+            }
+        }
+        node = PlanNode::Aggregate {
+            input: Box::new(node),
+            group,
+            aggs,
+            scope: out_scope,
+            output_map,
+        };
+    } else {
+        // Plain projection.
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            match item {
+                SelectItem::Star => {
+                    for (j, name) in scope.iter().enumerate() {
+                        exprs.push(Expr::Column(j));
+                        names.push(name.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let mut e = expr.clone();
+                    e.bind(&scope).map_err(SqlError::Plan)?;
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        Expr::Name(n) => n.clone(),
+                        _ => format!("column{}", i + 1),
+                    });
+                    exprs.push(e);
+                    names.push(name);
+                }
+                SelectItem::Agg { .. } => unreachable!("handled above"),
+            }
+        }
+        // ORDER BY may reference either output aliases or input columns;
+        // when it names input columns, the sort runs before projection.
+        let mut sort_before_project: Option<Vec<(usize, bool)>> = None;
+        let mut sort_after: Option<Vec<(usize, bool)>> = None;
+        if !sel.order_by.is_empty() {
+            let try_bind = |target: &[String]| -> Option<Vec<(usize, bool)>> {
+                let mut keys = Vec::new();
+                for (e, desc) in &sel.order_by {
+                    let idx = match e {
+                        Expr::Name(n) => resolve_name(target, n).ok()?,
+                        Expr::Literal(crate::value::Datum::Int(i)) if *i >= 1 => (*i - 1) as usize,
+                        _ => return None,
+                    };
+                    keys.push((idx, *desc));
+                }
+                Some(keys)
+            };
+            if let Some(keys) = try_bind(&names) {
+                sort_after = Some(keys);
+            } else if let Some(keys) = try_bind(&scope) {
+                sort_before_project = Some(keys);
+            } else {
+                return Err(SqlError::Plan(
+                    "ORDER BY must name an output or input column".into(),
+                ));
+            }
+        }
+        if let Some(keys) = sort_before_project {
+            node = PlanNode::Sort { input: Box::new(node), keys };
+        }
+        // Skip the no-op projection for `SELECT *` over a single scan.
+        let identity = exprs.len() == scope.len()
+            && exprs.iter().enumerate().all(|(i, e)| *e == Expr::Column(i));
+        if !identity {
+            node = PlanNode::Project { input: Box::new(node), exprs, scope: names };
+        }
+        if let Some(keys) = sort_after {
+            node = PlanNode::Sort { input: Box::new(node), keys };
+        }
+    }
+
+    // Aggregate ORDER BY binds over the aggregate output scope.
+    if !sel.order_by.is_empty() && has_aggs {
+        let out_scope = node.scope();
+        let mut keys = Vec::new();
+        for (e, desc) in &sel.order_by {
+            let idx = match e {
+                Expr::Name(n) => resolve_name(&out_scope, n).map_err(SqlError::Plan)?,
+                Expr::Literal(crate::value::Datum::Int(i)) if *i >= 1 => (*i - 1) as usize,
+                _ => return Err(SqlError::Plan("ORDER BY must name an output column".into())),
+            };
+            keys.push((idx, *desc));
+        }
+        node = PlanNode::Sort { input: Box::new(node), keys };
+    }
+
+    if let Some(n) = sel.limit {
+        node = PlanNode::Limit { input: Box::new(node), n };
+    }
+    Ok(node)
+}
+
+/// Validates an insert row against column types and nullability.
+pub fn check_row(table: &TableDescriptor, row: &[crate::value::Datum]) -> Result<(), SqlError> {
+    for (col, datum) in table.columns.iter().zip(row) {
+        if datum.is_null() {
+            if !col.nullable {
+                return Err(SqlError::Constraint(format!(
+                    "null value in column {}",
+                    col.name
+                )));
+            }
+            continue;
+        }
+        let ok = match (col.ty, datum.column_type()) {
+            (ColumnType::Float, Some(ColumnType::Int)) => true, // int widens
+            (expected, Some(actual)) => expected == actual,
+            _ => false,
+        };
+        if !ok {
+            return Err(SqlError::Constraint(format!(
+                "type mismatch for column {}",
+                col.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::value::Datum;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for stmt in [
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_name STRING NOT NULL, i_price FLOAT)",
+            "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_qty INT, PRIMARY KEY (s_w_id, s_i_id))",
+        ] {
+            let parsed = parse(stmt).unwrap();
+            match plan_statement(&mut c, &parsed).unwrap() {
+                Plan::CreateTable(d) => c.install(d),
+                _ => unreachable!(),
+            }
+        }
+        c
+    }
+
+    fn plan(c: &mut Catalog, sql: &str) -> Plan {
+        plan_statement(c, &parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn point_select_constrains_full_pk() {
+        let mut c = catalog();
+        let p = plan(&mut c, "SELECT * FROM stock WHERE s_w_id = 1 AND s_i_id = 42");
+        match p {
+            Plan::Query(PlanNode::Scan { constraint, index_id, .. }) => {
+                assert_eq!(index_id, PRIMARY_INDEX_ID);
+                assert_eq!(constraint.eq_prefix.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_constraint_on_pk_suffix() {
+        let mut c = catalog();
+        let p = plan(&mut c, "SELECT * FROM stock WHERE s_w_id = 1 AND s_i_id >= 10 AND s_i_id < 20");
+        match p {
+            Plan::Query(PlanNode::Scan { constraint, .. }) => {
+                assert_eq!(constraint.eq_prefix.len(), 1);
+                assert_eq!(constraint.lower.as_ref().map(|b| b.inclusive), Some(true));
+                assert_eq!(constraint.upper.as_ref().map(|b| b.inclusive), Some(false));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn secondary_index_chosen_on_eq_prefix() {
+        let mut c = catalog();
+        // Add an index on i_name.
+        let p = plan(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        match p {
+            Plan::CreateIndex { table, .. } => c.install(table),
+            other => panic!("{other:?}"),
+        }
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = 'widget'");
+        match p {
+            Plan::Query(PlanNode::Scan { index_id, constraint, .. }) => {
+                assert_ne!(index_id, PRIMARY_INDEX_ID, "secondary index selected");
+                assert_eq!(constraint.eq_prefix.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_join_on_full_pk() {
+        let mut c = catalog();
+        let p = plan(
+            &mut c,
+            "SELECT s.s_qty, i.i_price FROM stock s JOIN item i ON s.s_i_id = i.i_id \
+             WHERE s.s_w_id = 1",
+        );
+        match p {
+            Plan::Query(node) => {
+                // Filter applies post-join; beneath it the lookup join.
+                fn find_lookup(n: &PlanNode) -> bool {
+                    match n {
+                        PlanNode::LookupJoin { .. } => true,
+                        PlanNode::Filter { input, .. }
+                        | PlanNode::Sort { input, .. }
+                        | PlanNode::Limit { input, .. }
+                        | PlanNode::Project { input, .. } => find_lookup(input),
+                        _ => false,
+                    }
+                }
+                assert!(find_lookup(&node), "expected lookup join: {node:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hash_join_on_non_pk() {
+        let mut c = catalog();
+        let p = plan(
+            &mut c,
+            "SELECT * FROM stock s JOIN item i ON s.s_qty = i.i_id",
+        );
+        // s_qty = i_id covers item's pk -> actually a lookup join; use a
+        // non-pk pairing instead:
+        let _ = p;
+        let p = plan(
+            &mut c,
+            "SELECT * FROM item a JOIN item b ON a.i_name = b.i_name",
+        );
+        match p {
+            Plan::Query(node) => {
+                fn find_hash(n: &PlanNode) -> bool {
+                    match n {
+                        PlanNode::HashJoin { .. } => true,
+                        PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => {
+                            find_hash(input)
+                        }
+                        _ => false,
+                    }
+                }
+                assert!(find_hash(&node), "expected hash join: {node:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_plan_maps_outputs() {
+        let mut c = catalog();
+        let p = plan(
+            &mut c,
+            "SELECT s_w_id, SUM(s_qty) AS total FROM stock GROUP BY s_w_id ORDER BY total DESC",
+        );
+        match p {
+            Plan::Query(PlanNode::Sort { input, keys }) => {
+                assert_eq!(keys, vec![(1, true)]);
+                match *input {
+                    PlanNode::Aggregate { output_map, scope, .. } => {
+                        assert_eq!(output_map, vec![0, 1]);
+                        assert_eq!(scope, vec!["s_w_id".to_string(), "total".to_string()]);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_fills_defaults_and_checks() {
+        let mut c = catalog();
+        let p = plan(&mut c, "INSERT INTO item (i_id, i_name) VALUES (1, 'x')");
+        match p {
+            Plan::Insert { rows, table } => {
+                assert_eq!(rows[0].len(), 3);
+                assert_eq!(rows[0][2], Expr::Literal(Datum::Null));
+                // Constraint checks.
+                assert!(check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Null]).is_ok());
+                assert!(check_row(&table, &[Datum::Int(1), Datum::Null, Datum::Null]).is_err());
+                assert!(check_row(&table, &[Datum::Str("no".into()), Datum::Str("x".into()), Datum::Null]).is_err());
+                assert!(
+                    check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Int(5)]).is_ok(),
+                    "int widens to float"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn planning_errors() {
+        let mut c = catalog();
+        assert!(matches!(
+            plan_statement(&mut c, &parse("SELECT * FROM missing").unwrap()),
+            Err(SqlError::Plan(_))
+        ));
+        assert!(matches!(
+            plan_statement(&mut c, &parse("SELECT nope FROM item").unwrap()),
+            Err(SqlError::Plan(_))
+        ));
+        assert!(matches!(
+            plan_statement(&mut c, &parse("SELECT i_price, COUNT(*) FROM item").unwrap()),
+            Err(SqlError::Plan(_)),
+
+        ));
+    }
+}

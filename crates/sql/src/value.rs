@@ -1,0 +1,164 @@
+//! SQL datums and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Double-precision float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Boolean.
+    Bool,
+}
+
+/// A SQL value.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Datum {
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// The type of this datum, if not NULL.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(ColumnType::Int),
+            Datum::Float(_) => Some(ColumnType::Float),
+            Datum::Str(_) => Some(ColumnType::String),
+            Datum::Bool(_) => Some(ColumnType::Bool),
+        }
+    }
+
+    /// Numeric view (ints widen to float), for arithmetic and aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE clauses (NULL is not true).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Datum::Bool(true))
+    }
+
+    /// SQL comparison: NULL compares as unknown (`None`); numeric types
+    /// compare cross-type.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        use Datum::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (NULL = anything is unknown → false).
+    pub fn sql_eq(&self, other: &Datum) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Datum::Null, Datum::Null) => true,
+            _ => self.sql_eq(other),
+        }
+    }
+}
+
+/// A row: a vector of datums aligned with a table's columns.
+pub type Row = Vec<Datum>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Int(2)), Some(Ordering::Less));
+        assert_eq!(Datum::Int(2).sql_cmp(&Datum::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Datum::Str("a".into()).sql_cmp(&Datum::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert!(!Datum::Null.sql_eq(&Datum::Null), "NULL = NULL is unknown");
+        assert_eq!(Datum::Null, Datum::Null, "but Rust Eq treats them equal for grouping");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Datum::Bool(true).is_true());
+        assert!(!Datum::Bool(false).is_true());
+        assert!(!Datum::Null.is_true());
+        assert!(!Datum::Int(1).is_true());
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Datum::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Datum::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Datum::Str("x".into()).as_f64(), None);
+        assert_eq!(Datum::Int(5).as_i64(), Some(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Datum::Int(42).to_string(), "42");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::Bool(true).to_string(), "true");
+    }
+}

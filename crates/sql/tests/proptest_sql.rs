@@ -1,0 +1,155 @@
+//! Property tests for the SQL layer's codecs and parser.
+
+use bytes::Bytes;
+use crdb_sql::rowcodec;
+use crdb_sql::schema::{Column, TableDescriptor};
+use crdb_sql::value::{ColumnType, Datum};
+use proptest::prelude::*;
+
+fn datum_strategy(ty: ColumnType, nullable: bool) -> BoxedStrategy<Datum> {
+    let base: BoxedStrategy<Datum> = match ty {
+        ColumnType::Int => any::<i64>().prop_map(Datum::Int).boxed(),
+        ColumnType::Float => (-1e12f64..1e12).prop_map(Datum::Float).boxed(),
+        ColumnType::String => "[a-zA-Z0-9 _-]{0,24}".prop_map(Datum::Str).boxed(),
+        ColumnType::Bool => any::<bool>().prop_map(Datum::Bool).boxed(),
+    };
+    if nullable {
+        prop_oneof![9 => base, 1 => Just(Datum::Null)].boxed()
+    } else {
+        base
+    }
+}
+
+fn table() -> TableDescriptor {
+    TableDescriptor {
+        id: 7,
+        name: "t".into(),
+        columns: vec![
+            Column { name: "a".into(), ty: ColumnType::Int, nullable: false },
+            Column { name: "b".into(), ty: ColumnType::String, nullable: false },
+            Column { name: "c".into(), ty: ColumnType::Float, nullable: true },
+            Column { name: "d".into(), ty: ColumnType::Bool, nullable: true },
+        ],
+        primary_key: vec![0, 1],
+        indexes: vec![],
+    }
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<Datum>> {
+    (
+        datum_strategy(ColumnType::Int, false),
+        datum_strategy(ColumnType::String, false),
+        datum_strategy(ColumnType::Float, true),
+        datum_strategy(ColumnType::Bool, true),
+    )
+        .prop_map(|(a, b, c, d)| vec![a, b, c, d])
+}
+
+proptest! {
+    /// Any well-typed row roundtrips exactly through the KV encoding.
+    #[test]
+    fn row_roundtrips(row in row_strategy()) {
+        let t = table();
+        let key = rowcodec::primary_key(&t, &row);
+        let value = rowcodec::encode_row_value(&t, &row);
+        let decoded = rowcodec::decode_row(&t, &key, &value).expect("decodes");
+        // Datum equality is SQL equality (NULL-aware); compare piecewise.
+        prop_assert_eq!(decoded.len(), row.len());
+        for (d, r) in decoded.iter().zip(&row) {
+            match (d, r) {
+                (Datum::Null, Datum::Null) => {}
+                (Datum::Float(x), Datum::Float(y)) => prop_assert!(x == y),
+                (a, b) => prop_assert!(a.sql_eq(b), "{a:?} != {b:?}"),
+            }
+        }
+    }
+
+    /// Key encoding preserves the order of the primary key tuple.
+    #[test]
+    fn pk_encoding_preserves_tuple_order(
+        a1 in any::<i64>(), b1 in "[a-z]{0,12}",
+        a2 in any::<i64>(), b2 in "[a-z]{0,12}",
+    ) {
+        let t = table();
+        let r1 = vec![Datum::Int(a1), Datum::Str(b1.clone()), Datum::Null, Datum::Null];
+        let r2 = vec![Datum::Int(a2), Datum::Str(b2.clone()), Datum::Null, Datum::Null];
+        let k1 = rowcodec::primary_key(&t, &r1);
+        let k2 = rowcodec::primary_key(&t, &r2);
+        let tuple_order = (a1, b1).cmp(&(a2, b2));
+        prop_assert_eq!(k1.cmp(&k2), tuple_order);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,120}") {
+        let _ = crdb_sql::parser::parse(&input);
+    }
+
+    /// The lexer never panics and either errors or produces tokens whose
+    /// re-rendering lexes again.
+    #[test]
+    fn lexer_total(input in "[ -~]{0,120}") {
+        if let Ok(tokens) = crdb_sql::lexer::tokenize(&input) {
+            let rendered: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+            let rejoined = rendered.join(" ");
+            prop_assert!(crdb_sql::lexer::tokenize(&rejoined).is_ok());
+        }
+    }
+
+    /// Index entry keys always decode back to their primary key.
+    #[test]
+    fn index_entries_roundtrip(row in row_strategy()) {
+        let mut t = table();
+        t.indexes.push(crdb_sql::schema::IndexDescriptor {
+            id: 2,
+            name: "idx".into(),
+            columns: vec![2, 3],
+        });
+        let key = rowcodec::index_entry_key(&t, 2, &[2, 3], &row);
+        let pk = rowcodec::decode_index_entry(&t, 2, 2, &key).expect("decodes");
+        prop_assert!(pk[0].sql_eq(&row[0]) || matches!((&pk[0], &row[0]), (Datum::Null, Datum::Null)));
+        match (&pk[1], &row[1]) {
+            (Datum::Str(a), Datum::Str(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// Session snapshots roundtrip through the wire format for arbitrary
+    /// settings and prepared statements.
+    #[test]
+    fn session_snapshot_roundtrips(
+        user in "[a-z]{1,12}",
+        settings in prop::collection::btree_map("[a-z_]{1,10}", "[ -~]{0,20}", 0..6),
+        prepared in prop::collection::btree_map("[a-z_]{1,10}", "[ -~]{0,40}", 0..4),
+        secret in any::<u64>(),
+        at in any::<u64>(),
+    ) {
+        use crdb_sql::session::{Session, SessionSnapshot};
+        let mut s = Session::new(1, user);
+        s.settings = settings;
+        s.prepared = prepared;
+        let snap = SessionSnapshot::capture(&s, 9, at, secret).expect("idle");
+        let decoded = SessionSnapshot::decode(&snap.encode()).expect("decodes");
+        prop_assert_eq!(&decoded, &snap);
+        let restored = decoded.restore(2, 9, secret).expect("verifies");
+        prop_assert_eq!(restored.settings, s.settings);
+        prop_assert_eq!(restored.prepared, s.prepared);
+        // Wrong secret always fails.
+        prop_assert!(snap.restore(3, 9, secret ^ 1).is_err());
+    }
+}
+
+/// Spans built from prefixes contain exactly the rows sharing the prefix.
+#[test]
+fn prefix_spans_are_tight() {
+    let t = table();
+    let start = rowcodec::key_with_prefix(&t, 1, &[Datum::Int(5)]);
+    let end = rowcodec::prefix_span_end(&start);
+    for (a, b, inside) in [(5i64, "", true), (5, "zzz", true), (4, "zzz", false), (6, "", false)] {
+        let row = vec![Datum::Int(a), Datum::Str(b.into()), Datum::Null, Datum::Null];
+        let key = rowcodec::primary_key(&t, &row);
+        let contained = key >= start && key < end;
+        assert_eq!(contained, inside, "a={a} b={b:?}");
+    }
+    let _ = Bytes::new();
+}

@@ -1,0 +1,309 @@
+//! End-to-end SQL tests: statements run through parse → plan → execute →
+//! transaction coordinator → KV batches → MVCC on a real multi-node KV
+//! cluster under simulation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crdb_kv::client::KvClient;
+use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+use crdb_sim::{Location, Sim, Topology};
+use crdb_sql::coord::SqlError;
+use crdb_sql::exec::QueryOutput;
+use crdb_sql::node::{NodeState, SqlNode, SqlNodeConfig};
+use crdb_sql::system_db::SystemDatabase;
+use crdb_sql::value::Datum;
+use crdb_util::time::dur;
+use crdb_util::{RegionId, SqlInstanceId, TenantId};
+
+struct Fixture {
+    sim: Sim,
+    node: Rc<SqlNode>,
+    session: u64,
+}
+
+fn setup(seed: u64) -> Fixture {
+    let sim = Sim::new(seed);
+    let cluster = KvCluster::new(
+        &sim,
+        Topology::single_region("us-east1", 3),
+        KvClusterConfig::default(),
+    );
+    let cert = cluster.create_tenant(TenantId(2));
+    let client = KvClient::new(cluster.clone(), cert, Location::new(RegionId(0), 0));
+    let node = SqlNode::new(&sim, SqlInstanceId(1), client, SqlNodeConfig::default());
+    let system_db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
+    let ready = Rc::new(RefCell::new(false));
+    {
+        let r = Rc::clone(&ready);
+        node.start(&system_db, move || *r.borrow_mut() = true);
+    }
+    sim.run_for(dur::secs(5));
+    assert!(*ready.borrow(), "node became ready");
+    assert_eq!(node.state(), NodeState::Ready);
+    let session = node.open_session("test_user").unwrap();
+    Fixture { sim, node, session }
+}
+
+/// Runs one statement to completion, panicking on error.
+fn exec(f: &Fixture, sql: &str) -> QueryOutput {
+    try_exec(f, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+fn try_exec(f: &Fixture, sql: &str) -> Result<QueryOutput, SqlError> {
+    exec_params(f, sql, vec![])
+}
+
+fn exec_params(f: &Fixture, sql: &str, params: Vec<Datum>) -> Result<QueryOutput, SqlError> {
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    f.node.execute(f.session, sql, params, move |r| *o.borrow_mut() = Some(r));
+    f.sim.run_for(dur::secs(60));
+    let r = out.borrow_mut().take();
+    r.unwrap_or_else(|| panic!("{sql}: did not complete"))
+}
+
+#[test]
+fn ddl_insert_select_roundtrip() {
+    let f = setup(1);
+    exec(&f, "CREATE TABLE users (id INT PRIMARY KEY, name STRING NOT NULL, score FLOAT)");
+    exec(&f, "INSERT INTO users (id, name, score) VALUES (1, 'ada', 99.5), (2, 'bob', 50.0)");
+    let out = exec(&f, "SELECT id, name, score FROM users WHERE id = 1");
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0], Datum::Int(1));
+    assert_eq!(out.rows[0][1], Datum::Str("ada".into()));
+    assert_eq!(out.rows[0][2], Datum::Float(99.5));
+    let out = exec(&f, "SELECT * FROM users ORDER BY id DESC");
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.rows[0][0], Datum::Int(2));
+}
+
+#[test]
+fn update_delete_and_rescan() {
+    let f = setup(2);
+    exec(&f, "CREATE TABLE kv (k INT PRIMARY KEY, v INT)");
+    exec(&f, "INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)");
+    let out = exec(&f, "UPDATE kv SET v = v + 1 WHERE k >= 2");
+    assert_eq!(out.rows_affected, 2);
+    let out = exec(&f, "DELETE FROM kv WHERE k = 1");
+    assert_eq!(out.rows_affected, 1);
+    let out = exec(&f, "SELECT k, v FROM kv ORDER BY k");
+    assert_eq!(out.rows, vec![
+        vec![Datum::Int(2), Datum::Int(21)],
+        vec![Datum::Int(3), Datum::Int(31)],
+    ]);
+}
+
+#[test]
+fn aggregates_group_order_limit() {
+    let f = setup(3);
+    exec(&f, "CREATE TABLE sales (id INT PRIMARY KEY, region STRING, amount INT)");
+    exec(
+        &f,
+        "INSERT INTO sales VALUES (1,'east',10),(2,'west',20),(3,'east',5),(4,'west',7),(5,'north',1)",
+    );
+    let out = exec(
+        &f,
+        "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM sales GROUP BY region \
+         ORDER BY total DESC LIMIT 2",
+    );
+    assert_eq!(out.columns, vec!["region", "total", "n"]);
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.rows[0], vec![Datum::Str("west".into()), Datum::Int(27), Datum::Int(2)]);
+    assert_eq!(out.rows[1], vec![Datum::Str("east".into()), Datum::Int(15), Datum::Int(2)]);
+    // Global aggregate.
+    let out = exec(&f, "SELECT COUNT(*), AVG(amount) FROM sales");
+    assert_eq!(out.rows[0][0], Datum::Int(5));
+    assert_eq!(out.rows[0][1], Datum::Float(8.6));
+}
+
+#[test]
+fn secondary_index_scan_and_backfill() {
+    let f = setup(4);
+    exec(&f, "CREATE TABLE items (id INT PRIMARY KEY, category STRING, price FLOAT)");
+    exec(
+        &f,
+        "INSERT INTO items VALUES (1,'tool',9.5),(2,'toy',3.0),(3,'tool',12.0),(4,'food',1.0)",
+    );
+    // Backfill over existing rows.
+    let out = exec(&f, "CREATE INDEX cat_idx ON items (category)");
+    assert_eq!(out.rows_affected, 4, "backfilled entries");
+    let out = exec(&f, "SELECT id FROM items WHERE category = 'tool' ORDER BY id");
+    assert_eq!(out.rows, vec![vec![Datum::Int(1)], vec![Datum::Int(3)]]);
+    // New inserts maintain the index.
+    exec(&f, "INSERT INTO items VALUES (5, 'tool', 2.0)");
+    let out = exec(&f, "SELECT COUNT(*) FROM items WHERE category = 'tool'");
+    assert_eq!(out.rows[0][0], Datum::Int(3));
+}
+
+#[test]
+fn lookup_join() {
+    let f = setup(5);
+    exec(&f, "CREATE TABLE customers (c_id INT PRIMARY KEY, c_name STRING)");
+    exec(&f, "CREATE TABLE orders (o_id INT PRIMARY KEY, o_c_id INT, o_total INT)");
+    exec(&f, "INSERT INTO customers VALUES (1,'ada'),(2,'bob')");
+    exec(&f, "INSERT INTO orders VALUES (10,1,100),(11,2,250),(12,1,50)");
+    let out = exec(
+        &f,
+        "SELECT o.o_id, c.c_name FROM orders o JOIN customers c ON o.o_c_id = c.c_id \
+         ORDER BY o_id",
+    );
+    assert_eq!(out.rows.len(), 3);
+    assert_eq!(out.rows[0], vec![Datum::Int(10), Datum::Str("ada".into())]);
+    assert_eq!(out.rows[1], vec![Datum::Int(11), Datum::Str("bob".into())]);
+}
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let f = setup(6);
+    exec(&f, "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+    exec(&f, "INSERT INTO acct VALUES (1, 100), (2, 0)");
+
+    // Committed transfer.
+    exec(&f, "BEGIN");
+    exec(&f, "UPDATE acct SET bal = bal - 40 WHERE id = 1");
+    exec(&f, "UPDATE acct SET bal = bal + 40 WHERE id = 2");
+    // Read-your-writes inside the txn.
+    let out = exec(&f, "SELECT bal FROM acct WHERE id = 2");
+    assert_eq!(out.rows[0][0], Datum::Int(40));
+    exec(&f, "COMMIT");
+    let out = exec(&f, "SELECT bal FROM acct ORDER BY id");
+    assert_eq!(out.rows, vec![vec![Datum::Int(60)], vec![Datum::Int(40)]]);
+
+    // Rolled-back changes vanish.
+    exec(&f, "BEGIN");
+    exec(&f, "DELETE FROM acct WHERE id = 1");
+    exec(&f, "ROLLBACK");
+    let out = exec(&f, "SELECT COUNT(*) FROM acct");
+    assert_eq!(out.rows[0][0], Datum::Int(2));
+}
+
+#[test]
+fn constraint_violations() {
+    let f = setup(7);
+    exec(&f, "CREATE TABLE t (id INT PRIMARY KEY, name STRING NOT NULL)");
+    exec(&f, "INSERT INTO t VALUES (1, 'x')");
+    let err = try_exec(&f, "INSERT INTO t VALUES (1, 'dup')").unwrap_err();
+    assert!(matches!(err, SqlError::Constraint(_)), "{err}");
+    let err = try_exec(&f, "INSERT INTO t (id) VALUES (2)").unwrap_err();
+    assert!(matches!(err, SqlError::Constraint(_)), "{err}");
+    let err = try_exec(&f, "SELECT * FROM missing").unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)), "{err}");
+}
+
+#[test]
+fn prepared_statements_with_params() {
+    let f = setup(8);
+    exec(&f, "CREATE TABLE t (id INT PRIMARY KEY, v STRING)");
+    f.node.prepare(f.session, "ins", "INSERT INTO t VALUES ($1, $2)").unwrap();
+    f.node.prepare(f.session, "get", "SELECT v FROM t WHERE id = $1").unwrap();
+    let out = Rc::new(RefCell::new(None));
+    {
+        let o = Rc::clone(&out);
+        f.node.execute_prepared(
+            f.session,
+            "ins",
+            vec![Datum::Int(7), Datum::Str("seven".into())],
+            move |r| *o.borrow_mut() = Some(r),
+        );
+    }
+    f.sim.run_for(dur::secs(10));
+    assert!(out.borrow_mut().take().unwrap().is_ok());
+    {
+        let o = Rc::clone(&out);
+        f.node.execute_prepared(f.session, "get", vec![Datum::Int(7)], move |r| {
+            *o.borrow_mut() = Some(r)
+        });
+    }
+    f.sim.run_for(dur::secs(10));
+    let got = out.borrow_mut().take().unwrap().unwrap();
+    assert_eq!(got.rows[0][0], Datum::Str("seven".into()));
+}
+
+#[test]
+fn session_migration_between_nodes() {
+    let f = setup(9);
+    exec(&f, "CREATE TABLE t (id INT PRIMARY KEY)");
+    f.node.set_session_var(f.session, "application_name", "migrator").unwrap();
+    f.node.prepare(f.session, "q", "SELECT COUNT(*) FROM t").unwrap();
+
+    // Serialize on the old node, restore on a brand-new one.
+    let snapshot = f.node.serialize_session(f.session).unwrap();
+    let encoded = snapshot.encode();
+    let decoded = crdb_sql::session::SessionSnapshot::decode(&encoded).unwrap();
+
+    let cluster = f.node.kv_client().cluster().clone();
+    let cert = cluster.create_tenant(TenantId(2)); // re-issue cert for same tenant
+    let client = KvClient::new(cluster, cert, Location::new(RegionId(0), 0));
+    let node2 = SqlNode::new(&f.sim, SqlInstanceId(2), client, SqlNodeConfig::default());
+    let system_db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
+    let ready = Rc::new(RefCell::new(false));
+    {
+        let r = Rc::clone(&ready);
+        node2.start(&system_db, move || *r.borrow_mut() = true);
+    }
+    f.sim.run_for(dur::secs(5));
+    assert!(*ready.borrow());
+
+    let new_session = node2.restore_session(&decoded).unwrap();
+    // The restored session keeps settings and prepared statements.
+    let out = Rc::new(RefCell::new(None));
+    {
+        let o = Rc::clone(&out);
+        node2.execute_prepared(new_session, "q", vec![], move |r| *o.borrow_mut() = Some(r));
+    }
+    f.sim.run_for(dur::secs(10));
+    let got = out.borrow_mut().take().unwrap().unwrap();
+    assert_eq!(got.rows[0][0], Datum::Int(0));
+}
+
+#[test]
+fn cold_start_is_subsecond_single_region() {
+    let f = setup(10);
+    let cold = f.node.cold_start.get().expect("recorded");
+    assert!(cold < dur::secs(1), "single-region cold start sub-second: {cold:?}");
+    assert!(cold > dur::ms(10), "cold start does real work: {cold:?}");
+}
+
+#[test]
+fn catalog_survives_node_restart() {
+    let f = setup(11);
+    exec(&f, "CREATE TABLE persistent (id INT PRIMARY KEY, v INT)");
+    exec(&f, "INSERT INTO persistent VALUES (1, 42)");
+
+    // A second node for the same tenant loads the descriptor from KV.
+    let cluster = f.node.kv_client().cluster().clone();
+    let cert = cluster.create_tenant(TenantId(2));
+    let client = KvClient::new(cluster, cert, Location::new(RegionId(0), 0));
+    let node2 = SqlNode::new(&f.sim, SqlInstanceId(2), client, SqlNodeConfig::default());
+    let system_db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
+    node2.start(&system_db, || {});
+    f.sim.run_for(dur::secs(5));
+    assert_eq!(node2.state(), NodeState::Ready);
+    let session2 = node2.open_session("u").unwrap();
+
+    let out = Rc::new(RefCell::new(None));
+    {
+        let o = Rc::clone(&out);
+        node2.execute(session2, "SELECT v FROM persistent WHERE id = 1", vec![], move |r| {
+            *o.borrow_mut() = Some(r)
+        });
+    }
+    f.sim.run_for(dur::secs(10));
+    let got = out.borrow_mut().take().unwrap().unwrap();
+    assert_eq!(got.rows[0][0], Datum::Int(42));
+}
+
+#[test]
+fn sql_cpu_charged_per_statement() {
+    let f = setup(12);
+    exec(&f, "CREATE TABLE t (id INT PRIMARY KEY, pad STRING)");
+    let before = f.node.sql_cpu_seconds();
+    for i in 0..20 {
+        exec_params(&f, "INSERT INTO t VALUES ($1, 'some-padding-data')", vec![Datum::Int(i)])
+            .unwrap();
+    }
+    exec(&f, "SELECT * FROM t");
+    let after = f.node.sql_cpu_seconds();
+    assert!(after > before, "SQL CPU consumed: {before} -> {after}");
+}

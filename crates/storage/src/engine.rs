@@ -1,0 +1,145 @@
+//! A thread-safe engine wrapper.
+//!
+//! The simulator drives [`crate::Lsm`] single-threaded, but the storage
+//! engine is also a standalone library; [`Engine`] wraps it for concurrent
+//! use (coarse mutex — Pebble's internal sharding is out of scope, and the
+//! simulator never contends).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lsm::{Lsm, LsmConfig};
+use crate::memtable::WriteBatch;
+use crate::metrics::StorageMetrics;
+use crate::{Key, Value};
+
+/// A cloneable, thread-safe handle to an LSM engine.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Mutex<Lsm>>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration and in-memory WAL.
+    pub fn new(config: LsmConfig) -> Self {
+        Engine { inner: Arc::new(Mutex::new(Lsm::new(config))) }
+    }
+
+    /// Wraps an existing LSM.
+    pub fn from_lsm(lsm: Lsm) -> Self {
+        Engine { inner: Arc::new(Mutex::new(lsm)) }
+    }
+
+    /// Applies a write batch atomically.
+    pub fn apply(&self, batch: &WriteBatch) {
+        self.inner.lock().apply(batch);
+    }
+
+    /// Writes a single key.
+    pub fn put(&self, key: impl Into<Key>, value: impl Into<Value>) {
+        self.inner.lock().put(key, value);
+    }
+
+    /// Deletes a single key.
+    pub fn delete(&self, key: impl Into<Key>) {
+        self.inner.lock().delete(key);
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Value> {
+        self.inner.lock().get(key)
+    }
+
+    /// Range scan over `[start, end)` with a result limit.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Key, Value)> {
+        self.inner.lock().scan(start, end, limit)
+    }
+
+    /// Cumulative instrumentation counters.
+    pub fn metrics(&self) -> StorageMetrics {
+        self.inner.lock().metrics()
+    }
+
+    /// GC helper for write-once keys: physically removes the key's live
+    /// memtable entry if present (see `Lsm::gc_remove_if_in_memtable`).
+    pub fn gc_remove_if_in_memtable(&self, key: &[u8]) -> bool {
+        self.inner.lock().gc_remove_if_in_memtable(key)
+    }
+
+    /// Runs a closure with exclusive access to the underlying LSM — used
+    /// by the simulated KV node for flush/compaction pacing.
+    pub fn with_lsm<T>(&self, f: impl FnOnce(&mut Lsm) -> T) -> T {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let engine = Engine::new(LsmConfig::tiny());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        let k = format!("t{t}-key{i:04}");
+                        engine.put(Bytes::from(k.clone()), Bytes::from(format!("v{i}")));
+                        assert_eq!(engine.get(k.as_bytes()), Some(Bytes::from(format!("v{i}"))));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // All writes from all threads visible.
+        for t in 0..4 {
+            for i in (0..250u32).step_by(50) {
+                let k = format!("t{t}-key{i:04}");
+                assert_eq!(engine.get(k.as_bytes()), Some(Bytes::from(format!("v{i}"))));
+            }
+        }
+        assert!(engine.metrics().flush_count > 0);
+    }
+
+    #[test]
+    fn batch_atomicity_under_concurrency() {
+        let engine = Engine::new(LsmConfig::tiny());
+        let writer = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let mut b = WriteBatch::new();
+                    b.put(Bytes::from_static(b"a"), Bytes::from(i.to_string()));
+                    b.put(Bytes::from_static(b"b"), Bytes::from(i.to_string()));
+                    engine.apply(&b);
+                }
+            })
+        };
+        let reader = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let a = engine.get(b"a");
+                    let b = engine.get(b"b");
+                    if let (Some(_), Some(_)) = (&a, &b) {
+                        // Individual gets are not a snapshot, so values can
+                        // differ by at most one generation under this
+                        // writer; both must always parse.
+                        let _: u32 = std::str::from_utf8(a.as_ref().unwrap()).unwrap().parse().unwrap();
+                        let _: u32 = std::str::from_utf8(b.as_ref().unwrap()).unwrap().parse().unwrap();
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(engine.get(b"a"), Some(Bytes::from("199")));
+        assert_eq!(engine.get(b"b"), Some(Bytes::from("199")));
+    }
+}

@@ -1,0 +1,111 @@
+//! K-way merging across LSM sources.
+//!
+//! A read must see the newest version of every key across the memtable,
+//! any frozen memtables, the L0 tables (newest file first) and one run per
+//! lower level. [`merge_sources`] merges already-sorted entry streams with
+//! a "lowest source index wins" rule, so callers order sources from newest
+//! to oldest. Tombstones are preserved (`None` values) so the caller can
+//! decide whether to surface or elide them.
+
+use crate::{Key, Value};
+
+/// Merges sorted `(key, value)` streams. `sources[0]` is the newest; on a
+/// key collision the entry from the lowest-indexed source wins. Input
+/// streams must be strictly sorted by key.
+pub fn merge_sources(
+    sources: Vec<Vec<(Key, Option<Value>)>>,
+) -> Vec<(Key, Option<Value>)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Heap of (key, source_idx, pos): pop smallest key, tie-break by the
+    // smaller (newer) source index.
+    let mut heap: BinaryHeap<Reverse<(Key, usize, usize)>> = BinaryHeap::new();
+    for (idx, src) in sources.iter().enumerate() {
+        if let Some((k, _)) = src.first() {
+            heap.push(Reverse((k.clone(), idx, 0)));
+        }
+    }
+    let mut out: Vec<(Key, Option<Value>)> = Vec::new();
+    while let Some(Reverse((key, idx, pos))) = heap.pop() {
+        let (_, value) = &sources[idx][pos];
+        match out.last() {
+            Some((last, _)) if *last == key => {
+                // An older source produced the same key: skip it.
+            }
+            _ => out.push((key, value.clone())),
+        }
+        if let Some((k, _)) = sources[idx].get(pos + 1) {
+            heap.push(Reverse((k.clone(), idx, pos + 1)));
+        }
+    }
+    out
+}
+
+/// Drops tombstones from a merged stream — used when compacting into the
+/// bottom level, where nothing older can be shadowed.
+pub fn strip_tombstones(entries: Vec<(Key, Option<Value>)>) -> Vec<(Key, Option<Value>)> {
+    entries.into_iter().filter(|(_, v)| v.is_some()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn src(pairs: &[(&str, Option<&str>)]) -> Vec<(Key, Option<Value>)> {
+        pairs.iter().map(|(k, v)| (b(k), v.map(b))).collect()
+    }
+
+    #[test]
+    fn newest_source_wins() {
+        let merged = merge_sources(vec![
+            src(&[("a", Some("new")), ("c", None)]),
+            src(&[("a", Some("old")), ("b", Some("1")), ("c", Some("old"))]),
+        ]);
+        assert_eq!(
+            merged,
+            src(&[("a", Some("new")), ("b", Some("1")), ("c", None)])
+        );
+    }
+
+    #[test]
+    fn three_way_merge_is_sorted() {
+        let merged = merge_sources(vec![
+            src(&[("b", Some("2"))]),
+            src(&[("d", Some("4")), ("f", Some("6"))]),
+            src(&[("a", Some("1")), ("c", Some("3")), ("e", Some("5"))]),
+        ]);
+        let keys: Vec<_> = merged.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c"), b("d"), b("e"), b("f")]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert!(merge_sources(vec![]).is_empty());
+        assert!(merge_sources(vec![vec![], vec![]]).is_empty());
+        let merged = merge_sources(vec![vec![], src(&[("a", Some("1"))])]);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn strip_tombstones_removes_deletes() {
+        let stripped = strip_tombstones(src(&[("a", Some("1")), ("b", None), ("c", Some("3"))]));
+        assert_eq!(stripped.len(), 2);
+        assert!(stripped.iter().all(|(_, v)| v.is_some()));
+    }
+
+    #[test]
+    fn duplicate_keys_across_many_sources() {
+        let merged = merge_sources(vec![
+            src(&[("k", Some("v3"))]),
+            src(&[("k", Some("v2"))]),
+            src(&[("k", Some("v1"))]),
+        ]);
+        assert_eq!(merged, src(&[("k", Some("v3"))]));
+    }
+}

@@ -1,0 +1,44 @@
+//! An LSM-tree storage engine — the reproduction's stand-in for Pebble.
+//!
+//! CockroachDB stores each node's data in Pebble, a log-structured
+//! merge-tree (§5.1.3). The parts of Pebble that matter to the paper are
+//! reproduced here for real:
+//!
+//! - a write-ahead log ([`wal`]) and an ordered in-memory [`memtable`],
+//! - immutable sorted runs ([`sstable`]) organized into **L0** (overlapping
+//!   files) plus leveled non-overlapping levels below ([`lsm`]),
+//! - flush and compaction with **byte-accurate accounting**
+//!   ([`metrics::StorageMetrics`]): admission control's write-token bucket
+//!   derives its refill rate from the flush and L0-compaction throughput of
+//!   exactly this instrumentation, and the §5.1.4 `a·x + b` linear
+//!   write-amplification models are fitted to these counters.
+//!
+//! The engine is synchronous and deterministic: compaction work is
+//! triggered by the embedder (`maybe_compact`), which lets the simulated KV
+//! node charge flush/compaction bytes against a simulated disk with a real
+//! bandwidth limit. The engine is also usable standalone under real
+//! threads via [`engine::Engine`]'s internal locking.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod iter;
+pub mod lsm;
+pub mod memtable;
+pub mod metrics;
+pub mod sstable;
+pub mod wal;
+
+pub use engine::Engine;
+pub use lsm::{Lsm, LsmConfig};
+pub use memtable::WriteBatch;
+pub use metrics::StorageMetrics;
+
+use bytes::Bytes;
+
+/// A storage key: opaque ordered bytes (the KV layer encodes tenant prefix,
+/// table keys and MVCC timestamps into it).
+pub type Key = Bytes;
+
+/// A storage value. `None` inside the engine denotes a tombstone.
+pub type Value = Bytes;

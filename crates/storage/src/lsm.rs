@@ -1,0 +1,561 @@
+//! The leveled LSM tree.
+//!
+//! Writes go WAL → memtable; a full memtable flushes into **L0**, whose
+//! files may overlap in key space (§5.1.3: "Level 0 in LSMs is special in
+//! that files can be overlapping … a backlog of files in this level
+//! increases read amplification"). When L0 accumulates enough files it is
+//! compacted into L1; levels below L1 are non-overlapping sorted runs that
+//! compact downward when they exceed their size target (each level 10×
+//! larger than the previous). All flush/compaction byte movement is
+//! recorded in [`StorageMetrics`] — that instrumentation is what admission
+//! control's write-token capacity estimator consumes.
+
+use crate::iter::{merge_sources, strip_tombstones};
+use crate::memtable::{Memtable, WriteBatch};
+use crate::metrics::StorageMetrics;
+use crate::sstable::{SsTable, TableBuilder};
+use crate::wal::{encode_batch, MemWal, WalSink};
+use crate::{Key, Value};
+
+/// Tuning knobs for the LSM tree. Defaults are scaled down from production
+/// values so tests exercise flush and compaction quickly.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Memtable size that triggers a flush.
+    pub memtable_size: usize,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub l0_compaction_threshold: usize,
+    /// Size target for L1; level `n` targets `base · multiplier^(n-1)`.
+    pub level_base_size: usize,
+    /// Growth factor between consecutive levels.
+    pub level_size_multiplier: usize,
+    /// Target output file size for compactions.
+    pub sst_target_size: usize,
+    /// Number of levels below L0.
+    pub num_levels: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_size: 4 << 20,
+            l0_compaction_threshold: 4,
+            level_base_size: 16 << 20,
+            level_size_multiplier: 10,
+            sst_target_size: 2 << 20,
+            num_levels: 6,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// A tiny configuration that forces frequent flushes and compactions —
+    /// used by tests to exercise the full machinery with little data.
+    pub fn tiny() -> Self {
+        LsmConfig {
+            memtable_size: 1 << 10,
+            l0_compaction_threshold: 2,
+            level_base_size: 4 << 10,
+            level_size_multiplier: 4,
+            sst_target_size: 2 << 10,
+            num_levels: 4,
+        }
+    }
+
+    fn level_target(&self, level: usize) -> usize {
+        debug_assert!(level >= 1);
+        self.level_base_size * self.level_size_multiplier.pow(level as u32 - 1)
+    }
+}
+
+/// A single-threaded LSM tree. For concurrent access wrap it in
+/// [`crate::engine::Engine`].
+pub struct Lsm {
+    config: LsmConfig,
+    wal: Box<dyn WalSink>,
+    memtable: Memtable,
+    /// L0: overlapping files, newest last.
+    l0: Vec<SsTable>,
+    /// `levels[i]` is L(i+1): non-overlapping files sorted by min key.
+    levels: Vec<Vec<SsTable>>,
+    next_file_num: u64,
+    metrics: StorageMetrics,
+    /// Round-robin compaction cursors, one per level in `levels`.
+    cursors: Vec<usize>,
+    /// When false, flush/compaction only happen via explicit calls —
+    /// embedders that meter disk bandwidth use this.
+    auto_maintain: bool,
+}
+
+impl Lsm {
+    /// Creates an LSM with an in-memory WAL.
+    pub fn new(config: LsmConfig) -> Self {
+        Self::with_wal(config, Box::new(MemWal::new()))
+    }
+
+    /// Creates an LSM with a caller-provided WAL sink.
+    pub fn with_wal(config: LsmConfig, wal: Box<dyn WalSink>) -> Self {
+        let levels = vec![Vec::new(); config.num_levels];
+        let cursors = vec![0; config.num_levels];
+        Lsm {
+            config,
+            wal,
+            memtable: Memtable::new(),
+            l0: Vec::new(),
+            levels,
+            next_file_num: 1,
+            metrics: StorageMetrics::default(),
+            cursors,
+            auto_maintain: true,
+        }
+    }
+
+    /// Enables or disables automatic flush/compaction on write.
+    pub fn set_auto_maintain(&mut self, on: bool) {
+        self.auto_maintain = on;
+    }
+
+    /// Applies a write batch: WAL append, memtable apply, then (if enabled)
+    /// any flush/compaction work that falls due.
+    pub fn apply(&mut self, batch: &WriteBatch) {
+        let record = encode_batch(batch);
+        self.wal.append(&record).expect("wal append");
+        self.metrics.wal_bytes += record.len() as u64;
+        self.metrics.logical_bytes_written += batch.payload_bytes() as u64;
+        self.memtable.apply_batch(batch);
+        if self.auto_maintain {
+            self.maybe_maintain();
+        }
+    }
+
+    /// Convenience single-key put.
+    pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        let mut b = WriteBatch::new();
+        b.put(key.into(), value.into());
+        self.apply(&b);
+    }
+
+    /// Convenience single-key delete.
+    pub fn delete(&mut self, key: impl Into<Key>) {
+        let mut b = WriteBatch::new();
+        b.delete(key.into());
+        self.apply(&b);
+    }
+
+    /// Point lookup across all levels, newest data first.
+    pub fn get(&self, key: &[u8]) -> Option<Value> {
+        if let Some(v) = self.memtable.get(key) {
+            return v;
+        }
+        for table in self.l0.iter().rev() {
+            if let Some(v) = table.get(key) {
+                return v;
+            }
+        }
+        for level in &self.levels {
+            // Non-overlapping: binary search for the file whose range could
+            // contain the key.
+            let idx = level.partition_point(|t| t.max_key().map_or(false, |k| k.as_ref() < key));
+            if let Some(table) = level.get(idx) {
+                if let Some(v) = table.get(key) {
+                    return v;
+                }
+            }
+        }
+        None
+    }
+
+    /// Range scan over `[start, end)` returning up to `limit` live entries.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Key, Value)> {
+        let mut sources: Vec<Vec<(Key, Option<Value>)>> = Vec::new();
+        sources.push(self.memtable.range(start, end).map(|(k, v)| (k.clone(), v.clone())).collect());
+        for table in self.l0.iter().rev() {
+            if table.overlaps(start, end) {
+                sources.push(table.range(start, end).to_vec());
+            }
+        }
+        for level in &self.levels {
+            // Non-overlapping and sorted: binary-search the first file
+            // that could intersect, then walk forward.
+            let mut run = Vec::new();
+            let mut idx =
+                level.partition_point(|t| t.max_key().map_or(false, |k| k.as_ref() < start));
+            while let Some(table) = level.get(idx) {
+                if table.min_key().map_or(true, |k| k.as_ref() >= end) {
+                    break;
+                }
+                run.extend_from_slice(table.range(start, end));
+                idx += 1;
+            }
+            sources.push(run);
+        }
+        strip_tombstones(merge_sources(sources))
+            .into_iter()
+            .take(limit)
+            .map(|(k, v)| (k, v.expect("stripped")))
+            .collect()
+    }
+
+    /// Garbage-collection helper for *write-once* keys: if the key's only
+    /// occurrence is the live memtable entry, remove it physically and
+    /// return true; otherwise the caller must write a tombstone. Avoids
+    /// unbounded tombstone churn for MVCC version GC on hot keys.
+    pub fn gc_remove_if_in_memtable(&mut self, key: &[u8]) -> bool {
+        if self.memtable.get(key).is_some() {
+            self.memtable.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes the memtable (if non-empty) and runs compactions until no
+    /// level is over its trigger. Embedders with `auto_maintain` off call
+    /// this when their simulated disk allows.
+    pub fn maybe_maintain(&mut self) {
+        if self.memtable.approx_bytes() >= self.config.memtable_size {
+            self.flush();
+        }
+        while self.compact_one() {}
+    }
+
+    /// Unconditionally flushes the memtable into a new L0 table.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let memtable = std::mem::take(&mut self.memtable);
+        let entries = memtable.into_entries();
+        let table = SsTable::new(self.next_file_num, entries);
+        self.next_file_num += 1;
+        self.metrics.flush_bytes += table.size() as u64;
+        self.metrics.flush_count += 1;
+        self.l0.push(table);
+        self.wal.truncate().expect("wal truncate");
+    }
+
+    /// Runs at most one compaction; returns whether any work was done.
+    pub fn compact_one(&mut self) -> bool {
+        if self.l0.len() >= self.config.l0_compaction_threshold {
+            self.compact_l0();
+            return true;
+        }
+        for level in 1..=self.levels.len().saturating_sub(1) {
+            let size: usize = self.levels[level - 1].iter().map(|t| t.size()).sum();
+            if size > self.config.level_target(level) {
+                self.compact_level(level);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Compacts all of L0 (plus overlapping L1 files) into L1.
+    fn compact_l0(&mut self) {
+        let l0 = std::mem::take(&mut self.l0);
+        let (min, max) = bounds_of(&l0);
+        let overlapping = self.take_overlapping(0, min.as_deref(), max.as_deref());
+        let mut sources: Vec<Vec<(Key, Option<Value>)>> = Vec::new();
+        // Newest first: L0 files by descending file number, then L1.
+        let mut l0_sorted = l0;
+        l0_sorted.sort_by_key(|t| std::cmp::Reverse(t.num()));
+        let bytes_in: u64 = l0_sorted.iter().chain(overlapping.iter()).map(|t| t.size() as u64).sum();
+        for t in &l0_sorted {
+            sources.push(t.entries().to_vec());
+        }
+        let mut l1_run = Vec::new();
+        for t in &overlapping {
+            l1_run.extend_from_slice(t.entries());
+        }
+        sources.push(l1_run);
+        let merged = merge_sources(sources);
+        let merged = if self.levels.len() == 1 { strip_tombstones(merged) } else { merged };
+        let bytes_out = self.install(1, merged);
+        self.metrics.compact_bytes_in += bytes_in;
+        self.metrics.compact_bytes_out += bytes_out;
+        self.metrics.l0_compact_bytes += bytes_in;
+        self.metrics.compact_count += 1;
+    }
+
+    /// Compacts one file from level `level` into `level + 1`.
+    fn compact_level(&mut self, level: usize) {
+        let idx = level - 1;
+        if self.levels[idx].is_empty() {
+            return;
+        }
+        let cursor = self.cursors[idx] % self.levels[idx].len();
+        self.cursors[idx] = cursor + 1;
+        let file = self.levels[idx].remove(cursor);
+        let min = file.min_key().cloned();
+        let max = file.max_key().cloned();
+        let overlapping =
+            self.take_overlapping(level, min.as_deref(), max.as_deref());
+        let bytes_in = file.size() as u64 + overlapping.iter().map(|t| t.size() as u64).sum::<u64>();
+        let mut next_run = Vec::new();
+        for t in &overlapping {
+            next_run.extend_from_slice(t.entries());
+        }
+        let merged = merge_sources(vec![file.entries().to_vec(), next_run]);
+        let is_bottom = level + 1 == self.levels.len();
+        let merged = if is_bottom { strip_tombstones(merged) } else { merged };
+        let bytes_out = self.install(level + 1, merged);
+        self.metrics.compact_bytes_in += bytes_in;
+        self.metrics.compact_bytes_out += bytes_out;
+        self.metrics.compact_count += 1;
+    }
+
+    /// Removes and returns the files of L(`target_level`+1) overlapping
+    /// `[min, max]` (inclusive).
+    fn take_overlapping(
+        &mut self,
+        source_level: usize,
+        min: Option<&[u8]>,
+        max: Option<&[u8]>,
+    ) -> Vec<SsTable> {
+        let idx = source_level; // levels[idx] is L(source_level + 1)
+        let (min, max) = match (min, max) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Vec::new(),
+        };
+        let level = &mut self.levels[idx];
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < level.len() {
+            let t = &level[i];
+            let overlaps = match (t.min_key(), t.max_key()) {
+                (Some(tmin), Some(tmax)) => tmin.as_ref() <= max && tmax.as_ref() >= min,
+                _ => false,
+            };
+            if overlaps {
+                taken.push(level.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Builds output tables from merged entries and installs them into the
+    /// target level, keeping it sorted. Returns bytes written.
+    fn install(&mut self, target_level: usize, entries: Vec<(Key, Option<Value>)>) -> u64 {
+        let mut builder = TableBuilder::new(self.config.sst_target_size, self.next_file_num);
+        for (k, v) in entries {
+            builder.add(k, v);
+        }
+        let (tables, next_num) = builder.finish();
+        self.next_file_num = next_num;
+        let bytes: u64 = tables.iter().map(|t| t.size() as u64).sum();
+        let level = &mut self.levels[target_level - 1];
+        level.extend(tables);
+        level.sort_by(|a, b| a.min_key().cmp(&b.min_key()));
+        debug_assert!(
+            level.windows(2).all(|w| w[0].max_key() < w[1].min_key()),
+            "level {target_level} must stay non-overlapping"
+        );
+        bytes
+    }
+
+    /// Number of files currently in L0.
+    pub fn l0_file_count(&self) -> usize {
+        self.l0.len()
+    }
+
+    /// Sizes of L1.. in bytes.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.iter().map(|t| t.size()).sum()).collect()
+    }
+
+    /// Read amplification: number of sorted runs a point read may consult.
+    pub fn read_amplification(&self) -> usize {
+        1 + self.l0.len() + self.levels.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Total bytes across memtable and all tables.
+    pub fn total_bytes(&self) -> usize {
+        self.memtable.approx_bytes()
+            + self.l0.iter().map(|t| t.size()).sum::<usize>()
+            + self.level_sizes().iter().sum::<usize>()
+    }
+
+    /// Current memtable size in bytes.
+    pub fn memtable_bytes(&self) -> usize {
+        self.memtable.approx_bytes()
+    }
+
+    /// Cumulative instrumentation counters.
+    pub fn metrics(&self) -> StorageMetrics {
+        self.metrics
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+}
+
+fn bounds_of(tables: &[SsTable]) -> (Option<Key>, Option<Key>) {
+    let min = tables.iter().filter_map(|t| t.min_key()).min().cloned();
+    let max = tables.iter().filter_map(|t| t.max_key()).max().cloned();
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[allow(dead_code)]
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn key(i: u32) -> Bytes {
+        Bytes::from(format!("key{i:06}"))
+    }
+
+    fn value(i: u32) -> Bytes {
+        Bytes::from(format!("value-{i:06}-{}", "x".repeat(32)))
+    }
+
+    #[test]
+    fn put_get_through_flush_and_compaction() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..500 {
+            lsm.put(key(i), value(i));
+        }
+        assert!(lsm.metrics().flush_count > 0, "flushes happened");
+        assert!(lsm.metrics().compact_count > 0, "compactions happened");
+        for i in (0..500).step_by(37) {
+            assert_eq!(lsm.get(&key(i)), Some(value(i)), "key {i}");
+        }
+        assert_eq!(lsm.get(b"nonexistent"), None);
+    }
+
+    #[test]
+    fn overwrites_visible_after_compaction() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for round in 0..5u32 {
+            for i in 0..100 {
+                lsm.put(key(i), Bytes::from(format!("round{round}-{i}")));
+            }
+        }
+        for i in (0..100).step_by(13) {
+            assert_eq!(lsm.get(&key(i)), Some(Bytes::from(format!("round4-{i}"))));
+        }
+    }
+
+    #[test]
+    fn deletes_shadow_older_values() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..200 {
+            lsm.put(key(i), value(i));
+        }
+        for i in (0..200).step_by(2) {
+            lsm.delete(key(i));
+        }
+        lsm.flush();
+        while lsm.compact_one() {}
+        for i in 0..200 {
+            let got = lsm.get(&key(i));
+            if i % 2 == 0 {
+                assert_eq!(got, None, "deleted key {i} resurfaced");
+            } else {
+                assert_eq!(got, Some(value(i)), "live key {i} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_levels_in_order() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in (0..300).rev() {
+            lsm.put(key(i), value(i));
+        }
+        let out = lsm.scan(&key(100), &key(110), 1000);
+        assert_eq!(out.len(), 10);
+        for (n, (k, v)) in out.iter().enumerate() {
+            assert_eq!(k, &key(100 + n as u32));
+            assert_eq!(v, &value(100 + n as u32));
+        }
+    }
+
+    #[test]
+    fn scan_respects_limit_and_tombstones() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..50 {
+            lsm.put(key(i), value(i));
+        }
+        lsm.delete(key(0));
+        let out = lsm.scan(&key(0), &key(50), 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].0, key(1), "tombstoned key skipped");
+    }
+
+    #[test]
+    fn metrics_account_write_amplification() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..1000 {
+            lsm.put(key(i % 100), value(i));
+        }
+        let m = lsm.metrics();
+        assert!(m.logical_bytes_written > 0);
+        assert!(m.wal_bytes >= m.logical_bytes_written, "WAL framing adds bytes");
+        assert!(m.write_amplification() > 1.0, "amp={}", m.write_amplification());
+        assert!(m.l0_compact_bytes > 0);
+    }
+
+    #[test]
+    fn manual_maintenance_mode_defers_work() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        lsm.set_auto_maintain(false);
+        for i in 0..200 {
+            lsm.put(key(i), value(i));
+        }
+        assert_eq!(lsm.metrics().flush_count, 0, "no flush until asked");
+        assert!(lsm.memtable_bytes() > LsmConfig::tiny().memtable_size);
+        lsm.maybe_maintain();
+        assert!(lsm.metrics().flush_count > 0);
+        for i in (0..200).step_by(17) {
+            assert_eq!(lsm.get(&key(i)), Some(value(i)));
+        }
+    }
+
+    #[test]
+    fn read_amp_shrinks_after_compaction() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        lsm.set_auto_maintain(false);
+        for i in 0..400 {
+            lsm.put(key(i), value(i));
+            if i % 20 == 19 {
+                lsm.flush();
+            }
+        }
+        let before = lsm.read_amplification();
+        while lsm.compact_one() {}
+        let after = lsm.read_amplification();
+        assert!(after < before, "read amp {before} -> {after}");
+        assert_eq!(lsm.l0_file_count(), 0);
+    }
+
+    #[test]
+    fn empty_engine_behaves() {
+        let lsm = Lsm::new(LsmConfig::default());
+        assert_eq!(lsm.get(b"k"), None);
+        assert!(lsm.scan(b"a", b"z", 10).is_empty());
+        assert_eq!(lsm.read_amplification(), 1);
+        assert_eq!(lsm.total_bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_survive_in_levels() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..500 {
+            lsm.put(key(i), value(i));
+        }
+        lsm.flush();
+        while lsm.compact_one() {}
+        assert!(lsm.total_bytes() > 0);
+        let sizes = lsm.level_sizes();
+        assert!(sizes.iter().sum::<usize>() > 0, "{sizes:?}");
+    }
+}

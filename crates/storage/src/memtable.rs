@@ -1,0 +1,220 @@
+//! The mutable in-memory write buffer.
+//!
+//! All writes land in the memtable first (after the WAL); when it exceeds
+//! the configured size it is frozen and flushed to an L0 table. Deletions
+//! are tombstones (`None`) so they shadow older values in lower levels
+//! until compacted away at the bottom.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+use crate::{Key, Value};
+
+/// Per-entry bookkeeping overhead, approximating allocator and index cost.
+const ENTRY_OVERHEAD: usize = 24;
+
+/// An atomic batch of writes applied through the WAL as one record.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    entries: Vec<(Key, Option<Value>)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Adds a put of `key` → `value`.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> &mut Self {
+        self.entries.push((key.into(), Some(value.into())));
+        self
+    }
+
+    /// Adds a deletion tombstone for `key`.
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> &mut Self {
+        self.entries.push((key.into(), None));
+        self
+    }
+
+    /// The entries in application order.
+    pub fn entries(&self) -> &[(Key, Option<Value>)] {
+        &self.entries
+    }
+
+    /// Number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded payload size in bytes (keys + values).
+    pub fn payload_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
+            .sum()
+    }
+}
+
+/// The ordered in-memory buffer of recent writes.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Key, Option<Value>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Applies one mutation. Returns the byte delta added to the table.
+    pub fn apply(&mut self, key: Key, value: Option<Value>) -> usize {
+        let added = key.len() + value.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD;
+        if let Some(old) = self.map.insert(key, value) {
+            // Replaced an entry: keep the approximation simple and only
+            // subtract the old value size; the key was already counted.
+            let removed = old.map_or(0, |v| v.len());
+            self.approx_bytes = self.approx_bytes.saturating_sub(removed + ENTRY_OVERHEAD);
+        }
+        self.approx_bytes += added;
+        added
+    }
+
+    /// Applies a whole batch atomically; returns bytes added.
+    pub fn apply_batch(&mut self, batch: &WriteBatch) -> usize {
+        let mut added = 0;
+        for (k, v) in batch.entries() {
+            added += self.apply(k.clone(), v.clone());
+        }
+        added
+    }
+
+    /// Looks up a key. `Some(None)` means a tombstone shadows the key;
+    /// `None` means the memtable has no information about the key.
+    pub fn get(&self, key: &[u8]) -> Option<Option<Value>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Physically removes an entry, returning it. Only safe for keys that
+    /// are written at most once (the caller must know nothing below is
+    /// shadowed); used by MVCC garbage collection of version keys.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Option<Value>> {
+        let removed = self.map.remove(key);
+        if let Some(entry) = &removed {
+            let bytes = key.len() + entry.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD;
+            self.approx_bytes = self.approx_bytes.saturating_sub(bytes);
+        }
+        removed
+    }
+
+    /// Iterates entries with `start <= key < end` in key order.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: &[u8],
+    ) -> impl Iterator<Item = (&'a Key, &'a Option<Value>)> + 'a {
+        let start = Bound::Included(Bytes::copy_from_slice(start));
+        let end = Bound::Excluded(Bytes::copy_from_slice(end));
+        self.map.range::<Bytes, _>((start, end))
+    }
+
+    /// All entries in key order, consuming the table (used by flush).
+    pub fn into_entries(self) -> Vec<(Key, Option<Value>)> {
+        self.map.into_iter().collect()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of distinct keys (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Memtable::new();
+        m.apply(b("a"), Some(b("1")));
+        assert_eq!(m.get(b"a"), Some(Some(b("1"))));
+        m.apply(b("a"), None);
+        assert_eq!(m.get(b"a"), Some(None), "tombstone is visible");
+        assert_eq!(m.get(b"zz"), None, "unknown key is absent");
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut m = Memtable::new();
+        m.apply(b("k"), Some(b("v1")));
+        m.apply(b("k"), Some(b("v2")));
+        assert_eq!(m.get(b"k"), Some(Some(b("v2"))));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_bounded() {
+        let mut m = Memtable::new();
+        for k in ["d", "a", "c", "b", "e"] {
+            m.apply(b(k), Some(b(k)));
+        }
+        let keys: Vec<_> = m.range(b"b", b"e").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("b"), b("c"), b("d")]);
+    }
+
+    #[test]
+    fn batch_is_ordered_and_atomicish() {
+        let mut batch = WriteBatch::new();
+        batch.put(b("x"), b("1")).delete(b("y")).put(b("x"), b("2"));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.payload_bytes(), 1 + 1 + 1 + 1 + 1);
+        let mut m = Memtable::new();
+        m.apply_batch(&batch);
+        assert_eq!(m.get(b"x"), Some(Some(b("2"))), "later entry in batch wins");
+        assert_eq!(m.get(b"y"), Some(None));
+    }
+
+    #[test]
+    fn size_accounting_grows_and_shrinks_on_overwrite() {
+        let mut m = Memtable::new();
+        m.apply(b("key"), Some(b("0123456789")));
+        let s1 = m.approx_bytes();
+        m.apply(b("key"), Some(b("x")));
+        let s2 = m.approx_bytes();
+        assert!(s2 < s1, "overwrite with smaller value shrinks: {s1} -> {s2}");
+        assert!(s2 > 0);
+    }
+
+    #[test]
+    fn into_entries_sorted() {
+        let mut m = Memtable::new();
+        m.apply(b("b"), Some(b("2")));
+        m.apply(b("a"), Some(b("1")));
+        let entries = m.into_entries();
+        assert_eq!(entries[0].0, b("a"));
+        assert_eq!(entries[1].0, b("b"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Storage instrumentation.
+//!
+//! §5.1.3 estimates write capacity from "deep instrumentation of the LSM
+//! implementation": the bandwidth at which memtables flush into L0 and the
+//! bandwidth at which L0 compacts into lower levels. §5.1.4 fits `a·x + b`
+//! linear models mapping *logical* write bytes to *actual* bytes (raft log
+//! + state machine + write amplification). [`StorageMetrics`] provides the
+//! raw counters, and [`LinearModel`] the incremental least-squares fit used
+//! by admission control.
+
+/// Cumulative counters maintained by the LSM engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageMetrics {
+    /// Logical bytes written by callers (keys + values in write batches).
+    pub logical_bytes_written: u64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Bytes flushed from memtables into L0 tables.
+    pub flush_bytes: u64,
+    /// Number of memtable flushes.
+    pub flush_count: u64,
+    /// Bytes read by compactions.
+    pub compact_bytes_in: u64,
+    /// Bytes written by compactions.
+    pub compact_bytes_out: u64,
+    /// Number of compactions.
+    pub compact_count: u64,
+    /// Bytes compacted out of L0 specifically (the §5.1.3 bottleneck).
+    pub l0_compact_bytes: u64,
+}
+
+impl StorageMetrics {
+    /// Total physical write bytes: WAL + flush + compaction output.
+    pub fn physical_write_bytes(&self) -> u64 {
+        self.wal_bytes + self.flush_bytes + self.compact_bytes_out
+    }
+
+    /// Write amplification: physical bytes per logical byte.
+    pub fn write_amplification(&self) -> f64 {
+        if self.logical_bytes_written == 0 {
+            0.0
+        } else {
+            self.physical_write_bytes() as f64 / self.logical_bytes_written as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self` minus `earlier`), for interval
+    /// rate estimation.
+    pub fn delta(&self, earlier: &StorageMetrics) -> StorageMetrics {
+        StorageMetrics {
+            logical_bytes_written: self.logical_bytes_written - earlier.logical_bytes_written,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            flush_bytes: self.flush_bytes - earlier.flush_bytes,
+            flush_count: self.flush_count - earlier.flush_count,
+            compact_bytes_in: self.compact_bytes_in - earlier.compact_bytes_in,
+            compact_bytes_out: self.compact_bytes_out - earlier.compact_bytes_out,
+            compact_count: self.compact_count - earlier.compact_count,
+            l0_compact_bytes: self.l0_compact_bytes - earlier.l0_compact_bytes,
+        }
+    }
+}
+
+/// An incrementally-fitted simple linear regression `y = a·x + b`.
+///
+/// Admission control fits these per operation type to predict actual write
+/// bytes from requested write bytes (§5.1.4). The fit is an exponentially
+/// decayed least squares so the model tracks workload shifts.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    decay: f64,
+    n: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+impl LinearModel {
+    /// Creates a model with per-sample decay factor `decay` in `(0, 1]`
+    /// (1.0 = ordinary least squares over all samples).
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0);
+        LinearModel { decay, n: 0.0, sum_x: 0.0, sum_y: 0.0, sum_xx: 0.0, sum_xy: 0.0 }
+    }
+
+    /// Observes a sample `(x, y)`.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.n = self.n * self.decay + 1.0;
+        self.sum_x = self.sum_x * self.decay + x;
+        self.sum_y = self.sum_y * self.decay + y;
+        self.sum_xx = self.sum_xx * self.decay + x * x;
+        self.sum_xy = self.sum_xy * self.decay + x * y;
+    }
+
+    /// Current `(a, b)` coefficients. Falls back to a ratio model when x
+    /// has no variance, and to `(1, 0)` with no data.
+    pub fn coefficients(&self) -> (f64, f64) {
+        if self.n < 2.0 {
+            if self.n >= 1.0 && self.sum_x > 0.0 {
+                return (self.sum_y / self.sum_x, 0.0);
+            }
+            return (1.0, 0.0);
+        }
+        let det = self.n * self.sum_xx - self.sum_x * self.sum_x;
+        if det.abs() < 1e-9 {
+            if self.sum_x > 0.0 {
+                return (self.sum_y / self.sum_x, 0.0);
+            }
+            return (1.0, 0.0);
+        }
+        let a = (self.n * self.sum_xy - self.sum_x * self.sum_y) / det;
+        let b = (self.sum_y - a * self.sum_x) / self.n;
+        (a, b)
+    }
+
+    /// Predicts y for a given x, clamped to be non-negative.
+    pub fn predict(&self, x: f64) -> f64 {
+        let (a, b) = self.coefficients();
+        (a * x + b).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amp_is_physical_over_logical() {
+        let m = StorageMetrics {
+            logical_bytes_written: 100,
+            wal_bytes: 110,
+            flush_bytes: 100,
+            compact_bytes_out: 290,
+            ..Default::default()
+        };
+        assert_eq!(m.physical_write_bytes(), 500);
+        assert!((m.write_amplification() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = StorageMetrics { flush_bytes: 100, flush_count: 2, ..Default::default() };
+        let b = StorageMetrics { flush_bytes: 350, flush_count: 5, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.flush_bytes, 250);
+        assert_eq!(d.flush_count, 3);
+    }
+
+    #[test]
+    fn linear_model_recovers_exact_line() {
+        let mut m = LinearModel::new(1.0);
+        for x in 1..=20 {
+            let x = x as f64;
+            m.observe(x, 3.0 * x + 7.0);
+        }
+        let (a, b) = m.coefficients();
+        assert!((a - 3.0).abs() < 1e-9, "a={a}");
+        assert!((b - 7.0).abs() < 1e-9, "b={b}");
+        assert!((m.predict(100.0) - 307.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_model_degenerate_cases() {
+        let empty = LinearModel::new(1.0);
+        assert_eq!(empty.coefficients(), (1.0, 0.0));
+        let mut one = LinearModel::new(1.0);
+        one.observe(10.0, 30.0);
+        let (a, _) = one.coefficients();
+        assert!((a - 3.0).abs() < 1e-9, "ratio fallback: a={a}");
+        let mut same_x = LinearModel::new(1.0);
+        same_x.observe(5.0, 10.0);
+        same_x.observe(5.0, 20.0);
+        let (a, b) = same_x.coefficients();
+        assert!((a - 3.0).abs() < 1e-9 && b == 0.0, "no-variance fallback: {a} {b}");
+    }
+
+    #[test]
+    fn decay_tracks_regime_change() {
+        let mut m = LinearModel::new(0.5);
+        for x in 1..=50 {
+            m.observe(x as f64, 2.0 * x as f64);
+        }
+        for x in 1..=50 {
+            m.observe(x as f64, 10.0 * x as f64);
+        }
+        let (a, _) = m.coefficients();
+        assert!((a - 10.0).abs() < 0.5, "decayed fit follows new slope: {a}");
+    }
+
+    #[test]
+    fn prediction_never_negative() {
+        let mut m = LinearModel::new(1.0);
+        m.observe(1.0, 0.0);
+        m.observe(2.0, 0.0);
+        assert_eq!(m.predict(-100.0), 0.0);
+    }
+}

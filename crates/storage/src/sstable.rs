@@ -1,0 +1,226 @@
+//! Immutable sorted tables.
+//!
+//! An [`SsTable`] is a sorted, immutable run of `(key, value-or-tombstone)`
+//! entries produced by a flush or a compaction. Tables carry the metadata
+//! the LSM needs for file selection: key bounds, payload size and a
+//! monotonically increasing table number that establishes recency among
+//! overlapping L0 tables.
+
+use std::sync::Arc;
+
+use crate::{Key, Value};
+
+/// Per-entry index overhead used in size accounting.
+const ENTRY_OVERHEAD: usize = 16;
+
+/// An immutable sorted run of entries.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    /// Monotonic file number; larger = newer data (used for L0 precedence).
+    num: u64,
+    entries: Arc<Vec<(Key, Option<Value>)>>,
+    size: usize,
+}
+
+impl SsTable {
+    /// Builds a table from entries that must already be sorted by key with
+    /// no duplicates. Panics in debug builds if the invariant is violated.
+    pub fn new(num: u64, entries: Vec<(Key, Option<Value>)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "sstable entries must be strictly sorted"
+        );
+        let size = entries
+            .iter()
+            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD)
+            .sum();
+        SsTable { num, entries: Arc::new(entries), size }
+    }
+
+    /// The table's file number.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Approximate on-disk size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest key, if non-empty.
+    pub fn min_key(&self) -> Option<&Key> {
+        self.entries.first().map(|(k, _)| k)
+    }
+
+    /// Largest key, if non-empty.
+    pub fn max_key(&self) -> Option<&Key> {
+        self.entries.last().map(|(k, _)| k)
+    }
+
+    /// Point lookup. `Some(None)` = tombstone, `None` = key not in table.
+    pub fn get(&self, key: &[u8]) -> Option<Option<Value>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.clone())
+    }
+
+    /// Whether this table's key bounds overlap `[start, end)`.
+    pub fn overlaps(&self, start: &[u8], end: &[u8]) -> bool {
+        match (self.min_key(), self.max_key()) {
+            (Some(min), Some(max)) => min.as_ref() < end && max.as_ref() >= start,
+            _ => false,
+        }
+    }
+
+    /// Whether this table's bounds overlap another table's bounds
+    /// (inclusive on both ends).
+    pub fn overlaps_table(&self, other: &SsTable) -> bool {
+        match (self.min_key(), self.max_key(), other.min_key(), other.max_key()) {
+            (Some(smin), Some(smax), Some(omin), Some(omax)) => smin <= omax && smax >= omin,
+            _ => false,
+        }
+    }
+
+    /// All entries, in key order.
+    pub fn entries(&self) -> &[(Key, Option<Value>)] {
+        &self.entries
+    }
+
+    /// Entries within `[start, end)`, by binary search on the bounds.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> &[(Key, Option<Value>)] {
+        let lo = self.entries.partition_point(|(k, _)| k.as_ref() < start);
+        let hi = self.entries.partition_point(|(k, _)| k.as_ref() < end);
+        &self.entries[lo..hi]
+    }
+}
+
+/// Builds tables, splitting output at a target size — used by compactions
+/// so bottom levels consist of roughly uniform files.
+pub struct TableBuilder {
+    target_size: usize,
+    next_num: u64,
+    current: Vec<(Key, Option<Value>)>,
+    current_size: usize,
+    done: Vec<SsTable>,
+}
+
+impl TableBuilder {
+    /// Creates a builder producing tables of roughly `target_size` bytes,
+    /// numbering them from `first_num`.
+    pub fn new(target_size: usize, first_num: u64) -> Self {
+        TableBuilder {
+            target_size,
+            next_num: first_num,
+            current: Vec::new(),
+            current_size: 0,
+            done: Vec::new(),
+        }
+    }
+
+    /// Appends the next entry (keys must arrive in strictly increasing
+    /// order across all `add` calls).
+    pub fn add(&mut self, key: Key, value: Option<Value>) {
+        self.current_size += key.len() + value.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD;
+        self.current.push((key, value));
+        if self.current_size >= self.target_size {
+            self.cut();
+        }
+    }
+
+    fn cut(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.current);
+        self.done.push(SsTable::new(self.next_num, entries));
+        self.next_num += 1;
+        self.current_size = 0;
+    }
+
+    /// Finishes the in-progress table and returns all built tables together
+    /// with the next unused file number.
+    pub fn finish(mut self) -> (Vec<SsTable>, u64) {
+        self.cut();
+        (self.done, self.next_num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn table(num: u64, keys: &[(&str, Option<&str>)]) -> SsTable {
+        SsTable::new(
+            num,
+            keys.iter().map(|(k, v)| (b(k), v.map(b))).collect(),
+        )
+    }
+
+    #[test]
+    fn get_and_bounds() {
+        let t = table(1, &[("b", Some("2")), ("d", None), ("f", Some("6"))]);
+        assert_eq!(t.get(b"b"), Some(Some(b("2"))));
+        assert_eq!(t.get(b"d"), Some(None), "tombstone");
+        assert_eq!(t.get(b"c"), None);
+        assert_eq!(t.min_key().unwrap(), &b("b"));
+        assert_eq!(t.max_key().unwrap(), &b("f"));
+    }
+
+    #[test]
+    fn overlap_checks() {
+        let t = table(1, &[("c", Some("1")), ("g", Some("2"))]);
+        assert!(t.overlaps(b"a", b"d"));
+        assert!(t.overlaps(b"g", b"z"));
+        assert!(!t.overlaps(b"a", b"c"), "end bound is exclusive");
+        assert!(!t.overlaps(b"h", b"z"));
+    }
+
+    #[test]
+    fn range_slicing() {
+        let t = table(1, &[("a", Some("1")), ("c", Some("3")), ("e", Some("5"))]);
+        let r = t.range(b"b", b"e");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, b("c"));
+        assert_eq!(t.range(b"a", b"z").len(), 3);
+        assert_eq!(t.range(b"x", b"z").len(), 0);
+    }
+
+    #[test]
+    fn builder_splits_at_target() {
+        let mut builder = TableBuilder::new(64, 10);
+        for i in 0..20u32 {
+            builder.add(Bytes::from(format!("key{i:04}")), Some(b("0123456789")));
+        }
+        let (tables, next) = builder.finish();
+        assert!(tables.len() > 1, "should split: {}", tables.len());
+        assert_eq!(next, 10 + tables.len() as u64);
+        // Tables must be disjoint and ordered.
+        for w in tables.windows(2) {
+            assert!(w[0].max_key().unwrap() < w[1].min_key().unwrap());
+        }
+        let total: usize = tables.iter().map(|t| t.len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn size_accounts_payload() {
+        let t = table(1, &[("abc", Some("defgh"))]);
+        assert_eq!(t.size(), 3 + 5 + ENTRY_OVERHEAD);
+    }
+}

@@ -1,0 +1,176 @@
+//! A local token bucket.
+//!
+//! Two systems in the paper are built on token buckets: the per-node write
+//! admission queue, whose refill rate tracks the LSM's estimated flush /
+//! L0-compaction capacity (§5.1.3), and the per-tenant distributed quota
+//! bucket whose tokens are milliseconds of estimated CPU (§5.2.2). This
+//! module provides the shared primitive: a bucket with a refill rate, a
+//! burst cap, and support for both "take or report wait time" and debt
+//! (going negative, used when actual consumption is only known after the
+//! fact).
+
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A token bucket with continuous refill.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Tokens added per second.
+    rate: f64,
+    /// Maximum token balance (burst allowance).
+    burst: f64,
+    /// Current balance; may be negative when debt is allowed.
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `rate` tokens/second with capacity
+    /// `burst`, starting full.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate >= 0.0 && burst >= 0.0);
+        TokenBucket { rate, burst, tokens: burst, last: SimTime::ZERO }
+    }
+
+    /// Creates a bucket starting with `initial` tokens instead of full.
+    pub fn with_initial(rate: f64, burst: f64, initial: f64) -> Self {
+        let mut b = Self::new(rate, burst);
+        b.tokens = initial.min(burst);
+        b
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.last = now;
+        }
+    }
+
+    /// Changes the refill rate (capacity re-estimation happens every 15s in
+    /// the write-bandwidth bucket).
+    pub fn set_rate(&mut self, now: SimTime, rate: f64) {
+        self.refill(now);
+        self.rate = rate.max(0.0);
+    }
+
+    /// Current refill rate in tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Current balance after refilling to `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Attempts to take `n` tokens. On success returns `Ok(())`; otherwise
+    /// returns the duration until the bucket would hold `n` tokens
+    /// (infinite rate-zero waits are reported as a very long duration).
+    pub fn try_take(&mut self, now: SimTime, n: f64) -> Result<(), Duration> {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            Ok(())
+        } else if self.rate <= 0.0 {
+            Err(Duration::from_secs(86_400 * 365))
+        } else {
+            let deficit = n - self.tokens;
+            Err(Duration::from_secs_f64(deficit / self.rate))
+        }
+    }
+
+    /// Unconditionally removes `n` tokens, allowing the balance to go
+    /// negative (debt). Used when consumption is measured after the fact.
+    pub fn take_debt(&mut self, now: SimTime, n: f64) {
+        self.refill(now);
+        self.tokens -= n;
+    }
+
+    /// Returns tokens to the bucket (e.g. an over-estimate refund), capped
+    /// at the burst limit.
+    pub fn put_back(&mut self, now: SimTime, n: f64) {
+        self.refill(now);
+        self.tokens = (self.tokens + n).min(self.burst);
+    }
+
+    /// Time until the balance reaches `n` tokens, `Duration::ZERO` if it
+    /// already has.
+    pub fn time_until(&mut self, now: SimTime, n: f64) -> Duration {
+        self.refill(now);
+        if self.tokens >= n {
+            Duration::ZERO
+        } else if self.rate <= 0.0 {
+            Duration::from_secs(86_400 * 365)
+        } else {
+            Duration::from_secs_f64((n - self.tokens) / self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        assert!(b.try_take(t(0.0), 100.0).is_ok());
+        let wait = b.try_take(t(0.0), 10.0).unwrap_err();
+        assert!((wait.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        b.try_take(t(0.0), 100.0).unwrap();
+        assert!(b.try_take(t(5.0), 50.0).is_ok());
+        assert!(b.try_take(t(5.0), 1.0).is_err());
+    }
+
+    #[test]
+    fn burst_caps_balance() {
+        let mut b = TokenBucket::new(10.0, 20.0);
+        assert_eq!(b.available(t(1000.0)), 20.0);
+    }
+
+    #[test]
+    fn debt_goes_negative_and_recovers() {
+        let mut b = TokenBucket::new(10.0, 10.0);
+        b.take_debt(t(0.0), 30.0);
+        assert!(b.available(t(0.0)) < 0.0);
+        // -20 tokens; needs 2s to get back to 0, 3s to reach 10.
+        let wait = b.time_until(t(0.0), 10.0);
+        assert!((wait.as_secs_f64() - 3.0).abs() < 1e-9);
+        assert!(b.try_take(t(3.0), 10.0).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_reports_long_wait() {
+        let mut b = TokenBucket::with_initial(0.0, 10.0, 0.0);
+        let wait = b.try_take(t(0.0), 1.0).unwrap_err();
+        assert!(wait > dur::secs(86_400));
+    }
+
+    #[test]
+    fn set_rate_applies_pending_refill_first() {
+        let mut b = TokenBucket::with_initial(10.0, 100.0, 0.0);
+        b.set_rate(t(2.0), 0.0);
+        // 2s at 10/s accrued before the rate change.
+        assert_eq!(b.available(t(10.0)), 20.0);
+    }
+
+    #[test]
+    fn put_back_respects_burst() {
+        let mut b = TokenBucket::new(1.0, 10.0);
+        b.put_back(t(0.0), 100.0);
+        assert_eq!(b.available(t(0.0)), 10.0);
+    }
+}

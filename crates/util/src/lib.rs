@@ -1,0 +1,29 @@
+//! Shared utilities for the CockroachDB Serverless reproduction.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! - typed identifiers ([`ids`]) for tenants, nodes, ranges, regions, …
+//! - virtual time ([`time`]) and the [`clock::Clock`] abstraction that lets
+//!   components run against either the wall clock or the discrete-event
+//!   simulator,
+//! - a log-bucketed latency [`hist::Histogram`] with percentile queries,
+//! - windowed and exponentially-weighted statistics ([`stats`]) used by the
+//!   autoscaler and admission control,
+//! - a local [`bucket::TokenBucket`] primitive, the building block of both
+//!   the write-bandwidth admission bucket and the per-tenant distributed
+//!   quota bucket.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod clock;
+pub mod hist;
+pub mod ids;
+pub mod stats;
+pub mod time;
+
+pub use clock::Clock;
+pub use hist::Histogram;
+pub use ids::{NodeId, RangeId, RegionId, SqlInstanceId, TenantId};
+pub use time::SimTime;

@@ -1,0 +1,209 @@
+//! Windowed and smoothed statistics.
+//!
+//! The autoscaler (§4.2.3) sizes a tenant's SQL fleet from *the average CPU
+//! usage over the last 5 minutes* and *the peak CPU usage during the last 5
+//! minutes*; admission control orders tenants by *resource consumed over a
+//! recent interval* (§5.1.2). [`SlidingWindow`] provides the former,
+//! [`Ewma`] and [`DecayingCounter`] the latter.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A time-based sliding window of `(time, value)` samples supporting
+/// average and maximum queries over the retained span.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    window: Duration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window retaining samples newer than `window`.
+    pub fn new(window: Duration) -> Self {
+        SlidingWindow { window, samples: VecDeque::new(), sum: 0.0 }
+    }
+
+    /// Records a sample at time `now`. Samples must arrive in
+    /// non-decreasing time order.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.back() {
+            debug_assert!(now >= last, "samples must be time-ordered");
+        }
+        self.samples.push_back((now, value));
+        self.sum += value;
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.duration_since(SimTime::ZERO);
+        while let Some(&(t, v)) = self.samples.front() {
+            if cutoff.saturating_sub(t.duration_since(SimTime::ZERO)) > self.window {
+                self.samples.pop_front();
+                self.sum -= v;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Average of samples within the window ending at the most recent
+    /// sample, or 0 if empty.
+    pub fn avg(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample within the window, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// An exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; higher
+    /// alpha weights recent samples more.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in a new sample and returns the updated average.
+    pub fn record(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => prev + self.alpha * (sample - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, or 0 before any sample.
+    pub fn get(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+/// A counter whose value decays exponentially with a configured half-life.
+///
+/// Admission control uses this as the "resource consumed over a recent
+/// interval" signal that orders the tenant heap (§5.1.2): tenants that
+/// consumed recently sink, tenants that have been waiting rise.
+#[derive(Debug, Clone)]
+pub struct DecayingCounter {
+    half_life: Duration,
+    value: f64,
+    last: SimTime,
+}
+
+impl DecayingCounter {
+    /// Creates a counter decaying with the given half-life.
+    pub fn new(half_life: Duration) -> Self {
+        assert!(half_life > Duration::ZERO);
+        DecayingCounter { half_life, value: 0.0, last: SimTime::ZERO }
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            let hl = self.half_life.as_secs_f64();
+            self.value *= 0.5f64.powf(dt / hl);
+            self.last = now;
+        }
+    }
+
+    /// Adds `amount` at time `now`.
+    pub fn add(&mut self, now: SimTime, amount: f64) {
+        self.decay_to(now);
+        self.value += amount;
+    }
+
+    /// The decayed value as of `now`.
+    pub fn get(&mut self, now: SimTime) -> f64 {
+        self.decay_to(now);
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+
+    #[test]
+    fn sliding_window_avg_and_max() {
+        let mut w = SlidingWindow::new(dur::secs(10));
+        let t = |s| SimTime::from_secs_f64(s);
+        w.record(t(0.0), 1.0);
+        w.record(t(1.0), 3.0);
+        w.record(t(2.0), 2.0);
+        assert_eq!(w.avg(), 2.0);
+        assert_eq!(w.max(), 3.0);
+    }
+
+    #[test]
+    fn sliding_window_evicts_old_samples() {
+        let mut w = SlidingWindow::new(dur::secs(5));
+        let t = |s| SimTime::from_secs_f64(s);
+        w.record(t(0.0), 100.0);
+        w.record(t(10.0), 2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.avg(), 2.0);
+        assert_eq!(w.max(), 2.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..30 {
+            e.record(10.0);
+        }
+        assert!((e.get() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_sample_is_exact() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.record(42.0), 42.0);
+    }
+
+    #[test]
+    fn decaying_counter_halves_per_half_life() {
+        let mut c = DecayingCounter::new(dur::secs(10));
+        c.add(SimTime::ZERO, 8.0);
+        let v = c.get(SimTime::from_secs_f64(10.0));
+        assert!((v - 4.0).abs() < 1e-9, "{v}");
+        let v = c.get(SimTime::from_secs_f64(30.0));
+        assert!((v - 1.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn decaying_counter_accumulates() {
+        let mut c = DecayingCounter::new(dur::secs(1000));
+        c.add(SimTime::ZERO, 1.0);
+        c.add(SimTime::from_secs_f64(0.001), 2.0);
+        assert!(c.get(SimTime::from_secs_f64(0.002)) > 2.9);
+    }
+}

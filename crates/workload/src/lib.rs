@@ -1,0 +1,31 @@
+//! Workloads for the evaluation (§6).
+//!
+//! Self-contained equivalents of the benchmarks the paper runs from the
+//! CockroachDB binary, scaled to simulation size but preserving the
+//! transaction mixes and access patterns:
+//!
+//! - [`tpcc`] — TPC-C-lite: the full schema shape (warehouse, district,
+//!   customer, item, stock, orders, order_line) with New-Order, Payment
+//!   and Order-Status transactions; stock think-time configuration for
+//!   tpmC measurement and a "no wait" mode for noisy neighbors (§6.6).
+//! - [`tpch`] — TPC-H-lite: a `lineitem`-centric schema with Q1 (full
+//!   scan + aggregation) and Q9-style multi-join, the two queries §6.1.2
+//!   analyzes.
+//! - [`ycsb`] — YCSB-lite point read/update mixes with skewed keys.
+//! - [`trace`] — synthetic diurnal/bursty load traces standing in for the
+//!   production tenant activity of Figs. 8 and 9.
+//! - [`driver`] — the closed-loop driver: per-worker connections, script
+//!   (multi-statement transaction) execution with retry-on-conflict, think
+//!   times, and latency/throughput statistics.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod executors;
+pub mod tpcc;
+pub mod tpch;
+pub mod trace;
+pub mod ycsb;
+
+pub use driver::{Driver, DriverConfig, SqlExecutor, TxnStats};
+pub use executors::{DedicatedExec, DedicatedExecutor, ServerlessExec, ServerlessExecutor};

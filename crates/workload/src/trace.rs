@@ -1,0 +1,128 @@
+//! Synthetic tenant activity traces.
+//!
+//! Figures 8 and 9 use production tenant data we cannot access; this
+//! module generates the synthetic equivalent described in DESIGN.md §1: a
+//! multi-hour load profile with a diurnal baseline, ramps and bursts. The
+//! trace controls a driver's *offered load* (target concurrent workers)
+//! over time.
+
+use std::time::Duration;
+
+use crdb_util::time::SimTime;
+
+/// One segment of a load trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Segment duration.
+    pub duration: Duration,
+    /// Load multiplier at the start of the segment.
+    pub start_level: f64,
+    /// Load multiplier at the end (linear interpolation inside).
+    pub end_level: f64,
+}
+
+/// A piecewise-linear load profile.
+#[derive(Debug, Clone, Default)]
+pub struct LoadTrace {
+    segments: Vec<Segment>,
+}
+
+impl LoadTrace {
+    /// An empty trace (level 0 everywhere).
+    pub fn new() -> Self {
+        LoadTrace::default()
+    }
+
+    /// Appends a constant segment.
+    pub fn hold(mut self, duration: Duration, level: f64) -> Self {
+        self.segments.push(Segment { duration, start_level: level, end_level: level });
+        self
+    }
+
+    /// Appends a linear ramp.
+    pub fn ramp(mut self, duration: Duration, from: f64, to: f64) -> Self {
+        self.segments.push(Segment { duration, start_level: from, end_level: to });
+        self
+    }
+
+    /// The load multiplier at `t` (0 beyond the end).
+    pub fn level_at(&self, t: SimTime) -> f64 {
+        let mut offset = Duration::ZERO;
+        let t = t.duration_since(SimTime::ZERO);
+        for seg in &self.segments {
+            if t < offset + seg.duration {
+                let frac = (t - offset).as_secs_f64() / seg.duration.as_secs_f64();
+                return seg.start_level + (seg.end_level - seg.start_level) * frac;
+            }
+            offset += seg.duration;
+        }
+        0.0
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> Duration {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Returns the trace with every segment duration divided by `factor`
+    /// (time-compressed for faster simulation).
+    pub fn compressed(mut self, factor: f64) -> LoadTrace {
+        for seg in &mut self.segments {
+            seg.duration = Duration::from_secs_f64(seg.duration.as_secs_f64() / factor);
+        }
+        self
+    }
+
+    /// The variable-activity profile used for the Fig. 8 reproduction:
+    /// a few hours with a quiet start, a morning ramp, a midday plateau
+    /// with a burst, wind-down, and a late spike.
+    pub fn fig8_profile() -> LoadTrace {
+        let m = |n: u64| Duration::from_secs(n * 60);
+        LoadTrace::new()
+            .hold(m(20), 0.15)
+            .ramp(m(20), 0.15, 0.8)
+            .hold(m(25), 0.8)
+            .ramp(m(5), 0.8, 1.6) // burst
+            .hold(m(10), 1.6)
+            .ramp(m(10), 1.6, 0.6)
+            .hold(m(30), 0.6)
+            .ramp(m(10), 0.6, 1.2) // late spike
+            .hold(m(10), 1.2)
+            .ramp(m(20), 1.2, 0.1)
+            .hold(m(30), 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdb_util::time::dur;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_nanos(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn piecewise_interpolation() {
+        let trace = LoadTrace::new()
+            .hold(dur::secs(10), 1.0)
+            .ramp(dur::secs(10), 1.0, 3.0)
+            .hold(dur::secs(10), 3.0);
+        assert_eq!(trace.level_at(t(5)), 1.0);
+        assert_eq!(trace.level_at(t(15)), 2.0);
+        assert_eq!(trace.level_at(t(25)), 3.0);
+        assert_eq!(trace.level_at(t(100)), 0.0, "beyond the end");
+        assert_eq!(trace.duration(), dur::secs(30));
+    }
+
+    #[test]
+    fn fig8_profile_has_burst_and_quiet_periods() {
+        let trace = LoadTrace::fig8_profile();
+        let d = trace.duration();
+        assert!(d >= Duration::from_secs(3 * 3600 - 600), "multi-hour: {d:?}");
+        // Quiet start, busy middle, quiet end.
+        assert!(trace.level_at(t(300)) < 0.3);
+        assert!(trace.level_at(t(75 * 60)) > 1.3, "burst visible");
+        assert!(trace.level_at(t((d.as_secs() - 300) as u64)) < 0.3);
+    }
+}

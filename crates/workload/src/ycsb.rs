@@ -1,0 +1,168 @@
+//! YCSB-lite: point read / update mixes over a single key-value table,
+//! with a skewed (approximately Zipfian) key distribution. Used among the
+//! 23 held-out workloads of the estimated-CPU accuracy experiment
+//! (Fig. 11).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crdb_sql::value::Datum;
+use rand::Rng;
+
+use crate::driver::{stmt_params, Step, TxnFactory};
+
+/// YCSB configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Rows in `usertable`.
+    pub records: u64,
+    /// Fraction of operations that are reads (rest are updates).
+    pub read_fraction: f64,
+    /// Skew exponent: 0 = uniform, ~0.99 = classic YCSB Zipf.
+    pub skew: f64,
+    /// Payload size per field, bytes.
+    pub field_len: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { records: 1000, read_fraction: 0.5, skew: 0.99, field_len: 100 }
+    }
+}
+
+impl YcsbConfig {
+    /// Workload A: 50/50 read/update.
+    pub fn workload_a() -> Self {
+        YcsbConfig { read_fraction: 0.5, ..Default::default() }
+    }
+
+    /// Workload B: 95/5 read/update.
+    pub fn workload_b() -> Self {
+        YcsbConfig { read_fraction: 0.95, ..Default::default() }
+    }
+
+    /// Workload C: read-only.
+    pub fn workload_c() -> Self {
+        YcsbConfig { read_fraction: 1.0, ..Default::default() }
+    }
+}
+
+/// DDL for the YCSB table.
+pub fn schema() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 STRING, field1 STRING)",
+    ]
+}
+
+/// Load statements.
+pub fn load_statements(config: &YcsbConfig) -> Vec<String> {
+    let payload = "x".repeat(config.field_len);
+    (1..=config.records)
+        .collect::<Vec<_>>()
+        .chunks(100)
+        .map(|chunk| {
+            let rows: Vec<String> = chunk
+                .iter()
+                .map(|k| format!("({k}, '{payload}', '{payload}')"))
+                .collect();
+            format!("INSERT INTO usertable VALUES {}", rows.join(", "))
+        })
+        .collect()
+}
+
+/// Approximate Zipfian sampling: a power-law transform of a uniform
+/// variate, hot keys first.
+pub fn skewed_key(rng: &mut impl Rng, records: u64, skew: f64) -> i64 {
+    if skew <= 0.0 {
+        return rng.gen_range(1..=records) as i64;
+    }
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    // Inverse-CDF of a bounded Pareto-ish distribution.
+    let exponent = 1.0 / (1.0 - skew.min(0.999));
+    let x = u.powf(exponent);
+    1 + (x * (records - 1) as f64) as i64
+}
+
+/// A [`TxnFactory`] producing the configured read/update mix.
+pub fn factory(config: YcsbConfig, seed: u64) -> TxnFactory {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let counter = Cell::new(0u64);
+    let payload = "y".repeat(config.field_len);
+    Rc::new(move |worker| {
+        let n = counter.get();
+        counter.set(n + 1);
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ (worker as u64).wrapping_mul(0x1656_67b1) ^ n.wrapping_mul(0x9e37_79b9),
+        );
+        let key = skewed_key(&mut rng, config.records, config.skew);
+        if rng.gen::<f64>() < config.read_fraction {
+            let steps: Rc<Vec<Step>> = Rc::new(vec![stmt_params(
+                "SELECT field0, field1 FROM usertable WHERE ycsb_key = $1",
+                vec![Datum::Int(key)],
+            )]);
+            ("read".to_string(), steps)
+        } else {
+            let steps: Rc<Vec<Step>> = Rc::new(vec![stmt_params(
+                "UPDATE usertable SET field0 = $2 WHERE ycsb_key = $1",
+                vec![Datum::Int(key), Datum::Str(payload.clone())],
+            )]);
+            ("update".to_string(), steps)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_prefers_low_keys() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut low = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            let k = skewed_key(&mut rng, 1000, 0.99);
+            assert!((1..=1000).contains(&k));
+            if k <= 100 {
+                low += 1;
+            }
+        }
+        // With heavy skew, far more than 10% of accesses hit the first 10%
+        // of the keyspace.
+        assert!(low as f64 / N as f64 > 0.5, "low-key fraction {}", low as f64 / N as f64);
+        // Uniform baseline.
+        let mut low = 0;
+        for _ in 0..N {
+            if skewed_key(&mut rng, 1000, 0.0) <= 100 {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / N as f64;
+        assert!((frac - 0.1).abs() < 0.03, "uniform fraction {frac}");
+    }
+
+    #[test]
+    fn mix_fraction_respected() {
+        let f = factory(YcsbConfig::workload_b(), 3);
+        let mut reads = 0;
+        for i in 0..2000 {
+            let (label, _) = f(i % 5);
+            if label == "read" {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / 2000.0;
+        assert!((frac - 0.95).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn load_statements_cover_all_records() {
+        let cfg = YcsbConfig { records: 250, ..Default::default() };
+        let stmts = load_statements(&cfg);
+        assert_eq!(stmts.len(), 3); // 100 + 100 + 50
+        assert!(stmts[2].contains("(201,"));
+    }
+}

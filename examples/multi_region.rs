@@ -1,0 +1,91 @@
+//! Multi-region virtual clusters (§4.2.5, §3.2.5).
+//!
+//! ```sh
+//! cargo run --release --example multi_region
+//! ```
+//!
+//! Builds the paper's three-region host cluster (us-central1,
+//! europe-west1, asia-southeast1), creates a multi-region tenant, and
+//! shows how the multi-region-aware system database keeps cold starts
+//! sub-second in *every* region, while a system database pinned to one
+//! region makes remote cold starts pay cross-region round trips.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crdb_serverless_repro::core::{ServerlessCluster, ServerlessConfig};
+use crdb_sim::{Location, Sim, Topology};
+use crdb_util::time::dur;
+use crdb_util::RegionId;
+
+fn probe_cold_start(
+    sim: &Sim,
+    cluster: &Rc<ServerlessCluster>,
+    tenant: crdb_util::TenantId,
+    region: RegionId,
+) -> std::time::Duration {
+    assert!(cluster.is_suspended(tenant));
+    cluster.set_preferred_location(tenant, Location::new(region, 0));
+    let t0 = sim.now();
+    let done = Rc::new(RefCell::new(None));
+    {
+        let d = Rc::clone(&done);
+        let cluster2 = Rc::clone(cluster);
+        let sim2 = sim.clone();
+        cluster.connect(tenant, "198.51.100.9", "geo", move |r| {
+            let conn = r.expect("connect");
+            let d2 = Rc::clone(&d);
+            let sim3 = sim2.clone();
+            let cluster3 = Rc::clone(&cluster2);
+            let conn2 = Rc::clone(&conn);
+            cluster2.execute(&conn, "SELECT 1", vec![], move |r| {
+                r.expect("probe");
+                *d2.borrow_mut() = Some(sim3.now().duration_since(t0));
+                cluster3.close(&conn2);
+            });
+        });
+    }
+    sim.run_for(dur::secs(60));
+    let elapsed = done.borrow().expect("probe finished");
+    // Let the tenant suspend again before the next probe.
+    sim.run_for(dur::secs(300));
+    elapsed
+}
+
+fn main() {
+    for optimized in [true, false] {
+        let sim = Sim::new(7 + optimized as u64);
+        let topology = Topology::three_region();
+        let names: Vec<String> =
+            topology.regions().map(|r| topology.region_name(r).to_string()).collect();
+        let mut config = ServerlessConfig::default();
+        config.topology = topology;
+        config.multi_region_optimized = optimized;
+        config.autoscaler.suspend_after = dur::secs(45);
+        let cluster = ServerlessCluster::new(&sim, config);
+
+        // A tenant spanning all three regions; the unoptimized variant has
+        // its system database homed in asia-southeast1 (the paper's setup).
+        let regions: Vec<RegionId> = if optimized {
+            vec![RegionId(0), RegionId(1), RegionId(2)]
+        } else {
+            vec![RegionId(2), RegionId(0), RegionId(1)]
+        };
+        let tenant = cluster.create_tenant(regions, None);
+
+        println!(
+            "\nsystem database: {}",
+            if optimized {
+                "multi-region aware (descriptor global, sql_instances regional-by-row)"
+            } else {
+                "pinned to asia-southeast1 (unoptimized)"
+            }
+        );
+        for (i, name) in names.iter().enumerate() {
+            let cold = probe_cold_start(&sim, &cluster, tenant, RegionId(i as u64));
+            println!("  cold start from {name:>16}: {cold:?}");
+        }
+    }
+    println!("\nThe optimized configuration keeps every region sub-second (paper:");
+    println!("p50 <= 0.73s); the pinned one pays asia round trips from the others.");
+}

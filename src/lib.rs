@@ -1,0 +1,1 @@
+pub use crdb_core as core;
