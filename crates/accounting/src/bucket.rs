@@ -109,19 +109,13 @@ impl BucketServer {
         }
         if self.bucket.try_take(now, amount).is_ok() {
             self.tokens_granted += amount;
-            self.nodes.insert(
-                node,
-                NodeGrantState { last_trickle_rate: 0.0, last_request_at: now },
-            );
+            self.nodes
+                .insert(node, NodeGrantState { last_trickle_rate: 0.0, last_request_at: now });
             return GrantResponse::Granted(amount);
         }
         // Exhausted: trickle. Fair share over nodes active in the window;
         // converge by blending the node's previous rate toward fair share.
-        let prev = self
-            .nodes
-            .get(&node)
-            .map(|s| s.last_trickle_rate)
-            .unwrap_or(0.0);
+        let prev = self.nodes.get(&node).map(|s| s.last_trickle_rate).unwrap_or(0.0);
         let active = self
             .nodes
             .iter()
@@ -132,17 +126,13 @@ impl BucketServer {
             + 1;
         let fair = self.refill_rate / active as f64;
         let rate = if prev > 0.0 { 0.5 * prev + 0.5 * fair } else { fair };
-        self.nodes.insert(
-            node,
-            NodeGrantState { last_trickle_rate: rate, last_request_at: now },
-        );
+        self.nodes.insert(node, NodeGrantState { last_trickle_rate: rate, last_request_at: now });
         // Trickled tokens are billed as the client consumes them, not here.
         GrantResponse::Trickle { rate, valid_for: TRICKLE_DURATION }
     }
 
     fn gc_nodes(&mut self, now: SimTime) {
-        self.nodes
-            .retain(|_, s| now.duration_since(s.last_request_at) < TRICKLE_DURATION * 3);
+        self.nodes.retain(|_, s| now.duration_since(s.last_request_at) < TRICKLE_DURATION * 3);
     }
 
     /// Currently available lump-sum tokens.
@@ -152,11 +142,15 @@ impl BucketServer {
 
     /// Sum of trickle rates currently active (for tests / metrics).
     pub fn active_trickle_rate(&self, now: SimTime) -> f64 {
-        self.nodes
-            .values()
-            .filter(|s| now.duration_since(s.last_request_at) < TRICKLE_DURATION)
-            .map(|s| s.last_trickle_rate)
-            .sum()
+        // Summed in instance order so the float total is reproducible.
+        let mut rates: Vec<(SqlInstanceId, f64)> = self
+            .nodes
+            .iter()
+            .filter(|(_, s)| now.duration_since(s.last_request_at) < TRICKLE_DURATION)
+            .map(|(id, s)| (*id, s.last_trickle_rate))
+            .collect();
+        rates.sort_by_key(|&(id, _)| id);
+        rates.into_iter().map(|(_, v)| v).sum()
     }
 }
 
@@ -337,7 +331,7 @@ mod tests {
     #[test]
     fn exhaustion_switches_to_trickle_at_fair_share() {
         let mut server = BucketServer::new(1.0); // 1000/s, 5000 burst
-        // Drain the burst.
+                                                 // Drain the burst.
         assert!(matches!(
             server.request(t(0.0), SqlInstanceId(1), 5000.0, 0.0),
             GrantResponse::Granted(_)
@@ -411,7 +405,10 @@ mod tests {
     #[test]
     fn trickle_accrues_smoothly() {
         let mut c = BucketClient::new(SqlInstanceId(1), ClientConfig::default());
-        c.apply_grant(t(0.0), GrantResponse::Trickle { rate: 100.0, valid_for: Duration::from_secs(10) });
+        c.apply_grant(
+            t(0.0),
+            GrantResponse::Trickle { rate: 100.0, valid_for: Duration::from_secs(10) },
+        );
         // Nothing yet.
         match c.try_consume(t(0.0), 50.0) {
             Err(Some(wait)) => assert!((wait.as_secs_f64() - 0.5).abs() < 1e-9),
@@ -426,7 +423,10 @@ mod tests {
     #[test]
     fn trickle_expires() {
         let mut c = BucketClient::new(SqlInstanceId(1), ClientConfig::default());
-        c.apply_grant(t(0.0), GrantResponse::Trickle { rate: 10.0, valid_for: Duration::from_secs(2) });
+        c.apply_grant(
+            t(0.0),
+            GrantResponse::Trickle { rate: 10.0, valid_for: Duration::from_secs(2) },
+        );
         // At t=5 the trickle accrued only its 2 live seconds.
         assert!(c.try_consume(t(5.0), 20.0).is_ok());
         assert!(!c.is_trickling());

@@ -183,10 +183,7 @@ impl EcpuModel {
     pub fn scaled(&self, factor: f64) -> EcpuModel {
         let scale = |m: &FeatureModel| {
             FeatureModel::new(PiecewiseLinear::new(
-                m.units_per_vcpu_knots()
-                    .iter()
-                    .map(|&(x, y)| (x / factor, y / factor))
-                    .collect(),
+                m.units_per_vcpu_knots().iter().map(|&(x, y)| (x / factor, y / factor)).collect(),
             ))
         };
         EcpuModel {
@@ -202,11 +199,9 @@ impl EcpuModel {
     /// Predicted KV vCPUs for a sustained workload (the sum of the six
     /// sub-model predictions).
     pub fn estimate_vcpus(&self, f: &WorkloadFeatures) -> f64 {
-        let read_req_rate =
-            f.read_batches_per_sec * (f.read_requests_per_batch - 1.0).max(0.0);
+        let read_req_rate = f.read_batches_per_sec * (f.read_requests_per_batch - 1.0).max(0.0);
         let read_byte_rate = f.read_batches_per_sec * f.read_bytes_per_batch;
-        let write_req_rate =
-            f.write_batches_per_sec * (f.write_requests_per_batch - 1.0).max(0.0);
+        let write_req_rate = f.write_batches_per_sec * (f.write_requests_per_batch - 1.0).max(0.0);
         let write_byte_rate = f.write_batches_per_sec * f.write_bytes_per_batch;
         self.read_batch.vcpus_at_rate(f.read_batches_per_sec)
             + self.read_request.vcpus_at_rate(read_req_rate)
@@ -264,10 +259,7 @@ mod tests {
         let m = EcpuModel::default_model();
         let slow = m.write_batch.seconds_per_unit(10.0);
         let fast = m.write_batch.seconds_per_unit(50_000.0);
-        assert!(
-            fast < slow,
-            "high batch rates are cheaper per batch: {fast} < {slow}"
-        );
+        assert!(fast < slow, "high batch rates are cheaper per batch: {fast} < {slow}");
     }
 
     #[test]
@@ -279,10 +271,7 @@ mod tests {
             write_bytes_per_batch: 200.0,
             ..Default::default()
         };
-        let double = WorkloadFeatures {
-            write_batches_per_sec: 120_000.0,
-            ..base
-        };
+        let double = WorkloadFeatures { write_batches_per_sec: 120_000.0, ..base };
         let a = m.estimate_vcpus(&base);
         let b = m.estimate_vcpus(&double);
         // Beyond the last knot efficiency is flat, so cost doubles.
@@ -319,8 +308,10 @@ mod tests {
     #[test]
     fn writes_cost_more_than_reads() {
         let m = EcpuModel::default_model();
-        let read = m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 1, bytes: 64 }, 100.0);
-        let write = m.batch_cost_seconds(&BatchFeatures { is_write: true, requests: 1, bytes: 64 }, 100.0);
+        let read =
+            m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 1, bytes: 64 }, 100.0);
+        let write =
+            m.batch_cost_seconds(&BatchFeatures { is_write: true, requests: 1, bytes: 64 }, 100.0);
         assert!(write > read, "write {write} > read {read}");
     }
 
@@ -334,9 +325,14 @@ mod tests {
     #[test]
     fn extra_requests_and_bytes_add_cost() {
         let m = EcpuModel::default_model();
-        let base = m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 1, bytes: 0 }, 100.0);
-        let more_reqs = m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 10, bytes: 0 }, 100.0);
-        let more_bytes = m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 1, bytes: 100_000 }, 100.0);
+        let base =
+            m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 1, bytes: 0 }, 100.0);
+        let more_reqs =
+            m.batch_cost_seconds(&BatchFeatures { is_write: false, requests: 10, bytes: 0 }, 100.0);
+        let more_bytes = m.batch_cost_seconds(
+            &BatchFeatures { is_write: false, requests: 1, bytes: 100_000 },
+            100.0,
+        );
         assert!(more_reqs > base);
         assert!(more_bytes > base);
     }

@@ -138,6 +138,7 @@ impl<T> AdmissionController<T> {
     }
 
     /// Submits a write operation declaring `bytes` logical write bytes.
+    #[allow(clippy::too_many_arguments)]
     pub fn request_write(
         &mut self,
         now: SimTime,
@@ -303,7 +304,12 @@ mod tests {
         }
     }
 
-    fn read_req(c: &mut AdmissionController<&'static str>, now: f64, tenant: u64, tag: &'static str) {
+    fn read_req(
+        c: &mut AdmissionController<&'static str>,
+        now: f64,
+        tenant: u64,
+        tag: &'static str,
+    ) {
         c.request_read(t(now), TenantId(tenant), Priority::Normal, t(now), SimTime::MAX, tag);
     }
 
@@ -375,10 +381,7 @@ mod tests {
         }
         // The victim must be served within the first few grants, not after
         // all 10 noisy ops.
-        assert!(
-            order.iter().any(|(t, _)| *t == TenantId(3)),
-            "victim served early: {order:?}"
-        );
+        assert!(order.iter().any(|(t, _)| *t == TenantId(3)), "victim served early: {order:?}");
     }
 
     #[test]
@@ -423,4 +426,3 @@ mod tests {
         assert!(c.slot_total() > 1);
     }
 }
-

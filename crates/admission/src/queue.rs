@@ -88,13 +88,7 @@ pub struct WorkQueue<T> {
 impl<T> WorkQueue<T> {
     /// Creates a queue whose fairness signal decays with `half_life`.
     pub fn new(half_life: Duration) -> Self {
-        WorkQueue {
-            tenants: HashMap::new(),
-            half_life,
-            next_seq: 0,
-            queued: 0,
-            timed_out: 0,
-        }
+        WorkQueue { tenants: HashMap::new(), half_life, next_seq: 0, queued: 0, timed_out: 0 }
     }
 
     fn tenant_entry(&mut self, tenant: TenantId) -> &mut TenantQueue<T> {
@@ -183,7 +177,12 @@ mod tests {
         SimTime::from_secs_f64(s)
     }
 
-    fn item(tenant: u64, priority: Priority, txn_start: f64, payload: &'static str) -> WorkItem<&'static str> {
+    fn item(
+        tenant: u64,
+        priority: Priority,
+        txn_start: f64,
+        payload: &'static str,
+    ) -> WorkItem<&'static str> {
         WorkItem {
             tenant: TenantId(tenant),
             priority,

@@ -104,10 +104,7 @@ impl SlotController {
         let runnable_per_vcpu = avg_runnable / vcpus.max(1.0);
         if runnable_per_vcpu > self.config.runnable_high_per_vcpu {
             // Threads are queueing in the OS scheduler: decrease.
-            self.slots = self
-                .slots
-                .saturating_sub(self.config.dec_step)
-                .max(self.config.min_slots);
+            self.slots = self.slots.saturating_sub(self.config.dec_step).max(self.config.min_slots);
         } else if self.saturated_since_tick && utilization < self.config.util_target {
             // Slots are the bottleneck but CPU has headroom: increase.
             self.slots = (self.slots + self.config.inc_step).min(self.config.max_slots);

@@ -96,12 +96,7 @@ fn bench_mvcc(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 31) % 10_000;
-            black_box(mvcc::get(
-                &engine,
-                format!("k{i:08}").as_bytes(),
-                Timestamp::MAX,
-                None,
-            ));
+            black_box(mvcc::get(&engine, format!("k{i:08}").as_bytes(), Timestamp::MAX, None));
         });
     });
 }
@@ -151,11 +146,7 @@ fn bench_rowcodec(c: &mut Criterion) {
         primary_key: vec![0],
         indexes: vec![],
     };
-    let row = vec![
-        Datum::Int(123456),
-        Datum::Str("some-string-value".into()),
-        Datum::Float(3.25),
-    ];
+    let row = vec![Datum::Int(123456), Datum::Str("some-string-value".into()), Datum::Float(3.25)];
     c.bench_function("rowcodec/encode", |b| {
         b.iter(|| {
             let k = rowcodec::primary_key(&table, black_box(&row));

@@ -81,13 +81,11 @@ fn simulate(fair: bool) -> (Histogram, Histogram) {
             }
         }
         // Advance to the next interesting instant.
-        let next_time = [
-            arrivals.get(next_arrival).map(|a| a.at),
-            (now < busy_until).then_some(busy_until),
-        ]
-        .into_iter()
-        .flatten()
-        .fold(f64::INFINITY, f64::min);
+        let next_time =
+            [arrivals.get(next_arrival).map(|a| a.at), (now < busy_until).then_some(busy_until)]
+                .into_iter()
+                .flatten()
+                .fold(f64::INFINITY, f64::min);
         if !next_time.is_finite() {
             let empty = if fair { queue.is_empty() } else { fifo.is_empty() };
             if empty && now >= busy_until {

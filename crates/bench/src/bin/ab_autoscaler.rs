@@ -13,19 +13,10 @@ use crdb_serverless::autoscaler::{target_nodes, AutoscalerConfig, ScaleInputs};
 /// A synthetic vCPU-demand trace sampled at 3 s: a quiet baseline with an
 /// abrupt spike, mirroring §4.2.3's example (avg 2.5 spiking to 11).
 fn demand_trace() -> Vec<f64> {
-    let mut t = Vec::new();
-    for _ in 0..100 {
-        t.push(1.8);
-    }
-    for _ in 0..12 {
-        t.push(15.0); // abrupt spike
-    }
-    for _ in 0..60 {
-        t.push(6.0);
-    }
-    for _ in 0..100 {
-        t.push(1.0);
-    }
+    let mut t = vec![1.8; 100];
+    t.extend(std::iter::repeat_n(15.0, 12)); // abrupt spike
+    t.extend(std::iter::repeat_n(6.0, 60));
+    t.extend(std::iter::repeat_n(1.0, 100));
     t
 }
 

@@ -67,38 +67,53 @@ fn main() {
 
     // Held-out evaluation mixes.
     let mixes: Vec<(&str, WorkloadFeatures)> = vec![
-        ("point reads", WorkloadFeatures {
-            read_batches_per_sec: 20_000.0,
-            read_requests_per_batch: 1.0,
-            read_bytes_per_batch: 64.0,
-            ..Default::default()
-        }),
-        ("fat scans", WorkloadFeatures {
-            read_batches_per_sec: 50.0,
-            read_requests_per_batch: 1.0,
-            read_bytes_per_batch: 1_000_000.0,
-            ..Default::default()
-        }),
-        ("oltp mix", WorkloadFeatures {
-            read_batches_per_sec: 8_000.0,
-            read_requests_per_batch: 3.0,
-            read_bytes_per_batch: 512.0,
-            write_batches_per_sec: 2_000.0,
-            write_requests_per_batch: 4.0,
-            write_bytes_per_batch: 700.0,
-        }),
-        ("write heavy", WorkloadFeatures {
-            write_batches_per_sec: 10_000.0,
-            write_requests_per_batch: 2.0,
-            write_bytes_per_batch: 256.0,
-            ..Default::default()
-        }),
-        ("bulk import", WorkloadFeatures {
-            write_batches_per_sec: 500.0,
-            write_requests_per_batch: 50.0,
-            write_bytes_per_batch: 100_000.0,
-            ..Default::default()
-        }),
+        (
+            "point reads",
+            WorkloadFeatures {
+                read_batches_per_sec: 20_000.0,
+                read_requests_per_batch: 1.0,
+                read_bytes_per_batch: 64.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "fat scans",
+            WorkloadFeatures {
+                read_batches_per_sec: 50.0,
+                read_requests_per_batch: 1.0,
+                read_bytes_per_batch: 1_000_000.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "oltp mix",
+            WorkloadFeatures {
+                read_batches_per_sec: 8_000.0,
+                read_requests_per_batch: 3.0,
+                read_bytes_per_batch: 512.0,
+                write_batches_per_sec: 2_000.0,
+                write_requests_per_batch: 4.0,
+                write_bytes_per_batch: 700.0,
+            },
+        ),
+        (
+            "write heavy",
+            WorkloadFeatures {
+                write_batches_per_sec: 10_000.0,
+                write_requests_per_batch: 2.0,
+                write_bytes_per_batch: 256.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "bulk import",
+            WorkloadFeatures {
+                write_batches_per_sec: 500.0,
+                write_requests_per_batch: 50.0,
+                write_bytes_per_batch: 100_000.0,
+                ..Default::default()
+            },
+        ),
     ];
 
     println!(

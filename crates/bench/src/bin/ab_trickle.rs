@@ -92,8 +92,8 @@ fn run(trickle: bool) -> (u64, Vec<f64>, f64, f64) {
     }
     let mean = per_window.iter().sum::<f64>() / per_window.len() as f64 * 10.0;
     let m = per_window.iter().sum::<f64>() / per_window.len() as f64;
-    let var = per_window.iter().map(|v| (v - m).powi(2)).sum::<f64>()
-        / (per_window.len() - 1) as f64;
+    let var =
+        per_window.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (per_window.len() - 1) as f64;
     (long_pauses, per_window, mean, var.sqrt())
 }
 

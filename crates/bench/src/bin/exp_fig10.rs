@@ -76,9 +76,11 @@ fn run_panel_b(optimized: bool, probes: usize) -> Vec<(String, f64, f64)> {
     let topology = Topology::three_region();
     let region_names: Vec<String> =
         topology.regions().map(|r| topology.region_name(r).to_string()).collect();
-    let mut config = ServerlessConfig::default();
-    config.topology = topology;
-    config.multi_region_optimized = optimized;
+    let mut config = ServerlessConfig {
+        topology,
+        multi_region_optimized: optimized,
+        ..ServerlessConfig::default()
+    };
     config.autoscaler.suspend_after = dur::secs(60);
     let cluster = ServerlessCluster::new(&sim, config);
 
@@ -122,17 +124,11 @@ fn main() {
     );
 
     header("Figure 10b: multi-region cold starts, system database localities");
-    println!(
-        "{:>18} {:>24} {:>24}",
-        "prober region", "optimized p50/p99", "unoptimized p50/p99"
-    );
+    println!("{:>18} {:>24} {:>24}", "prober region", "optimized p50/p99", "unoptimized p50/p99");
     let opt = run_panel_b(true, probes);
     let unopt = run_panel_b(false, probes);
     for ((name, o50, o99), (_, u50, u99)) in opt.iter().zip(unopt.iter()) {
-        println!(
-            "{name:>18} {:>11.3}s /{:>9.3}s {:>11.3}s /{:>9.3}s",
-            o50, o99, u50, u99
-        );
+        println!("{name:>18} {:>11.3}s /{:>9.3}s {:>11.3}s /{:>9.3}s", o50, o99, u50, u99);
     }
     let worst_opt = opt.iter().map(|(_, p50, _)| *p50).fold(0.0, f64::max);
     println!("\nworst optimized p50 across regions: {worst_opt:.3}s (paper: <= 0.73s)");

@@ -34,7 +34,14 @@ struct Workload {
     think: Option<Duration>,
 }
 
-fn ycsb_wl(name: &str, records: u64, read: f64, skew: f64, field: usize, workers: usize) -> Workload {
+fn ycsb_wl(
+    name: &str,
+    records: u64,
+    read: f64,
+    skew: f64,
+    field: usize,
+    workers: usize,
+) -> Workload {
     let cfg = ycsb::YcsbConfig { records, read_fraction: read, skew, field_len: field };
     Workload {
         name: name.to_string(),
@@ -113,12 +120,8 @@ fn workloads() -> Vec<Workload> {
     });
     // Imports: insert-heavy streams.
     for (i, field) in [100usize, 1000].into_iter().enumerate() {
-        let cfg = ycsb::YcsbConfig {
-            records: 200,
-            read_fraction: 0.0,
-            skew: 0.0,
-            field_len: field,
-        };
+        let cfg =
+            ycsb::YcsbConfig { records: 200, read_fraction: 0.0, skew: 0.0, field_len: field };
         w.push(Workload {
             name: format!("import-{}", i + 1),
             schema: ycsb::schema(),
@@ -220,10 +223,7 @@ fn main() {
         );
         results.push((wl.name, ratio));
     }
-    println!(
-        "\n{within}/23 within 20% ({:.0}%) — paper: about 80%",
-        within as f64 / 23.0 * 100.0
-    );
+    println!("\n{within}/23 within 20% ({:.0}%) — paper: about 80%", within as f64 / 23.0 * 100.0);
     let worst = results
         .iter()
         .max_by(|a, b| (a.1 - 1.0).abs().partial_cmp(&(b.1 - 1.0).abs()).unwrap())

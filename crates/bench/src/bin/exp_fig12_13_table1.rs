@@ -53,7 +53,12 @@ thread_local! {
     static WALL: std::time::Instant = std::time::Instant::now();
 }
 
-fn run_config(label: &'static str, ac_enabled: bool, noisy_quota: Option<f64>, seed: u64) -> ConfigResult {
+fn run_config(
+    label: &'static str,
+    ac_enabled: bool,
+    noisy_quota: Option<f64>,
+    seed: u64,
+) -> ConfigResult {
     let sim = Sim::new(seed);
     let mut config = ServerlessConfig::default();
     config.kv.nodes_per_region = 3;
@@ -128,16 +133,14 @@ fn run_config(label: &'static str, ac_enabled: bool, noisy_quota: Option<f64>, s
         .iter()
         .map(|n| Rc::new(RefCell::new(TimeSeries::new(format!("{n}_leases")))))
         .collect();
-    let all_tenants: Vec<TenantId> = noisy_drivers
-        .iter()
-        .map(|(t, _)| *t)
-        .chain(std::iter::once(test_tenant))
-        .collect();
+    let all_tenants: Vec<TenantId> =
+        noisy_drivers.iter().map(|(t, _)| *t).chain(std::iter::once(test_tenant)).collect();
     let tenant_ecpu: Vec<Rc<RefCell<TimeSeries>>> = all_tenants
         .iter()
         .enumerate()
         .map(|(i, _)| {
-            let name = if i < NOISY_TENANTS { format!("noisy{}_ecpu", i + 1) } else { "test_ecpu".into() };
+            let name =
+                if i < NOISY_TENANTS { format!("noisy{}_ecpu", i + 1) } else { "test_ecpu".into() };
             Rc::new(RefCell::new(TimeSeries::new(name)))
         })
         .collect();
@@ -195,7 +198,7 @@ fn run_config(label: &'static str, ac_enabled: bool, noisy_quota: Option<f64>, s
         let step = dur::secs(30);
         let mut t = start;
         while t < end + dur::secs(60) {
-            t = t + step;
+            t += step;
             sim.run_until(t);
             eprintln!(
                 "[{label}] sim {} events {} wall {:?}",
@@ -225,12 +228,8 @@ fn run_config(label: &'static str, ac_enabled: bool, noisy_quota: Option<f64>, s
 
 /// Mean and sample stddev of a series restricted to `[from, to]`.
 fn bounded_stats(s: &TimeSeries, from: SimTime, to: SimTime) -> (f64, f64) {
-    let vals: Vec<f64> = s
-        .points()
-        .iter()
-        .filter(|&&(t, _)| t >= from && t <= to)
-        .map(|&(_, v)| v)
-        .collect();
+    let vals: Vec<f64> =
+        s.points().iter().filter(|&&(t, _)| t >= from && t <= to).map(|&(_, v)| v).collect();
     if vals.is_empty() {
         return (0.0, 0.0);
     }
@@ -246,7 +245,9 @@ fn bounded_stats(s: &TimeSeries, from: SimTime, to: SimTime) -> (f64, f64) {
 fn main() {
     header("Figures 12/13 + Table 1: noisy neighbors vs admission control and eCPU limits");
     println!("3 KV nodes x 16 vCPU; 3 noisy tenants (TPC-C no-wait, 1 worker/warehouse);");
-    println!("1 test tenant (stock TPC-C with think time); eCPU limit 6.5 vCPU per noisy tenant.\n");
+    println!(
+        "1 test tenant (stock TPC-C with think time); eCPU limit 6.5 vCPU per noisy tenant.\n"
+    );
 
     let results = vec![
         run_config("No Limits", false, None, 121),

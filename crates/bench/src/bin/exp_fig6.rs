@@ -15,7 +15,9 @@
 
 use std::rc::Rc;
 
-use crdb_bench::{dedicated_fixture, header, kv_cpu_total, load, serverless_fixture, sql_cpu_total};
+use crdb_bench::{
+    dedicated_fixture, header, kv_cpu_total, load, serverless_fixture, sql_cpu_total,
+};
 use crdb_core::ServerlessConfig;
 use crdb_kv::cluster::KvClusterConfig;
 use crdb_sim::{Sim, Topology};
@@ -33,7 +35,13 @@ struct RunResult {
 
 const MEASURE_SECS: u64 = 120;
 
-fn run_on_serverless(factory: TxnFactory, setup: (Vec<&str>, Vec<String>), workers: usize, think: Option<std::time::Duration>, seed: u64) -> RunResult {
+fn run_on_serverless(
+    factory: TxnFactory,
+    setup: (Vec<&str>, Vec<String>),
+    workers: usize,
+    think: Option<std::time::Duration>,
+    seed: u64,
+) -> RunResult {
     let sim = Sim::new(seed);
     let mut config = ServerlessConfig::default();
     config.kv.nodes_per_region = 3;
@@ -61,12 +69,17 @@ fn run_on_serverless(factory: TxnFactory, setup: (Vec<&str>, Vec<String>), worke
     RunResult { cpu_seconds: cpu, p50, p99, committed }
 }
 
-fn run_on_dedicated(factory: TxnFactory, setup: (Vec<&str>, Vec<String>), workers: usize, think: Option<std::time::Duration>, seed: u64) -> RunResult {
+fn run_on_dedicated(
+    factory: TxnFactory,
+    setup: (Vec<&str>, Vec<String>),
+    workers: usize,
+    think: Option<std::time::Duration>,
+    seed: u64,
+) -> RunResult {
     let sim = Sim::new(seed);
     let kv = KvClusterConfig { nodes_per_region: 3, vcpus_per_node: 8.0, ..Default::default() };
     let sql = SqlNodeConfig { idle_cpu_per_second: 0.0, ..Default::default() };
-    let (cluster, ex) =
-        dedicated_fixture(&sim, Topology::single_region("us-central1", 3), kv, sql);
+    let (cluster, ex) = dedicated_fixture(&sim, Topology::single_region("us-central1", 3), kv, sql);
     load(&sim, &ex, &setup.0, &setup.1);
 
     let cpu0 = cluster.total_cpu_seconds();
@@ -110,11 +123,11 @@ fn main() {
 
     // TPC-C: stock configuration with think time.
     let cfg = tpcc::TpccConfig { warehouses: 4, ..Default::default() };
-    let setup = || {
-        (tpcc::schema(), tpcc::load_statements(&cfg))
-    };
-    let s = run_on_serverless(tpcc::mix_factory(cfg.clone(), 61), setup(), 20, Some(dur::ms(100)), 601);
-    let t = run_on_dedicated(tpcc::mix_factory(cfg.clone(), 61), setup(), 20, Some(dur::ms(100)), 602);
+    let setup = || (tpcc::schema(), tpcc::load_statements(&cfg));
+    let s =
+        run_on_serverless(tpcc::mix_factory(cfg.clone(), 61), setup(), 20, Some(dur::ms(100)), 601);
+    let t =
+        run_on_dedicated(tpcc::mix_factory(cfg.clone(), 61), setup(), 20, Some(dur::ms(100)), 602);
     report("TPC-C", &s, &t);
     println!("          (paper: similar CPU usage and latency in both modes)\n");
 

@@ -97,9 +97,9 @@ fn panel_b() {
         sim.run_for(dur::secs(120));
         let kv_cpu_after = crdb_bench::kv_cpu_total(&cluster);
         let kv_cpu_per_tenant = (kv_cpu_after - kv_cpu_before) / 120.0 / n as f64;
-        let kv_mem_per_tenant =
-            (FIXED_CLUSTER_BYTES + cluster.kv.control_memory_bytes() as u64) / n as u64
-                + IDLE_TENANT_KV_HEAP;
+        let kv_mem_per_tenant = (FIXED_CLUSTER_BYTES + cluster.kv.control_memory_bytes() as u64)
+            / n as u64
+            + IDLE_TENANT_KV_HEAP;
         // Sample one idle SQL node's modeled footprint.
         let sql = cluster
             .registry

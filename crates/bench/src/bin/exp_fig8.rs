@@ -28,7 +28,7 @@ const COST_SCALE: f64 = 600.0;
 fn main() {
     header("Figure 8: SQL nodes scale with CPU utilization (synthetic multi-hour trace)");
 
-    let sim = Sim::new(8_8);
+    let sim = Sim::new(88);
     let mut config = ServerlessConfig::default();
     config.kv.cost_model = config.kv.cost_model.scaled(COST_SCALE);
     config.sql = config.sql.scaled(COST_SCALE);
@@ -47,7 +47,10 @@ fn main() {
     // (the autoscaler's absolute windows are unchanged, so tracking is,
     // if anything, harder than in the paper).
     let trace = Rc::new(if std::env::var("FIG8_SHORT").is_ok() {
-        LoadTrace::new().hold(dur::mins(3), 0.2).ramp(dur::mins(3), 0.2, 1.0).hold(dur::mins(4), 1.0)
+        LoadTrace::new()
+            .hold(dur::mins(3), 0.2)
+            .ramp(dur::mins(3), 0.2, 1.0)
+            .hold(dur::mins(4), 1.0)
     } else {
         LoadTrace::fig8_profile().compressed(3.0)
     });
@@ -59,9 +62,7 @@ fn main() {
         let target = Rc::clone(&active_target);
         let sim2 = sim.clone();
         sim.schedule_periodic(dur::secs(15), move || {
-            let level = trace.level_at(SimTime::from_nanos(
-                sim2.now().as_nanos() - t0.as_nanos(),
-            ));
+            let level = trace.level_at(SimTime::from_nanos(sim2.now().as_nanos() - t0.as_nanos()));
             target.set((level * WORKERS_AT_FULL as f64).round() as usize);
             true
         });
@@ -89,17 +90,22 @@ fn main() {
         }
         let (_, steps) = factory(idx);
         let sim2 = sim.clone();
-        run_script(Rc::clone(&ex), idx, steps, Box::new(move |r| {
-            if r.is_ok() {
-                completed.set(completed.get() + 1);
-            } else if std::env::var("FIG8_DEBUG").is_ok() {
-                eprintln!("worker {idx} error: {:?}", r.err().map(|e| e.to_string()));
-            }
-            let sim3 = sim2.clone();
-            sim2.schedule_after(dur::ms(100), move || {
-                worker_loop(sim3, ex, factory, target, idx, end, completed)
-            });
-        }));
+        run_script(
+            Rc::clone(&ex),
+            idx,
+            steps,
+            Box::new(move |r| {
+                if r.is_ok() {
+                    completed.set(completed.get() + 1);
+                } else if std::env::var("FIG8_DEBUG").is_ok() {
+                    eprintln!("worker {idx} error: {:?}", r.err().map(|e| e.to_string()));
+                }
+                let sim3 = sim2.clone();
+                sim2.schedule_after(dur::ms(100), move || {
+                    worker_loop(sim3, ex, factory, target, idx, end, completed)
+                });
+            }),
+        );
     }
     let duration = trace.duration();
     let end = sim.now() + duration;
@@ -180,9 +186,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "busy samples with capacity within [2x, 10x] of usage (target 4x): {tracked}/{busy}"
-    );
+    println!("busy samples with capacity within [2x, 10x] of usage (target 4x): {tracked}/{busy}");
     println!(
         "max nodes: {}, final nodes: {}, txns completed: {}",
         nodes.borrow().max(),

@@ -83,9 +83,7 @@ fn main() {
         sim.schedule_periodic(dur::secs(30), move || {
             let now = sim2.now();
             let committed = *stats.committed.borrow();
-            throughput
-                .borrow_mut()
-                .push(now, (committed - last_committed.get()) as f64 / 30.0);
+            throughput.borrow_mut().push(now, (committed - last_committed.get()) as f64 / 30.0);
             last_committed.set(committed);
             // Window p99: diff the histograms by snapshotting.
             let current = stats.latency.borrow().clone();
@@ -118,22 +116,20 @@ fn main() {
         sim: Sim,
         round: usize,
     ) {
-        let nodes = cluster
-            .registry
-            .with_tenant(tenant, |e| e.nodes.clone())
-            .unwrap_or_default();
-        if round >= nodes.len().max(3).min(3) || nodes.is_empty() {
+        let nodes = cluster.registry.with_tenant(tenant, |e| e.nodes.clone()).unwrap_or_default();
+        if round >= 3 || nodes.is_empty() {
             println!("[{}] rolling upgrade complete", sim.now());
             return;
         }
         // Oldest un-upgraded node drains (lowest instance id first).
-        let victim = match nodes.iter().filter(|n| !n.is_retired()).min_by_key(|n| n.instance_id.raw()) {
-            Some(v) => Rc::clone(v),
-            None => {
-                println!("[{}] rolling upgrade complete", sim.now());
-                return;
-            }
-        };
+        let victim =
+            match nodes.iter().filter(|n| !n.is_retired()).min_by_key(|n| n.instance_id.raw()) {
+                Some(v) => Rc::clone(v),
+                None => {
+                    println!("[{}] rolling upgrade complete", sim.now());
+                    return;
+                }
+            };
         println!(
             "[{}] draining {} ({} sessions) for upgrade",
             sim.now(),
@@ -158,11 +154,7 @@ fn main() {
 
     sim.run_until(end + dur::secs(30));
 
-    let series = [
-        throughput.borrow().clone(),
-        p99.borrow().clone(),
-        nodes_series.borrow().clone(),
-    ];
+    let series = [throughput.borrow().clone(), p99.borrow().clone(), nodes_series.borrow().clone()];
     println!("{}", render_table(&series, 60.0, "min"));
 
     let migrated = cluster.proxy.migrations.get() - migrations_before.get();

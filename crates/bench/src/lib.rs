@@ -6,6 +6,8 @@
 //! comparisons in the paper are ratios and shapes, which scaling
 //! preserves.
 
+pub mod chaos;
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -1,0 +1,113 @@
+//! The chaos controller: translates the layer-agnostic fault events of
+//! [`crdb_sim::fault`] into concrete actions against a live
+//! [`ServerlessCluster`].
+//!
+//! Each fault class exercises a different failover path end to end:
+//!
+//! - **KV node crash/restart** — the node stops heartbeating; liveness
+//!   expires its epoch, the lease-check loop transfers its leases, and
+//!   clients reroute after bounded retries.
+//! - **SQL pod crash** — in-memory sessions die; the proxy detects the
+//!   dead backend and revives sessions on another node from cached
+//!   serialized-session snapshots (§4.2.4), while the autoscaler prunes
+//!   the corpse and backfills capacity.
+//! - **Pod start failure** — the warm pool burns the pod and retries
+//!   with a fresh one after a capped exponential backoff (§4.3.1).
+//! - **Inter-region partition** — cross-partition messages drop; the KV
+//!   client fails fast with a typed `Unavailable` instead of hanging.
+//! - **Latency spike** — every network hop is multiplied; nothing
+//!   should break, only slow down.
+//!
+//! Victim selection is fully deterministic (sorted candidate lists +
+//! the event's own selector), so the injector's event log — injections
+//! *and* reactions — is byte-identical across same-seed runs.
+
+use std::rc::Rc;
+
+use crdb_sim::fault::{FaultInjector, FaultKind, FaultSchedule};
+use crdb_sql::node::{NodeState, SqlNode};
+use crdb_util::TenantId;
+
+use crate::ServerlessCluster;
+
+/// Installs a fault schedule against `cluster`, returning the injector
+/// for its event log and counters.
+pub fn install_chaos(
+    cluster: &Rc<ServerlessCluster>,
+    schedule: FaultSchedule,
+) -> Rc<FaultInjector> {
+    let injector = FaultInjector::new(&cluster.sim);
+    let kv_nodes = cluster.kv.node_ids();
+    // Clones of a Topology share fault state, so acting on the config's
+    // copy is visible to every component of the cluster.
+    let topology = cluster.config().topology.clone();
+    let c = Rc::clone(cluster);
+    let inj = Rc::clone(&injector);
+    injector.install(schedule, move |kind| match *kind {
+        FaultKind::KvNodeCrash { node } => {
+            let id = kv_nodes[node % kv_nodes.len()];
+            c.kv.set_node_alive(id, false);
+            inj.note(&format!("kv node {id} crashed"));
+        }
+        FaultKind::KvNodeRestart { node } => {
+            let id = kv_nodes[node % kv_nodes.len()];
+            c.kv.set_node_alive(id, true);
+            inj.note(&format!("kv node {id} restarted"));
+        }
+        FaultKind::SqlPodCrash { pick } => match pick_sql_pod(&c, pick) {
+            Some((tenant, pod)) => {
+                let sessions = pod.session_count();
+                pod.crash();
+                inj.note(&format!(
+                    "sql pod instance={} tenant={} crashed ({sessions} sessions lost)",
+                    pod.instance_id.raw(),
+                    tenant.raw(),
+                ));
+            }
+            None => inj.note("sql pod crash: no live pods"),
+        },
+        FaultKind::PodStartFailure { count } => {
+            c.pool.fail_next_starts(count);
+            inj.note(&format!("next {count} pod starts will fail"));
+        }
+        FaultKind::PartitionStart { a, b } => {
+            topology.partition(a, b);
+            inj.note(&format!("partition up {}-{}", a.raw(), b.raw()));
+        }
+        FaultKind::PartitionHeal { a, b } => {
+            topology.heal(a, b);
+            inj.note(&format!("partition healed {}-{}", a.raw(), b.raw()));
+        }
+        FaultKind::LatencySpikeStart { factor_pct } => {
+            topology.set_latency_factor_pct(factor_pct);
+            inj.note(&format!("latency spike {factor_pct}%"));
+        }
+        FaultKind::LatencySpikeEnd => {
+            topology.set_latency_factor_pct(100);
+            inj.note("latency spike over");
+        }
+    });
+    injector
+}
+
+/// Deterministically picks a live SQL pod across all tenants: candidates
+/// are every Ready or Draining node, sorted by instance id, indexed by
+/// the event's selector.
+fn pick_sql_pod(cluster: &ServerlessCluster, pick: u64) -> Option<(TenantId, Rc<SqlNode>)> {
+    let mut pods: Vec<(TenantId, Rc<SqlNode>)> = Vec::new();
+    for tenant in cluster.registry.tenant_ids() {
+        cluster.registry.with_tenant(tenant, |e| {
+            for n in e.nodes.iter().chain(e.draining.iter().map(|(n, _)| n)) {
+                if matches!(n.state(), NodeState::Ready | NodeState::Draining) {
+                    pods.push((tenant, Rc::clone(n)));
+                }
+            }
+        });
+    }
+    if pods.is_empty() {
+        return None;
+    }
+    pods.sort_by_key(|(_, n)| n.instance_id.raw());
+    let idx = (pick % pods.len() as u64) as usize;
+    Some(pods[idx].clone())
+}

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dedicated;
 pub mod serverless_cluster;
 pub mod tenant;

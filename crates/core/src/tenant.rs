@@ -102,9 +102,7 @@ impl TenantInfo {
         for &(node, tokens) in usage {
             // The client tracks the usage window (kept for protocol
             // fidelity and its own diagnostics).
-            clients
-                .entry(node)
-                .or_insert_with(|| BucketClient::new(node, ClientConfig::default()));
+            clients.entry(node).or_insert_with(|| BucketClient::new(node, ClientConfig::default()));
             if tokens <= 0.0 {
                 gates.remove(&node);
                 continue;
@@ -168,11 +166,8 @@ mod tests {
 
     fn cert() -> TenantCert {
         let sim = Sim::new(1);
-        let cluster = KvCluster::new(
-            &sim,
-            Topology::single_region("r", 3),
-            KvClusterConfig::default(),
-        );
+        let cluster =
+            KvCluster::new(&sim, Topology::single_region("r", 3), KvClusterConfig::default());
         cluster.create_tenant(TenantId(2))
     }
 

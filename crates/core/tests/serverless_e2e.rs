@@ -146,10 +146,7 @@ fn denylisted_ip_rejected() {
         *r.borrow_mut() = Some(res.err());
     });
     sim.run_for(dur::secs(2));
-    assert_eq!(
-        result.borrow().clone().flatten(),
-        Some(crdb_serverless::proxy::ProxyError::Denied)
-    );
+    assert_eq!(result.borrow().clone().flatten(), Some(crdb_serverless::proxy::ProxyError::Denied));
 }
 
 #[test]

@@ -73,7 +73,11 @@ impl CertAuthority {
 /// the batch's claimed tenant must match the certificate, and every
 /// request must target the tenant's keyspace segment. The system tenant
 /// bypasses the keyspace check.
-pub fn authorize(ca: &CertAuthority, cert: &TenantCert, batch: &BatchRequest) -> Result<(), KvError> {
+pub fn authorize(
+    ca: &CertAuthority,
+    cert: &TenantCert,
+    batch: &BatchRequest,
+) -> Result<(), KvError> {
     if !ca.is_valid(cert) {
         return Err(KvError::Unauthorized);
     }
@@ -86,8 +90,7 @@ pub fn authorize(ca: &CertAuthority, cert: &TenantCert, batch: &BatchRequest) ->
     let tenant = cert.tenant();
     for req in &batch.requests {
         let ok = match req {
-            RequestKind::Scan { start, end, .. }
-            | RequestKind::RefreshSpan { start, end, .. } => {
+            RequestKind::Scan { start, end, .. } | RequestKind::RefreshSpan { start, end, .. } => {
                 keys::span_in_tenant(tenant, start, end)
             }
             RequestKind::EndTxn { .. } => match &batch.txn {

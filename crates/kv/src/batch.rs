@@ -87,8 +87,9 @@ impl RequestKind {
     pub fn payload_bytes(&self) -> usize {
         match self {
             RequestKind::Get { key } | RequestKind::Delete { key } => key.len(),
-            RequestKind::Scan { start, end, .. }
-            | RequestKind::RefreshSpan { start, end, .. } => start.len() + end.len(),
+            RequestKind::Scan { start, end, .. } | RequestKind::RefreshSpan { start, end, .. } => {
+                start.len() + end.len()
+            }
             RequestKind::Put { key, value } => key.len() + value.len(),
             RequestKind::WriteIntent { key, value } => {
                 key.len() + value.as_ref().map_or(0, |v| v.len())
@@ -182,6 +183,12 @@ pub enum KvError {
     AdmissionTimeout,
     /// The node is shutting down or dead.
     NodeUnavailable,
+    /// Fail-fast terminal error: the target is unreachable (network
+    /// partition) or every bounded retry found no live route. Unlike
+    /// [`KvError::NodeUnavailable`] — a per-hop condition the client
+    /// retries internally — this is the typed error surfaced to callers
+    /// instead of hanging or retrying forever.
+    Unavailable,
 }
 
 /// The outcome of a batch.
@@ -202,9 +209,7 @@ impl BatchResponse {
             .iter()
             .map(|r| match r {
                 ResponseKind::Value(v) => v.as_ref().map_or(0, |v| v.len()),
-                ResponseKind::Pairs(pairs) => {
-                    pairs.iter().map(|(k, v)| k.len() + v.len()).sum()
-                }
+                ResponseKind::Pairs(pairs) => pairs.iter().map(|(k, v)| k.len() + v.len()).sum(),
                 ResponseKind::Ok => 0,
             })
             .sum();

@@ -7,7 +7,7 @@
 //! retries on redirects / stale caches / intent conflicts, and reassembles
 //! responses in request order.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -21,10 +21,21 @@ use crate::directory::{CacheEntry, RangeCache};
 use crate::hlc::Timestamp;
 use crate::txn::TxnMeta;
 
-/// Maximum redirect/stale-cache retries per sub-batch.
-const MAX_ROUTING_RETRIES: u32 = 8;
+/// Maximum redirect/stale-cache retries per sub-batch. Exhaustion
+/// surfaces [`KvError::Unavailable`]. Sized so the retry window
+/// (with backoff, ~19 s) outlasts a liveness-driven lease transfer
+/// (TTL 9 s + 2 s check period).
+const MAX_ROUTING_RETRIES: u32 = 16;
 /// Maximum intent-conflict retries per sub-batch.
 const MAX_CONFLICT_RETRIES: u32 = 32;
+/// Routing backoff doubles from 50 ms and is capped here.
+const ROUTING_BACKOFF_CAP_MS: u64 = 1_600;
+/// Conflict backoff grows linearly from 1 ms and is capped here.
+const CONFLICT_BACKOFF_CAP_MS: u64 = 32;
+/// An RPC with no reply by this deadline (its request or response was
+/// dropped by a partition) is treated as a `NodeUnavailable` hop
+/// failure and retried — the client never hangs on a dropped message.
+const RPC_TIMEOUT_MS: u64 = 10_000;
 
 struct ClientInner {
     cluster: KvCluster,
@@ -153,10 +164,17 @@ impl KvClient {
     }
 
     /// Resolves the range containing `key`, using the cache or a META
-    /// follower read (one network hop to the nearest node, §3.2.5).
-    fn resolve(&self, key: Bytes, cb: impl FnOnce(Option<CacheEntry>) + 'static) {
-        if let Some(entry) = self.inner.cache.borrow_mut().lookup(&key) {
-            cb(Some(entry));
+    /// follower read (one network hop to the nearest *reachable* node,
+    /// §3.2.5). Fails with [`KvError::Unavailable`] when no live node
+    /// is reachable, and [`KvError::RangeNotFound`] when the directory
+    /// has no range for the key.
+    fn resolve(&self, key: Bytes, cb: impl FnOnce(Result<CacheEntry, KvError>) + 'static) {
+        // Bind the lookup so the cache borrow ends before `cb` runs: the
+        // callback may synchronously re-dispatch (scan split) and re-enter
+        // this cache.
+        let cached = self.inner.cache.borrow_mut().lookup(&key);
+        if let Some(entry) = cached {
+            cb(Ok(entry));
             return;
         }
         let cluster = self.inner.cluster.clone();
@@ -164,7 +182,7 @@ impl KvClient {
         let nearest = match cluster.nearest_node(self.inner.location) {
             Some(n) => n,
             None => {
-                cb(None);
+                cb(Err(KvError::Unavailable));
                 return;
             }
         };
@@ -179,10 +197,10 @@ impl KvClient {
             // just cause a redirect).
             let entry = {
                 let inner = cluster.inner.borrow();
-                inner.directory.lookup(&key).map(|r| CacheEntry {
-                    desc: r.desc.clone(),
-                    leaseholder: r.lease.holder,
-                })
+                inner
+                    .directory
+                    .lookup(&key)
+                    .map(|r| CacheEntry { desc: r.desc.clone(), leaseholder: r.lease.holder })
             };
             let topo2 = cluster.topology();
             let sim2 = cluster.sim.clone();
@@ -191,11 +209,14 @@ impl KvClient {
                 if let Some(e) = entry.clone() {
                     this.inner.cache.borrow_mut().fill_from_meta(e);
                 }
-                cb(entry);
+                cb(entry.ok_or(KvError::RangeNotFound));
             });
         });
     }
 }
+
+/// The batch completion callback, taken exactly once.
+type FinishFn = Box<dyn FnOnce(BatchResponse)>;
 
 /// In-flight state for one client batch.
 struct DispatchState {
@@ -205,7 +226,7 @@ struct DispatchState {
     /// Per original request index: `(span_order, response)` pieces.
     results: RefCell<Vec<Vec<(usize, ResponseKind)>>>,
     outstanding: RefCell<usize>,
-    finished: RefCell<Option<Box<dyn FnOnce(BatchResponse)>>>,
+    finished: RefCell<Option<FinishFn>>,
 }
 
 impl DispatchState {
@@ -232,11 +253,38 @@ impl DispatchState {
         *state.outstanding.borrow_mut() += 1;
         let key = Self::routing_key(&state.template, &req);
         let st = Rc::clone(state);
+        // A META hop dropped by a partition would otherwise leave this
+        // piece hanging forever: guard the resolve with an RPC timeout
+        // that converts silence into a retryable hop failure.
+        let done = Rc::new(Cell::new(false));
+        let timeout = {
+            let st = Rc::clone(state);
+            let done = Rc::clone(&done);
+            let req = req.clone();
+            state.client.inner.cluster.sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
+                if done.replace(true) {
+                    return;
+                }
+                st.handle_response(
+                    idx,
+                    order,
+                    req,
+                    BatchResponse::err(KvError::NodeUnavailable),
+                    routing_retries,
+                    conflict_retries,
+                );
+            })
+        };
+        let sim = state.client.inner.cluster.sim.clone();
         state.client.clone().resolve(key, move |entry| {
+            if done.replace(true) {
+                return;
+            }
+            sim.cancel(timeout);
             let entry = match entry {
-                Some(e) => e,
-                None => {
-                    st.fail(KvError::RangeNotFound);
+                Ok(e) => e,
+                Err(e) => {
+                    st.fail(e);
                     return;
                 }
             };
@@ -244,7 +292,8 @@ impl DispatchState {
             // prefix executes now, the remainder re-dispatches.
             let mut req = req;
             if let RequestKind::Scan { start, end, limit } = &req {
-                if end.as_ref() > entry.desc.end.as_ref() && start.as_ref() < entry.desc.end.as_ref()
+                if end.as_ref() > entry.desc.end.as_ref()
+                    && start.as_ref() < entry.desc.end.as_ref()
                 {
                     let tail = RequestKind::Scan {
                         start: entry.desc.end.clone(),
@@ -285,6 +334,14 @@ impl DispatchState {
         let sim = cluster.sim.clone();
         let my_loc = client.inner.location;
         let node_loc = node.location;
+        // Fail fast across a known partition: the leaseholder cannot be
+        // reached and (liveness being a global control plane) its lease
+        // will not move, so surface the typed error immediately instead
+        // of letting the request time out retry after retry.
+        if !topo.is_reachable(my_loc, node_loc) {
+            self.fail(KvError::Unavailable);
+            return;
+        }
         let sub = BatchRequest {
             tenant: self.template.tenant,
             read_ts: self.template.read_ts,
@@ -293,6 +350,28 @@ impl DispatchState {
         };
         let cert = client.inner.cert.clone();
         let st = Rc::clone(&self);
+        // RPC timeout: a partition starting while this request is in
+        // flight drops a hop; convert the silence into a retryable hop
+        // failure so the piece never hangs.
+        let done = Rc::new(Cell::new(false));
+        let timeout = {
+            let st = Rc::clone(&self);
+            let done = Rc::clone(&done);
+            let req = req.clone();
+            sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
+                if done.replace(true) {
+                    return;
+                }
+                st.handle_response(
+                    idx,
+                    order,
+                    req,
+                    BatchResponse::err(KvError::NodeUnavailable),
+                    routing_retries,
+                    conflict_retries,
+                );
+            })
+        };
         topo.send(&sim, my_loc, node_loc, move || {
             let topo2 = st.client.inner.cluster.topology();
             let sim2 = st.client.inner.cluster.sim.clone();
@@ -302,6 +381,10 @@ impl DispatchState {
                 // Return hop, then handle.
                 let st3 = Rc::clone(&st2);
                 topo2.send(&sim2, node_loc, my_loc, move || {
+                    if done.replace(true) {
+                        return;
+                    }
+                    st3.client.inner.cluster.sim.cancel(timeout);
                     st3.handle_response(idx, order, req2, resp, routing_retries, conflict_retries);
                 });
             });
@@ -340,7 +423,8 @@ impl DispatchState {
                 self.client.inner.cache.borrow_mut().invalidate(&key);
                 let st = Rc::clone(&self);
                 let sim = self.client.inner.cluster.sim.clone();
-                let backoff = dur::ms(50 * (1 + routing_retries as u64));
+                let backoff =
+                    dur::ms((50u64 << routing_retries.min(5)).min(ROUTING_BACKOFF_CAP_MS));
                 sim.schedule_after(backoff, move || {
                     st.retry_routing(idx, order, req, routing_retries, conflict_retries);
                 });
@@ -352,9 +436,17 @@ impl DispatchState {
                 // commits or aborts shortly (short commit windows).
                 let st = Rc::clone(&self);
                 let sim = self.client.inner.cluster.sim.clone();
-                let backoff = dur::ms(1 + 2 * conflict_retries as u64);
+                let backoff =
+                    dur::ms((1 + 2 * conflict_retries as u64).min(CONFLICT_BACKOFF_CAP_MS));
                 sim.schedule_after(backoff, move || {
-                    Self::dispatch_piece(&st, idx, order, req, routing_retries, conflict_retries + 1);
+                    Self::dispatch_piece(
+                        &st,
+                        idx,
+                        order,
+                        req,
+                        routing_retries,
+                        conflict_retries + 1,
+                    );
                     Self::piece_done(&st);
                 });
             }
@@ -371,7 +463,9 @@ impl DispatchState {
         conflict_retries: u32,
     ) {
         if routing_retries >= MAX_ROUTING_RETRIES {
-            self.fail(KvError::RangeNotFound);
+            // The retry budget outlasts any single lease transfer; if we
+            // still have no live route the range is genuinely unavailable.
+            self.fail(KvError::Unavailable);
             return;
         }
         let st = Rc::clone(&self);

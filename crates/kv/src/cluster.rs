@@ -187,26 +187,28 @@ impl KvCluster {
             if live.len() < 2 {
                 return true;
             }
-            let mut counts: HashMap<NodeId, usize> =
-                live.iter().map(|&n| (n, 0)).collect();
+            // A sorted list, not a map: ties for most/fewest leases must
+            // break the same way every run for determinism.
+            let mut counts: Vec<(NodeId, usize)> = live.iter().map(|&n| (n, 0)).collect();
+            counts.sort_by_key(|&(n, _)| n);
             for r in inner.directory.iter() {
-                if let Some(c) = counts.get_mut(&r.lease.holder) {
-                    *c += 1;
+                if let Some(c) = counts.iter_mut().find(|(n, _)| *n == r.lease.holder) {
+                    c.1 += 1;
                 }
             }
-            let (&max_node, &max_count) =
-                counts.iter().max_by_key(|(_, &c)| c).expect("non-empty");
-            let (&min_node, &min_count) =
-                counts.iter().min_by_key(|(_, &c)| c).expect("non-empty");
+            let &(max_node, max_count) = counts.iter().max_by_key(|&&(_, c)| c).expect("non-empty");
+            let &(min_node, min_count) = counts.iter().min_by_key(|&&(_, c)| c).expect("non-empty");
             if max_count <= min_count + 3 {
                 return true;
             }
             // Move one of the crowded node's leases to the quiet node,
             // provided it holds a replica there.
             let epoch = inner.liveness.epoch(min_node);
-            if let Some(range) = inner.directory.iter_mut().find(|r| {
-                r.lease.holder == max_node && r.desc.replicas.contains(&min_node)
-            }) {
+            if let Some(range) = inner
+                .directory
+                .iter_mut()
+                .find(|r| r.lease.holder == max_node && r.desc.replicas.contains(&min_node))
+            {
                 range.lease = Lease { holder: min_node, epoch };
             }
             true
@@ -289,17 +291,11 @@ impl KvCluster {
                     continue;
                 }
                 // Find a live replica to take the lease.
-                let candidate = range
-                    .desc
-                    .replicas
-                    .iter()
-                    .copied()
-                    .find(|&n| inner.liveness.is_live(n, now));
+                let candidate =
+                    range.desc.replicas.iter().copied().find(|&n| inner.liveness.is_live(n, now));
                 if let Some(new_holder) = candidate {
-                    range.lease = Lease {
-                        holder: new_holder,
-                        epoch: inner.liveness.epoch(new_holder),
-                    };
+                    range.lease =
+                        Lease { holder: new_holder, epoch: inner.liveness.epoch(new_holder) };
                     transfers += 1;
                 }
             }
@@ -364,10 +360,11 @@ impl KvCluster {
             // Version keys are 'v' + user + 0x00 + 12 bytes of timestamp.
             if k.len() > 14 && k[0] == b'v' {
                 let user = Bytes::copy_from_slice(&k[1..k.len() - 13]);
-                if user.as_ref() >= desc.start.as_ref() && user.as_ref() < desc.end.as_ref() {
-                    if users.last() != Some(&user) {
-                        users.push(user);
-                    }
+                if user.as_ref() >= desc.start.as_ref()
+                    && user.as_ref() < desc.end.as_ref()
+                    && users.last() != Some(&user)
+                {
+                    users.push(user);
                 }
             }
         }
@@ -436,9 +433,7 @@ impl KvCluster {
             let start = if home.is_some() {
                 let home_count = live
                     .iter()
-                    .filter(|n| {
-                        Some(inner.nodes[n].location.region) == home
-                    })
+                    .filter(|n| Some(inner.nodes[n].location.region) == home)
                     .count()
                     .max(1);
                 (tenant.raw() as usize) % home_count
@@ -448,10 +443,8 @@ impl KvCluster {
             for i in 0..live.len() {
                 let n = live[(start + i) % live.len()];
                 let region = inner.nodes[&n].location.region;
-                let covered = replicas
-                    .iter()
-                    .filter(|r| inner.nodes[r].location.region == region)
-                    .count();
+                let covered =
+                    replicas.iter().filter(|r| inner.nodes[r].location.region == region).count();
                 if covered == 0 || replicas.len() >= inner.topology.region_count() {
                     replicas.push(n);
                 }
@@ -536,14 +529,19 @@ impl KvCluster {
         self.inner.borrow().nodes.get(&id).map(|n| n.location)
     }
 
-    /// The nearest live node to `loc` (for META follower reads).
+    /// The nearest live *reachable* node to `loc` (for META follower
+    /// reads) — a node across an active partition cannot answer.
     pub fn nearest_node(&self, loc: Location) -> Option<Rc<KvNode>> {
         let inner = self.inner.borrow();
         let now = self.sim.now();
         inner
             .nodes
             .values()
-            .filter(|n| n.is_alive() && inner.liveness.is_live(n.id, now))
+            .filter(|n| {
+                n.is_alive()
+                    && inner.liveness.is_live(n.id, now)
+                    && inner.topology.is_reachable(loc, n.location)
+            })
             .min_by_key(|n| inner.topology.base_latency(loc, n.location))
             .map(Rc::clone)
     }
@@ -560,12 +558,7 @@ impl KvCluster {
 
     /// Ranges owned by a tenant.
     pub fn tenant_range_count(&self, tenant: TenantId) -> usize {
-        self.inner
-            .borrow()
-            .directory
-            .iter()
-            .filter(|r| r.desc.tenant() == Some(tenant))
-            .count()
+        self.inner.borrow().directory.iter().filter(|r| r.desc.tenant() == Some(tenant)).count()
     }
 
     /// Cumulative lease transfers caused by liveness failures.
@@ -614,6 +607,18 @@ impl KvCluster {
         if let Some(n) = self.inner.borrow().nodes.get(&id) {
             n.set_alive(alive);
         }
+    }
+
+    /// Whether a node is currently marked alive.
+    pub fn node_is_alive(&self, id: NodeId) -> bool {
+        self.inner.borrow().nodes.get(&id).is_some_and(|n| n.is_alive())
+    }
+
+    /// The current leaseholder of the range containing `key` (ground
+    /// truth from the directory — used by tests and fault injection to
+    /// pick victims).
+    pub fn leaseholder_of(&self, key: &[u8]) -> Option<NodeId> {
+        self.inner.borrow().directory.lookup(key).map(|r| r.lease.holder)
     }
 }
 
@@ -702,8 +707,7 @@ mod tests {
         c.set_node_alive(NodeId(1), true);
         c.set_node_alive(NodeId(2), true);
         sim.run_for(dur::secs(300));
-        let counts =
-            [c.lease_count(NodeId(1)), c.lease_count(NodeId(2)), c.lease_count(NodeId(3))];
+        let counts = [c.lease_count(NodeId(1)), c.lease_count(NodeId(2)), c.lease_count(NodeId(3))];
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         assert!(max - min <= 4, "leases rebalanced: {counts:?}");

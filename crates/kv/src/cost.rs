@@ -135,13 +135,16 @@ impl CostModel {
 
     /// Batches per second one vCPU sustains at a given rate — the Fig. 5
     /// curve, derivable directly from the model.
-    pub fn write_batches_per_vcpu(&self, rate: f64, requests_per_batch: u64, bytes_per_batch: u64) -> f64 {
-        let per_batch = self.batch_base(
-            self.write_batch_base_slow,
-            self.write_batch_base_fast,
-            rate,
-        ) + requests_per_batch as f64 * self.write_request_cost
-            + bytes_per_batch as f64 * self.write_byte_cost;
+    pub fn write_batches_per_vcpu(
+        &self,
+        rate: f64,
+        requests_per_batch: u64,
+        bytes_per_batch: u64,
+    ) -> f64 {
+        let per_batch =
+            self.batch_base(self.write_batch_base_slow, self.write_batch_base_fast, rate)
+                + requests_per_batch as f64 * self.write_request_cost
+                + bytes_per_batch as f64 * self.write_byte_cost;
         1.0 / per_batch
     }
 }
@@ -266,7 +269,9 @@ mod tests {
             read_ts: Timestamp::ZERO,
             txn: None,
             requests: (0..n)
-                .map(|i| RequestKind::Get { key: keys::make_key(TenantId(2), format!("k{i}").as_bytes()) })
+                .map(|i| RequestKind::Get {
+                    key: keys::make_key(TenantId(2), format!("k{i}").as_bytes()),
+                })
                 .collect(),
         }
     }

@@ -71,11 +71,7 @@ impl Hlc {
     pub fn now(&self, now: SimTime) -> Timestamp {
         let wall = now.as_nanos();
         let last = self.last.get();
-        let next = if wall > last.wall {
-            Timestamp { wall, logical: 0 }
-        } else {
-            last.next()
-        };
+        let next = if wall > last.wall { Timestamp { wall, logical: 0 } } else { last.next() };
         self.last.set(next);
         next
     }

@@ -72,7 +72,7 @@ impl Liveness {
 
     /// Whether the node is currently live.
     pub fn is_live(&self, node: NodeId, now: SimTime) -> bool {
-        self.records.get(&node).map_or(false, |r| r.expires >= now)
+        self.records.get(&node).is_some_and(|r| r.expires >= now)
     }
 
     /// The node's current epoch (0 if unknown).
@@ -91,12 +91,8 @@ impl Liveness {
 
     /// All registered nodes currently live.
     pub fn live_nodes(&self, now: SimTime) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .records
-            .iter()
-            .filter(|(_, r)| r.expires >= now)
-            .map(|(&n, _)| n)
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.records.iter().filter(|(_, r)| r.expires >= now).map(|(&n, _)| n).collect();
         v.sort();
         v
     }

@@ -78,8 +78,7 @@ fn decode_version_key(storage_key: &[u8]) -> Option<(Bytes, Timestamp)> {
     }
     let user = Bytes::copy_from_slice(&storage_key[1..sep]);
     let wall = u64::MAX - u64::from_be_bytes(storage_key[sep + 1..sep + 9].try_into().ok()?);
-    let logical =
-        u32::MAX - u32::from_be_bytes(storage_key[sep + 9..sep + 13].try_into().ok()?);
+    let logical = u32::MAX - u32::from_be_bytes(storage_key[sep + 9..sep + 13].try_into().ok()?);
     Some((user, Timestamp { wall, logical }))
 }
 
@@ -172,12 +171,7 @@ fn gc_key_inline(engine: &Engine, key: &[u8], ts: Timestamp) {
 /// Reads the newest committed version of `key` at or below `ts`. If
 /// `observe_intents` and an intent (from a different transaction than
 /// `own_txn`) exists with `intent.ts <= ts`, the intent is surfaced.
-pub fn get(
-    engine: &Engine,
-    key: &[u8],
-    ts: Timestamp,
-    own_txn: Option<u64>,
-) -> ReadResult {
+pub fn get(engine: &Engine, key: &[u8], ts: Timestamp, own_txn: Option<u64>) -> ReadResult {
     if let Some(raw) = engine.get(&intent_key(key)) {
         if let Some(intent) = decode_intent(&raw) {
             if Some(intent.txn_id) == own_txn {
@@ -203,6 +197,9 @@ pub fn get(
     ReadResult::Value(None)
 }
 
+/// A scan's live pairs plus every foreign intent found in the span.
+pub type ScanResult = (Vec<(Bytes, Bytes)>, Vec<(Bytes, Intent)>);
+
 /// Scans `[start, end)` at `ts`, returning up to `limit` live pairs and
 /// every foreign intent encountered in the span.
 pub fn scan(
@@ -212,7 +209,7 @@ pub fn scan(
     ts: Timestamp,
     limit: usize,
     own_txn: Option<u64>,
-) -> (Vec<(Bytes, Bytes)>, Vec<(Bytes, Intent)>) {
+) -> ScanResult {
     // Collect intents over the span.
     let mut intents = Vec::new();
     let mut own_intents: std::collections::HashMap<Bytes, Option<Bytes>> = Default::default();
@@ -428,7 +425,7 @@ pub fn refresh_span(
 /// Returns whether any transaction record has the given status — test and
 /// tooling helper.
 pub fn txn_has_status(engine: &Engine, txn_id: u64, status: TxnStatus) -> bool {
-    get_txn_record(engine, txn_id).map_or(false, |r| r.status == status)
+    get_txn_record(engine, txn_id).is_some_and(|r| r.status == status)
 }
 
 #[cfg(test)]
@@ -522,7 +519,9 @@ mod tests {
     #[test]
     fn scan_merges_versions_and_skips_deletes() {
         let e = engine();
-        for (k, t, v) in [("a", 10, Some("a1")), ("b", 10, Some("b1")), ("b", 20, None), ("c", 30, Some("c1"))] {
+        for (k, t, v) in
+            [("a", 10, Some("a1")), ("b", 10, Some("b1")), ("b", 20, None), ("c", 30, Some("c1"))]
+        {
             put_version(&e, k.as_bytes(), ts(t), v.map(b).as_ref());
         }
         let (pairs, intents) = scan(&e, b"a", b"z", ts(25), 100, None);

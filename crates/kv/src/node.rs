@@ -73,6 +73,7 @@ pub struct KvNode {
 }
 
 impl KvNode {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         sim: Sim,
         id: NodeId,
@@ -212,11 +213,7 @@ impl KvNode {
         // Admission (§5.1): reads through the CQ, writes through WQ + CQ.
         let now = self.sim.now();
         let tenant = batch.tenant;
-        let txn_start = batch
-            .txn
-            .as_ref()
-            .map(|t| t.start_ts.to_sim_time())
-            .unwrap_or(now);
+        let txn_start = batch.txn.as_ref().map(|t| t.start_ts.to_sim_time()).unwrap_or(now);
         let deadline = now + dur::secs(30);
         let priority = if tenant.is_system() { Priority::High } else { Priority::Normal };
         let is_write = batch.is_write();
@@ -234,15 +231,10 @@ impl KvNode {
     }
 
     fn batch_anchor_key(batch: &BatchRequest) -> Option<Bytes> {
-        for r in &batch.requests {
-            match r {
-                RequestKind::EndTxn { .. } => {
-                    return batch.txn.as_ref().map(|t| t.anchor_key.clone())
-                }
-                other => return Some(other.primary_key().clone()),
-            }
-        }
-        None
+        batch.requests.first().and_then(|r| match r {
+            RequestKind::EndTxn { .. } => batch.txn.as_ref().map(|t| t.anchor_key.clone()),
+            other => Some(other.primary_key().clone()),
+        })
     }
 
     /// Drains admission grants into CPU tasks. Re-schedules itself when a
@@ -321,7 +313,14 @@ impl KvNode {
         } else {
             None
         };
-        self.admission.borrow_mut().complete(now, batch.tenant, class, cpu_cost, bytes, actual_bytes);
+        self.admission.borrow_mut().complete(
+            now,
+            batch.tenant,
+            class,
+            cpu_cost,
+            bytes,
+            actual_bytes,
+        );
 
         // Replication: respond only after a quorum would have acked.
         let delay = if write_payload > 0 {
@@ -417,7 +416,9 @@ impl KvNode {
                             ) {
                                 Some(v) => results.push(ResponseKind::Value(v)),
                                 None => {
-                                    return Err(KvError::IntentConflict { other_txn: intent.txn_id })
+                                    return Err(KvError::IntentConflict {
+                                        other_txn: intent.txn_id,
+                                    })
                                 }
                             }
                         }
@@ -590,11 +591,7 @@ impl KvNode {
 
     fn ts_cache_read(&self, key: &Bytes) -> Timestamp {
         let cache = self.ts_cache.borrow();
-        cache
-            .get(key)
-            .copied()
-            .unwrap_or(Timestamp::ZERO)
-            .max(self.ts_cache_floor.get())
+        cache.get(key).copied().unwrap_or(Timestamp::ZERO).max(self.ts_cache_floor.get())
     }
 
     /// Checks an encountered intent against its transaction's status. If

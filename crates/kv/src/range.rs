@@ -107,14 +107,11 @@ mod tests {
         let d = desc(5);
         assert!(d.contains(&keys::make_key(TenantId(5), b"anything")));
         assert!(!d.contains(&keys::make_key(TenantId(6), b"a")));
-        assert!(d.contains_span(
-            &keys::make_key(TenantId(5), b"a"),
-            &keys::make_key(TenantId(5), b"b")
-        ));
-        assert!(!d.contains_span(
-            &keys::make_key(TenantId(5), b"a"),
-            &keys::make_key(TenantId(6), b"b")
-        ));
+        assert!(
+            d.contains_span(&keys::make_key(TenantId(5), b"a"), &keys::make_key(TenantId(5), b"b"))
+        );
+        assert!(!d
+            .contains_span(&keys::make_key(TenantId(5), b"a"), &keys::make_key(TenantId(6), b"b")));
     }
 
     #[test]

@@ -18,11 +18,8 @@ use crdb_util::{RegionId, TenantId};
 
 fn setup(seed: u64) -> (Sim, KvCluster) {
     let sim = Sim::new(seed);
-    let cluster = KvCluster::new(
-        &sim,
-        Topology::single_region("us-east1", 3),
-        KvClusterConfig::default(),
-    );
+    let cluster =
+        KvCluster::new(&sim, Topology::single_region("us-east1", 3), KvClusterConfig::default());
     (sim, cluster)
 }
 
@@ -125,8 +122,14 @@ fn transactional_commit_is_atomic_and_isolated() {
         read_ts: txn.start_ts,
         txn: Some(txn.clone()),
         requests: vec![
-            RequestKind::WriteIntent { key: k(2, "acct/a"), value: Some(Bytes::from_static(b"60")) },
-            RequestKind::WriteIntent { key: k(2, "acct/b"), value: Some(Bytes::from_static(b"40")) },
+            RequestKind::WriteIntent {
+                key: k(2, "acct/a"),
+                value: Some(Bytes::from_static(b"60")),
+            },
+            RequestKind::WriteIntent {
+                key: k(2, "acct/b"),
+                value: Some(Bytes::from_static(b"40")),
+            },
         ],
     };
     let committed = Rc::new(RefCell::new(false));
@@ -151,8 +154,14 @@ fn transactional_commit_is_atomic_and_isolated() {
                     read_ts: txn3.start_ts,
                     txn: Some(txn3.clone()),
                     requests: vec![
-                        RequestKind::ResolveIntent { key: k(2, "acct/a"), commit_ts: Some(txn3.write_ts) },
-                        RequestKind::ResolveIntent { key: k(2, "acct/b"), commit_ts: Some(txn3.write_ts) },
+                        RequestKind::ResolveIntent {
+                            key: k(2, "acct/a"),
+                            commit_ts: Some(txn3.write_ts),
+                        },
+                        RequestKind::ResolveIntent {
+                            key: k(2, "acct/b"),
+                            commit_ts: Some(txn3.write_ts),
+                        },
                     ],
                 };
                 let committed = Rc::clone(&committed);
@@ -275,7 +284,10 @@ fn write_write_conflict_surfaces_as_error() {
         tenant: TenantId(2),
         read_ts: txn1.start_ts,
         txn: Some(txn1.clone()),
-        requests: vec![RequestKind::WriteIntent { key: k(2, "hot"), value: Some(Bytes::from_static(b"1")) }],
+        requests: vec![RequestKind::WriteIntent {
+            key: k(2, "hot"),
+            value: Some(Bytes::from_static(b"1")),
+        }],
     };
     client.send(w1, |resp| assert!(resp.is_ok()));
     sim.run_for(dur::secs(1));
@@ -287,7 +299,10 @@ fn write_write_conflict_surfaces_as_error() {
         tenant: TenantId(2),
         read_ts: txn2.start_ts,
         txn: Some(txn2.clone()),
-        requests: vec![RequestKind::WriteIntent { key: k(2, "hot"), value: Some(Bytes::from_static(b"2")) }],
+        requests: vec![RequestKind::WriteIntent {
+            key: k(2, "hot"),
+            value: Some(Bytes::from_static(b"2")),
+        }],
     };
     let outcome = Rc::new(RefCell::new(None));
     let o = Rc::clone(&outcome);
@@ -311,9 +326,11 @@ fn lease_transfer_redirects_clients() {
     let holder = {
         let ids = cluster.node_ids();
         ids.into_iter()
-            .find(|&n| cluster.lease_count(n) > 0 && {
-                // find the node holding tenant 2's lease
-                true
+            .find(|&n| {
+                cluster.lease_count(n) > 0 && {
+                    // find the node holding tenant 2's lease
+                    true
+                }
             })
             .unwrap()
     };
@@ -395,10 +412,7 @@ fn admission_keeps_noisy_neighbor_from_starving_victim() {
     let lats = latencies.borrow();
     assert_eq!(lats.len(), 20, "all victim reads completed");
     let max = lats.iter().max().unwrap();
-    assert!(
-        *max < dur::ms(500),
-        "victim reads stay fast under admission control: max {max:?}"
-    );
+    assert!(*max < dur::ms(500), "victim reads stay fast under admission control: max {max:?}");
 }
 
 #[test]
@@ -421,4 +435,101 @@ fn deterministic_replay_same_seed() {
     };
     assert_eq!(run(11), run(11), "same seed, same trace");
     assert_ne!(run(11).0, run(12).0, "different seed, different timing");
+}
+
+#[test]
+fn crash_leaseholder_mid_run_reroutes_within_retry_budget() {
+    let (sim, cluster) = setup(13);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "x"), Bytes::from_static(b"1"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // Crash the leaseholder and read *immediately* — no grace period. The
+    // client's bounded retry loop (backoff capped at 1.6 s, budget ~19 s)
+    // must absorb the liveness expiry (TTL 9 s) and lease transfer.
+    let holder = cluster.leaseholder_of(&k(2, "x")).expect("range exists");
+    cluster.set_node_alive(holder, false);
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.get(k(2, "x"), move |r| *g.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(30));
+    match got.borrow().clone() {
+        Some(Ok(v)) => assert_eq!(v, Some(Bytes::from_static(b"1"))),
+        other => panic!("read across leaseholder crash failed: {other:?}"),
+    }
+    assert_ne!(cluster.leaseholder_of(&k(2, "x")), Some(holder), "lease moved off dead node");
+
+    // Restart heals: heartbeats resume and the node can serve again.
+    cluster.set_node_alive(holder, true);
+    sim.run_for(dur::secs(15));
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.get(k(2, "x"), move |r| *g.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(10));
+    assert!(matches!(got.borrow().clone(), Some(Ok(Some(_)))), "reads work after restart");
+}
+
+#[test]
+fn partition_fails_fast_with_typed_unavailable() {
+    let sim = Sim::new(14);
+    let cluster = KvCluster::new(
+        &sim,
+        Topology::three_region(),
+        KvClusterConfig { nodes_per_region: 1, ..Default::default() },
+    );
+    let cert = cluster.create_tenant(TenantId(2));
+    let writer = KvClient::new(cluster.clone(), cert.clone(), Location::new(RegionId(0), 0));
+    writer.put(k(2, "p"), Bytes::from_static(b"v"), |r| r.unwrap());
+    sim.run_for(dur::secs(3));
+
+    // A reader in a region other than the leaseholder's, then a partition
+    // between the two. The leaseholder stays live (liveness is a global
+    // control plane), so the lease will not move: the client must fail
+    // fast with the typed error instead of hanging or retrying forever.
+    let holder = cluster.leaseholder_of(&k(2, "p")).expect("range exists");
+    let holder_region = cluster.node_location(holder).unwrap().region;
+    let reader_region = RegionId((holder_region.raw() + 1) % 3);
+    let reader = KvClient::new(cluster.clone(), cert, Location::new(reader_region, 0));
+    cluster.topology().partition(reader_region, holder_region);
+
+    let start = sim.now();
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    let s2 = sim.clone();
+    reader.get(k(2, "p"), move |r| *g.borrow_mut() = Some((r, s2.now().duration_since(start))));
+    sim.run_for(dur::secs(60));
+    match got.borrow().clone() {
+        Some((Err(KvError::Unavailable), elapsed)) => {
+            assert!(elapsed < dur::secs(2), "failed fast, not by timeout: {elapsed:?}");
+        }
+        other => panic!("expected fail-fast Unavailable, got {other:?}"),
+    }
+
+    // Healing the partition restores service.
+    cluster.topology().heal_all();
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    reader.get(k(2, "p"), move |r| *g.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(5));
+    assert_eq!(*got.borrow(), Some(Ok(Some(Bytes::from_static(b"v")))));
+}
+
+#[test]
+fn total_outage_exhausts_retries_into_unavailable() {
+    let (sim, cluster) = setup(15);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "x"), Bytes::from_static(b"1"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // Kill every node: no lease transfer can rescue the request, so the
+    // bounded routing retries must exhaust into the typed terminal error
+    // instead of looping forever.
+    for id in cluster.node_ids() {
+        cluster.set_node_alive(id, false);
+    }
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.get(k(2, "x"), move |r| *g.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(120));
+    assert_eq!(*got.borrow(), Some(Err(KvError::Unavailable)), "typed error after exhaustion");
 }

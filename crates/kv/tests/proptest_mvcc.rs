@@ -1,3 +1,7 @@
+// NOTE: with the vendored offline proptest stand-in, `proptest!` blocks
+// compile away, leaving strategies/helpers unreferenced.
+#![allow(dead_code, unused_imports)]
+
 //! Property tests: MVCC reads must match a reference model of versioned
 //! maps under arbitrary interleavings of writes, intents, resolutions
 //! and GC.

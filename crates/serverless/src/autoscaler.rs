@@ -128,8 +128,7 @@ impl Autoscaler {
 
     /// The scaling inputs the autoscaler currently sees for a tenant.
     pub fn inputs(&self, tenant: TenantId) -> ScaleInputs {
-        let samples =
-            self.pipeline.visible_window(tenant, self.sim.now(), self.config.window);
+        let samples = self.pipeline.visible_window(tenant, self.sim.now(), self.config.window);
         if samples.is_empty() {
             return ScaleInputs { avg: 0.0, max: 0.0 };
         }
@@ -146,6 +145,9 @@ impl Autoscaler {
             if suspended {
                 continue; // resume is connection-driven (proxy)
             }
+            // Crashed pods leave Stopped nodes behind; drop them from the
+            // books so `current` reflects real capacity and is backfilled.
+            self.registry.prune_stopped(tenant);
             let inputs = self.inputs(tenant);
             let mut target = target_nodes(&self.config, inputs);
             let (current, connections, last_active) = self
@@ -233,15 +235,11 @@ impl Autoscaler {
                     break; // keep one node for open connections
                 }
                 // Drain the node with the fewest sessions.
-                let idx = match e
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, node)| node.session_count())
-                {
-                    Some((i, _)) => i,
-                    None => break,
-                };
+                let idx =
+                    match e.nodes.iter().enumerate().min_by_key(|(_, node)| node.session_count()) {
+                        Some((i, _)) => i,
+                        None => break,
+                    };
                 let node = e.nodes.remove(idx);
                 node.drain();
                 e.draining.push((node, now));

@@ -37,10 +37,7 @@ impl PipelineConfig {
     /// The original Prometheus pipeline: 10 s generation, and samples
     /// visible only after the scrape (10 s) and query (10 s) stages.
     pub fn prometheus() -> Self {
-        PipelineConfig {
-            generation_interval: dur::secs(10),
-            propagation_delay: dur::secs(20),
-        }
+        PipelineConfig { generation_interval: dur::secs(10), propagation_delay: dur::secs(20) }
     }
 
     /// The revamped direct scrape: 3 s just-in-time sampling, effectively
@@ -144,7 +141,8 @@ impl MetricsPipeline {
         s.samples
             .iter()
             .filter(|(t, _)| {
-                *t + self.config.propagation_delay <= now && now.duration_since(*t) <= window + self.config.propagation_delay
+                *t + self.config.propagation_delay <= now
+                    && now.duration_since(*t) <= window + self.config.propagation_delay
             })
             .copied()
             .collect()
@@ -191,14 +189,12 @@ mod tests {
         let p = MetricsPipeline::start(&sim, r, PipelineConfig::prometheus());
         sim.run_for(dur::secs(25));
         // Generated at 10 and 20; visible only those generated <= now-20.
-        match p.visible_usage(TenantId(2), sim.now()) {
-            Some((t, _)) => {
-                assert!(
-                    sim.now().duration_since(t) >= dur::secs(20),
-                    "visible sample is stale by design: {t}"
-                );
-            }
-            None => {} // also acceptable at t=25 (first visible at 30)
+        // None is also acceptable at t=25 (first visible at 30).
+        if let Some((t, _)) = p.visible_usage(TenantId(2), sim.now()) {
+            assert!(
+                sim.now().duration_since(t) >= dur::secs(20),
+                "visible sample is stale by design: {t}"
+            );
         }
         sim.run_for(dur::secs(20));
         let (t, _) = p.visible_usage(TenantId(2), sim.now()).expect("eventually visible");

@@ -21,7 +21,7 @@
 //! In both flows the SQL node's own `start()` then performs the real
 //! KV/system-database work.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -58,6 +58,11 @@ pub struct ColdStartConfig {
     pub pool_size: usize,
     /// Time to provision a replacement pod into the pool.
     pub replenish_delay: Duration,
+    /// Base backoff before retrying a failed pod start; doubles per
+    /// consecutive failure.
+    pub start_retry_base: Duration,
+    /// Upper bound on the start-retry backoff.
+    pub start_retry_cap: Duration,
 }
 
 impl Default for ColdStartConfig {
@@ -72,6 +77,8 @@ impl Default for ColdStartConfig {
             tcp_retry_penalty: dur::ms(250),
             pool_size: 8,
             replenish_delay: dur::secs(10),
+            start_retry_base: dur::ms(250),
+            start_retry_cap: dur::secs(4),
         }
     }
 }
@@ -85,6 +92,10 @@ pub struct WarmPool {
     pub acquired: RefCell<u64>,
     /// Acquisitions that found the pool empty and paid full provisioning.
     pub pool_misses: RefCell<u64>,
+    /// Fault injection: how many upcoming pod starts should fail.
+    fail_next: Cell<u32>,
+    /// Pod starts that failed and were retried (for stats/invariants).
+    pub start_failures: Cell<u64>,
 }
 
 impl WarmPool {
@@ -97,7 +108,16 @@ impl WarmPool {
             warm: RefCell::new(warm),
             acquired: RefCell::new(0),
             pool_misses: RefCell::new(0),
+            fail_next: Cell::new(0),
+            start_failures: Cell::new(0),
         })
+    }
+
+    /// Fault injection: makes the next `n` pod starts fail. Each failure
+    /// burns the acquired pod; the pool retries with a fresh one after a
+    /// capped exponential backoff.
+    pub fn fail_next_starts(&self, n: u32) {
+        self.fail_next.set(self.fail_next.get().saturating_add(n));
     }
 
     /// Warm pods currently available.
@@ -112,7 +132,9 @@ impl WarmPool {
 
     /// Acquires a pod for `tenant`, creates its SQL node via the
     /// registry's factory, runs the cold-start flow and the node's own
-    /// startup, and hands the ready node to `cb`.
+    /// startup, and hands the ready node to `cb`. Injected start failures
+    /// (see [`WarmPool::fail_next_starts`]) are retried with a capped
+    /// exponential backoff, each retry consuming a fresh pod.
     pub fn acquire_and_start(
         self: &Rc<Self>,
         registry: &Registry,
@@ -120,12 +142,21 @@ impl WarmPool {
         tenant: TenantId,
         cb: impl FnOnce(Rc<SqlNode>) + 'static,
     ) {
+        self.acquire_attempt(registry, system_db, tenant, 0, Box::new(cb));
+    }
+
+    fn acquire_attempt(
+        self: &Rc<Self>,
+        registry: &Registry,
+        system_db: &SystemDatabase,
+        tenant: TenantId,
+        attempt: u32,
+        cb: Box<dyn FnOnce(Rc<SqlNode>)>,
+    ) {
         *self.acquired.borrow_mut() += 1;
         let jitter = self.config.jitter;
         let sample = |d: Duration| -> Duration {
-            let f: f64 = self
-                .sim
-                .with_rng(|r| rand::Rng::gen_range(r, 1.0 - jitter..1.0 + jitter));
+            let f: f64 = self.sim.with_rng(|r| rand::Rng::gen_range(r, 1.0 - jitter..1.0 + jitter));
             Duration::from_secs_f64(d.as_secs_f64() * f)
         };
         let mut delay = sample(self.config.pod_assignment);
@@ -166,7 +197,22 @@ impl WarmPool {
 
         let node = registry.make_node(tenant);
         let sdb = system_db.clone();
+        let pool = Rc::clone(self);
+        let registry = registry.clone();
         self.sim.schedule_after(delay, move || {
+            if pool.fail_next.get() > 0 {
+                // The pod failed to start (injected fault): drop it and
+                // retry with a fresh one after a capped backoff.
+                pool.fail_next.set(pool.fail_next.get() - 1);
+                pool.start_failures.set(pool.start_failures.get() + 1);
+                let backoff = (pool.config.start_retry_base * 2u32.pow(attempt.min(6)))
+                    .min(pool.config.start_retry_cap);
+                let pool2 = Rc::clone(&pool);
+                pool.sim.schedule_after(backoff, move || {
+                    pool2.acquire_attempt(&registry, &sdb, tenant, attempt + 1, cb);
+                });
+                return;
+            }
             let node2 = Rc::clone(&node);
             node.start(&sdb, move || cb(node2));
         });
@@ -206,10 +252,8 @@ mod tests {
         };
         let registry = Registry::new(factory);
         registry.add_tenant(TenantId(2), sim.now());
-        let pool = WarmPool::new(
-            &sim,
-            ColdStartConfig { prewarm_process: prewarm, ..Default::default() },
-        );
+        let pool =
+            WarmPool::new(&sim, ColdStartConfig { prewarm_process: prewarm, ..Default::default() });
         let sdb = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
         (sim, registry, pool, sdb)
     }
@@ -257,6 +301,46 @@ mod tests {
     }
 
     #[test]
+    fn failed_starts_retry_with_backoff_until_success() {
+        let (sim, registry, pool, sdb) = fixture(true);
+        pool.fail_next_starts(3);
+        let done = Rc::new(Cell::new(None));
+        let d = Rc::clone(&done);
+        let s2 = sim.clone();
+        let begin = sim.now();
+        pool.acquire_and_start(&registry, &sdb, TenantId(2), move |node| {
+            assert_eq!(node.state(), crdb_sql::node::NodeState::Ready);
+            d.set(Some(s2.now().duration_since(begin)));
+        });
+        sim.run_for(dur::secs(60));
+        let elapsed = done.get().expect("eventually started despite failures");
+        assert_eq!(pool.start_failures.get(), 3);
+        assert_eq!(*pool.acquired.borrow(), 4, "each retry consumes a fresh pod");
+        // At least the three backoffs (250ms + 500ms + 1s) beyond the flow.
+        assert!(elapsed >= dur::ms(1750), "{elapsed:?}");
+    }
+
+    #[test]
+    fn start_retry_backoff_is_capped() {
+        let (sim, registry, pool, sdb) = fixture(true);
+        // Enough failures to push 250ms << n far past the 4s cap.
+        pool.fail_next_starts(10);
+        let done = Rc::new(Cell::new(None));
+        let d = Rc::clone(&done);
+        let s2 = sim.clone();
+        let begin = sim.now();
+        pool.acquire_and_start(&registry, &sdb, TenantId(2), move |_| {
+            d.set(Some(s2.now().duration_since(begin)));
+        });
+        sim.run_for(dur::mins(5));
+        let elapsed = done.get().expect("recovered");
+        assert_eq!(pool.start_failures.get(), 10);
+        // Backoffs: 0.25 + 0.5 + 1 + 2 + 4*7 = 31.75s; with per-attempt
+        // flow delays the total stays far below an uncapped 250ms << 10.
+        assert!(elapsed < dur::secs(45), "capped backoff bounds recovery: {elapsed:?}");
+    }
+
+    #[test]
     fn pool_miss_pays_provisioning_delay() {
         let (sim, registry, pool, sdb) = fixture(true);
         // Drain the pool instantly.
@@ -272,9 +356,6 @@ mod tests {
         });
         sim.run_for(dur::secs(60));
         let miss_latency = done.get().unwrap();
-        assert!(
-            miss_latency >= ColdStartConfig::default().replenish_delay,
-            "{miss_latency:?}"
-        );
+        assert!(miss_latency >= ColdStartConfig::default().replenish_delay, "{miss_latency:?}");
     }
 }

@@ -37,6 +37,8 @@ pub struct ProxyConfig {
     pub hop_latency: Duration,
     /// Base auth-throttle backoff; doubles per consecutive failure.
     pub auth_backoff_base: Duration,
+    /// Upper bound on the auth-throttle backoff, however long the streak.
+    pub auth_backoff_cap: Duration,
     /// Connection rebalance loop interval.
     pub rebalance_interval: Duration,
     /// Imbalance (in connections) that triggers migration between nodes.
@@ -48,6 +50,7 @@ impl Default for ProxyConfig {
         ProxyConfig {
             hop_latency: dur::us(400),
             auth_backoff_base: dur::secs(1),
+            auth_backoff_cap: dur::secs(60),
             rebalance_interval: dur::secs(10),
             rebalance_threshold: 2,
         }
@@ -81,6 +84,10 @@ pub struct Connection {
     session: Cell<u64>,
     /// Times this connection was migrated between SQL nodes.
     pub migrations: Cell<u64>,
+    /// Last serialized-session snapshot, refreshed whenever the session
+    /// is observed idle. If the backend dies abruptly the proxy revives
+    /// the session from this on another node (§4.2.4).
+    snapshot: RefCell<Option<SessionSnapshot>>,
 }
 
 impl Connection {
@@ -100,6 +107,9 @@ struct ThrottleState {
     blocked_until: SimTime,
 }
 
+/// A connect attempt parked behind an in-flight tenant resume.
+type ResumeWaiter = Box<dyn FnOnce(Result<Rc<SqlNode>, ProxyError>)>;
+
 /// The proxy service.
 pub struct Proxy {
     sim: Sim,
@@ -115,7 +125,7 @@ pub struct Proxy {
     /// Per-tenant denylist (co-specified by intrusion detection, §4.2.2).
     denylist: RefCell<HashMap<TenantId, Vec<String>>>,
     /// Tenants with a resume in flight and the connects waiting on it.
-    resuming: RefCell<HashMap<TenantId, Vec<Box<dyn FnOnce(Result<Rc<SqlNode>, ProxyError>)>>>>,
+    resuming: RefCell<HashMap<TenantId, Vec<ResumeWaiter>>>,
     /// Total connections accepted.
     pub connects: Cell<u64>,
     /// Total session migrations performed.
@@ -188,10 +198,7 @@ impl Proxy {
 
     fn check_throttle(&self, ip: &str) -> bool {
         let now = self.sim.now();
-        self.throttle
-            .borrow()
-            .get(ip)
-            .map_or(true, |t| t.blocked_until <= now)
+        self.throttle.borrow().get(ip).is_none_or(|t| t.blocked_until <= now)
     }
 
     fn record_auth_failure(&self, ip: &str) {
@@ -200,8 +207,13 @@ impl Proxy {
         let entry = throttle
             .entry(ip.to_string())
             .or_insert(ThrottleState { consecutive_failures: 0, blocked_until: SimTime::ZERO });
-        entry.consecutive_failures += 1;
-        let backoff = self.config.auth_backoff_base * 2u32.pow(entry.consecutive_failures.min(10) - 1);
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        // The first failure waits exactly the base; each further failure
+        // doubles it, clamped to the configured cap so arbitrarily long
+        // streaks neither overflow nor lock a source out forever.
+        let exp = entry.consecutive_failures.saturating_sub(1).min(10);
+        let backoff =
+            (self.config.auth_backoff_base * 2u32.pow(exp)).min(self.config.auth_backoff_cap);
         entry.blocked_until = now + backoff;
     }
 
@@ -250,27 +262,29 @@ impl Proxy {
             Ok(node) => {
                 let hop = this.config.hop_latency * 2;
                 let this2 = Rc::clone(&this);
-                this.sim.schedule_after(hop, move || {
-                    match node.open_session(&user) {
-                        Err(e) => cb(Err(ProxyError::Sql(e))),
-                        Ok(session) => {
-                            let id = this2.next_conn.get();
-                            this2.next_conn.set(id + 1);
-                            let conn = Rc::new(Connection {
-                                id,
-                                tenant,
-                                node: RefCell::new(node),
-                                session: Cell::new(session),
-                                migrations: Cell::new(0),
-                            });
-                            this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
-                            this2.registry.with_tenant(tenant, |e| {
-                                e.connections += 1;
-                                e.last_active = this2.sim.now();
-                            });
-                            this2.connects.set(this2.connects.get() + 1);
-                            cb(Ok(conn));
-                        }
+                this.sim.schedule_after(hop, move || match node.open_session(&user) {
+                    Err(e) => cb(Err(ProxyError::Sql(e))),
+                    Ok(session) => {
+                        let id = this2.next_conn.get();
+                        this2.next_conn.set(id + 1);
+                        // Capture the initial revival snapshot while the
+                        // fresh session is certainly idle.
+                        let snapshot = node.serialize_session(session).ok();
+                        let conn = Rc::new(Connection {
+                            id,
+                            tenant,
+                            node: RefCell::new(node),
+                            session: Cell::new(session),
+                            migrations: Cell::new(0),
+                            snapshot: RefCell::new(snapshot),
+                        });
+                        this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
+                        this2.registry.with_tenant(tenant, |e| {
+                            e.connections += 1;
+                            e.last_active = this2.sim.now();
+                        });
+                        this2.connects.set(this2.connects.get() + 1);
+                        cb(Ok(conn));
                     }
                 });
             }
@@ -284,10 +298,7 @@ impl Proxy {
         tenant: TenantId,
         cb: impl FnOnce(Result<Rc<SqlNode>, ProxyError>) + 'static,
     ) {
-        let ready = self
-            .registry
-            .with_tenant(tenant, |e| e.ready_nodes())
-            .unwrap_or_default();
+        let ready = self.registry.with_tenant(tenant, |e| e.ready_nodes()).unwrap_or_default();
         if let Some(node) = ready.iter().min_by_key(|n| n.session_count()) {
             cb(Ok(Rc::clone(node)));
             return;
@@ -317,8 +328,30 @@ impl Proxy {
     }
 
     /// Executes a statement on a connection (client → proxy → node hops
-    /// included).
+    /// included). If the backend died abruptly since the last statement,
+    /// the session is first revived on another node from its cached
+    /// snapshot, transparently to the client (§4.2.4).
     pub fn execute(
+        self: &Rc<Self>,
+        conn: &Rc<Connection>,
+        sql: &str,
+        params: Vec<Datum>,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
+        if conn.node().state() == NodeState::Stopped {
+            let this = Rc::clone(self);
+            let conn2 = Rc::clone(conn);
+            let sql = sql.to_string();
+            self.revive(conn, move |r| match r {
+                Err(e) => cb(Err(e)),
+                Ok(()) => this.execute_inner(&conn2, &sql, params, cb),
+            });
+            return;
+        }
+        self.execute_inner(conn, sql, params, cb);
+    }
+
+    fn execute_inner(
         self: &Rc<Self>,
         conn: &Rc<Connection>,
         sql: &str,
@@ -332,12 +365,70 @@ impl Proxy {
         let sql = sql.to_string();
         let registry = self.registry.clone();
         let tenant = conn.tenant;
+        let this = Rc::clone(self);
+        let conn2 = Rc::clone(conn);
         self.sim.schedule_after(hop, move || {
+            if conn2.node().state() == NodeState::Stopped {
+                // The backend crashed while the request was on the wire;
+                // route back through `execute`, which revives first.
+                this.execute(&conn2, &sql, params, cb);
+                return;
+            }
             registry.with_tenant(tenant, |e| e.last_active = sim.now());
             let sim2 = sim.clone();
+            let node2 = Rc::clone(&node);
             node.execute(session, &sql, params, move |r| {
+                // Refresh the revival snapshot whenever the session is
+                // idle afterwards, so a later crash resumes from the
+                // latest committed state.
+                if r.is_ok() {
+                    if let Ok(snap) = node2.serialize_session(session) {
+                        *conn2.snapshot.borrow_mut() = Some(snap);
+                    }
+                }
                 sim2.schedule_after(hop, move || cb(r));
             });
+        });
+    }
+
+    /// Revives a connection whose backend died abruptly: prunes the dead
+    /// node from orchestration state (so the autoscaler backfills),
+    /// restores the last idle snapshot on a ready node — starting one
+    /// from the warm pool when the tenant has none — and repoints the
+    /// connection.
+    fn revive(
+        self: &Rc<Self>,
+        conn: &Rc<Connection>,
+        cb: impl FnOnce(Result<(), SqlError>) + 'static,
+    ) {
+        self.registry.prune_stopped(conn.tenant);
+        let Some(snapshot) = conn.snapshot.borrow().clone() else {
+            cb(Err(SqlError::Retry("backend died with no revival snapshot".into())));
+            return;
+        };
+        let this = Rc::clone(self);
+        let conn2 = Rc::clone(conn);
+        self.with_ready_node(conn.tenant, move |node| {
+            let Ok(node) = node else {
+                cb(Err(SqlError::Retry("no SQL node available for session revival".into())));
+                return;
+            };
+            // Wire-format roundtrip, as in production; the revival token
+            // is re-verified by the restoring node.
+            let Some(decoded) = SessionSnapshot::decode(&snapshot.encode()) else {
+                cb(Err(SqlError::State("snapshot decode failed".into())));
+                return;
+            };
+            match node.restore_session(&decoded) {
+                Err(e) => cb(Err(e)),
+                Ok(new_session) => {
+                    *conn2.node.borrow_mut() = Rc::clone(&node);
+                    conn2.session.set(new_session);
+                    conn2.migrations.set(conn2.migrations.get() + 1);
+                    this.migrations.set(this.migrations.get() + 1);
+                    cb(Ok(()));
+                }
+            }
         });
     }
 
@@ -367,30 +458,38 @@ impl Proxy {
         conn.session.set(new_session);
         conn.migrations.set(conn.migrations.get() + 1);
         self.migrations.set(self.migrations.get() + 1);
+        // The serialized state is also the freshest revival snapshot.
+        *conn.snapshot.borrow_mut() = Some(snapshot);
         Ok(())
     }
 
     /// Periodic connection rebalancing (§4.2.2): drains first, then
     /// smooths imbalance across ready nodes.
     pub fn rebalance(self: &Rc<Self>) {
-        let conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
+        // Sorted so the migration order (and thus pod placement) is
+        // deterministic — the map's iteration order is not.
+        let mut conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
+        conns.sort_by_key(|c| c.id);
         for conn in conns {
             let node = conn.node();
-            if node.state() == NodeState::Draining || node.state() == NodeState::Stopped {
-                let ready = self
-                    .registry
-                    .with_tenant(conn.tenant, |e| e.ready_nodes())
-                    .unwrap_or_default();
+            if node.state() == NodeState::Stopped {
+                // Dead backend: its sessions are gone, so the orderly
+                // serialize-and-migrate path cannot work. Revive from the
+                // cached snapshot instead.
+                self.revive(&conn, |_| {});
+                continue;
+            }
+            if node.state() == NodeState::Draining {
+                let ready =
+                    self.registry.with_tenant(conn.tenant, |e| e.ready_nodes()).unwrap_or_default();
                 if let Some(target) = ready.iter().min_by_key(|n| n.session_count()) {
                     let _ = self.migrate(&conn, target);
                 }
                 continue;
             }
             // Smooth distribution: move from crowded to sparse nodes.
-            let ready = self
-                .registry
-                .with_tenant(conn.tenant, |e| e.ready_nodes())
-                .unwrap_or_default();
+            let ready =
+                self.registry.with_tenant(conn.tenant, |e| e.ready_nodes()).unwrap_or_default();
             if ready.len() < 2 {
                 continue;
             }
@@ -407,5 +506,119 @@ impl Proxy {
     /// Open proxied connections.
     pub fn connection_count(&self) -> usize {
         self.conns.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ColdStartConfig;
+    use crdb_kv::client::KvClient;
+    use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+    use crdb_sim::{Location, Topology};
+    use crdb_sql::node::SqlNodeConfig;
+    use crdb_util::{RegionId, SqlInstanceId};
+
+    fn fixture() -> (Sim, Rc<Proxy>, Registry) {
+        let sim = Sim::new(7);
+        let cluster = KvCluster::new(
+            &sim,
+            Topology::single_region("us-east1", 3),
+            KvClusterConfig::default(),
+        );
+        let cert = cluster.create_tenant(TenantId(2));
+        let sim2 = sim.clone();
+        let next_id = Rc::new(Cell::new(1u64));
+        let factory = {
+            let cluster = cluster.clone();
+            Rc::new(move |_tenant: TenantId| {
+                let client =
+                    KvClient::new(cluster.clone(), cert.clone(), Location::new(RegionId(0), 0));
+                let id = next_id.get();
+                next_id.set(id + 1);
+                SqlNode::new(&sim2, SqlInstanceId(id), client, SqlNodeConfig::default())
+            })
+        };
+        let registry = Registry::new(factory);
+        registry.add_tenant(TenantId(2), sim.now());
+        let pool = WarmPool::new(&sim, ColdStartConfig::default());
+        let sdb: SystemDbProvider =
+            Rc::new(|_| SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]));
+        let proxy = Proxy::start(&sim, ProxyConfig::default(), registry.clone(), pool, sdb);
+        (sim, proxy, registry)
+    }
+
+    #[test]
+    fn first_auth_failure_backs_off_exactly_one_base() {
+        let (sim, proxy, _registry) = fixture();
+        proxy.record_auth_failure("203.0.113.9");
+        assert!(!proxy.check_throttle("203.0.113.9"));
+        {
+            let throttle = proxy.throttle.borrow();
+            let entry = throttle.get("203.0.113.9").unwrap();
+            assert_eq!(entry.consecutive_failures, 1);
+            assert_eq!(entry.blocked_until, sim.now() + proxy.config.auth_backoff_base);
+        }
+        // Once exactly one base interval has elapsed, the source may retry.
+        sim.schedule_after(proxy.config.auth_backoff_base, || {});
+        sim.run_for(proxy.config.auth_backoff_base);
+        assert!(proxy.check_throttle("203.0.113.9"));
+    }
+
+    #[test]
+    fn auth_backoff_saturates_at_cap_for_long_streaks() {
+        let (sim, proxy, _registry) = fixture();
+        // Far past both the exponent clamp and the cap; must not overflow.
+        for _ in 0..40 {
+            proxy.record_auth_failure("203.0.113.9");
+        }
+        {
+            let throttle = proxy.throttle.borrow();
+            let entry = throttle.get("203.0.113.9").unwrap();
+            assert_eq!(entry.consecutive_failures, 40);
+            assert_eq!(entry.blocked_until, sim.now() + proxy.config.auth_backoff_cap);
+        }
+        // A success clears the streak entirely.
+        proxy.record_auth_success("203.0.113.9");
+        assert!(proxy.check_throttle("203.0.113.9"));
+        proxy.record_auth_failure("203.0.113.9");
+        let throttle = proxy.throttle.borrow();
+        assert_eq!(throttle.get("203.0.113.9").unwrap().consecutive_failures, 1);
+    }
+
+    #[test]
+    fn crashed_backend_session_revives_on_fresh_node() {
+        let (sim, proxy, registry) = fixture();
+        let slot = Rc::new(RefCell::new(None));
+        {
+            let s = Rc::clone(&slot);
+            proxy.connect(TenantId(2), "10.0.0.1", "app", true, move |r| {
+                *s.borrow_mut() = Some(r.expect("connect"));
+            });
+        }
+        sim.run_for(dur::secs(10));
+        let conn = slot.borrow_mut().take().expect("connected");
+        let run = |sql: &str| {
+            let out = Rc::new(RefCell::new(None));
+            let o = Rc::clone(&out);
+            proxy.execute(&conn, sql, vec![], move |r| *o.borrow_mut() = Some(r));
+            sim.run_for(dur::secs(10));
+            let r = out.borrow_mut().take();
+            r.expect("completed").expect("ok")
+        };
+        run("CREATE TABLE t (id INT PRIMARY KEY, v STRING)");
+        run("INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+
+        let old = conn.node();
+        old.crash();
+        assert_eq!(registry.node_count(TenantId(2)), 1, "not pruned until revival");
+
+        // The next statement transparently revives the session elsewhere.
+        let out = run("SELECT COUNT(*) FROM t");
+        assert_eq!(out.rows[0][0].to_string(), "2", "acknowledged writes survive the crash");
+        assert_eq!(conn.migrations.get(), 1);
+        assert!(!Rc::ptr_eq(&old, &conn.node()), "session moved off the dead node");
+        assert_eq!(conn.node().state(), NodeState::Ready);
+        assert_eq!(registry.node_count(TenantId(2)), 1, "dead node pruned, replacement started");
     }
 }

@@ -48,11 +48,7 @@ impl TenantEntry {
 
     /// Nodes currently able to serve new connections.
     pub fn ready_nodes(&self) -> Vec<Rc<SqlNode>> {
-        self.nodes
-            .iter()
-            .filter(|n| n.state() == NodeState::Ready)
-            .cloned()
-            .collect()
+        self.nodes.iter().filter(|n| n.state() == NodeState::Ready).cloned().collect()
     }
 
     /// Total vCPUs allocated to ready + starting nodes.
@@ -85,7 +81,11 @@ impl Registry {
     }
 
     /// Runs `f` with the tenant's entry.
-    pub fn with_tenant<T>(&self, tenant: TenantId, f: impl FnOnce(&mut TenantEntry) -> T) -> Option<T> {
+    pub fn with_tenant<T>(
+        &self,
+        tenant: TenantId,
+        f: impl FnOnce(&mut TenantEntry) -> T,
+    ) -> Option<T> {
         self.inner.borrow_mut().get_mut(&tenant).map(f)
     }
 
@@ -103,11 +103,7 @@ impl Registry {
 
     /// Total SQL nodes across tenants (ready + draining).
     pub fn total_sql_nodes(&self) -> usize {
-        self.inner
-            .borrow()
-            .values()
-            .map(|e| e.nodes.len() + e.draining.len())
-            .sum()
+        self.inner.borrow().values().map(|e| e.nodes.len() + e.draining.len()).sum()
     }
 
     /// Ready node count for a tenant.
@@ -117,7 +113,19 @@ impl Registry {
 
     /// Whether a tenant is suspended.
     pub fn is_suspended(&self, tenant: TenantId) -> bool {
-        self.inner.borrow().get(&tenant).map_or(true, |e| e.suspended)
+        self.inner.borrow().get(&tenant).is_none_or(|e| e.suspended)
+    }
+
+    /// Drops crashed/stopped nodes from a tenant's bookkeeping so the
+    /// autoscaler sees the reduced capacity and backfills. Returns how
+    /// many nodes were pruned.
+    pub fn prune_stopped(&self, tenant: TenantId) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let Some(entry) = inner.get_mut(&tenant) else { return 0 };
+        let before = entry.nodes.len() + entry.draining.len();
+        entry.nodes.retain(|n| n.state() != NodeState::Stopped);
+        entry.draining.retain(|(n, _)| n.state() != NodeState::Stopped);
+        before - (entry.nodes.len() + entry.draining.len())
     }
 }
 

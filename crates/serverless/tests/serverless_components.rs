@@ -33,11 +33,8 @@ fn fixture(seed: u64, pipeline: PipelineConfig) -> Fixture {
 
 fn fixture_opts(seed: u64, pipeline: PipelineConfig, with_autoscaler: bool) -> Fixture {
     let sim = Sim::new(seed);
-    let kv = KvCluster::new(
-        &sim,
-        Topology::single_region("us-east1", 3),
-        KvClusterConfig::default(),
-    );
+    let kv =
+        KvCluster::new(&sim, Topology::single_region("us-east1", 3), KvClusterConfig::default());
     let cert = kv.create_tenant(TenantId(2));
     let next = Rc::new(Cell::new(1u64));
     let factory = {
@@ -54,9 +51,8 @@ fn fixture_opts(seed: u64, pipeline: PipelineConfig, with_autoscaler: bool) -> F
     let registry = Registry::new(factory);
     registry.add_tenant(TenantId(2), sim.now());
     let pool = WarmPool::new(&sim, ColdStartConfig::default());
-    let provider: crdb_serverless::proxy::SystemDbProvider = Rc::new(|_t| {
-        SystemDatabase::optimized(RegionId(0), vec![RegionId(0)])
-    });
+    let provider: crdb_serverless::proxy::SystemDbProvider =
+        Rc::new(|_t| SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]));
     let pipeline = MetricsPipeline::start(&sim, registry.clone(), pipeline);
     let proxy = Proxy::start(
         &sim,
@@ -133,9 +129,7 @@ fn least_connections_balances_across_nodes() {
     }
     let counts = f
         .registry
-        .with_tenant(TenantId(2), |e| {
-            e.nodes.iter().map(|n| n.session_count()).collect::<Vec<_>>()
-        })
+        .with_tenant(TenantId(2), |e| e.nodes.iter().map(|n| n.session_count()).collect::<Vec<_>>())
         .unwrap();
     let max = *counts.iter().max().unwrap();
     let min = *counts.iter().min().unwrap();
@@ -147,10 +141,9 @@ fn prometheus_pipeline_reacts_slower_than_direct() {
     // Drive a synthetic usage step through both pipelines and measure when
     // the autoscaler's visible average first moves.
     let mut reaction = Vec::new();
-    for (cfg, _name) in [
-        (PipelineConfig::direct(), "direct"),
-        (PipelineConfig::prometheus(), "prometheus"),
-    ] {
+    for (cfg, _name) in
+        [(PipelineConfig::direct(), "direct"), (PipelineConfig::prometheus(), "prometheus")]
+    {
         let f = fixture(3, cfg);
         // Bring up a node and burn CPU on it.
         let ready = Rc::new(Cell::new(false));
@@ -163,10 +156,7 @@ fn prometheus_pipeline_reacts_slower_than_direct() {
         }
         f.sim.run_for(dur::secs(6));
         assert!(ready.get());
-        let node = f
-            .registry
-            .with_tenant(TenantId(2), |e| e.nodes[0].clone())
-            .unwrap();
+        let node = f.registry.with_tenant(TenantId(2), |e| e.nodes[0].clone()).unwrap();
         assert_eq!(node.state(), NodeState::Ready);
         let step_at = f.sim.now();
         // A sustained CPU step: 2 vCPUs' worth of work every second.
@@ -211,8 +201,5 @@ fn autoscaler_suspends_and_pool_replenishes() {
     f.sim.run_for(dur::mins(3));
     assert!(f.registry.is_suspended(TenantId(2)), "tenant scaled to zero");
     assert!(f.autoscaler.suspensions.get() >= 1);
-    assert!(
-        f.pool.available() > pool_after_acquire,
-        "the pool replenished after the acquisition"
-    );
+    assert!(f.pool.available() > pool_after_acquire, "the pool replenished after the acquisition");
 }

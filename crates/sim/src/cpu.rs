@@ -136,12 +136,7 @@ impl CpuScheduler {
 
     /// Submits a task needing `cpu_seconds` of CPU, attributed to `tenant`.
     /// `on_complete` fires when the task has received its full CPU time.
-    pub fn submit(
-        &self,
-        tenant: TenantId,
-        cpu_seconds: f64,
-        on_complete: impl FnOnce() + 'static,
-    ) {
+    pub fn submit(&self, tenant: TenantId, cpu_seconds: f64, on_complete: impl FnOnce() + 'static) {
         assert!(cpu_seconds >= 0.0, "negative cpu cost");
         let now = self.sim.now();
         {
@@ -239,7 +234,11 @@ impl CpuScheduler {
         let mut inner = self.inner.borrow_mut();
         let now = self.sim.now();
         inner.advance(now);
-        inner.usage.values().sum()
+        // Summed in tenant order: float addition is order-sensitive and
+        // the map's iteration order is not deterministic across runs.
+        let mut entries: Vec<(TenantId, f64)> = inner.usage.iter().map(|(t, v)| (*t, *v)).collect();
+        entries.sort_by_key(|&(t, _)| t);
+        entries.into_iter().map(|(_, v)| v).sum()
     }
 }
 
@@ -263,11 +262,7 @@ impl UtilizationProbe {
     pub fn sample(&mut self, now: SimTime) -> f64 {
         let busy = self.cpu.cumulative_busy();
         let dt = now.duration_since(self.last_at).as_secs_f64();
-        let util = if dt <= 0.0 {
-            0.0
-        } else {
-            (busy - self.last_busy) / (dt * self.cpu.vcpus())
-        };
+        let util = if dt <= 0.0 { 0.0 } else { (busy - self.last_busy) / (dt * self.cpu.vcpus()) };
         self.last_busy = busy;
         self.last_at = now;
         util.clamp(0.0, 1.0)

@@ -122,7 +122,11 @@ impl Sim {
     /// Schedules `callback` to run every `period`, starting one period from
     /// now, until the simulation ends. The callback may return `false` to
     /// stop the recurrence.
-    pub fn schedule_periodic(&self, period: Duration, mut callback: impl FnMut() -> bool + 'static) {
+    pub fn schedule_periodic(
+        &self,
+        period: Duration,
+        mut callback: impl FnMut() -> bool + 'static,
+    ) {
         let sim = self.clone();
         self.schedule_after(period, move || {
             if callback() {
@@ -304,8 +308,8 @@ mod tests {
     fn deterministic_rng() {
         let a = Sim::new(42);
         let b = Sim::new(42);
-        let va: u64 = a.with_rng(|r| rand::Rng::gen(r));
-        let vb: u64 = b.with_rng(|r| rand::Rng::gen(r));
+        let va: u64 = a.with_rng(rand::Rng::gen);
+        let vb: u64 = b.with_rng(rand::Rng::gen);
         assert_eq!(va, vb);
     }
 }

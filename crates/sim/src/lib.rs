@@ -11,6 +11,9 @@
 //! - [`topology`] — regions, zones and the inter-region latency matrix that
 //!   stands in for the real network (asia-southeast1 / europe-west1 /
 //!   us-central1 round-trip times).
+//! - [`fault`] — deterministic, seeded fault injection (node crashes,
+//!   pod-start failures, partitions, latency spikes) replayed against the
+//!   virtual clock with a byte-reproducible event log.
 //! - [`cpu`] — a processor-sharing CPU model per node. It produces the two
 //!   signals admission control needs (per-task CPU time and the runnable
 //!   queue length the 1000 Hz sampler would observe, §5.1.3) plus
@@ -27,10 +30,12 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod timeseries;
 pub mod topology;
 
 pub use engine::{EventId, Sim};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSchedule};
 pub use timeseries::TimeSeries;
 pub use topology::{Location, Topology};

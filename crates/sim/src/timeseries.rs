@@ -115,9 +115,8 @@ impl Sampler {
         mut probes: Vec<Box<dyn FnMut(SimTime) -> f64>>,
     ) -> Sampler {
         assert_eq!(names.len(), probes.len());
-        let series = Rc::new(RefCell::new(
-            names.into_iter().map(TimeSeries::new).collect::<Vec<_>>(),
-        ));
+        let series =
+            Rc::new(RefCell::new(names.into_iter().map(TimeSeries::new).collect::<Vec<_>>()));
         let s = Rc::clone(&series);
         let sim2 = sim.clone();
         sim.schedule_periodic(period, move || {
@@ -149,10 +148,8 @@ pub fn render_table(series: &[TimeSeries], time_unit_secs: f64, unit_label: &str
     out.push('\n');
     let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for i in 0..n {
-        let t = series
-            .iter()
-            .find_map(|s| s.points().get(i).map(|&(t, _)| t))
-            .unwrap_or(SimTime::ZERO);
+        let t =
+            series.iter().find_map(|s| s.points().get(i).map(|&(t, _)| t)).unwrap_or(SimTime::ZERO);
         let _ = write!(out, "{:>10.1}", t.as_secs_f64() / time_unit_secs);
         for s in series {
             match s.points().get(i) {
@@ -190,7 +187,16 @@ mod tests {
     #[test]
     fn stddev() {
         let mut ts = TimeSeries::new("x");
-        for (t, v) in [(0.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 4.0), (4.0, 5.0), (5.0, 5.0), (6.0, 7.0), (7.0, 9.0)] {
+        for (t, v) in [
+            (0.0, 2.0),
+            (1.0, 4.0),
+            (2.0, 4.0),
+            (3.0, 4.0),
+            (4.0, 5.0),
+            (5.0, 5.0),
+            (6.0, 7.0),
+            (7.0, 9.0),
+        ] {
             ts.push(SimTime::from_secs_f64(t), v);
         }
         let sd = ts.stddev_since(SimTime::ZERO);

@@ -6,8 +6,16 @@
 //! the appropriate latency plus jitter. The default three-region topology
 //! mirrors the paper's evaluation: `us-central1`, `europe-west1`,
 //! `asia-southeast1`, with public inter-region round-trip times.
+//!
+//! The topology also carries injectable *network faults*: inter-region
+//! partitions (messages across a partition are dropped) and a global
+//! latency multiplier for spikes. The fault state is shared across
+//! clones of a `Topology`, so every component holding a copy of the
+//! cluster's topology sees the same faults.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use std::time::Duration;
 
 use crdb_util::time::dur;
@@ -32,6 +40,17 @@ impl Location {
     }
 }
 
+/// Injected network faults, shared by all clones of a [`Topology`].
+#[derive(Debug, Default)]
+struct NetFaults {
+    /// Region pairs that cannot exchange messages (stored both ways).
+    partitions: HashSet<(RegionId, RegionId)>,
+    /// Global latency multiplier in percent (100 = no spike).
+    latency_factor_pct: u32,
+    /// Messages dropped because of a partition.
+    dropped: u64,
+}
+
 /// Regions, zones, and network latency between them.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -44,6 +63,8 @@ pub struct Topology {
     intra_zone: Duration,
     /// Multiplicative jitter bound (e.g. 0.1 = up to +10%).
     jitter: f64,
+    /// Injected partitions and latency spikes; shared across clones.
+    faults: Rc<RefCell<NetFaults>>,
 }
 
 impl Topology {
@@ -56,6 +77,10 @@ impl Topology {
             inter_zone: dur::us(750),
             intra_zone: dur::us(250),
             jitter: 0.05,
+            faults: Rc::new(RefCell::new(NetFaults {
+                latency_factor_pct: 100,
+                ..Default::default()
+            })),
         }
     }
 
@@ -75,6 +100,10 @@ impl Topology {
             inter_zone: dur::us(750),
             intra_zone: dur::us(250),
             jitter: 0.05,
+            faults: Rc::new(RefCell::new(NetFaults {
+                latency_factor_pct: 100,
+                ..Default::default()
+            })),
         };
         t.set_rtt(RegionId(0), RegionId(1), dur::ms(105));
         t.set_rtt(RegionId(0), RegionId(2), dur::ms(180));
@@ -114,10 +143,7 @@ impl Topology {
     /// jitter.
     pub fn base_latency(&self, from: Location, to: Location) -> Duration {
         if from.region != to.region {
-            *self
-                .latency
-                .get(&(from.region, to.region))
-                .unwrap_or(&dur::ms(100))
+            *self.latency.get(&(from.region, to.region)).unwrap_or(&dur::ms(100))
         } else if from.zone != to.zone {
             self.inter_zone
         } else {
@@ -126,17 +152,65 @@ impl Topology {
     }
 
     /// Samples a one-way latency including jitter using the simulation RNG.
+    /// An active latency spike multiplies the result.
     pub fn sample_latency(&self, sim: &Sim, from: Location, to: Location) -> Duration {
         let base = self.base_latency(from, to);
-        let factor = 1.0 + sim.with_rng(|r| r.gen_range(0.0..self.jitter));
-        Duration::from_secs_f64(base.as_secs_f64() * factor)
+        let jitter = 1.0 + sim.with_rng(|r| r.gen_range(0.0..self.jitter));
+        let spike = self.faults.borrow().latency_factor_pct as f64 / 100.0;
+        Duration::from_secs_f64(base.as_secs_f64() * jitter * spike)
     }
 
     /// Delivers `message` (a closure) after the simulated one-way network
-    /// latency from `from` to `to`.
+    /// latency from `from` to `to`. Messages across an active partition
+    /// are silently dropped — exactly how a real partition looks to the
+    /// sender, which is why the layers above must fail fast on
+    /// unreachable peers instead of waiting for a reply.
     pub fn send(&self, sim: &Sim, from: Location, to: Location, message: impl FnOnce() + 'static) {
+        if !self.is_reachable(from, to) {
+            self.faults.borrow_mut().dropped += 1;
+            return;
+        }
         let latency = self.sample_latency(sim, from, to);
         sim.schedule_after(latency, message);
+    }
+
+    /// True when no partition separates `from` and `to`. Intra-region
+    /// traffic is never partitioned (partitions are inter-region).
+    pub fn is_reachable(&self, from: Location, to: Location) -> bool {
+        from.region == to.region
+            || !self.faults.borrow().partitions.contains(&(from.region, to.region))
+    }
+
+    /// Starts a symmetric partition between two regions.
+    pub fn partition(&self, a: RegionId, b: RegionId) {
+        if a == b {
+            return;
+        }
+        let mut faults = self.faults.borrow_mut();
+        faults.partitions.insert((a, b));
+        faults.partitions.insert((b, a));
+    }
+
+    /// Heals the partition between two regions.
+    pub fn heal(&self, a: RegionId, b: RegionId) {
+        let mut faults = self.faults.borrow_mut();
+        faults.partitions.remove(&(a, b));
+        faults.partitions.remove(&(b, a));
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&self) {
+        self.faults.borrow_mut().partitions.clear();
+    }
+
+    /// Sets the global latency multiplier in percent (100 = normal).
+    pub fn set_latency_factor_pct(&self, pct: u32) {
+        self.faults.borrow_mut().latency_factor_pct = pct.max(1);
+    }
+
+    /// Messages dropped so far because of partitions.
+    pub fn dropped_messages(&self) -> u64 {
+        self.faults.borrow().dropped
     }
 
     /// Round-trip time between two locations (two sampled one-way hops).
@@ -197,6 +271,47 @@ mod tests {
         let secs = at.as_secs_f64();
         // 90ms one-way + up to 5% jitter.
         assert!((0.090..0.095).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn partition_drops_messages_until_healed() {
+        let sim = Sim::new(1);
+        let t = Topology::three_region();
+        let clone = t.clone();
+        let us = Location::new(RegionId(0), 0);
+        let eu = Location::new(RegionId(1), 0);
+        // Partition applied on a clone is visible on the original.
+        clone.partition(RegionId(0), RegionId(1));
+        assert!(!t.is_reachable(us, eu));
+        assert!(!t.is_reachable(eu, us));
+        let delivered = Rc::new(RefCell::new(0u32));
+        let d = Rc::clone(&delivered);
+        t.send(&sim, us, eu, move || *d.borrow_mut() += 1);
+        sim.run_to_completion();
+        assert_eq!(*delivered.borrow(), 0, "partitioned message dropped");
+        assert_eq!(t.dropped_messages(), 1);
+        t.heal(RegionId(0), RegionId(1));
+        assert!(t.is_reachable(us, eu));
+        let d = Rc::clone(&delivered);
+        t.send(&sim, us, eu, move || *d.borrow_mut() += 1);
+        sim.run_to_completion();
+        assert_eq!(*delivered.borrow(), 1, "healed link delivers");
+        // Same-region traffic is never partitioned.
+        clone.partition(RegionId(0), RegionId(0));
+        assert!(t.is_reachable(us, Location::new(RegionId(0), 1)));
+    }
+
+    #[test]
+    fn latency_spike_multiplies_latency() {
+        let sim = Sim::new(1);
+        let t = Topology::three_region();
+        let us = Location::new(RegionId(0), 0);
+        let eu = Location::new(RegionId(1), 0);
+        let normal = t.sample_latency(&sim, us, eu);
+        t.set_latency_factor_pct(400);
+        let spiked = t.sample_latency(&sim, us, eu);
+        assert!(spiked >= normal.mul_f64(3.5), "{spiked:?} vs {normal:?}");
+        t.set_latency_factor_pct(100);
     }
 
     #[test]

@@ -68,6 +68,10 @@ fn map_kv_error(e: KvError) -> SqlError {
             SqlError::Retry(format!("conflict with txn {other_txn}"))
         }
         KvError::TxnAborted => SqlError::Retry("transaction aborted".into()),
+        // Transient infrastructure failure (crash or partition): the
+        // statement failed fast, but the transaction is retryable once
+        // the fault clears or leases move.
+        KvError::Unavailable => SqlError::Retry("kv unavailable".into()),
         other => SqlError::Kv(other),
     }
 }
@@ -220,12 +224,9 @@ impl Txn {
             }
             (inner.client.clone(), inner.meta.start_ts, inner.meta.clone())
         };
-        let requests: Vec<RequestKind> = miss_idx
-            .iter()
-            .map(|&i| RequestKind::Get { key: self.prefixed(&keys[i]) })
-            .collect();
-        let batch =
-            BatchRequest { tenant: self.tenant(), read_ts, txn: Some(meta), requests };
+        let requests: Vec<RequestKind> =
+            miss_idx.iter().map(|&i| RequestKind::Get { key: self.prefixed(&keys[i]) }).collect();
+        let batch = BatchRequest { tenant: self.tenant(), read_ts, txn: Some(meta), requests };
         client.send(batch, move |resp| {
             if let Some(e) = resp.error {
                 cb(Err(map_kv_error(e)));
@@ -317,12 +318,7 @@ impl Txn {
         }
         let (client, mut meta, writes, reads) = {
             let inner = self.inner.borrow();
-            (
-                inner.client.clone(),
-                inner.meta.clone(),
-                inner.writes.clone(),
-                inner.reads.clone(),
-            )
+            (inner.client.clone(), inner.meta.clone(), inner.writes.clone(), inner.reads.clone())
         };
         let tenant = self.tenant();
         let anchor = self.prefixed(writes.keys().next().expect("non-empty"));
@@ -346,10 +342,11 @@ impl Txn {
                 since: meta.start_ts,
             })
             .collect();
-        intents.extend(writes.iter().map(|(k, v)| RequestKind::WriteIntent {
-            key: self.prefixed(k),
-            value: v.clone(),
-        }));
+        intents.extend(
+            writes
+                .iter()
+                .map(|(k, v)| RequestKind::WriteIntent { key: self.prefixed(k), value: v.clone() }),
+        );
         let intent_keys: Vec<Bytes> = writes.keys().map(|k| self.prefixed(k)).collect();
         let n_batches = 3;
         self.inner.borrow_mut().kv_batches += n_batches;
@@ -403,10 +400,8 @@ impl Txn {
             let inner = self.inner.borrow();
             (inner.client.clone(), inner.meta.clone())
         };
-        let requests: Vec<RequestKind> = keys
-            .iter()
-            .map(|k| RequestKind::ResolveIntent { key: k.clone(), commit_ts })
-            .collect();
+        let requests: Vec<RequestKind> =
+            keys.iter().map(|k| RequestKind::ResolveIntent { key: k.clone(), commit_ts }).collect();
         if requests.is_empty() {
             return;
         }

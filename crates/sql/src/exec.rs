@@ -63,10 +63,7 @@ pub fn datum_total_cmp(a: &Datum, b: &Datum) -> Ordering {
         (Ordering::Equal, Datum::Bool(x), Datum::Bool(y)) => x.cmp(y),
         (Ordering::Equal, Datum::Str(x), Datum::Str(y)) => x.cmp(y),
         (Ordering::Equal, Datum::Null, Datum::Null) => Ordering::Equal,
-        (Ordering::Equal, x, y) => x
-            .as_f64()
-            .partial_cmp(&y.as_f64())
-            .unwrap_or(Ordering::Equal),
+        (Ordering::Equal, x, y) => x.as_f64().partial_cmp(&y.as_f64()).unwrap_or(Ordering::Equal),
         (ord, _, _) => ord,
     }
 }
@@ -83,8 +80,12 @@ pub fn execute(
         Plan::Query(node) => {
             let columns = node.scope();
             let st = Rc::clone(&stats);
-            run_node(txn.clone(), Rc::new(params), node, st, Box::new(move |rows| {
-                match rows {
+            run_node(
+                txn.clone(),
+                Rc::new(params),
+                node,
+                st,
+                Box::new(move |rows| match rows {
                     Ok(rows) => cb(Ok(QueryOutput {
                         columns,
                         rows_affected: 0,
@@ -92,8 +93,8 @@ pub fn execute(
                         stats: *stats.borrow(),
                     })),
                     Err(e) => cb(Err(e)),
-                }
-            }));
+                }),
+            );
         }
         Plan::Insert { table, rows } => {
             execute_insert(txn.clone(), table, rows, params, stats, cb);
@@ -104,9 +105,9 @@ pub fn execute(
         Plan::Delete { scan, table } => {
             execute_delete(txn.clone(), *scan, table, params, stats, cb);
         }
-        other => cb(Err(SqlError::State(format!(
-            "plan {other:?} must be handled by the session layer"
-        )))),
+        other => {
+            cb(Err(SqlError::State(format!("plan {other:?} must be handled by the session layer"))))
+        }
     }
 }
 
@@ -181,192 +182,246 @@ fn run_node(
             let st = Rc::clone(&stats);
             let params2 = Rc::clone(&params);
             let txn2 = txn.clone();
-            fetch_span(txn, table, index_id, index_cols.len(), span, st, Box::new(move |rows| {
-                let rows = match rows {
-                    Ok(r) => r,
-                    Err(e) => {
-                        cb(Err(e));
-                        return;
-                    }
-                };
-                let _ = txn2;
-                match apply_filter(rows, &filter, &params2) {
-                    Ok(rows) => cb(Ok(rows)),
-                    Err(e) => cb(Err(e)),
-                }
-            }));
-        }
-        PlanNode::Filter { input, predicate } => {
-            let params2 = Rc::clone(&params);
-            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
-                Ok(rows) => match apply_filter(rows, &Some(predicate), &params2) {
-                    Ok(rows) => cb(Ok(rows)),
-                    Err(e) => cb(Err(e)),
-                },
-                Err(e) => cb(Err(e)),
-            }));
-        }
-        PlanNode::Project { input, exprs, .. } => {
-            let params2 = Rc::clone(&params);
-            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
-                Ok(rows) => {
-                    let mut out = Vec::with_capacity(rows.len());
-                    for row in rows {
-                        let mut projected = Vec::with_capacity(exprs.len());
-                        for e in &exprs {
-                            match e.eval(&row, &params2) {
-                                Ok(d) => projected.push(d),
-                                Err(e) => {
-                                    cb(Err(SqlError::Eval(e)));
-                                    return;
-                                }
-                            }
-                        }
-                        out.push(projected);
-                    }
-                    cb(Ok(out));
-                }
-                Err(e) => cb(Err(e)),
-            }));
-        }
-        PlanNode::LookupJoin { input, table, left_key_cols, residual, .. } => {
-            let params2 = Rc::clone(&params);
-            let txn2 = txn.clone();
-            let st = Rc::clone(&stats);
-            run_node(txn, params, *input, stats, Box::new(move |rows| {
-                let left_rows = match rows {
-                    Ok(r) => r,
-                    Err(e) => {
-                        cb(Err(e));
-                        return;
-                    }
-                };
-                // Batched point-lookups of the right PK.
-                let keys: Vec<Bytes> = left_rows
-                    .iter()
-                    .map(|row| {
-                        let pk: Vec<Datum> =
-                            left_key_cols.iter().map(|&i| row[i].clone()).collect();
-                        rowcodec::primary_key_from_datums(&table, &pk)
-                    })
-                    .collect();
-                let table2 = table.clone();
-                let params3 = Rc::clone(&params2);
-                let keys2 = keys.clone();
-                txn2.read_many(keys, move |values| {
-                    let values = match values {
-                        Ok(v) => v,
-                        Err(e) => {
-                            cb(Err(e));
-                            return;
-                        }
-                    };
-                    let mut joined = Vec::new();
-                    for ((left, value), key) in
-                        left_rows.into_iter().zip(values).zip(keys2)
-                    {
-                        let value = match value {
-                            Some(v) => v,
-                            None => continue, // inner join: no match
-                        };
-                        st.borrow_mut().rows_read += 1;
-                        st.borrow_mut().bytes_read += (key.len() + value.len()) as u64;
-                        let right = match rowcodec::decode_row(&table2, &key, &value) {
-                            Some(r) => r,
-                            None => continue,
-                        };
-                        let mut row = left;
-                        row.extend(right);
-                        joined.push(row);
-                    }
-                    match apply_filter(joined, &residual, &params3) {
-                        Ok(rows) => cb(Ok(rows)),
-                        Err(e) => cb(Err(e)),
-                    }
-                });
-            }));
-        }
-        PlanNode::HashJoin { left, right, left_col, right_col, residual, .. } => {
-            let params2 = Rc::clone(&params);
-            let txn2 = txn.clone();
-            let st = Rc::clone(&stats);
-            run_node(txn, Rc::clone(&params), *left, Rc::clone(&stats), Box::new(move |lrows| {
-                let lrows = match lrows {
-                    Ok(r) => r,
-                    Err(e) => {
-                        cb(Err(e));
-                        return;
-                    }
-                };
-                let params3 = Rc::clone(&params2);
-                run_node(txn2, params2, *right, st, Box::new(move |rrows| {
-                    let rrows = match rrows {
+            fetch_span(
+                txn,
+                table,
+                index_id,
+                index_cols.len(),
+                span,
+                st,
+                Box::new(move |rows| {
+                    let rows = match rows {
                         Ok(r) => r,
                         Err(e) => {
                             cb(Err(e));
                             return;
                         }
                     };
-                    // Build side: sort right rows by key datum.
-                    let mut joined = Vec::new();
-                    for l in &lrows {
-                        for r in &rrows {
-                            if l[left_col].sql_eq(&r[right_col]) {
-                                let mut row = l.clone();
-                                row.extend(r.iter().cloned());
-                                joined.push(row);
-                            }
-                        }
-                    }
-                    match apply_filter(joined, &residual, &params3) {
+                    let _ = txn2;
+                    match apply_filter(rows, &filter, &params2) {
                         Ok(rows) => cb(Ok(rows)),
                         Err(e) => cb(Err(e)),
                     }
-                }));
-            }));
+                }),
+            );
+        }
+        PlanNode::Filter { input, predicate } => {
+            let params2 = Rc::clone(&params);
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| match rows {
+                    Ok(rows) => match apply_filter(rows, &Some(predicate), &params2) {
+                        Ok(rows) => cb(Ok(rows)),
+                        Err(e) => cb(Err(e)),
+                    },
+                    Err(e) => cb(Err(e)),
+                }),
+            );
+        }
+        PlanNode::Project { input, exprs, .. } => {
+            let params2 = Rc::clone(&params);
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| match rows {
+                    Ok(rows) => {
+                        let mut out = Vec::with_capacity(rows.len());
+                        for row in rows {
+                            let mut projected = Vec::with_capacity(exprs.len());
+                            for e in &exprs {
+                                match e.eval(&row, &params2) {
+                                    Ok(d) => projected.push(d),
+                                    Err(e) => {
+                                        cb(Err(SqlError::Eval(e)));
+                                        return;
+                                    }
+                                }
+                            }
+                            out.push(projected);
+                        }
+                        cb(Ok(out));
+                    }
+                    Err(e) => cb(Err(e)),
+                }),
+            );
+        }
+        PlanNode::LookupJoin { input, table, left_key_cols, residual, .. } => {
+            let params2 = Rc::clone(&params);
+            let txn2 = txn.clone();
+            let st = Rc::clone(&stats);
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| {
+                    let left_rows = match rows {
+                        Ok(r) => r,
+                        Err(e) => {
+                            cb(Err(e));
+                            return;
+                        }
+                    };
+                    // Batched point-lookups of the right PK.
+                    let keys: Vec<Bytes> = left_rows
+                        .iter()
+                        .map(|row| {
+                            let pk: Vec<Datum> =
+                                left_key_cols.iter().map(|&i| row[i].clone()).collect();
+                            rowcodec::primary_key_from_datums(&table, &pk)
+                        })
+                        .collect();
+                    let table2 = table.clone();
+                    let params3 = Rc::clone(&params2);
+                    let keys2 = keys.clone();
+                    txn2.read_many(keys, move |values| {
+                        let values = match values {
+                            Ok(v) => v,
+                            Err(e) => {
+                                cb(Err(e));
+                                return;
+                            }
+                        };
+                        let mut joined = Vec::new();
+                        for ((left, value), key) in left_rows.into_iter().zip(values).zip(keys2) {
+                            let value = match value {
+                                Some(v) => v,
+                                None => continue, // inner join: no match
+                            };
+                            st.borrow_mut().rows_read += 1;
+                            st.borrow_mut().bytes_read += (key.len() + value.len()) as u64;
+                            let right = match rowcodec::decode_row(&table2, &key, &value) {
+                                Some(r) => r,
+                                None => continue,
+                            };
+                            let mut row = left;
+                            row.extend(right);
+                            joined.push(row);
+                        }
+                        match apply_filter(joined, &residual, &params3) {
+                            Ok(rows) => cb(Ok(rows)),
+                            Err(e) => cb(Err(e)),
+                        }
+                    });
+                }),
+            );
+        }
+        PlanNode::HashJoin { left, right, left_col, right_col, residual, .. } => {
+            let params2 = Rc::clone(&params);
+            let txn2 = txn.clone();
+            let st = Rc::clone(&stats);
+            run_node(
+                txn,
+                Rc::clone(&params),
+                *left,
+                Rc::clone(&stats),
+                Box::new(move |lrows| {
+                    let lrows = match lrows {
+                        Ok(r) => r,
+                        Err(e) => {
+                            cb(Err(e));
+                            return;
+                        }
+                    };
+                    let params3 = Rc::clone(&params2);
+                    run_node(
+                        txn2,
+                        params2,
+                        *right,
+                        st,
+                        Box::new(move |rrows| {
+                            let rrows = match rrows {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    cb(Err(e));
+                                    return;
+                                }
+                            };
+                            // Build side: sort right rows by key datum.
+                            let mut joined = Vec::new();
+                            for l in &lrows {
+                                for r in &rrows {
+                                    if l[left_col].sql_eq(&r[right_col]) {
+                                        let mut row = l.clone();
+                                        row.extend(r.iter().cloned());
+                                        joined.push(row);
+                                    }
+                                }
+                            }
+                            match apply_filter(joined, &residual, &params3) {
+                                Ok(rows) => cb(Ok(rows)),
+                                Err(e) => cb(Err(e)),
+                            }
+                        }),
+                    );
+                }),
+            );
         }
         PlanNode::Aggregate { input, group, aggs, output_map, .. } => {
             let params2 = Rc::clone(&params);
-            run_node(txn, params, *input, stats, Box::new(move |rows| {
-                let rows = match rows {
-                    Ok(r) => r,
-                    Err(e) => {
-                        cb(Err(e));
-                        return;
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| {
+                    let rows = match rows {
+                        Ok(r) => r,
+                        Err(e) => {
+                            cb(Err(e));
+                            return;
+                        }
+                    };
+                    match aggregate(rows, &group, &aggs, &output_map, &params2) {
+                        Ok(out) => cb(Ok(out)),
+                        Err(e) => cb(Err(e)),
                     }
-                };
-                match aggregate(rows, &group, &aggs, &output_map, &params2) {
-                    Ok(out) => cb(Ok(out)),
-                    Err(e) => cb(Err(e)),
-                }
-            }));
+                }),
+            );
         }
         PlanNode::Sort { input, keys } => {
-            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
-                Ok(mut rows) => {
-                    rows.sort_by(|a, b| {
-                        for &(idx, desc) in &keys {
-                            let ord = datum_total_cmp(&a[idx], &b[idx]);
-                            let ord = if desc { ord.reverse() } else { ord };
-                            if ord != Ordering::Equal {
-                                return ord;
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| match rows {
+                    Ok(mut rows) => {
+                        rows.sort_by(|a, b| {
+                            for &(idx, desc) in &keys {
+                                let ord = datum_total_cmp(&a[idx], &b[idx]);
+                                let ord = if desc { ord.reverse() } else { ord };
+                                if ord != Ordering::Equal {
+                                    return ord;
+                                }
                             }
-                        }
-                        Ordering::Equal
-                    });
-                    cb(Ok(rows));
-                }
-                Err(e) => cb(Err(e)),
-            }));
+                            Ordering::Equal
+                        });
+                        cb(Ok(rows));
+                    }
+                    Err(e) => cb(Err(e)),
+                }),
+            );
         }
         PlanNode::Limit { input, n } => {
-            run_node(txn, params, *input, stats, Box::new(move |rows| match rows {
-                Ok(mut rows) => {
-                    rows.truncate(n as usize);
-                    cb(Ok(rows));
-                }
-                Err(e) => cb(Err(e)),
-            }));
+            run_node(
+                txn,
+                params,
+                *input,
+                stats,
+                Box::new(move |rows| match rows {
+                    Ok(mut rows) => {
+                        rows.truncate(n as usize);
+                        cb(Ok(rows));
+                    }
+                    Err(e) => cb(Err(e)),
+                }),
+            );
         }
     }
 }
@@ -489,11 +544,11 @@ impl AggState {
             Datum::Int(i) => self.sum_int = self.sum_int.wrapping_add(*i),
             _ => self.all_int = false,
         }
-        let better_min = self.min.as_ref().map_or(true, |m| datum_total_cmp(d, m).is_lt());
+        let better_min = self.min.as_ref().is_none_or(|m| datum_total_cmp(d, m).is_lt());
         if better_min {
             self.min = Some(d.clone());
         }
-        let better_max = self.max.as_ref().map_or(true, |m| datum_total_cmp(d, m).is_gt());
+        let better_max = self.max.as_ref().is_none_or(|m| datum_total_cmp(d, m).is_gt());
         if better_max {
             self.max = Some(d.clone());
         }
@@ -674,63 +729,69 @@ fn execute_update(
     let params2 = Rc::clone(&params);
     let txn2 = txn.clone();
     let st = Rc::clone(&stats);
-    run_node(txn, Rc::clone(&params), scan, Rc::clone(&stats), Box::new(move |rows| {
-        let rows = match rows {
-            Ok(r) => r,
-            Err(e) => {
-                cb(Err(e));
-                return;
-            }
-        };
-        let mut affected = 0u64;
-        for old in rows {
-            let mut new = old.clone();
-            for (col, e) in &sets {
-                match e.eval(&old, &params2) {
-                    Ok(mut d) => {
-                        if table.columns[*col].ty == crate::value::ColumnType::Float {
-                            if let Datum::Int(v) = d {
-                                d = Datum::Float(v as f64);
+    run_node(
+        txn,
+        Rc::clone(&params),
+        scan,
+        Rc::clone(&stats),
+        Box::new(move |rows| {
+            let rows = match rows {
+                Ok(r) => r,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let mut affected = 0u64;
+            for old in rows {
+                let mut new = old.clone();
+                for (col, e) in &sets {
+                    match e.eval(&old, &params2) {
+                        Ok(mut d) => {
+                            if table.columns[*col].ty == crate::value::ColumnType::Float {
+                                if let Datum::Int(v) = d {
+                                    d = Datum::Float(v as f64);
+                                }
                             }
+                            new[*col] = d;
                         }
-                        new[*col] = d;
-                    }
-                    Err(e) => {
-                        cb(Err(SqlError::Eval(e)));
-                        return;
+                        Err(e) => {
+                            cb(Err(SqlError::Eval(e)));
+                            return;
+                        }
                     }
                 }
-            }
-            if let Err(e) = check_row(&table, &new) {
-                cb(Err(e));
-                return;
-            }
-            let old_key = rowcodec::primary_key(&table, &old);
-            let new_key = rowcodec::primary_key(&table, &new);
-            if old_key != new_key {
-                txn2.delete(old_key.clone());
-            }
-            let value = rowcodec::encode_row_value(&table, &new);
-            st.borrow_mut().rows_written += 1;
-            st.borrow_mut().bytes_written += (new_key.len() + value.len()) as u64;
-            txn2.put(new_key, value);
-            for idx in &table.indexes {
-                let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &old);
-                let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &new);
-                if old_entry != new_entry {
-                    txn2.delete(old_entry);
-                    txn2.put(new_entry, Bytes::new());
+                if let Err(e) = check_row(&table, &new) {
+                    cb(Err(e));
+                    return;
                 }
+                let old_key = rowcodec::primary_key(&table, &old);
+                let new_key = rowcodec::primary_key(&table, &new);
+                if old_key != new_key {
+                    txn2.delete(old_key.clone());
+                }
+                let value = rowcodec::encode_row_value(&table, &new);
+                st.borrow_mut().rows_written += 1;
+                st.borrow_mut().bytes_written += (new_key.len() + value.len()) as u64;
+                txn2.put(new_key, value);
+                for idx in &table.indexes {
+                    let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &old);
+                    let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &new);
+                    if old_entry != new_entry {
+                        txn2.delete(old_entry);
+                        txn2.put(new_entry, Bytes::new());
+                    }
+                }
+                affected += 1;
             }
-            affected += 1;
-        }
-        cb(Ok(QueryOutput {
-            columns: Vec::new(),
-            rows: Vec::new(),
-            rows_affected: affected,
-            stats: *st.borrow(),
-        }));
-    }));
+            cb(Ok(QueryOutput {
+                columns: Vec::new(),
+                rows: Vec::new(),
+                rows_affected: affected,
+                stats: *st.borrow(),
+            }));
+        }),
+    );
 }
 
 fn execute_delete(
@@ -743,32 +804,38 @@ fn execute_delete(
 ) {
     let txn2 = txn.clone();
     let st = Rc::clone(&stats);
-    run_node(txn, Rc::new(params), scan, Rc::clone(&stats), Box::new(move |rows| {
-        let rows = match rows {
-            Ok(r) => r,
-            Err(e) => {
-                cb(Err(e));
-                return;
+    run_node(
+        txn,
+        Rc::new(params),
+        scan,
+        Rc::clone(&stats),
+        Box::new(move |rows| {
+            let rows = match rows {
+                Ok(r) => r,
+                Err(e) => {
+                    cb(Err(e));
+                    return;
+                }
+            };
+            let mut affected = 0u64;
+            for row in rows {
+                let key = rowcodec::primary_key(&table, &row);
+                st.borrow_mut().rows_written += 1;
+                st.borrow_mut().bytes_written += key.len() as u64;
+                txn2.delete(key);
+                for idx in &table.indexes {
+                    txn2.delete(rowcodec::index_entry_key(&table, idx.id, &idx.columns, &row));
+                }
+                affected += 1;
             }
-        };
-        let mut affected = 0u64;
-        for row in rows {
-            let key = rowcodec::primary_key(&table, &row);
-            st.borrow_mut().rows_written += 1;
-            st.borrow_mut().bytes_written += key.len() as u64;
-            txn2.delete(key);
-            for idx in &table.indexes {
-                txn2.delete(rowcodec::index_entry_key(&table, idx.id, &idx.columns, &row));
-            }
-            affected += 1;
-        }
-        cb(Ok(QueryOutput {
-            columns: Vec::new(),
-            rows: Vec::new(),
-            rows_affected: affected,
-            stats: *st.borrow(),
-        }));
-    }));
+            cb(Ok(QueryOutput {
+                columns: Vec::new(),
+                rows: Vec::new(),
+                rows_affected: affected,
+                stats: *st.borrow(),
+            }));
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -832,10 +899,7 @@ mod tests {
         let out = aggregate(rows, &group, &aggs, &[0, 1], &[]).unwrap();
         assert_eq!(
             out,
-            vec![
-                vec![Datum::Int(1), Datum::Int(15)],
-                vec![Datum::Int(2), Datum::Int(20)],
-            ]
+            vec![vec![Datum::Int(1), Datum::Int(15)], vec![Datum::Int(2), Datum::Int(20)],]
         );
     }
 

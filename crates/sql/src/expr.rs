@@ -82,10 +82,9 @@ impl Expr {
                 row.get(*i).cloned().ok_or_else(|| EvalError::Unbound(format!("column {i}")))
             }
             Expr::Name(n) => Err(EvalError::Unbound(n.clone())),
-            Expr::Param(n) => params
-                .get(*n - 1)
-                .cloned()
-                .ok_or_else(|| EvalError::Unbound(format!("${n}"))),
+            Expr::Param(n) => {
+                params.get(*n - 1).cloned().ok_or_else(|| EvalError::Unbound(format!("${n}")))
+            }
             Expr::Not(e) => match e.eval(row, params)? {
                 Datum::Bool(b) => Ok(Datum::Bool(!b)),
                 Datum::Null => Ok(Datum::Null),
@@ -214,9 +213,10 @@ impl Expr {
 /// Resolves a possibly-qualified name in a scope. A bare name matches a
 /// qualified scope entry's suffix; ambiguity is an error.
 pub fn resolve_name(scope: &[String], name: &str) -> Result<usize, String> {
-    let mut matches = scope.iter().enumerate().filter(|(_, s)| {
-        s.as_str() == name || s.rsplit('.').next() == Some(name)
-    });
+    let mut matches = scope
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.as_str() == name || s.rsplit('.').next() == Some(name));
     match (matches.next(), matches.next()) {
         (Some((i, _)), None) => Ok(i),
         (None, _) => Err(format!("column {name} not found")),

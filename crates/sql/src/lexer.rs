@@ -109,9 +109,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 out.push(Token::Ident(input[start..j].to_ascii_lowercase()));
@@ -196,12 +194,7 @@ mod tests {
         let toks = tokenize("1 2.5 'it''s' $3").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Int(1),
-                Token::Float(2.5),
-                Token::Str("it's".into()),
-                Token::Param(3),
-            ]
+            vec![Token::Int(1), Token::Float(2.5), Token::Str("it's".into()), Token::Param(3),]
         );
     }
 

@@ -154,11 +154,19 @@ pub struct SqlNode {
     /// Retired nodes (e.g. pending a version upgrade) drain but are never
     /// reclaimed by the autoscaler.
     retired: Cell<bool>,
+    /// Set when the node dies abruptly (fault injection) rather than by
+    /// orderly shutdown.
+    crashed: Cell<bool>,
 }
 
 impl SqlNode {
     /// Creates a node bound to a tenant's KV client (certificate inside).
-    pub fn new(sim: &Sim, instance_id: SqlInstanceId, client: KvClient, config: SqlNodeConfig) -> Rc<SqlNode> {
+    pub fn new(
+        sim: &Sim,
+        instance_id: SqlInstanceId,
+        client: KvClient,
+        config: SqlNodeConfig,
+    ) -> Rc<SqlNode> {
         let tenant = client.cert().tenant();
         Rc::new(SqlNode {
             instance_id,
@@ -175,6 +183,7 @@ impl SqlNode {
             cold_start: Cell::new(None),
             revival_secret: 0x5eed_0000 ^ tenant.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15),
             retired: Cell::new(false),
+            crashed: Cell::new(false),
         })
     }
 
@@ -218,9 +227,7 @@ impl SqlNode {
                     let node4 = Rc::clone(&node3);
                     node3.register_instance(move || {
                         node4.state.set(NodeState::Ready);
-                        node4.cold_start.set(Some(
-                            node4.sim.now().duration_since(started_at),
-                        ));
+                        node4.cold_start.set(Some(node4.sim.now().duration_since(started_at)));
                         node4.start_background_loop();
                         on_ready();
                     });
@@ -380,7 +387,7 @@ impl SqlNode {
                         return;
                     }
                 };
-                if s.txn.as_ref().map_or(false, |t| t.is_pending()) {
+                if s.txn.as_ref().is_some_and(|t| t.is_pending()) {
                     drop(sessions);
                     cb(Err(SqlError::State("transaction already open".into())));
                     return;
@@ -439,25 +446,25 @@ impl SqlNode {
         match plan {
             Plan::CreateTable(desc) => {
                 let desc2 = desc.clone();
-                self.persist_descriptor(&desc, Box::new({
-                    let node = Rc::clone(self);
-                    move |r| match r {
-                        Ok(()) => {
-                            node.catalog.borrow_mut().install(desc2);
-                            cb(Ok(QueryOutput::default()));
+                self.persist_descriptor(
+                    &desc,
+                    Box::new({
+                        let node = Rc::clone(self);
+                        move |r| match r {
+                            Ok(()) => {
+                                node.catalog.borrow_mut().install(desc2);
+                                cb(Ok(QueryOutput::default()));
+                            }
+                            Err(e) => cb(Err(e)),
                         }
-                        Err(e) => cb(Err(e)),
-                    }
-                }));
-                return;
+                    }),
+                );
             }
             Plan::CreateIndex { table, index } => {
                 self.backfill_index(table, index, cb);
-                return;
             }
             Plan::DropTable(desc) => {
                 self.drop_table(desc, cb);
-                return;
             }
             Plan::Begin | Plan::Commit | Plan::Rollback => unreachable!("handled above"),
             other => {
@@ -480,18 +487,9 @@ impl SqlNode {
                             // Retry the whole autocommit statement at a new
                             // timestamp after a short backoff.
                             let node2 = Rc::clone(&node);
-                            node.sim.schedule_after(
-                                dur::ms(2 << attempt),
-                                move || {
-                                    node2.execute_statement(
-                                        session,
-                                        stmt2,
-                                        params2,
-                                        attempt + 1,
-                                        cb,
-                                    )
-                                },
-                            );
+                            node.sim.schedule_after(dur::ms(2 << attempt), move || {
+                                node2.execute_statement(session, stmt2, params2, attempt + 1, cb)
+                            });
                         }
                         Err(e) => cb(Err(e)),
                         Ok(output) => {
@@ -526,7 +524,6 @@ impl SqlNode {
                         }
                     }
                 });
-                return;
             }
         }
     }
@@ -601,20 +598,20 @@ impl SqlNode {
             txn2.commit(move |r| match r {
                 Err(e) => cb(Err(e)),
                 Ok(()) => {
-                    node2.persist_descriptor(&table2, Box::new({
-                        let node3 = Rc::clone(&node2);
-                        let table3 = table2.clone();
-                        move |r| match r {
-                            Ok(()) => {
-                                node3.catalog.borrow_mut().install(table3);
-                                cb(Ok(QueryOutput {
-                                    rows_affected: n,
-                                    ..Default::default()
-                                }));
+                    node2.persist_descriptor(
+                        &table2,
+                        Box::new({
+                            let node3 = Rc::clone(&node2);
+                            let table3 = table2.clone();
+                            move |r| match r {
+                                Ok(()) => {
+                                    node3.catalog.borrow_mut().install(table3);
+                                    cb(Ok(QueryOutput { rows_affected: n, ..Default::default() }));
+                                }
+                                Err(e) => cb(Err(e)),
                             }
-                            Err(e) => cb(Err(e)),
-                        }
-                    }));
+                        }),
+                    );
                 }
             });
         });
@@ -662,7 +659,12 @@ impl SqlNode {
     pub fn serialize_session(&self, session: u64) -> Result<SessionSnapshot, SqlError> {
         let sessions = self.sessions.borrow();
         let s = sessions.get(&session).ok_or(SqlError::State("no such session".into()))?;
-        SessionSnapshot::capture(s, self.tenant.raw(), self.sim.now().as_nanos(), self.revival_secret)
+        SessionSnapshot::capture(
+            s,
+            self.tenant.raw(),
+            self.sim.now().as_nanos(),
+            self.revival_secret,
+        )
     }
 
     /// Restores a migrated session; returns the new session ID.
@@ -710,6 +712,21 @@ impl SqlNode {
     pub fn shutdown(&self) {
         self.state.set(NodeState::Stopped);
         self.sessions.borrow_mut().clear();
+    }
+
+    /// Abrupt process death (fault injection). Unlike an orderly
+    /// [`SqlNode::shutdown`] nothing drains: in-memory sessions are lost
+    /// on the spot, and the proxy must detect the dead backend and revive
+    /// its sessions on another node from cached snapshots (§4.2.4).
+    pub fn crash(&self) {
+        self.crashed.set(true);
+        self.state.set(NodeState::Stopped);
+        self.sessions.borrow_mut().clear();
+    }
+
+    /// Whether the node died by [`SqlNode::crash`].
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.get()
     }
 
     /// The node's KV client (for tests and the orchestrator).

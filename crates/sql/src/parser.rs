@@ -445,9 +445,8 @@ impl Parser {
         }
         // A bare identifier that is not a clause keyword is an alias.
         if let Some(Token::Ident(s)) = self.peek() {
-            const KEYWORDS: &[&str] = &[
-                "join", "inner", "on", "where", "group", "order", "limit", "set", "values",
-            ];
+            const KEYWORDS: &[&str] =
+                &["join", "inner", "on", "where", "group", "order", "limit", "set", "values"];
             if !KEYWORDS.contains(&s.as_str()) {
                 let s = s.clone();
                 self.pos += 1;
@@ -581,11 +580,9 @@ impl Parser {
             return Ok(match e {
                 Expr::Literal(Datum::Int(i)) => Expr::Literal(Datum::Int(-i)),
                 Expr::Literal(Datum::Float(f)) => Expr::Literal(Datum::Float(-f)),
-                other => Expr::Bin(
-                    BinOp::Sub,
-                    Box::new(Expr::Literal(Datum::Int(0))),
-                    Box::new(other),
-                ),
+                other => {
+                    Expr::Bin(BinOp::Sub, Box::new(Expr::Literal(Datum::Int(0))), Box::new(other))
+                }
             });
         }
         self.primary_expr()
@@ -739,7 +736,10 @@ mod tests {
         let s = parse("SELECT COUNT(*), -5 FROM t").unwrap();
         match s {
             Statement::Select(sel) => {
-                assert!(matches!(sel.items[0], SelectItem::Agg { func: AggFunc::Count, arg: None, .. }));
+                assert!(matches!(
+                    sel.items[0],
+                    SelectItem::Agg { func: AggFunc::Count, arg: None, .. }
+                ));
                 assert!(matches!(
                     sel.items[1],
                     SelectItem::Expr { expr: Expr::Literal(Datum::Int(-5)), .. }

@@ -8,10 +8,10 @@
 
 use std::collections::HashMap;
 
+use crate::coord::SqlError;
 use crate::expr::{resolve_name, BinOp, Expr};
 use crate::parser::{AggFunc, SelectItem, SelectStmt, Statement};
 use crate::schema::{Column, IndexDescriptor, TableDescriptor, PRIMARY_INDEX_ID};
-use crate::coord::SqlError;
 use crate::value::ColumnType;
 
 /// The per-tenant table catalog (a cache of `system.descriptor`).
@@ -427,8 +427,7 @@ fn plan_table_scan(
     filter: Option<Expr>,
 ) -> Result<PlanNode, SqlError> {
     let alias = alias.unwrap_or(&table.name);
-    let scope: Vec<String> =
-        table.columns.iter().map(|c| format!("{alias}.{}", c.name)).collect();
+    let scope: Vec<String> = table.columns.iter().map(|c| format!("{alias}.{}", c.name)).collect();
 
     let mut residual: Vec<Expr> = Vec::new();
     let mut eq: HashMap<usize, Expr> = HashMap::new();
@@ -484,20 +483,16 @@ fn plan_table_scan(
             }
             match cmp.op {
                 BinOp::Ge => {
-                    constraint.lower =
-                        Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
+                    constraint.lower = Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
                 }
                 BinOp::Gt => {
-                    constraint.lower =
-                        Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
+                    constraint.lower = Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
                 }
                 BinOp::Le => {
-                    constraint.upper =
-                        Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
+                    constraint.upper = Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
                 }
                 BinOp::Lt => {
-                    constraint.upper =
-                        Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
+                    constraint.upper = Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
                 }
                 _ => {}
             }
@@ -515,14 +510,7 @@ fn plan_table_scan(
         .into_iter()
         .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
 
-    Ok(PlanNode::Scan {
-        table: table.clone(),
-        index_id,
-        index_cols,
-        constraint,
-        filter,
-        scope,
-    })
+    Ok(PlanNode::Scan { table: table.clone(), index_id, index_cols, constraint, filter, scope })
 }
 
 fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError> {
@@ -612,10 +600,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
 
         // Lookup join when the eq pairs cover the right PK.
         let covers_pk = right.primary_key.len() <= eq_pairs.len()
-            && right
-                .primary_key
-                .iter()
-                .all(|pkc| eq_pairs.iter().any(|(_, rc)| rc == pkc));
+            && right.primary_key.iter().all(|pkc| eq_pairs.iter().any(|(_, rc)| rc == pkc));
         if covers_pk {
             let mut left_key_cols = Vec::new();
             for pkc in &right.primary_key {
@@ -667,11 +652,8 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
     }
 
     let scope = node.scope();
-    let has_aggs = sel
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Agg { .. }))
-        || !sel.group_by.is_empty();
+    let has_aggs =
+        sel.items.iter().any(|i| matches!(i, SelectItem::Agg { .. })) || !sel.group_by.is_empty();
 
     if has_aggs {
         // Bind group-by expressions over the input scope.
@@ -703,9 +685,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
                     };
                     output_map.push(group.len() + aggs.len());
                     aggs.push((*func, arg));
-                    out_scope.push(alias.clone().unwrap_or_else(|| {
-                        format!("agg{}", aggs.len())
-                    }));
+                    out_scope.push(alias.clone().unwrap_or_else(|| format!("agg{}", aggs.len())));
                 }
                 SelectItem::Expr { expr, alias } => {
                     // Must match a group expression.
@@ -779,9 +759,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
             } else if let Some(keys) = try_bind(&scope) {
                 sort_before_project = Some(keys);
             } else {
-                return Err(SqlError::Plan(
-                    "ORDER BY must name an output or input column".into(),
-                ));
+                return Err(SqlError::Plan("ORDER BY must name an output or input column".into()));
             }
         }
         if let Some(keys) = sort_before_project {
@@ -824,10 +802,7 @@ pub fn check_row(table: &TableDescriptor, row: &[crate::value::Datum]) -> Result
     for (col, datum) in table.columns.iter().zip(row) {
         if datum.is_null() {
             if !col.nullable {
-                return Err(SqlError::Constraint(format!(
-                    "null value in column {}",
-                    col.name
-                )));
+                return Err(SqlError::Constraint(format!("null value in column {}", col.name)));
             }
             continue;
         }
@@ -837,10 +812,7 @@ pub fn check_row(table: &TableDescriptor, row: &[crate::value::Datum]) -> Result
             _ => false,
         };
         if !ok {
-            return Err(SqlError::Constraint(format!(
-                "type mismatch for column {}",
-                col.name
-            )));
+            return Err(SqlError::Constraint(format!("type mismatch for column {}", col.name)));
         }
     }
     Ok(())
@@ -887,7 +859,8 @@ mod tests {
     #[test]
     fn range_constraint_on_pk_suffix() {
         let mut c = catalog();
-        let p = plan(&mut c, "SELECT * FROM stock WHERE s_w_id = 1 AND s_i_id >= 10 AND s_i_id < 20");
+        let p =
+            plan(&mut c, "SELECT * FROM stock WHERE s_w_id = 1 AND s_i_id >= 10 AND s_i_id < 20");
         match p {
             Plan::Query(PlanNode::Scan { constraint, .. }) => {
                 assert_eq!(constraint.eq_prefix.len(), 1);
@@ -947,17 +920,11 @@ mod tests {
     #[test]
     fn hash_join_on_non_pk() {
         let mut c = catalog();
-        let p = plan(
-            &mut c,
-            "SELECT * FROM stock s JOIN item i ON s.s_qty = i.i_id",
-        );
+        let p = plan(&mut c, "SELECT * FROM stock s JOIN item i ON s.s_qty = i.i_id");
         // s_qty = i_id covers item's pk -> actually a lookup join; use a
         // non-pk pairing instead:
         let _ = p;
-        let p = plan(
-            &mut c,
-            "SELECT * FROM item a JOIN item b ON a.i_name = b.i_name",
-        );
+        let p = plan(&mut c, "SELECT * FROM item a JOIN item b ON a.i_name = b.i_name");
         match p {
             Plan::Query(node) => {
                 fn find_hash(n: &PlanNode) -> bool {
@@ -1006,11 +973,17 @@ mod tests {
                 assert_eq!(rows[0].len(), 3);
                 assert_eq!(rows[0][2], Expr::Literal(Datum::Null));
                 // Constraint checks.
-                assert!(check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Null]).is_ok());
+                assert!(check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Null])
+                    .is_ok());
                 assert!(check_row(&table, &[Datum::Int(1), Datum::Null, Datum::Null]).is_err());
-                assert!(check_row(&table, &[Datum::Str("no".into()), Datum::Str("x".into()), Datum::Null]).is_err());
+                assert!(check_row(
+                    &table,
+                    &[Datum::Str("no".into()), Datum::Str("x".into()), Datum::Null]
+                )
+                .is_err());
                 assert!(
-                    check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Int(5)]).is_ok(),
+                    check_row(&table, &[Datum::Int(1), Datum::Str("x".into()), Datum::Int(5)])
+                        .is_ok(),
                     "int widens to float"
                 );
             }
@@ -1032,7 +1005,6 @@ mod tests {
         assert!(matches!(
             plan_statement(&mut c, &parse("SELECT i_price, COUNT(*) FROM item").unwrap()),
             Err(SqlError::Plan(_)),
-
         ));
     }
 }

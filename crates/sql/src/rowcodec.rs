@@ -196,7 +196,12 @@ pub fn decode_row(table: &TableDescriptor, key: &[u8], value: &[u8]) -> Option<R
 
 /// Encodes a secondary-index entry key for a row:
 /// `tbl/<id>/<index_id>/<indexed datums…>/<pk datums…>`.
-pub fn index_entry_key(table: &TableDescriptor, index_id: u64, columns: &[usize], row: &Row) -> Bytes {
+pub fn index_entry_key(
+    table: &TableDescriptor,
+    index_id: u64,
+    columns: &[usize],
+    row: &Row,
+) -> Bytes {
     let mut b = index_prefix(table.id, index_id);
     for &i in columns {
         encode_key_datum(&mut b, &row[i]);

@@ -43,7 +43,7 @@ impl Session {
     /// Whether the session is idle (no open transaction) and therefore
     /// migratable.
     pub fn is_idle(&self) -> bool {
-        self.txn.as_ref().map_or(true, |t| !t.is_pending())
+        self.txn.as_ref().is_none_or(|t| !t.is_pending())
     }
 }
 

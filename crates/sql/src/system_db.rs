@@ -176,14 +176,16 @@ mod tests {
 
     #[test]
     fn optimized_localities() {
-        let db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0), RegionId(1), RegionId(2)]);
+        let db =
+            SystemDatabase::optimized(RegionId(0), vec![RegionId(0), RegionId(1), RegionId(2)]);
         assert_eq!(db.locality(SystemTable::Descriptor), TableLocality::Global);
         assert_eq!(db.locality(SystemTable::SqlInstances), TableLocality::RegionalByRow);
     }
 
     #[test]
     fn unoptimized_pins_everything_to_home() {
-        let db = SystemDatabase::unoptimized(RegionId(2), vec![RegionId(0), RegionId(1), RegionId(2)]);
+        let db =
+            SystemDatabase::unoptimized(RegionId(2), vec![RegionId(0), RegionId(1), RegionId(2)]);
         assert_eq!(
             db.locality(SystemTable::Descriptor),
             TableLocality::RegionalByTable(RegionId(2))

@@ -1,3 +1,7 @@
+// NOTE: with the vendored offline proptest stand-in, `proptest!` blocks
+// compile away, leaving strategies/helpers unreferenced.
+#![allow(dead_code, unused_imports)]
+
 //! Property tests for the SQL layer's codecs and parser.
 
 use bytes::Bytes;

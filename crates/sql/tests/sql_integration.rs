@@ -24,11 +24,8 @@ struct Fixture {
 
 fn setup(seed: u64) -> Fixture {
     let sim = Sim::new(seed);
-    let cluster = KvCluster::new(
-        &sim,
-        Topology::single_region("us-east1", 3),
-        KvClusterConfig::default(),
-    );
+    let cluster =
+        KvCluster::new(&sim, Topology::single_region("us-east1", 3), KvClusterConfig::default());
     let cert = cluster.create_tenant(TenantId(2));
     let client = KvClient::new(cluster.clone(), cert, Location::new(RegionId(0), 0));
     let node = SqlNode::new(&sim, SqlInstanceId(1), client, SqlNodeConfig::default());
@@ -88,10 +85,10 @@ fn update_delete_and_rescan() {
     let out = exec(&f, "DELETE FROM kv WHERE k = 1");
     assert_eq!(out.rows_affected, 1);
     let out = exec(&f, "SELECT k, v FROM kv ORDER BY k");
-    assert_eq!(out.rows, vec![
-        vec![Datum::Int(2), Datum::Int(21)],
-        vec![Datum::Int(3), Datum::Int(31)],
-    ]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Datum::Int(2), Datum::Int(21)], vec![Datum::Int(3), Datum::Int(31)],]
+    );
 }
 
 #[test]

@@ -131,8 +131,10 @@ mod tests {
                         // Individual gets are not a snapshot, so values can
                         // differ by at most one generation under this
                         // writer; both must always parse.
-                        let _: u32 = std::str::from_utf8(a.as_ref().unwrap()).unwrap().parse().unwrap();
-                        let _: u32 = std::str::from_utf8(b.as_ref().unwrap()).unwrap().parse().unwrap();
+                        let _: u32 =
+                            std::str::from_utf8(a.as_ref().unwrap()).unwrap().parse().unwrap();
+                        let _: u32 =
+                            std::str::from_utf8(b.as_ref().unwrap()).unwrap().parse().unwrap();
                     }
                 }
             })

@@ -12,9 +12,7 @@ use crate::{Key, Value};
 /// Merges sorted `(key, value)` streams. `sources[0]` is the newest; on a
 /// key collision the entry from the lowest-indexed source wins. Input
 /// streams must be strictly sorted by key.
-pub fn merge_sources(
-    sources: Vec<Vec<(Key, Option<Value>)>>,
-) -> Vec<(Key, Option<Value>)> {
+pub fn merge_sources(sources: Vec<Vec<(Key, Option<Value>)>>) -> Vec<(Key, Option<Value>)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -67,10 +65,7 @@ mod tests {
             src(&[("a", Some("new")), ("c", None)]),
             src(&[("a", Some("old")), ("b", Some("1")), ("c", Some("old"))]),
         ]);
-        assert_eq!(
-            merged,
-            src(&[("a", Some("new")), ("b", Some("1")), ("c", None)])
-        );
+        assert_eq!(merged, src(&[("a", Some("new")), ("b", Some("1")), ("c", None)]));
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl Lsm {
         for level in &self.levels {
             // Non-overlapping: binary search for the file whose range could
             // contain the key.
-            let idx = level.partition_point(|t| t.max_key().map_or(false, |k| k.as_ref() < key));
+            let idx = level.partition_point(|t| t.max_key().is_some_and(|k| k.as_ref() < key));
             if let Some(table) = level.get(idx) {
                 if let Some(v) = table.get(key) {
                     return v;
@@ -168,7 +168,8 @@ impl Lsm {
     /// Range scan over `[start, end)` returning up to `limit` live entries.
     pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Key, Value)> {
         let mut sources: Vec<Vec<(Key, Option<Value>)>> = Vec::new();
-        sources.push(self.memtable.range(start, end).map(|(k, v)| (k.clone(), v.clone())).collect());
+        sources
+            .push(self.memtable.range(start, end).map(|(k, v)| (k.clone(), v.clone())).collect());
         for table in self.l0.iter().rev() {
             if table.overlaps(start, end) {
                 sources.push(table.range(start, end).to_vec());
@@ -179,9 +180,9 @@ impl Lsm {
             // that could intersect, then walk forward.
             let mut run = Vec::new();
             let mut idx =
-                level.partition_point(|t| t.max_key().map_or(false, |k| k.as_ref() < start));
+                level.partition_point(|t| t.max_key().is_some_and(|k| k.as_ref() < start));
             while let Some(table) = level.get(idx) {
-                if table.min_key().map_or(true, |k| k.as_ref() >= end) {
+                if table.min_key().is_none_or(|k| k.as_ref() >= end) {
                     break;
                 }
                 run.extend_from_slice(table.range(start, end));
@@ -259,7 +260,8 @@ impl Lsm {
         // Newest first: L0 files by descending file number, then L1.
         let mut l0_sorted = l0;
         l0_sorted.sort_by_key(|t| std::cmp::Reverse(t.num()));
-        let bytes_in: u64 = l0_sorted.iter().chain(overlapping.iter()).map(|t| t.size() as u64).sum();
+        let bytes_in: u64 =
+            l0_sorted.iter().chain(overlapping.iter()).map(|t| t.size() as u64).sum();
         for t in &l0_sorted {
             sources.push(t.entries().to_vec());
         }
@@ -288,9 +290,9 @@ impl Lsm {
         let file = self.levels[idx].remove(cursor);
         let min = file.min_key().cloned();
         let max = file.max_key().cloned();
-        let overlapping =
-            self.take_overlapping(level, min.as_deref(), max.as_deref());
-        let bytes_in = file.size() as u64 + overlapping.iter().map(|t| t.size() as u64).sum::<u64>();
+        let overlapping = self.take_overlapping(level, min.as_deref(), max.as_deref());
+        let bytes_in =
+            file.size() as u64 + overlapping.iter().map(|t| t.size() as u64).sum::<u64>();
         let mut next_run = Vec::new();
         for t in &overlapping {
             next_run.extend_from_slice(t.entries());

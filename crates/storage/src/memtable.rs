@@ -56,10 +56,7 @@ impl WriteBatch {
 
     /// Total encoded payload size in bytes (keys + values).
     pub fn payload_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
-            .sum()
+        self.entries.iter().map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len())).sum()
     }
 }
 

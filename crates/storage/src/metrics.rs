@@ -4,9 +4,9 @@
 //! implementation": the bandwidth at which memtables flush into L0 and the
 //! bandwidth at which L0 compacts into lower levels. §5.1.4 fits `a·x + b`
 //! linear models mapping *logical* write bytes to *actual* bytes (raft log
-//! + state machine + write amplification). [`StorageMetrics`] provides the
-//! raw counters, and [`LinearModel`] the incremental least-squares fit used
-//! by admission control.
+//! plus state machine plus write amplification). [`StorageMetrics`] provides
+//! the raw counters, and [`LinearModel`] the incremental least-squares fit
+//! used by admission control.
 
 /// Cumulative counters maintained by the LSM engine.
 #[derive(Debug, Clone, Copy, Default)]

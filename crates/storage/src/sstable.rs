@@ -166,10 +166,7 @@ mod tests {
     }
 
     fn table(num: u64, keys: &[(&str, Option<&str>)]) -> SsTable {
-        SsTable::new(
-            num,
-            keys.iter().map(|(k, v)| (b(k), v.map(b))).collect(),
-        )
+        SsTable::new(num, keys.iter().map(|(k, v)| (b(k), v.map(b))).collect())
     }
 
     #[test]

@@ -43,11 +43,8 @@ fn parallel_disjoint_writers_then_full_verify() {
                 assert_eq!(got, Some(Bytes::from(format!("v{t}-{i}"))), "{key}");
             }
         }
-        let scanned = engine.scan(
-            format!("w{t}/").as_bytes(),
-            format!("w{t}0").as_bytes(),
-            usize::MAX,
-        );
+        let scanned =
+            engine.scan(format!("w{t}/").as_bytes(), format!("w{t}0").as_bytes(), usize::MAX);
         assert_eq!(scanned.len() as u32, PER_THREAD - PER_THREAD / 10, "thread {t} scan");
     }
     assert!(engine.metrics().flush_count > 0, "flushes happened under load");

@@ -1,3 +1,7 @@
+// NOTE: with the vendored offline proptest stand-in, `proptest!` blocks
+// compile away, leaving strategies/helpers unreferenced.
+#![allow(dead_code, unused_imports)]
+
 //! Property tests: the LSM engine must behave exactly like an ordered map
 //! under any interleaving of puts, deletes, flushes, compactions and scans.
 

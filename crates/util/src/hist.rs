@@ -33,13 +33,7 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         // 64 exponent levels x 64 sub-buckets covers the full u64 range.
-        Histogram {
-            counts: vec![0; 64 * SUB_BUCKETS],
-            total: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { counts: vec![0; 64 * SUB_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     fn index(value: u64) -> usize {

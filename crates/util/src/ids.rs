@@ -113,6 +113,7 @@ impl IdAllocator {
     }
 
     /// Issues the next raw ID.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let id = self.next;
         self.next += 1;

@@ -10,10 +10,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
+use crdb_sim::Sim;
 use crdb_sql::coord::SqlError;
 use crdb_sql::exec::QueryOutput;
 use crdb_sql::value::Datum;
-use crdb_sim::Sim;
 use crdb_util::time::{dur, SimTime};
 use crdb_util::Histogram;
 
@@ -88,12 +88,7 @@ pub fn run_script(
                         other => other,
                     };
                     let ex3 = Rc::clone(&ex2);
-                    ex3.exec(
-                        worker,
-                        "ROLLBACK".to_string(),
-                        vec![],
-                        Box::new(move |_| cb(Err(e))),
-                    );
+                    ex3.exec(worker, "ROLLBACK".to_string(), vec![], Box::new(move |_| cb(Err(e))));
                 }
             }),
         );
@@ -213,29 +208,27 @@ impl Driver {
             Rc::clone(&self.executor),
             worker,
             steps,
-            Box::new(move |result| {
-                match result {
-                    Ok(_) => {
-                        *this.stats.committed.borrow_mut() += 1;
-                        *this.stats.by_label.borrow_mut().entry(label).or_insert(0) += 1;
-                        this.stats
-                            .latency
-                            .borrow_mut()
-                            .record_duration(this.sim.now().duration_since(started));
-                        this.schedule_next(worker);
-                    }
-                    Err(e) if e.is_retryable() && attempt < this.config.max_retries => {
-                        *this.stats.retries.borrow_mut() += 1;
-                        let this2 = Rc::clone(&this);
-                        this.sim.schedule_after(dur::ms(1 << attempt.min(6)), move || {
-                            this2.worker_iteration(worker, attempt + 1);
-                        });
-                    }
-                    Err(e) => {
-                        *this.stats.aborted.borrow_mut() += 1;
-                        *this.stats.last_abort.borrow_mut() = Some(e.to_string());
-                        this.schedule_next(worker);
-                    }
+            Box::new(move |result| match result {
+                Ok(_) => {
+                    *this.stats.committed.borrow_mut() += 1;
+                    *this.stats.by_label.borrow_mut().entry(label).or_insert(0) += 1;
+                    this.stats
+                        .latency
+                        .borrow_mut()
+                        .record_duration(this.sim.now().duration_since(started));
+                    this.schedule_next(worker);
+                }
+                Err(e) if e.is_retryable() && attempt < this.config.max_retries => {
+                    *this.stats.retries.borrow_mut() += 1;
+                    let this2 = Rc::clone(&this);
+                    this.sim.schedule_after(dur::ms(1 << attempt.min(6)), move || {
+                        this2.worker_iteration(worker, attempt + 1);
+                    });
+                }
+                Err(e) => {
+                    *this.stats.aborted.borrow_mut() += 1;
+                    *this.stats.last_abort.borrow_mut() = Some(e.to_string());
+                    this.schedule_next(worker);
                 }
             }),
         );
@@ -319,10 +312,15 @@ mod tests {
         let steps: Rc<Vec<Step>> = Rc::new(vec![stmt("BEGIN"), stmt("SELECT 1"), stmt("COMMIT")]);
         let done = Rc::new(RefCell::new(false));
         let d = Rc::clone(&done);
-        run_script(ex.clone(), 0, steps, Box::new(move |r| {
-            assert!(r.is_ok());
-            *d.borrow_mut() = true;
-        }));
+        run_script(
+            ex.clone(),
+            0,
+            steps,
+            Box::new(move |r| {
+                assert!(r.is_ok());
+                *d.borrow_mut() = true;
+            }),
+        );
         sim.run_for(dur::secs(1));
         assert!(*done.borrow());
         assert_eq!(*ex.log.borrow(), vec!["BEGIN", "SELECT 1", "COMMIT"]);
@@ -340,9 +338,14 @@ mod tests {
         let steps: Rc<Vec<Step>> = Rc::new(vec![stmt("BEGIN"), stmt("SELECT 1"), stmt("COMMIT")]);
         let result = Rc::new(RefCell::new(None));
         let r = Rc::clone(&result);
-        run_script(ex.clone(), 0, steps, Box::new(move |res| {
-            *r.borrow_mut() = Some(res.is_err());
-        }));
+        run_script(
+            ex.clone(),
+            0,
+            steps,
+            Box::new(move |res| {
+                *r.borrow_mut() = Some(res.is_err());
+            }),
+        );
         sim.run_for(dur::secs(1));
         assert_eq!(*result.borrow(), Some(true));
         assert_eq!(ex.log.borrow().last().unwrap(), "ROLLBACK");

@@ -21,8 +21,11 @@ pub struct ServerlessExecutor {
     cluster: Rc<ServerlessCluster>,
     tenant: TenantId,
     conns: RefCell<HashMap<usize, Rc<Connection>>>,
-    connecting: RefCell<HashMap<usize, Vec<Box<dyn FnOnce(Rc<Connection>)>>>>,
+    connecting: RefCell<HashMap<usize, Vec<ConnWaiter>>>,
 }
+
+/// A statement waiting for its worker's connection to come up.
+type ConnWaiter = Box<dyn FnOnce(Rc<Connection>)>;
 
 impl ServerlessExecutor {
     /// Creates an executor for one tenant.
@@ -161,11 +164,7 @@ impl SqlExecutor for DedicatedExec {
 /// Runs a list of statements sequentially through an executor (worker 0),
 /// driving the simulation until each completes. Used for schema setup and
 /// data loading.
-pub fn run_setup(
-    sim: &crdb_sim::Sim,
-    executor: &Rc<dyn SqlExecutor>,
-    statements: &[String],
-) {
+pub fn run_setup(sim: &crdb_sim::Sim, executor: &Rc<dyn SqlExecutor>, statements: &[String]) {
     for stmt in statements {
         let done = Rc::new(RefCell::new(None));
         let d = Rc::clone(&done);

@@ -67,10 +67,7 @@ pub fn load_statements(config: &TpccConfig) -> Vec<String> {
     let mut out = Vec::new();
     // Warehouses.
     for w in 1..=config.warehouses {
-        out.push(format!(
-            "INSERT INTO warehouse VALUES ({w}, 'wh-{w}', 0.0{}, 0.0)",
-            w % 10
-        ));
+        out.push(format!("INSERT INTO warehouse VALUES ({w}, 'wh-{w}', 0.0{}, 0.0)", w % 10));
         for d in 1..=config.districts_per_warehouse {
             out.push(format!(
                 "INSERT INTO district VALUES ({w}, {d}, 'd-{w}-{d}', 0.0{}, 0.0, 1)",
@@ -86,9 +83,8 @@ pub fn load_statements(config: &TpccConfig) -> Vec<String> {
             .collect();
         out.push(format!("INSERT INTO stock VALUES {}", rows.join(", ")));
     }
-    let rows: Vec<String> = (1..=config.items)
-        .map(|i| format!("({i}, 'item-{i}', {}.5)", 1 + (i * 13) % 99))
-        .collect();
+    let rows: Vec<String> =
+        (1..=config.items).map(|i| format!("({i}, 'item-{i}', {}.5)", 1 + (i * 13) % 99)).collect();
     out.push(format!("INSERT INTO item VALUES {}", rows.join(", ")));
     out
 }
@@ -106,12 +102,8 @@ pub fn new_order(config: &TpccConfig, rng: &mut impl Rng) -> Rc<Vec<Step>> {
         (0..config.order_lines).map(|_| rng.gen_range(1..=config.items) as i64).collect();
     let qty: i64 = rng.gen_range(1..=10);
 
-    let mut steps: Vec<Step> = Vec::new();
-    steps.push(stmt_params("BEGIN", vec![]));
-    steps.push(stmt_params(
-        "SELECT w_tax FROM warehouse WHERE w_id = $1",
-        vec![d(w)],
-    ));
+    let mut steps: Vec<Step> = vec![stmt_params("BEGIN", vec![])];
+    steps.push(stmt_params("SELECT w_tax FROM warehouse WHERE w_id = $1", vec![d(w)]));
     steps.push(stmt_params(
         "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2",
         vec![d(w), d(dd)],

@@ -58,16 +58,12 @@ pub fn load_statements(config: &TpchConfig) -> Vec<String> {
         &mut out,
     );
     batch(
-        (1..=config.parts)
-            .map(|i| format!("({i}, 'supp-{i}', {})", i % 25))
-            .collect(),
+        (1..=config.parts).map(|i| format!("({i}, 'supp-{i}', {})", i % 25)).collect(),
         "supplier",
         &mut out,
     );
     batch(
-        (1..=config.orders)
-            .map(|i| format!("({i}, {}, {})", i % 100, 1992 + (i % 7)))
-            .collect(),
+        (1..=config.orders).map(|i| format!("({i}, {}, {})", i % 100, 1992 + (i % 7))).collect(),
         "orders",
         &mut out,
     );
@@ -122,10 +118,7 @@ pub fn q9_sql() -> &'static str {
 /// A factory running Q1 repeatedly.
 pub fn q1_factory() -> TxnFactory {
     Rc::new(move |_worker| {
-        let steps: Rc<Vec<Step>> = Rc::new(vec![stmt_params(
-            q1_sql(),
-            vec![Datum::Int(12_000)],
-        )]);
+        let steps: Rc<Vec<Step>> = Rc::new(vec![stmt_params(q1_sql(), vec![Datum::Int(12_000)])]);
         ("q1".to_string(), steps)
     })
 }
@@ -144,8 +137,11 @@ pub fn mixed_factory() -> TxnFactory {
     Rc::new(move |_worker| {
         let n = counter.get();
         counter.set(n + 1);
-        if n % 2 == 0 {
-            ("q1".to_string(), Rc::new(vec![stmt_params(q1_sql(), vec![Datum::Int(12_000)])]) as Rc<Vec<Step>>)
+        if n.is_multiple_of(2) {
+            (
+                "q1".to_string(),
+                Rc::new(vec![stmt_params(q1_sql(), vec![Datum::Int(12_000)])]) as Rc<Vec<Step>>,
+            )
         } else {
             ("q9".to_string(), Rc::new(vec![stmt(q9_sql())]) as Rc<Vec<Step>>)
         }

@@ -123,6 +123,6 @@ mod tests {
         // Quiet start, busy middle, quiet end.
         assert!(trace.level_at(t(300)) < 0.3);
         assert!(trace.level_at(t(75 * 60)) > 1.3, "burst visible");
-        assert!(trace.level_at(t((d.as_secs() - 300) as u64)) < 0.3);
+        assert!(trace.level_at(t(d.as_secs() - 300)) < 0.3);
     }
 }

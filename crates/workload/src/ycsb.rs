@@ -49,9 +49,7 @@ impl YcsbConfig {
 
 /// DDL for the YCSB table.
 pub fn schema() -> Vec<&'static str> {
-    vec![
-        "CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 STRING, field1 STRING)",
-    ]
+    vec!["CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 STRING, field1 STRING)"]
 }
 
 /// Load statements.
@@ -61,10 +59,8 @@ pub fn load_statements(config: &YcsbConfig) -> Vec<String> {
         .collect::<Vec<_>>()
         .chunks(100)
         .map(|chunk| {
-            let rows: Vec<String> = chunk
-                .iter()
-                .map(|k| format!("({k}, '{payload}', '{payload}')"))
-                .collect();
+            let rows: Vec<String> =
+                chunk.iter().map(|k| format!("({k}, '{payload}', '{payload}')")).collect();
             format!("INSERT INTO usertable VALUES {}", rows.join(", "))
         })
         .collect()

@@ -10,7 +10,9 @@ use crdb_sql::node::SqlNodeConfig;
 use crdb_util::time::{dur, SimTime};
 use crdb_util::RegionId;
 use crdb_workload::driver::{Driver, DriverConfig, SqlExecutor};
-use crdb_workload::executors::{run_setup, DedicatedExec, DedicatedExecutor, ServerlessExec, ServerlessExecutor};
+use crdb_workload::executors::{
+    run_setup, DedicatedExec, DedicatedExecutor, ServerlessExec, ServerlessExecutor,
+};
 use crdb_workload::{tpcc, tpch, ycsb};
 
 fn serverless_executor(sim: &Sim) -> (Rc<ServerlessCluster>, Rc<dyn SqlExecutor>) {

@@ -58,9 +58,11 @@ fn main() {
         let topology = Topology::three_region();
         let names: Vec<String> =
             topology.regions().map(|r| topology.region_name(r).to_string()).collect();
-        let mut config = ServerlessConfig::default();
-        config.topology = topology;
-        config.multi_region_optimized = optimized;
+        let mut config = ServerlessConfig {
+            topology,
+            multi_region_optimized: optimized,
+            ..ServerlessConfig::default()
+        };
         config.autoscaler.suspend_after = dur::secs(45);
         let cluster = ServerlessCluster::new(&sim, config);
 

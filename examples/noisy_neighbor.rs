@@ -69,8 +69,14 @@ fn main() {
 
     let (vp50, vp99) = victim.stats.latency_quantiles();
     let (np50, np99) = noisy.stats.latency_quantiles();
-    println!("victim:  committed {:>6}, p50 {vp50:.3}s, p99 {vp99:.3}s", victim.stats.committed.borrow());
-    println!("noisy:   committed {:>6}, p50 {np50:.3}s, p99 {np99:.3}s", noisy.stats.committed.borrow());
+    println!(
+        "victim:  committed {:>6}, p50 {vp50:.3}s, p99 {vp99:.3}s",
+        victim.stats.committed.borrow()
+    );
+    println!(
+        "noisy:   committed {:>6}, p50 {np50:.3}s, p99 {np99:.3}s",
+        noisy.stats.committed.borrow()
+    );
     println!(
         "estimated CPU billed: noisy {:.1}s, victim {:.1}s",
         cluster.tenant_ecpu_seconds(noisy_tenant),

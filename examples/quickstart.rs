@@ -75,15 +75,11 @@ fn main() {
     cluster.close(&conn);
     sim.run_for(dur::mins(3));
     println!(
-        "after {} idle: suspended = {}, SQL nodes = {}",
-        "3 minutes",
+        "after 3 minutes idle: suspended = {}, SQL nodes = {}",
         cluster.is_suspended(tenant),
         cluster.sql_node_count(tenant)
     );
-    println!(
-        "estimated CPU billed so far: {:.4}s",
-        cluster.tenant_ecpu_seconds(tenant)
-    );
+    println!("estimated CPU billed so far: {:.4}s", cluster.tenant_ecpu_seconds(tenant));
 
     // Reconnecting resumes it — the data survived in the shared KV layer.
     let conn = Rc::new(RefCell::new(None));

@@ -47,16 +47,11 @@ fn main() {
     run("CREATE TABLE counters (id INT PRIMARY KEY, n INT)");
     run("INSERT INTO counters VALUES (1, 0)");
     let node_before = conn.node();
-    node_before
-        .set_session_var(conn.session(), "application_name", "migrating-app")
-        .unwrap();
+    node_before.set_session_var(conn.session(), "application_name", "migrating-app").unwrap();
     node_before
         .prepare(conn.session(), "bump", "UPDATE counters SET n = n + 1 WHERE id = 1")
         .unwrap();
-    println!(
-        "session established on {} (settings + prepared statements)",
-        node_before.instance_id
-    );
+    println!("session established on {} (settings + prepared statements)", node_before.instance_id);
 
     // Retire the node (e.g. for an upgrade); the autoscaler starts a
     // replacement and the proxy migrates the idle session.
@@ -82,16 +77,12 @@ fn main() {
     let out = Rc::new(RefCell::new(None));
     {
         let o = Rc::clone(&out);
-        node_after.execute_prepared(conn.session(), "bump", vec![], move |r| {
-            *o.borrow_mut() = Some(r)
-        });
+        node_after
+            .execute_prepared(conn.session(), "bump", vec![], move |r| *o.borrow_mut() = Some(r));
     }
     sim.run_for(dur::secs(10));
     out.borrow_mut().take().unwrap().expect("prepared statement survived migration");
     let result = run("SELECT n FROM counters WHERE id = 1");
-    println!(
-        "prepared statement executed after migration; counter = {}",
-        result.rows[0][0]
-    );
+    println!("prepared statement executed after migration; counter = {}", result.rows[0][0]);
     println!("total proxy migrations: {}", cluster.proxy.migrations.get());
 }

@@ -1,0 +1,58 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`): compiles
+//! the bench targets and runs each routine a handful of times with a
+//! wall-clock report — a smoke test, not a statistics engine.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher { iters: 1000, elapsed: std::time::Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("{name:<32} {per_iter:>12.0} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`): scoped
+//! threads implemented over `std::thread::scope`. Unlike crossbeam, a
+//! panicking child propagates at scope exit instead of surfacing as
+//! `Err`; the tests here only `.expect()` the result, so that is
+//! equivalent for our purposes.
+
+/// Handle passed to the scope closure; spawns scoped threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Mirror of `crossbeam::scope`: all spawned threads join before this
+/// returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let mut counts = vec![0u32; 4];
+        super::scope(|s| {
+            for (i, slot) in counts.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(counts, vec![1, 2, 3, 4]);
+    }
+}

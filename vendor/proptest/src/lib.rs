@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Strategy combinators type-check exactly as with the real crate, but
+//! the `proptest!` macro expands to nothing: property tests compile
+//! against this stand-in without running. Swap the `[patch.crates-io]`
+//! entry for the real crate to actually execute them.
+
+use std::marker::PhantomData;
+
+/// Value-generation strategy. Only the associated type matters here;
+/// no generation ever happens.
+pub trait Strategy {
+    type Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f, _out: PhantomData }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+}
+
+/// Output of `Strategy::prop_map`.
+pub struct Map<S, F, O> {
+    #[allow(dead_code)]
+    inner: S,
+    #[allow(dead_code)]
+    f: F,
+    _out: PhantomData<O>,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F, O> {
+    type Value = O;
+}
+
+/// Strategy producing exactly one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+/// `any::<T>()` — arbitrary value of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T> Strategy for std::ops::Range<T> {
+    type Value = T;
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+}
+
+/// String regex strategies: `"[a-z]{0,4}"` is a `Strategy<Value = String>`.
+impl Strategy for &str {
+    type Value = String;
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::Strategy;
+
+    pub struct VecStrategy<S> {
+        #[allow(dead_code)]
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S: Strategy>(element: S, _size: impl Sized) -> VecStrategy<S> {
+        VecStrategy { element }
+    }
+}
+
+/// Runner configuration (accepted, ignored).
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// No-op expansion: property tests compile but are not registered.
+#[macro_export]
+macro_rules! proptest {
+    ($($tokens:tt)*) => {};
+}
+
+/// Type-checks to the FIRST arm's strategy; remaining arms are
+/// evaluated (so they must type-check) and discarded.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($(,)?) => {
+        compile_error!("prop_oneof! needs at least one arm")
+    };
+    ($w:expr => $s:expr $(, $ws:expr => $ss:expr)* $(,)?) => {{
+        let _ = $w;
+        $(let _ = $ws; let _ = $ss;)*
+        $s
+    }};
+    ($s:expr $(, $ss:expr)* $(,)?) => {{
+        $(let _ = $ss;)*
+        $s
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => {
+        assert!($($tokens)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => {
+        assert_eq!($($tokens)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($($tokens:tt)*) => {};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
