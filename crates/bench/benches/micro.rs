@@ -12,6 +12,8 @@ use crdb_kv::mvcc;
 use crdb_sql::rowcodec;
 use crdb_sql::schema::{Column, TableDescriptor};
 use crdb_sql::value::{ColumnType, Datum};
+use crdb_storage::bloom::BloomFilter;
+use crdb_storage::iter::{merge_runs, Source};
 use crdb_storage::{Engine, Lsm, LsmConfig};
 use crdb_util::bucket::TokenBucket;
 use crdb_util::time::SimTime;
@@ -64,6 +66,68 @@ fn bench_lsm(c: &mut Criterion) {
             lsm.put(Bytes::from(format!("key{i:012}")), Bytes::from_static(b"v"));
         }
         b.iter(|| black_box(lsm.scan(b"key000000010000", b"key000000010100", 100)));
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Bytes> = (0..10_000u64).map(|i| Bytes::from(format!("key{i:012}"))).collect();
+    c.bench_function("bloom/build_10k", |b| {
+        b.iter(|| black_box(BloomFilter::build(black_box(keys.iter().map(|k| k.as_ref())))));
+    });
+    let filter = BloomFilter::build(keys.iter().map(|k| k.as_ref()));
+    c.bench_function("bloom/may_contain_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % keys.len();
+            black_box(filter.may_contain(black_box(keys[i].as_ref())));
+        });
+    });
+    c.bench_function("bloom/may_contain_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(filter.may_contain(black_box(format!("absent{i:012}").as_bytes())));
+        });
+    });
+}
+
+fn bench_merge_iter(c: &mut Criterion) {
+    // Four sorted runs of 4k entries each, interleaved keys.
+    let runs: Vec<Vec<(Bytes, Option<Bytes>)>> = (0..4usize)
+        .map(|r| {
+            (0..4_000usize)
+                .map(|i| {
+                    (Bytes::from(format!("key{:08}", i * 4 + r)), Some(Bytes::from_static(b"v")))
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("merge_iter/full_16k", |b| {
+        b.iter(|| {
+            let sources: Vec<Source> = runs.iter().map(|r| Source::Slice(r)).collect();
+            black_box(merge_runs(sources).len())
+        });
+    });
+    c.bench_function("merge_iter/first_10_of_16k", |b| {
+        b.iter(|| {
+            let sources: Vec<Source> = runs.iter().map(|r| Source::Slice(r)).collect();
+            let it = crdb_storage::iter::MergeIter::new(sources);
+            black_box(it.take(10).count())
+        });
+    });
+    c.bench_function("lsm/scan_limit10_streaming", |b| {
+        let mut lsm = Lsm::new(LsmConfig::default());
+        for i in 0..50_000u64 {
+            lsm.put(Bytes::from(format!("key{i:012}")), Bytes::from_static(b"v"));
+        }
+        b.iter(|| black_box(lsm.scan(b"key", b"kez", 10)));
+    });
+    c.bench_function("lsm/scan_limit10_eager", |b| {
+        let mut lsm = Lsm::new(LsmConfig::default());
+        for i in 0..50_000u64 {
+            lsm.put(Bytes::from(format!("key{i:012}")), Bytes::from_static(b"v"));
+        }
+        b.iter(|| black_box(lsm.scan_eager(b"key", b"kez", 10)));
     });
 }
 
@@ -176,6 +240,8 @@ criterion_group!(
     benches,
     bench_histogram,
     bench_lsm,
+    bench_bloom,
+    bench_merge_iter,
     bench_mvcc,
     bench_admission,
     bench_ecpu,

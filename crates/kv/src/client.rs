@@ -95,10 +95,22 @@ impl KvClient {
             pieces.push((i, 0, req.clone()));
         }
         let n_results = batch.requests.len();
+        // Remember each scan's requested limit: a scan split across ranges
+        // dispatches every piece with the full limit (any one range might
+        // satisfy it alone), so the merged result must be re-truncated.
+        let limits: Vec<Option<usize>> = batch
+            .requests
+            .iter()
+            .map(|r| match r {
+                RequestKind::Scan { limit, .. } => Some(*limit),
+                _ => None,
+            })
+            .collect();
         let state = Rc::new(DispatchState {
             client: self.clone(),
             template: BatchRequest { requests: Vec::new(), ..batch },
             results: RefCell::new(vec![Vec::new(); n_results]),
+            limits,
             outstanding: RefCell::new(0),
             finished: RefCell::new(Some(Box::new(cb))),
         });
@@ -225,6 +237,9 @@ struct DispatchState {
     template: BatchRequest,
     /// Per original request index: `(span_order, response)` pieces.
     results: RefCell<Vec<Vec<(usize, ResponseKind)>>>,
+    /// Per original request index: the scan's requested row limit
+    /// (`None` for non-scans), applied again after merging split pieces.
+    limits: Vec<Option<usize>>,
     outstanding: RefCell<usize>,
     finished: RefCell<Option<FinishFn>>,
 }
@@ -493,9 +508,12 @@ impl DispatchState {
             Some(cb) => cb,
             None => return, // already failed
         };
-        // Merge: scans concatenate their pieces in span order.
+        // Merge: scans concatenate their pieces in span order, then apply
+        // the original limit — each split piece carried the full limit, so
+        // a scan crossing N ranges could otherwise return up to N × limit
+        // rows.
         let mut merged = Vec::new();
-        for pieces in state.results.borrow_mut().iter_mut() {
+        for (idx, pieces) in state.results.borrow_mut().iter_mut().enumerate() {
             pieces.sort_by_key(|(order, _)| *order);
             if pieces.len() == 1 {
                 merged.push(pieces.remove(0).1);
@@ -514,6 +532,9 @@ impl DispatchState {
                 }
             }
             if is_scan {
+                if let Some(Some(limit)) = state.limits.get(idx) {
+                    pairs.truncate(*limit);
+                }
                 merged.push(ResponseKind::Pairs(pairs));
             } else {
                 merged.push(fallback);

@@ -187,14 +187,19 @@ pub fn get(engine: &Engine, key: &[u8], ts: Timestamp, own_txn: Option<u64>) -> 
     let mut prefix_end = BytesMut::from(version_prefix(key).as_ref());
     prefix_end.put_u8(0x00);
     prefix_end.put_slice(&[0xff; 13]);
-    for (k, raw) in engine.scan(&start, &prefix_end, 1) {
-        if let Some((user, _vts)) = decode_version_key(&k) {
+    // Streaming read with early termination: the first entry at or after
+    // `start` is the newest visible version — the iterator pulls exactly
+    // one entry per level instead of materializing the version chain.
+    let mut result = None;
+    engine.scan_visit(&start, &prefix_end, |k, raw| {
+        if let Some((user, _vts)) = decode_version_key(k) {
             if user.as_ref() == key {
-                return ReadResult::Value(decode_value(&raw));
+                result = Some(decode_value(raw));
             }
         }
-    }
-    ReadResult::Value(None)
+        false // only the first entry matters
+    });
+    ReadResult::Value(result.flatten())
 }
 
 /// A scan's live pairs plus every foreign intent found in the span.
@@ -210,11 +215,15 @@ pub fn scan(
     limit: usize,
     own_txn: Option<u64>,
 ) -> ScanResult {
-    // Collect intents over the span.
+    // Collect intents over the span. `own_intents` is a BTreeMap so its
+    // post-walk drain below is in key order — a HashMap here let hash
+    // iteration order pick *which* own-intent keys survived a `limit`
+    // truncation, leaking nondeterminism into scan results (PR 1
+    // invariant).
     let mut intents = Vec::new();
-    let mut own_intents: std::collections::HashMap<Bytes, Option<Bytes>> = Default::default();
-    for (k, raw) in engine.scan(&intent_key(start), &intent_key(end), usize::MAX) {
-        if let Some(intent) = decode_intent(&raw) {
+    let mut own_intents: std::collections::BTreeMap<Bytes, Option<Bytes>> = Default::default();
+    engine.scan_visit(&intent_key(start), &intent_key(end), |k, raw| {
+        if let Some(intent) = decode_intent(raw) {
             let user = Bytes::copy_from_slice(&k[1..]);
             if Some(intent.txn_id) == own_txn {
                 own_intents.insert(user, intent.value);
@@ -222,40 +231,46 @@ pub fn scan(
                 intents.push((user, intent));
             }
         }
-    }
+        true
+    });
     // Walk versions, picking the newest committed <= ts per user key.
+    // The walk streams out of the LSM's merge iterator and stops pulling
+    // as soon as `limit` live pairs exist — a limit-10 scan over a hot
+    // key's version chain no longer pays for the whole span.
     let mut out: Vec<(Bytes, Bytes)> = Vec::new();
     let mut current: Option<Bytes> = None;
     let mut scan_end = BytesMut::from(version_prefix(end).as_ref());
     scan_end.put_slice(&[0xff; 14]);
-    for (k, raw) in engine.scan(&version_prefix(start), &scan_end, usize::MAX) {
+    engine.scan_visit(&version_prefix(start), &scan_end, |k, raw| {
         if out.len() >= limit {
-            break;
+            return false;
         }
-        let (user, vts) = match decode_version_key(&k) {
+        let (user, vts) = match decode_version_key(k) {
             Some(x) => x,
-            None => continue,
+            None => return true,
         };
         if user.as_ref() < start || user.as_ref() >= end {
-            continue;
+            return true;
         }
         if current.as_ref() == Some(&user) {
-            continue; // already emitted (or skipped) the newest visible
+            return true; // already emitted (or skipped) the newest visible
         }
         if vts > ts {
-            continue; // newer than the snapshot; keep looking older
+            return true; // newer than the snapshot; keep looking older
         }
         current = Some(user.clone());
         // Own provisional write shadows the committed version.
         let value = match own_intents.remove(&user) {
             Some(v) => v,
-            None => decode_value(&raw),
+            None => decode_value(raw),
         };
         if let Some(v) = value {
             out.push((user, v));
         }
-    }
-    // Own intents on keys with no committed versions still surface.
+        true
+    });
+    // Own intents on keys with no committed versions still surface, in
+    // key order.
     for (user, value) in own_intents {
         if let Some(v) = value {
             if user.as_ref() >= start && user.as_ref() < end && out.len() < limit {
@@ -374,13 +389,22 @@ pub fn gc_versions(engine: &Engine, key: &[u8], keep_after: Timestamp) {
     let mut end = BytesMut::from(version_prefix(key).as_ref());
     end.put_u8(0x00);
     end.put_slice(&[0xff; 13]);
-    let versions = engine.scan(&start, &end, usize::MAX);
     // The first entry is the newest <= keep_after: keep it, drop the rest.
     // Version keys are write-once, so entries still living in the memtable
     // are removed physically (no tombstone churn on hot keys); entries
-    // already flushed need a tombstone to shadow lower levels.
+    // already flushed need a tombstone to shadow lower levels. Only keys
+    // are collected — values never leave the engine.
+    let mut doomed: Vec<Bytes> = Vec::new();
+    let mut first = true;
+    engine.scan_visit(&start, &end, |k, _| {
+        if !first {
+            doomed.push(k.clone());
+        }
+        first = false;
+        true
+    });
     let mut batch = WriteBatch::new();
-    for (k, _) in versions.iter().skip(1) {
+    for k in &doomed {
         if !engine.gc_remove_if_in_memtable(k) {
             batch.delete(k.clone());
         }
@@ -403,23 +427,36 @@ pub fn refresh_span(
     own_txn: Option<u64>,
 ) -> Result<(), Timestamp> {
     // Foreign intents in the span are conflicts regardless of timestamp.
-    for (_, raw) in engine.scan(&intent_key(start), &intent_key(end), usize::MAX) {
-        if let Some(intent) = decode_intent(&raw) {
+    // Both walks stream and stop at the first conflict instead of
+    // materializing the span.
+    let mut conflict: Option<Timestamp> = None;
+    engine.scan_visit(&intent_key(start), &intent_key(end), |_, raw| {
+        if let Some(intent) = decode_intent(raw) {
             if Some(intent.txn_id) != own_txn {
-                return Err(intent.ts);
+                conflict = Some(intent.ts);
+                return false;
             }
         }
+        true
+    });
+    if let Some(ts) = conflict {
+        return Err(ts);
     }
     let mut scan_end = BytesMut::from(version_prefix(end).as_ref());
     scan_end.put_slice(&[0xff; 14]);
-    for (k, _) in engine.scan(&version_prefix(start), &scan_end, usize::MAX) {
-        if let Some((user, vts)) = decode_version_key(&k) {
+    engine.scan_visit(&version_prefix(start), &scan_end, |k, _| {
+        if let Some((user, vts)) = decode_version_key(k) {
             if user.as_ref() >= start && user.as_ref() < end && vts > since {
-                return Err(vts);
+                conflict = Some(vts);
+                return false;
             }
         }
+        true
+    });
+    match conflict {
+        Some(ts) => Err(ts),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Returns whether any transaction record has the given status — test and

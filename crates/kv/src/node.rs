@@ -425,11 +425,8 @@ impl KvNode {
                     }
                 }
                 RequestKind::Scan { start, end, limit } => {
-                    let (pairs, intents) =
+                    let (mut pairs, intents) =
                         mvcc::scan(&self.engine, start, end, batch.read_ts, *limit, own_txn);
-                    for (k, _) in &pairs {
-                        self.bump_ts_cache(k, batch.read_ts);
-                    }
                     if !intents.is_empty() {
                         // Try to resolve each via its txn status; any still
                         // pending fails the batch (client retries).
@@ -446,12 +443,18 @@ impl KvNode {
                             }
                         }
                         // All resolved: re-scan for a consistent result.
-                        let (pairs, _) =
+                        (pairs, _) =
                             mvcc::scan(&self.engine, start, end, batch.read_ts, *limit, own_txn);
-                        results.push(ResponseKind::Pairs(pairs));
-                    } else {
-                        results.push(ResponseKind::Pairs(pairs));
                     }
+                    // The ts cache must cover exactly what the client saw:
+                    // bumping only the first-pass pairs missed keys that
+                    // became visible after intent resolution, letting a
+                    // later write at or below `read_ts` invalidate this
+                    // read's snapshot.
+                    for (k, _) in &pairs {
+                        self.bump_ts_cache(k, batch.read_ts);
+                    }
+                    results.push(ResponseKind::Pairs(pairs));
                 }
                 RequestKind::Put { key, value } => {
                     let ts = self.hlc.now(self.sim.now());

@@ -56,6 +56,15 @@ impl Engine {
         self.inner.lock().scan(start, end, limit)
     }
 
+    /// Streaming scan: calls `visit` with each live entry in `[start,
+    /// end)` in key order until it returns `false` or the span ends. The
+    /// engine lock is held for the duration, so `visit` must not call back
+    /// into this engine. Early termination pulls nothing further from any
+    /// level — this is the bounded-iterator entry point MVCC reads use.
+    pub fn scan_visit(&self, start: &[u8], end: &[u8], visit: impl FnMut(&Key, &Value) -> bool) {
+        self.inner.lock().scan_visit(start, end, visit)
+    }
+
     /// Cumulative instrumentation counters.
     pub fn metrics(&self) -> StorageMetrics {
         self.inner.lock().metrics()

@@ -1,43 +1,184 @@
-//! K-way merging across LSM sources.
+//! K-way merging across LSM sources — lazy and allocation-free.
 //!
 //! A read must see the newest version of every key across the memtable,
 //! any frozen memtables, the L0 tables (newest file first) and one run per
-//! lower level. [`merge_sources`] merges already-sorted entry streams with
-//! a "lowest source index wins" rule, so callers order sources from newest
+//! lower level. [`MergeIter`] merges already-sorted entry streams with a
+//! "lowest source index wins" rule, so callers order sources from newest
 //! to oldest. Tombstones are preserved (`None` values) so the caller can
 //! decide whether to surface or elide them.
+//!
+//! The merge is *streaming*: sources are borrowed (table slices, a
+//! memtable range cursor, or a lazy per-level cursor), heap entries hold
+//! `&[u8]` key references instead of cloned keys, and nothing is pulled
+//! from a source until the merge actually needs it. A `limit`-10 scan over
+//! a million-entry span therefore touches ~10 entries per source instead
+//! of materializing every span. The eager [`merge_sources`] /
+//! [`merge_runs`] entry points — used by compaction, where full
+//! consumption is genuinely needed — are thin collectors over the same
+//! iterator and clone only the entries they emit (an `O(1)` refcount bump
+//! per `Bytes`), never heap keys.
 
+use std::cmp::Reverse;
+use std::collections::btree_map;
+use std::collections::BinaryHeap;
+
+use crate::sstable::SsTable;
 use crate::{Key, Value};
 
-/// Merges sorted `(key, value)` streams. `sources[0]` is the newest; on a
-/// key collision the entry from the lowest-indexed source wins. Input
-/// streams must be strictly sorted by key.
-pub fn merge_sources(sources: Vec<Vec<(Key, Option<Value>)>>) -> Vec<(Key, Option<Value>)> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
+/// One sorted input to a [`MergeIter`], borrowed from the LSM.
+pub enum Source<'a> {
+    /// A sorted slice of entries: one sstable's in-range window, or any
+    /// pre-sorted run.
+    Slice(&'a [(Key, Option<Value>)]),
+    /// A memtable range cursor.
+    Mem(btree_map::Range<'a, Key, Option<Value>>),
+    /// A lazy cursor over a level's non-overlapping, sorted tables,
+    /// clamped to `[start, end)`. Tables are sliced to the bounds only
+    /// when the cursor reaches them, so a bounded scan never binary
+    /// searches (or touches) tables past its stopping point.
+    Level {
+        /// The level's tables, sorted by min key, already positioned so
+        /// the first table is the first that could intersect the bounds.
+        tables: &'a [SsTable],
+        /// Inclusive scan start.
+        start: &'a [u8],
+        /// Exclusive scan end.
+        end: &'a [u8],
+    },
+}
 
-    // Heap of (key, source_idx, pos): pop smallest key, tie-break by the
-    // smaller (newer) source index.
-    let mut heap: BinaryHeap<Reverse<(Key, usize, usize)>> = BinaryHeap::new();
-    for (idx, src) in sources.iter().enumerate() {
-        if let Some((k, _)) = src.first() {
-            heap.push(Reverse((k.clone(), idx, 0)));
-        }
-    }
-    let mut out: Vec<(Key, Option<Value>)> = Vec::new();
-    while let Some(Reverse((key, idx, pos))) = heap.pop() {
-        let (_, value) = &sources[idx][pos];
-        match out.last() {
-            Some((last, _)) if *last == key => {
-                // An older source produced the same key: skip it.
+/// A primed source: the cursor state plus its current (peeked) entry.
+struct SourceState<'a> {
+    kind: SourceCursor<'a>,
+    current: Option<(&'a Key, &'a Option<Value>)>,
+}
+
+enum SourceCursor<'a> {
+    Slice {
+        entries: &'a [(Key, Option<Value>)],
+        pos: usize,
+    },
+    Mem(btree_map::Range<'a, Key, Option<Value>>),
+    Level {
+        tables: &'a [SsTable],
+        start: &'a [u8],
+        end: &'a [u8],
+        /// Index of the table the cursor is currently inside.
+        table_idx: usize,
+        /// In-range window of the current table.
+        window: &'a [(Key, Option<Value>)],
+        pos: usize,
+    },
+}
+
+impl<'a> SourceState<'a> {
+    fn new(source: Source<'a>) -> Self {
+        let kind = match source {
+            Source::Slice(entries) => SourceCursor::Slice { entries, pos: 0 },
+            Source::Mem(range) => SourceCursor::Mem(range),
+            Source::Level { tables, start, end } => {
+                SourceCursor::Level { tables, start, end, table_idx: 0, window: &[], pos: 0 }
             }
-            _ => out.push((key, value.clone())),
-        }
-        if let Some((k, _)) = sources[idx].get(pos + 1) {
-            heap.push(Reverse((k.clone(), idx, pos + 1)));
-        }
+        };
+        let mut state = SourceState { kind, current: None };
+        state.advance();
+        state
     }
-    out
+
+    /// Pulls the next entry into `current` (or `None` at exhaustion).
+    fn advance(&mut self) {
+        self.current = match &mut self.kind {
+            SourceCursor::Slice { entries, pos } => {
+                let item = entries.get(*pos).map(|(k, v)| (k, v));
+                *pos += 1;
+                item
+            }
+            SourceCursor::Mem(range) => range.next(),
+            SourceCursor::Level { tables, start, end, table_idx, window, pos } => loop {
+                if let Some((k, v)) = window.get(*pos) {
+                    *pos += 1;
+                    break Some((k, v));
+                }
+                // Current window exhausted: move to the next table that
+                // intersects the bounds.
+                let table = match tables.get(*table_idx) {
+                    Some(t) => t,
+                    None => break None,
+                };
+                *table_idx += 1;
+                if table.min_key().is_none_or(|k| k.as_ref() >= *end) {
+                    // Tables are sorted: nothing further can intersect.
+                    *tables = &[];
+                    break None;
+                }
+                *window = table.range(start, end);
+                *pos = 0;
+            },
+        };
+    }
+}
+
+/// A streaming k-way merge over sorted sources. `sources[0]` is the
+/// newest; on a key collision the entry from the lowest-indexed source
+/// wins. Yields `(key, value-or-tombstone)` references in ascending key
+/// order with duplicates (older versions) suppressed.
+pub struct MergeIter<'a> {
+    sources: Vec<SourceState<'a>>,
+    /// Min-heap of (current key, source index): pop smallest key,
+    /// tie-break by the smaller (newer) source index.
+    heap: BinaryHeap<Reverse<(&'a [u8], usize)>>,
+    last_key: Option<&'a [u8]>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Builds a merge over `sources`, ordered newest to oldest.
+    pub fn new(sources: Vec<Source<'a>>) -> Self {
+        let sources: Vec<SourceState<'a>> = sources.into_iter().map(SourceState::new).collect();
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (idx, src) in sources.iter().enumerate() {
+            if let Some((k, _)) = src.current {
+                heap.push(Reverse((k.as_ref(), idx)));
+            }
+        }
+        MergeIter { sources, heap, last_key: None }
+    }
+}
+
+impl<'a> Iterator for MergeIter<'a> {
+    type Item = (&'a Key, &'a Option<Value>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Reverse((key, idx))) = self.heap.pop() {
+            let src = &mut self.sources[idx];
+            let entry = src.current.take().expect("heap entry implies current");
+            src.advance();
+            if let Some((k, _)) = src.current {
+                self.heap.push(Reverse((k.as_ref(), idx)));
+            }
+            if self.last_key == Some(key) {
+                continue; // an older source produced the same key
+            }
+            self.last_key = Some(key);
+            return Some(entry);
+        }
+        None
+    }
+}
+
+/// Eagerly merges borrowed sorted runs into an owned stream — the
+/// compaction entry point, where full consumption is required. Only the
+/// emitted (surviving) entries are cloned; heap bookkeeping stays
+/// reference-only.
+pub fn merge_runs(sources: Vec<Source<'_>>) -> Vec<(Key, Option<Value>)> {
+    MergeIter::new(sources).map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+/// Merges owned sorted `(key, value)` streams. `sources[0]` is the newest;
+/// on a key collision the entry from the lowest-indexed source wins. Input
+/// streams must be strictly sorted by key. Retained as the owned-`Vec`
+/// convenience over [`merge_runs`].
+pub fn merge_sources(sources: Vec<Vec<(Key, Option<Value>)>>) -> Vec<(Key, Option<Value>)> {
+    merge_runs(sources.iter().map(|s| Source::Slice(s)).collect())
 }
 
 /// Drops tombstones from a merged stream — used when compacting into the
@@ -102,5 +243,37 @@ mod tests {
             src(&[("k", Some("v1"))]),
         ]);
         assert_eq!(merged, src(&[("k", Some("v3"))]));
+    }
+
+    #[test]
+    fn merge_iter_is_lazy_over_slices() {
+        let a = src(&[("a", Some("1")), ("c", Some("3")), ("e", Some("5"))]);
+        let d = src(&[("b", Some("2")), ("d", Some("4")), ("f", Some("6"))]);
+        let mut it = MergeIter::new(vec![Source::Slice(&a), Source::Slice(&d)]);
+        // Pull only two entries; the rest of both runs is never visited.
+        assert_eq!(it.next().map(|(k, _)| k.clone()), Some(b("a")));
+        assert_eq!(it.next().map(|(k, _)| k.clone()), Some(b("b")));
+        drop(it);
+    }
+
+    #[test]
+    fn level_source_walks_tables_lazily() {
+        let t1 = SsTable::new(1, src(&[("a", Some("1")), ("b", Some("2"))]));
+        let t2 = SsTable::new(2, src(&[("c", Some("3")), ("d", Some("4"))]));
+        let t3 = SsTable::new(3, src(&[("e", Some("5"))]));
+        let tables = vec![t1, t2, t3];
+        let merged = merge_runs(vec![Source::Level { tables: &tables, start: b"b", end: b"d" }]);
+        assert_eq!(merged, src(&[("b", Some("2")), ("c", Some("3"))]));
+    }
+
+    #[test]
+    fn mem_source_merges_with_slices() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(b("b"), Some(b("mem")));
+        map.insert(b("x"), None);
+        let older = src(&[("a", Some("1")), ("b", Some("old")), ("x", Some("gone"))]);
+        let merged =
+            merge_runs(vec![Source::Mem(map.range::<Bytes, _>(..)), Source::Slice(&older)]);
+        assert_eq!(merged, src(&[("a", Some("1")), ("b", Some("mem")), ("x", None)]));
     }
 }

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bloom;
 pub mod engine;
 pub mod iter;
 pub mod lsm;
@@ -30,7 +31,7 @@ pub mod sstable;
 pub mod wal;
 
 pub use engine::Engine;
-pub use lsm::{Lsm, LsmConfig};
+pub use lsm::{Lsm, LsmConfig, LsmIter};
 pub use memtable::WriteBatch;
 pub use metrics::StorageMetrics;
 

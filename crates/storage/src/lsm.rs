@@ -10,7 +10,9 @@
 //! recorded in [`StorageMetrics`] — that instrumentation is what admission
 //! control's write-token capacity estimator consumes.
 
-use crate::iter::{merge_sources, strip_tombstones};
+use std::cell::Cell;
+
+use crate::iter::{merge_runs, merge_sources, strip_tombstones, MergeIter, Source};
 use crate::memtable::{Memtable, WriteBatch};
 use crate::metrics::StorageMetrics;
 use crate::sstable::{SsTable, TableBuilder};
@@ -68,6 +70,24 @@ impl LsmConfig {
     }
 }
 
+/// Read-path counters. The read path takes `&self`, so these live in
+/// `Cell`s and are folded into the [`StorageMetrics`] snapshot returned by
+/// [`Lsm::metrics`].
+#[derive(Debug, Default)]
+struct ReadCounters {
+    point_gets: Cell<u64>,
+    tables_probed: Cell<u64>,
+    bloom_probes: Cell<u64>,
+    bloom_hits: Cell<u64>,
+    scans: Cell<u64>,
+    scan_entries_pulled: Cell<u64>,
+    scan_entries_returned: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
 /// A single-threaded LSM tree. For concurrent access wrap it in
 /// [`crate::engine::Engine`].
 pub struct Lsm {
@@ -80,6 +100,7 @@ pub struct Lsm {
     levels: Vec<Vec<SsTable>>,
     next_file_num: u64,
     metrics: StorageMetrics,
+    read: ReadCounters,
     /// Round-robin compaction cursors, one per level in `levels`.
     cursors: Vec<usize>,
     /// When false, flush/compaction only happen via explicit calls —
@@ -105,6 +126,7 @@ impl Lsm {
             levels,
             next_file_num: 1,
             metrics: StorageMetrics::default(),
+            read: ReadCounters::default(),
             cursors,
             auto_maintain: true,
         }
@@ -142,12 +164,20 @@ impl Lsm {
         self.apply(&b);
     }
 
-    /// Point lookup across all levels, newest data first.
+    /// Point lookup across all levels, newest data first. Each candidate
+    /// table's bloom filter is consulted before its entries are searched.
     pub fn get(&self, key: &[u8]) -> Option<Value> {
+        bump(&self.read.point_gets);
         if let Some(v) = self.memtable.get(key) {
             return v;
         }
         for table in self.l0.iter().rev() {
+            bump(&self.read.bloom_probes);
+            if !table.may_contain(key) {
+                bump(&self.read.bloom_hits);
+                continue;
+            }
+            bump(&self.read.tables_probed);
             if let Some(v) = table.get(key) {
                 return v;
             }
@@ -157,6 +187,12 @@ impl Lsm {
             // contain the key.
             let idx = level.partition_point(|t| t.max_key().is_some_and(|k| k.as_ref() < key));
             if let Some(table) = level.get(idx) {
+                bump(&self.read.bloom_probes);
+                if !table.may_contain(key) {
+                    bump(&self.read.bloom_hits);
+                    continue;
+                }
+                bump(&self.read.tables_probed);
                 if let Some(v) = table.get(key) {
                     return v;
                 }
@@ -165,8 +201,69 @@ impl Lsm {
         None
     }
 
-    /// Range scan over `[start, end)` returning up to `limit` live entries.
+    /// A streaming iterator over the live entries in `[start, end)`:
+    /// memtable, L0 windows and one lazy cursor per level feed a k-way
+    /// merge that pulls nothing past what the caller consumes. Tombstones
+    /// are elided; shadowed versions are suppressed.
+    pub fn iter<'a>(&'a self, start: &'a [u8], end: &'a [u8]) -> LsmIter<'a> {
+        let mut sources: Vec<Source<'a>> = Vec::with_capacity(2 + self.l0.len());
+        sources.push(Source::Mem(self.memtable.range(start, end)));
+        for table in self.l0.iter().rev() {
+            if table.overlaps(start, end) {
+                sources.push(Source::Slice(table.range(start, end)));
+            }
+        }
+        for level in &self.levels {
+            // Non-overlapping and sorted: binary-search the first file
+            // that could intersect; the cursor walks forward lazily.
+            let idx = level.partition_point(|t| t.max_key().is_some_and(|k| k.as_ref() < start));
+            if idx < level.len() {
+                sources.push(Source::Level { tables: &level[idx..], start, end });
+            }
+        }
+        bump(&self.read.scans);
+        LsmIter { inner: MergeIter::new(sources), counters: &self.read, pulled: 0, returned: 0 }
+    }
+
+    /// Range scan over `[start, end)` returning up to `limit` live
+    /// entries. The limit is pushed down into the merge: once `limit`
+    /// live entries have been produced nothing more is pulled from any
+    /// source.
     pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        let mut it = self.iter(start, end);
+        while out.len() < limit {
+            match it.next() {
+                Some((k, v)) => out.push((k.clone(), v.clone())),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Streaming scan: calls `visit` for each live entry in `[start, end)`
+    /// in key order until it returns `false` or the span is exhausted.
+    /// This is the zero-copy early-termination entry point the MVCC layer
+    /// builds its version walks on.
+    pub fn scan_visit(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        mut visit: impl FnMut(&Key, &Value) -> bool,
+    ) {
+        for (k, v) in self.iter(start, end) {
+            if !visit(k, v) {
+                break;
+            }
+        }
+    }
+
+    /// The pre-iterator scan: materializes every overlapping source into
+    /// owned `Vec`s, eagerly merges them, and only then applies `limit`.
+    /// Kept (unmetered) as the reference implementation for differential
+    /// tests and the `read_path` benchmark's baseline — not used on any
+    /// production path.
+    pub fn scan_eager(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Key, Value)> {
         let mut sources: Vec<Vec<(Key, Option<Value>)>> = Vec::new();
         sources
             .push(self.memtable.range(start, end).map(|(k, v)| (k.clone(), v.clone())).collect());
@@ -176,8 +273,6 @@ impl Lsm {
             }
         }
         for level in &self.levels {
-            // Non-overlapping and sorted: binary-search the first file
-            // that could intersect, then walk forward.
             let mut run = Vec::new();
             let mut idx =
                 level.partition_point(|t| t.max_key().is_some_and(|k| k.as_ref() < start));
@@ -256,21 +351,20 @@ impl Lsm {
         let l0 = std::mem::take(&mut self.l0);
         let (min, max) = bounds_of(&l0);
         let overlapping = self.take_overlapping(0, min.as_deref(), max.as_deref());
-        let mut sources: Vec<Vec<(Key, Option<Value>)>> = Vec::new();
-        // Newest first: L0 files by descending file number, then L1.
+        // Newest first: L0 files by descending file number, then the L1
+        // run. Each table's entries are merged in place — the L1 tables
+        // are mutually non-overlapping, so their relative source order
+        // cannot affect a key collision, and every L0 file outranks them.
         let mut l0_sorted = l0;
         l0_sorted.sort_by_key(|t| std::cmp::Reverse(t.num()));
         let bytes_in: u64 =
             l0_sorted.iter().chain(overlapping.iter()).map(|t| t.size() as u64).sum();
-        for t in &l0_sorted {
-            sources.push(t.entries().to_vec());
-        }
-        let mut l1_run = Vec::new();
-        for t in &overlapping {
-            l1_run.extend_from_slice(t.entries());
-        }
-        sources.push(l1_run);
-        let merged = merge_sources(sources);
+        let sources: Vec<Source<'_>> = l0_sorted
+            .iter()
+            .chain(overlapping.iter())
+            .map(|t| Source::Slice(t.entries()))
+            .collect();
+        let merged = merge_runs(sources);
         let merged = if self.levels.len() == 1 { strip_tombstones(merged) } else { merged };
         let bytes_out = self.install(1, merged);
         self.metrics.compact_bytes_in += bytes_in;
@@ -293,11 +387,13 @@ impl Lsm {
         let overlapping = self.take_overlapping(level, min.as_deref(), max.as_deref());
         let bytes_in =
             file.size() as u64 + overlapping.iter().map(|t| t.size() as u64).sum::<u64>();
-        let mut next_run = Vec::new();
-        for t in &overlapping {
-            next_run.extend_from_slice(t.entries());
-        }
-        let merged = merge_sources(vec![file.entries().to_vec(), next_run]);
+        // The source file is newest; the next level's overlapping tables
+        // are non-overlapping among themselves, so each merges as its own
+        // borrowed run with no materialization.
+        let sources: Vec<Source<'_>> = std::iter::once(Source::Slice(file.entries()))
+            .chain(overlapping.iter().map(|t| Source::Slice(t.entries())))
+            .collect();
+        let merged = merge_runs(sources);
         let is_bottom = level + 1 == self.levels.len();
         let merged = if is_bottom { strip_tombstones(merged) } else { merged };
         let bytes_out = self.install(level + 1, merged);
@@ -384,14 +480,56 @@ impl Lsm {
         self.memtable.approx_bytes()
     }
 
-    /// Cumulative instrumentation counters.
+    /// Cumulative instrumentation counters, including read-path counters.
     pub fn metrics(&self) -> StorageMetrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.point_gets = self.read.point_gets.get();
+        m.tables_probed = self.read.tables_probed.get();
+        m.bloom_probes = self.read.bloom_probes.get();
+        m.bloom_hits = self.read.bloom_hits.get();
+        m.scans = self.read.scans.get();
+        m.scan_entries_pulled = self.read.scan_entries_pulled.get();
+        m.scan_entries_returned = self.read.scan_entries_returned.get();
+        m
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &LsmConfig {
         &self.config
+    }
+}
+
+/// A streaming scan over an [`Lsm`]'s live entries in `[start, end)`.
+/// Yields borrowed `(key, value)` pairs in ascending key order; tombstones
+/// and shadowed versions never surface. Entries-pulled/returned counts are
+/// folded into the engine's [`StorageMetrics`] when the iterator drops.
+pub struct LsmIter<'a> {
+    inner: MergeIter<'a>,
+    counters: &'a ReadCounters,
+    pulled: u64,
+    returned: u64,
+}
+
+impl<'a> Iterator for LsmIter<'a> {
+    type Item = (&'a Key, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (k, v) in self.inner.by_ref() {
+            self.pulled += 1;
+            if let Some(v) = v {
+                self.returned += 1;
+                return Some((k, v));
+            }
+        }
+        None
+    }
+}
+
+impl Drop for LsmIter<'_> {
+    fn drop(&mut self) {
+        let c = self.counters;
+        c.scan_entries_pulled.set(c.scan_entries_pulled.get() + self.pulled);
+        c.scan_entries_returned.set(c.scan_entries_returned.get() + self.returned);
     }
 }
 
@@ -546,6 +684,105 @@ mod tests {
         assert!(lsm.scan(b"a", b"z", 10).is_empty());
         assert_eq!(lsm.read_amplification(), 1);
         assert_eq!(lsm.total_bytes(), 0);
+    }
+
+    #[test]
+    fn bloom_filters_cut_point_probes() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        lsm.set_auto_maintain(false);
+        // Disjoint key ranges per L0 file: probes for one range should be
+        // filtered out of every other file.
+        for file in 0..8u32 {
+            for i in 0..20 {
+                lsm.put(key(file * 1000 + i), value(i));
+            }
+            lsm.flush();
+        }
+        for file in 0..8u32 {
+            assert_eq!(lsm.get(&key(file * 1000 + 7)), Some(value(7)));
+        }
+        let m = lsm.metrics();
+        assert_eq!(m.point_gets, 8);
+        assert!(m.bloom_probes > 0);
+        assert!(m.bloom_hit_rate() > 0.0, "filters skipped non-matching L0 files");
+        assert!(
+            m.tables_probed_per_get() < lsm.read_amplification() as f64,
+            "probed {} of {} runs per get",
+            m.tables_probed_per_get(),
+            lsm.read_amplification()
+        );
+    }
+
+    #[test]
+    fn scan_limit_pushdown_bounds_pulled_entries() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..2000 {
+            lsm.put(key(i), value(i));
+        }
+        let before = lsm.metrics();
+        let out = lsm.scan(&key(0), &key(2000), 5);
+        assert_eq!(out.len(), 5);
+        let d = lsm.metrics().delta(&before);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.scan_entries_returned, 5);
+        // With pushdown a limit-5 scan pulls a handful of entries per
+        // source, not the whole 2000-key span.
+        assert!(
+            d.scan_entries_pulled < 100,
+            "pulled {} entries for a limit-5 scan",
+            d.scan_entries_pulled
+        );
+    }
+
+    #[test]
+    fn streaming_scan_matches_eager_scan() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..600 {
+            lsm.put(key(i % 300), value(i));
+        }
+        for i in (0..300).step_by(3) {
+            lsm.delete(key(i));
+        }
+        for limit in [0, 1, 7, 100, usize::MAX] {
+            assert_eq!(
+                lsm.scan(&key(10), &key(290), limit),
+                lsm.scan_eager(&key(10), &key(290), limit),
+                "limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_visit_stops_early() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        for i in 0..500 {
+            lsm.put(key(i), value(i));
+        }
+        let mut seen = Vec::new();
+        lsm.scan_visit(&key(0), &key(500), |k, _| {
+            seen.push(k.clone());
+            seen.len() < 3
+        });
+        assert_eq!(seen, vec![key(0), key(1), key(2)]);
+    }
+
+    #[test]
+    fn iter_streams_in_order_across_levels() {
+        let mut lsm = Lsm::new(LsmConfig::tiny());
+        lsm.set_auto_maintain(false);
+        for i in (0..100).rev() {
+            lsm.put(key(i), value(i));
+            if i % 25 == 0 {
+                lsm.flush();
+            }
+        }
+        lsm.compact_one();
+        let start = key(0);
+        let end = key(100);
+        let collected: Vec<_> =
+            lsm.iter(&start, &end).map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(collected.len(), 100);
+        assert!(collected.windows(2).all(|w| w[0].0 < w[1].0), "ascending key order");
     }
 
     #[test]

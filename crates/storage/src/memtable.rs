@@ -5,7 +5,7 @@
 //! are tombstones (`None`) so they shadow older values in lower levels
 //! until compacted away at the bottom.
 
-use std::collections::BTreeMap;
+use std::collections::{btree_map, BTreeMap};
 use std::ops::Bound;
 
 use bytes::Bytes;
@@ -113,15 +113,15 @@ impl Memtable {
         removed
     }
 
-    /// Iterates entries with `start <= key < end` in key order.
+    /// Iterates entries with `start <= key < end` in key order. Returns
+    /// the concrete B-tree cursor so the LSM's merge iterator can hold it
+    /// as a lazy source; bounds are borrowed, so no allocation happens.
     pub fn range<'a>(
         &'a self,
         start: &[u8],
         end: &[u8],
-    ) -> impl Iterator<Item = (&'a Key, &'a Option<Value>)> + 'a {
-        let start = Bound::Included(Bytes::copy_from_slice(start));
-        let end = Bound::Excluded(Bytes::copy_from_slice(end));
-        self.map.range::<Bytes, _>((start, end))
+    ) -> btree_map::Range<'a, Key, Option<Value>> {
+        self.map.range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
     }
 
     /// All entries in key order, consuming the table (used by flush).

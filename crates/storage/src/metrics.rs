@@ -27,6 +27,21 @@ pub struct StorageMetrics {
     pub compact_count: u64,
     /// Bytes compacted out of L0 specifically (the §5.1.3 bottleneck).
     pub l0_compact_bytes: u64,
+    /// Point lookups served (`Lsm::get`).
+    pub point_gets: u64,
+    /// Tables whose entries were actually binary-searched by point gets.
+    pub tables_probed: u64,
+    /// Bloom filter consultations on the point-get path.
+    pub bloom_probes: u64,
+    /// Bloom consultations that excluded the table (probe avoided).
+    pub bloom_hits: u64,
+    /// Range scans served (`Lsm::scan` / iterator scans).
+    pub scans: u64,
+    /// Entries pulled out of the merge heap by scans (live + shadowed +
+    /// tombstoned), before limit/tombstone filtering.
+    pub scan_entries_pulled: u64,
+    /// Live entries actually returned to scan callers.
+    pub scan_entries_returned: u64,
 }
 
 impl StorageMetrics {
@@ -44,6 +59,37 @@ impl StorageMetrics {
         }
     }
 
+    /// Fraction of bloom consultations that excluded a table — the
+    /// fraction of point-read table probes the filters saved.
+    pub fn bloom_hit_rate(&self) -> f64 {
+        if self.bloom_probes == 0 {
+            0.0
+        } else {
+            self.bloom_hits as f64 / self.bloom_probes as f64
+        }
+    }
+
+    /// Average tables binary-searched per point get.
+    pub fn tables_probed_per_get(&self) -> f64 {
+        if self.point_gets == 0 {
+            0.0
+        } else {
+            self.tables_probed as f64 / self.point_gets as f64
+        }
+    }
+
+    /// Scan read amplification: entries pulled from the merge heap per
+    /// entry returned. 1.0 is perfect (every pulled entry was live and
+    /// under the limit); large values mean shadowed versions, tombstones
+    /// or missing pushdown.
+    pub fn scan_read_amplification(&self) -> f64 {
+        if self.scan_entries_returned == 0 {
+            0.0
+        } else {
+            self.scan_entries_pulled as f64 / self.scan_entries_returned as f64
+        }
+    }
+
     /// Difference of two snapshots (`self` minus `earlier`), for interval
     /// rate estimation.
     pub fn delta(&self, earlier: &StorageMetrics) -> StorageMetrics {
@@ -56,6 +102,13 @@ impl StorageMetrics {
             compact_bytes_out: self.compact_bytes_out - earlier.compact_bytes_out,
             compact_count: self.compact_count - earlier.compact_count,
             l0_compact_bytes: self.l0_compact_bytes - earlier.l0_compact_bytes,
+            point_gets: self.point_gets - earlier.point_gets,
+            tables_probed: self.tables_probed - earlier.tables_probed,
+            bloom_probes: self.bloom_probes - earlier.bloom_probes,
+            bloom_hits: self.bloom_hits - earlier.bloom_hits,
+            scans: self.scans - earlier.scans,
+            scan_entries_pulled: self.scan_entries_pulled - earlier.scan_entries_pulled,
+            scan_entries_returned: self.scan_entries_returned - earlier.scan_entries_returned,
         }
     }
 }

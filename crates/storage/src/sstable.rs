@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use crate::bloom::BloomFilter;
 use crate::{Key, Value};
 
 /// Per-entry index overhead used in size accounting.
@@ -19,6 +20,9 @@ pub struct SsTable {
     /// Monotonic file number; larger = newer data (used for L0 precedence).
     num: u64,
     entries: Arc<Vec<(Key, Option<Value>)>>,
+    /// Bloom filter over the table's keys, consulted before any binary
+    /// search on the point-read path.
+    bloom: Arc<BloomFilter>,
     size: usize,
 }
 
@@ -30,11 +34,16 @@ impl SsTable {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "sstable entries must be strictly sorted"
         );
+        let bloom = BloomFilter::build(entries.iter().map(|(k, _)| k.as_ref()));
+        // Filter bits count toward the table's size: flushes and
+        // compactions physically write them, and the write-amp models are
+        // fitted on these sizes.
         let size = entries
             .iter()
             .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD)
-            .sum();
-        SsTable { num, entries: Arc::new(entries), size }
+            .sum::<usize>()
+            + bloom.byte_len();
+        SsTable { num, entries: Arc::new(entries), bloom: Arc::new(bloom), size }
     }
 
     /// The table's file number.
@@ -73,6 +82,19 @@ impl SsTable {
             .binary_search_by(|(k, _)| k.as_ref().cmp(key))
             .ok()
             .map(|i| self.entries[i].1.clone())
+    }
+
+    /// Consults the bloom filter: `false` means the key is definitively
+    /// absent and the table's entries need not be searched.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Bytes occupied by the table's bloom filter (included in [`size`]).
+    ///
+    /// [`size`]: SsTable::size
+    pub fn bloom_bytes(&self) -> usize {
+        self.bloom.byte_len()
     }
 
     /// Whether this table's key bounds overlap `[start, end)`.
@@ -216,8 +238,21 @@ mod tests {
     }
 
     #[test]
-    fn size_accounts_payload() {
+    fn size_accounts_payload_and_filter() {
         let t = table(1, &[("abc", Some("defgh"))]);
-        assert_eq!(t.size(), 3 + 5 + ENTRY_OVERHEAD);
+        assert_eq!(t.size(), 3 + 5 + ENTRY_OVERHEAD + t.bloom_bytes());
+        assert!(t.bloom_bytes() > 0, "filter bits are physically written");
+    }
+
+    #[test]
+    fn bloom_filters_point_probes() {
+        let t = table(1, &[("b", Some("2")), ("d", None), ("f", Some("6"))]);
+        assert!(t.may_contain(b"b"));
+        assert!(t.may_contain(b"d"), "tombstones are still in the filter");
+        assert!(t.may_contain(b"f"));
+        // A filter over 3 keys has ≥ 64 bits: absent probes miss reliably.
+        let misses =
+            ["a", "c", "e", "g", "zz"].iter().filter(|k| !t.may_contain(k.as_bytes())).count();
+        assert!(misses >= 4, "expected most absent keys filtered, got {misses}/5");
     }
 }
