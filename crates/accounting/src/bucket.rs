@@ -45,6 +45,11 @@ pub enum GrantResponse {
 struct NodeGrantState {
     last_trickle_rate: f64,
     last_request_at: SimTime,
+    /// Whether this node's last response was a trickle. Only trickling
+    /// nodes participate in the fair-share split: a node that recently got
+    /// a lump grant is not drawing on the refill stream, and counting it
+    /// would dilute everyone else's share below the refill rate.
+    trickling: bool,
 }
 
 /// The per-tenant quota server.
@@ -99,7 +104,10 @@ impl BucketServer {
         consumed_since_last: f64,
     ) -> GrantResponse {
         if self.refill_rate.is_infinite() {
-            self.tokens_granted += amount;
+            // Unmetered tenants still produce correct billing totals:
+            // trickle-consumption reported after a downgrade from a metered
+            // configuration (or by tests) must not vanish.
+            self.tokens_granted += amount + consumed_since_last;
             return GrantResponse::Granted(amount);
         }
         self.gc_nodes(now);
@@ -109,24 +117,33 @@ impl BucketServer {
         }
         if self.bucket.try_take(now, amount).is_ok() {
             self.tokens_granted += amount;
-            self.nodes
-                .insert(node, NodeGrantState { last_trickle_rate: 0.0, last_request_at: now });
+            self.nodes.insert(
+                node,
+                NodeGrantState { last_trickle_rate: 0.0, last_request_at: now, trickling: false },
+            );
             return GrantResponse::Granted(amount);
         }
-        // Exhausted: trickle. Fair share over nodes active in the window;
+        // Exhausted: trickle. Fair share over nodes actively *trickling* in
+        // the window — nodes whose last response was a lump grant are not
+        // competing for the refill stream and must not dilute the split;
         // converge by blending the node's previous rate toward fair share.
         let prev = self.nodes.get(&node).map(|s| s.last_trickle_rate).unwrap_or(0.0);
         let active = self
             .nodes
             .iter()
             .filter(|(id, s)| {
-                **id != node && now.duration_since(s.last_request_at) < TRICKLE_DURATION
+                **id != node
+                    && s.trickling
+                    && now.duration_since(s.last_request_at) < TRICKLE_DURATION
             })
             .count()
             + 1;
         let fair = self.refill_rate / active as f64;
         let rate = if prev > 0.0 { 0.5 * prev + 0.5 * fair } else { fair };
-        self.nodes.insert(node, NodeGrantState { last_trickle_rate: rate, last_request_at: now });
+        self.nodes.insert(
+            node,
+            NodeGrantState { last_trickle_rate: rate, last_request_at: now, trickling: true },
+        );
         // Trickled tokens are billed as the client consumes them, not here.
         GrantResponse::Trickle { rate, valid_for: TRICKLE_DURATION }
     }
@@ -146,7 +163,7 @@ impl BucketServer {
         let mut rates: Vec<(SqlInstanceId, f64)> = self
             .nodes
             .iter()
-            .filter(|(_, s)| now.duration_since(s.last_request_at) < TRICKLE_DURATION)
+            .filter(|(_, s)| s.trickling && now.duration_since(s.last_request_at) < TRICKLE_DURATION)
             .map(|(id, s)| (*id, s.last_trickle_rate))
             .collect();
         rates.sort_by_key(|&(id, _)| id);
@@ -354,6 +371,64 @@ mod tests {
         assert!((rates.1 - 500.0).abs() < 60.0, "node2 fair share: {}", rates.1);
         let total = server.active_trickle_rate(t(12.0));
         assert!((total - 1000.0).abs() < 120.0, "sum of trickles = refill: {total}");
+    }
+
+    /// Regression: a node that recently received a *lump* grant must not be
+    /// counted in the trickle fair-share denominator. Before the fix, a
+    /// mixed population (one quiet lump-granted node + overloaded
+    /// tricklers) split the refill rate three ways instead of two, so the
+    /// sum of trickle rates under-shot the refill rate.
+    #[test]
+    fn lump_granted_nodes_do_not_dilute_fair_share() {
+        let mut server = BucketServer::new(1.0); // 1000/s, 5000 burst
+        // Node 3 takes a modest lump grant and goes quiet.
+        assert!(matches!(
+            server.request(t(0.0), SqlInstanceId(3), 100.0, 0.0),
+            GrantResponse::Granted(_)
+        ));
+        // Node 1 drains the rest of the burst.
+        assert!(matches!(
+            server.request(t(0.1), SqlInstanceId(1), 4900.0, 0.0),
+            GrantResponse::Granted(_)
+        ));
+        // Node 1's first trickle: it is the only trickler, so it gets the
+        // full refill rate — not refill/2 (node 3 is recent but lump).
+        match server.request(t(0.5), SqlInstanceId(1), 1000.0, 0.0) {
+            GrantResponse::Trickle { rate, .. } => {
+                assert!((rate - 1000.0).abs() < 1.0, "sole trickler gets full rate: {rate}")
+            }
+            other => panic!("expected trickle, got {other:?}"),
+        }
+        // Node 2 joins the overload; node 3 stays quiet. The two tricklers
+        // converge to refill/2 each and their sum to the refill rate.
+        let mut rates = (1000.0f64, 0.0f64);
+        for i in 1..=12 {
+            let now = t(0.5 + i as f64 * 0.5);
+            match server.request(now, SqlInstanceId(1), 1000.0, rates.0 * 0.5) {
+                GrantResponse::Trickle { rate, .. } => rates.0 = rate,
+                GrantResponse::Granted(_) => {}
+            }
+            match server.request(now, SqlInstanceId(2), 1000.0, rates.1 * 0.5) {
+                GrantResponse::Trickle { rate, .. } => rates.1 = rate,
+                GrantResponse::Granted(_) => {}
+            }
+        }
+        assert!((rates.0 - 500.0).abs() < 60.0, "node1 fair share: {}", rates.0);
+        assert!((rates.1 - 500.0).abs() < 60.0, "node2 fair share: {}", rates.1);
+        let total = server.active_trickle_rate(t(7.0));
+        assert!((total - 1000.0).abs() < 120.0, "sum of trickles = refill: {total}");
+    }
+
+    /// Regression: the unlimited path must still bill trickle consumption
+    /// reported via `consumed_since_last` into `tokens_granted`.
+    #[test]
+    fn unlimited_bills_reported_consumption() {
+        let mut server = BucketServer::unlimited();
+        assert!(matches!(
+            server.request(t(0.0), SqlInstanceId(1), 100.0, 50.0),
+            GrantResponse::Granted(_)
+        ));
+        assert!((server.tokens_granted - 150.0).abs() < 1e-9, "{}", server.tokens_granted);
     }
 
     #[test]

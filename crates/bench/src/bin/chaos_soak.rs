@@ -74,10 +74,18 @@ fn main() {
         report.violations.join("\n")
     );
 
-    header("Reproducibility: same seed, byte-identical fault log");
+    header("Reproducibility: same seed, byte-identical fault log + metrics snapshot");
     let again = run_chaos(&options(seed));
     assert!(again.violations.is_empty(), "second run violated invariants");
     assert_eq!(report.log, again.log, "same-seed runs must produce byte-identical event logs");
+    assert_eq!(
+        report.metrics_snapshot, again.metrics_snapshot,
+        "same-seed runs must produce byte-identical metrics snapshots"
+    );
     println!("  {} log lines, identical across runs", report.log.lines().count());
-    println!("\nOK: soak clean, log reproducible (seed {seed})");
+    println!(
+        "  {} metric snapshot bytes, identical across runs",
+        report.metrics_snapshot.len()
+    );
+    println!("\nOK: soak clean, log + metrics reproducible (seed {seed})");
 }

@@ -1,0 +1,208 @@
+//! Trace dump: observability artifacts for two representative requests.
+//!
+//! ```sh
+//! cargo run --release --bin trace_dump
+//! ```
+//!
+//! Runs (1) a **cold-start** request — connect from zero through the warm
+//! pod pool, then the tenant's first statements — and (2) a
+//! **quota-throttled** statement on an over-quota tenant, each under a
+//! deterministic trace. Emits both span trees and the unified metrics
+//! registry snapshot as one JSON document, after asserting the traces
+//! decompose as §4.2/§5.2 describe:
+//!
+//! - the cold-start tree reaches every layer (proxy → warm pool → SQL
+//!   node start → KV → storage), and the pool's pod phases are contiguous
+//!   and sum to the `pool.acquire` span;
+//! - the root span's duration equals the measured end-to-end latency;
+//! - the throttled tree contains a `quota.gate` span.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crdb_bench::header;
+use crdb_core::{ServerlessCluster, ServerlessConfig};
+use crdb_obs::Trace;
+use crdb_serverless::proxy::Connection;
+use crdb_sim::Sim;
+use crdb_util::time::dur;
+use crdb_util::RegionId;
+
+fn connect(sim: &Sim, cluster: &Rc<ServerlessCluster>, tenant: crdb_util::TenantId) -> Rc<Connection> {
+    let slot = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    cluster.connect(tenant, "10.0.0.1", "app", move |r| {
+        *s.borrow_mut() = Some(r.expect("connect"));
+    });
+    sim.run_for(dur::secs(10));
+    let conn = slot.borrow_mut().take().expect("connected");
+    conn
+}
+
+fn run_sql(sim: &Sim, cluster: &Rc<ServerlessCluster>, conn: &Rc<Connection>, sql: &str) {
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    cluster.execute(conn, sql, vec![], move |r| *o.borrow_mut() = Some(r));
+    sim.run_for(dur::secs(60));
+    out.borrow_mut().take().expect("statement completed").unwrap_or_else(|e| panic!("{sql}: {e}"));
+}
+
+/// Cold start from zero: connect + first write, one trace.
+fn cold_start_trace() -> (Trace, Duration) {
+    let sim = Sim::new(42);
+    let cluster = ServerlessCluster::new(&sim, ServerlessConfig::default());
+    let tenant = cluster.create_tenant(vec![RegionId(0)], None);
+    assert!(cluster.is_suspended(tenant), "new tenant starts at zero pods");
+
+    let (trace, root) = Trace::start("coldstart.request", sim.clock());
+    let begin = sim.now();
+    let finished: Rc<RefCell<Option<Duration>>> = Rc::new(RefCell::new(None));
+    {
+        let _g = root.enter();
+        let cluster2 = Rc::clone(&cluster);
+        let sim2 = sim.clone();
+        let root2 = root.clone();
+        let finished2 = Rc::clone(&finished);
+        cluster.connect(tenant, "10.0.0.1", "app", move |r| {
+            let conn = r.expect("connect");
+            let _g = root2.enter();
+            let cluster3 = Rc::clone(&cluster2);
+            let sim3 = sim2.clone();
+            let root3 = root2.clone();
+            let finished3 = Rc::clone(&finished2);
+            cluster2.execute(
+                &conn,
+                "CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+                vec![],
+                {
+                    let conn = Rc::clone(&conn);
+                    move |r| {
+                        r.expect("create table");
+                        let _g = root3.enter();
+                        let root4 = root3.clone();
+                        let sim4 = sim3.clone();
+                        let finished4 = Rc::clone(&finished3);
+                        cluster3.execute(&conn, "INSERT INTO t VALUES (1, 100)", vec![], move |r| {
+                            r.expect("insert");
+                            root4.end();
+                            *finished4.borrow_mut() = Some(sim4.now().duration_since(begin));
+                        });
+                    }
+                },
+            );
+        });
+    }
+    sim.run_for(dur::secs(60));
+    let latency = finished.borrow().expect("cold-start request completed");
+    (trace, latency)
+}
+
+/// A statement on an over-quota tenant, traced once the gate is up.
+fn throttled_trace() -> Trace {
+    let sim = Sim::new(43);
+    let cluster = ServerlessCluster::new(&sim, ServerlessConfig::default());
+    // 0.001 vCPU quota = 1 token/s: any sustained work exceeds it.
+    let tenant = cluster.create_tenant(vec![RegionId(0)], Some(0.001));
+    let conn = connect(&sim, &cluster, tenant);
+    run_sql(&sim, &cluster, &conn, "CREATE TABLE burn (id INT PRIMARY KEY, v INT)");
+
+    // Burn estimated CPU until the accounting loop gates this node.
+    let info = cluster.tenant(tenant).expect("tenant info");
+    let mut gated = false;
+    for i in 0..400 {
+        run_sql(&sim, &cluster, &conn, &format!("INSERT INTO burn VALUES ({i}, {i})"));
+        if info
+            .gate_until(conn.node().instance_id)
+            .is_some_and(|until| until > sim.now())
+        {
+            gated = true;
+            break;
+        }
+    }
+    assert!(gated, "over-quota tenant was never gated");
+
+    let (trace, root) = Trace::start("throttled.request", sim.clock());
+    {
+        let _g = root.enter();
+        let root2 = root.clone();
+        cluster.execute(&conn, "INSERT INTO burn VALUES (100000, 1)", vec![], move |r| {
+            r.expect("gated insert eventually runs");
+            root2.end();
+        });
+    }
+    sim.run_for(dur::secs(60));
+    trace
+}
+
+fn assert_path(trace: &Trace, needle: &str) {
+    let paths = trace.paths();
+    assert!(
+        paths.iter().any(|p| p.contains(needle)),
+        "expected a span path containing {needle:?}; got:\n{}",
+        paths.join("\n")
+    );
+}
+
+fn main() {
+    header("trace_dump: cold-start + throttled-request span trees, metrics snapshot");
+
+    let (cold, latency) = cold_start_trace();
+    // The tree reaches every layer.
+    for needle in [
+        "coldstart.request/proxy.connect",
+        "pool.acquire/pod.assignment",
+        "sql.node.start/catalog.load",
+        "sql.execute",
+        "kv.send/kv.rpc",
+        "kv.serve/storage.mvcc",
+    ] {
+        assert_path(&cold, needle);
+    }
+    // Root duration equals the measured end-to-end latency.
+    let root = cold.find("coldstart.request").expect("root span");
+    assert_eq!(root.duration(), latency, "root span covers the whole request");
+    // The §4.2 budget decomposition: the pod phases tile `pool.acquire`.
+    let acquire = cold.find("pool.acquire").expect("pool.acquire span");
+    let phases: Duration = cold
+        .spans()
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.name.as_str(),
+                "pod.assignment"
+                    | "pod.provision"
+                    | "cert.delivery"
+                    | "container.start"
+                    | "process.start"
+                    | "tcp.retry"
+            )
+        })
+        .map(|s| s.duration())
+        .sum();
+    assert_eq!(phases, acquire.duration(), "pod phases sum to the acquire span");
+
+    let throttled = throttled_trace();
+    assert_path(&throttled, "throttled.request/quota.gate");
+    let gate = throttled.find("quota.gate").expect("quota.gate span");
+    assert!(gate.duration() > Duration::ZERO, "the gate actually delayed the statement");
+
+    // Metrics snapshot from a deterministic short run of the same stack.
+    let sim = Sim::new(42);
+    let cluster = ServerlessCluster::new(&sim, ServerlessConfig::default());
+    let tenant = cluster.create_tenant(vec![RegionId(0)], None);
+    let conn = connect(&sim, &cluster, tenant);
+    run_sql(&sim, &cluster, &conn, "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+    run_sql(&sim, &cluster, &conn, "INSERT INTO t VALUES (1, 100)");
+    let snapshot = cluster.metrics_snapshot_json();
+
+    println!("cold-start span tree:\n{}", cold.to_text());
+    println!("throttled span tree:\n{}", throttled.to_text());
+    println!(
+        "{{\"coldstart\":{},\"throttled\":{},\"metrics\":{}}}",
+        cold.to_json(),
+        throttled.to_json(),
+        snapshot
+    );
+    eprintln!("OK: cold start {latency:?}, gate {:?}", gate.duration());
+}

@@ -68,6 +68,9 @@ pub struct ChaosReport {
     pub dropped_messages: u64,
     /// Invariant violations; empty means the run was clean.
     pub violations: Vec<String>,
+    /// End-of-run unified metrics registry snapshot (JSON). Same seed ⇒
+    /// byte-identical; asserted by the callers alongside the injector log.
+    pub metrics_snapshot: String,
 }
 
 /// One tenant's workload plus the bookkeeping its invariants need.
@@ -183,6 +186,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
         migrations,
         dropped_messages: topology.dropped_messages(),
         violations,
+        metrics_snapshot: cluster.metrics_snapshot_json(),
     }
 }
 

@@ -30,9 +30,22 @@ fn chaos_small_plan_holds_invariants_and_replays() {
         report.violations.join("\n")
     );
 
-    // Same seed replays to a byte-identical fault log.
+    // Same seed replays to a byte-identical fault log and a
+    // byte-identical metrics registry snapshot.
     let again = run_chaos(&options(5));
     assert_eq!(report.log, again.log);
+    assert_eq!(
+        report.metrics_snapshot, again.metrics_snapshot,
+        "same-seed runs must produce byte-identical metrics snapshots"
+    );
+    assert!(
+        report.metrics_snapshot.contains("proxy.connects"),
+        "snapshot covers the proxy layer"
+    );
+    assert!(
+        report.metrics_snapshot.contains("kv.node.1.storage.flush_bytes"),
+        "snapshot covers the storage layer"
+    );
     assert!(again.violations.is_empty());
 }
 

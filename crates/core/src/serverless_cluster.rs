@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use crdb_accounting::model::EcpuModel;
 use crdb_kv::client::KvClient;
+use crdb_obs::metrics::Sampler;
+use crdb_obs::trace;
 use crdb_kv::cluster::{KvCluster, KvClusterConfig};
 use crdb_kv::cost::TrafficStats;
 use crdb_serverless::autoscaler::{Autoscaler, AutoscalerConfig};
@@ -91,6 +93,9 @@ pub struct ServerlessCluster {
     pub pipeline: Rc<MetricsPipeline>,
     /// Warm pod pool.
     pub pool: Rc<WarmPool>,
+    /// Unified observability registry: every layer's counters, gauges and
+    /// histograms, sampled deterministically at snapshot time.
+    pub obs: crdb_obs::Registry,
     tenants: Rc<RefCell<HashMap<TenantId, Rc<TenantInfo>>>>,
     /// Preferred placement for a tenant's next SQL nodes (set by probers
     /// and multi-region tests before connecting).
@@ -184,14 +189,101 @@ impl ServerlessCluster {
             autoscaler,
             pipeline,
             pool,
+            obs: crdb_obs::Registry::new(),
             tenants,
             preferred_location,
             ecpu_model: Rc::new(config.ecpu_model.clone()),
             config,
             next_tenant: Cell::new(TenantId::FIRST_APP.raw()),
         });
+        // One registry source for the whole deployment: sampled fresh at
+        // every snapshot, so registration order cannot affect the output.
+        {
+            let weak = Rc::downgrade(&cluster);
+            cluster.obs.register_source(move |s| {
+                if let Some(c) = weak.upgrade() {
+                    c.sample_metrics(s);
+                }
+            });
+        }
         cluster.start_accounting_loop();
         cluster
+    }
+
+    /// Samples every layer's metrics into `s` under the
+    /// `component[.entity].metric` naming scheme.
+    fn sample_metrics(&self, s: &mut Sampler) {
+        // Proxy.
+        s.counter("proxy.connects", self.proxy.connects.get());
+        s.counter("proxy.migrations", self.proxy.migrations.get());
+        s.counter("proxy.cold_starts", self.proxy.cold_starts.get());
+        s.gauge("proxy.connections", self.proxy.connection_count() as f64);
+        s.histogram("proxy.statement_latency", &self.proxy.statement_latency.borrow());
+
+        // Autoscaler + warm pool.
+        s.counter("autoscaler.scale_ups", self.autoscaler.scale_ups.get());
+        s.counter("autoscaler.scale_downs", self.autoscaler.scale_downs.get());
+        s.counter("autoscaler.suspensions", self.autoscaler.suspensions.get());
+        s.counter("pool.acquired", *self.pool.acquired.borrow());
+        s.counter("pool.misses", *self.pool.pool_misses.borrow());
+        s.counter("pool.start_failures", self.pool.start_failures.get());
+        s.gauge("pool.available", self.pool.available() as f64);
+
+        // KV nodes: storage engine counters and admission depth.
+        let mut node_ids = self.kv.node_ids();
+        node_ids.sort();
+        for nid in node_ids {
+            let Some(node) = self.kv.node(nid) else { continue };
+            let p = format!("kv.node.{}", nid.raw());
+            let m = node.engine.metrics();
+            s.counter(&format!("{p}.batches_served"), node.batches_served.get());
+            s.gauge(&format!("{p}.admission.queue_len"), node.admission_queue_len() as f64);
+            s.counter(&format!("{p}.storage.logical_bytes_written"), m.logical_bytes_written);
+            s.counter(&format!("{p}.storage.wal_bytes"), m.wal_bytes);
+            s.counter(&format!("{p}.storage.flush_bytes"), m.flush_bytes);
+            s.counter(&format!("{p}.storage.flush_count"), m.flush_count);
+            s.counter(&format!("{p}.storage.compact_bytes_in"), m.compact_bytes_in);
+            s.counter(&format!("{p}.storage.compact_bytes_out"), m.compact_bytes_out);
+            s.counter(&format!("{p}.storage.compact_count"), m.compact_count);
+            s.counter(&format!("{p}.storage.point_gets"), m.point_gets);
+            s.counter(&format!("{p}.storage.tables_probed"), m.tables_probed);
+            s.counter(&format!("{p}.storage.bloom_probes"), m.bloom_probes);
+            s.counter(&format!("{p}.storage.bloom_hits"), m.bloom_hits);
+            s.counter(&format!("{p}.storage.scans"), m.scans);
+            s.counter(&format!("{p}.storage.scan_entries_pulled"), m.scan_entries_pulled);
+            s.counter(&format!("{p}.storage.scan_entries_returned"), m.scan_entries_returned);
+        }
+
+        // Per-tenant accounting: bucket server grants, client spend/stalls,
+        // cumulative estimated CPU. Tenant iteration is sorted for
+        // determinism.
+        let tenants = self.tenants.borrow();
+        let mut ids: Vec<TenantId> = tenants.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let info = &tenants[&id];
+            let p = format!("tenant.{}", id.raw());
+            if let Some(q) = &info.quota {
+                s.counter(
+                    &format!("{p}.bucket.tokens_granted"),
+                    q.server.borrow().tokens_granted as u64,
+                );
+                let (spent, stalls) = {
+                    let clients = q.clients.borrow();
+                    let spent: f64 = clients.values().map(|c| c.tokens_spent).sum();
+                    let stalls: u64 = clients.values().map(|c| c.stalls).sum();
+                    (spent, stalls)
+                };
+                s.counter(&format!("{p}.bucket.tokens_spent"), spent as u64);
+                s.counter(&format!("{p}.bucket.stalls"), stalls);
+            }
+            s.gauge(&format!("{p}.ecpu_seconds"), *info.ecpu_seconds.borrow());
+        }
+    }
+
+    /// A deterministic JSON snapshot of every registered metric.
+    pub fn metrics_snapshot_json(&self) -> String {
+        self.obs.snapshot_json()
     }
 
     fn start_accounting_loop(self: &Rc<Self>) {
@@ -308,7 +400,12 @@ impl ServerlessCluster {
         match gate {
             None => proxy.execute(&conn2, &sql, params, cb),
             Some(until) => {
+                let span = trace::child("quota.gate");
+                span.tag("tenant", conn.tenant);
+                let ambient = trace::current();
                 self.sim.schedule_at(until, move || {
+                    span.end();
+                    let _g = ambient.enter();
                     proxy.execute(&conn2, &sql, params, cb);
                 });
             }

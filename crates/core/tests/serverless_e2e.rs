@@ -109,6 +109,53 @@ fn idle_tenant_suspends_and_resumes() {
     assert_eq!(out.rows[0][0], Datum::Int(1));
 }
 
+/// Regression: an idle tenant's usage window must decay to zero so the
+/// autoscaler actually reaches zero pods. With the old stale
+/// `SlidingWindow` average, samples never aged out and the last burst of
+/// CPU kept the visible usage — and therefore the pod count — pinned
+/// above zero forever.
+#[test]
+fn idle_usage_decays_to_zero_and_suspends() {
+    let sim = Sim::new(8);
+    let mut config = ServerlessConfig::default();
+    config.autoscaler.suspend_after = dur::secs(60);
+    let cluster = ServerlessCluster::new(&sim, config);
+    let tenant = cluster.create_tenant(vec![RegionId(0)], None);
+
+    let slot = connect(&cluster, tenant);
+    sim.run_for(dur::secs(10));
+    let conn = slot.borrow().clone().unwrap();
+    run_sql(&sim, &cluster, &conn, "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+
+    // Sustained burst of work, with short waits so the tenant never
+    // looks idle mid-burst.
+    for i in 0..20 {
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        cluster.execute(&conn, &format!("INSERT INTO t VALUES ({i}, {i})"), vec![], move |r| {
+            *o.borrow_mut() = Some(r)
+        });
+        sim.run_for(dur::secs(2));
+        out.borrow_mut().take().expect("insert completed").expect("insert ok");
+    }
+    sim.run_for(dur::secs(5));
+    let (_, busy) = cluster
+        .pipeline
+        .visible_usage(tenant, sim.now())
+        .expect("usage visible after burst");
+    assert!(busy > 0.0, "burst produced visible CPU usage: {busy}");
+
+    // Go idle. The visible usage must decay to zero (fresh samples of 0
+    // displace the burst), letting the autoscaler suspend the tenant.
+    cluster.close(&conn);
+    sim.run_for(dur::secs(180));
+    if let Some((_, usage)) = cluster.pipeline.visible_usage(tenant, sim.now()) {
+        assert_eq!(usage, 0.0, "idle tenant's visible usage decayed to zero");
+    }
+    assert!(cluster.is_suspended(tenant), "autoscaler reached zero pods");
+    assert_eq!(cluster.sql_node_count(tenant), 0);
+}
+
 #[test]
 fn tenants_are_isolated_end_to_end() {
     let sim = Sim::new(4);

@@ -11,6 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
+use crdb_obs::trace;
 use crdb_sim::Location;
 use crdb_util::time::dur;
 
@@ -106,6 +107,20 @@ impl KvClient {
                 _ => None,
             })
             .collect();
+        let outer = trace::current();
+        let span = trace::child("kv.send");
+        span.tag("requests", n_results);
+        let cb = {
+            let span = span.clone();
+            move |resp: BatchResponse| {
+                if resp.error.is_some() {
+                    span.tag("error", true);
+                }
+                span.end();
+                let _g = outer.enter();
+                cb(resp);
+            }
+        };
         let state = Rc::new(DispatchState {
             client: self.clone(),
             template: BatchRequest { requests: Vec::new(), ..batch },
@@ -113,6 +128,7 @@ impl KvClient {
             limits,
             outstanding: RefCell::new(0),
             finished: RefCell::new(Some(Box::new(cb))),
+            span,
         });
         *state.outstanding.borrow_mut() = 1; // guard against sync completion
         for (idx, order, req) in pieces {
@@ -180,7 +196,12 @@ impl KvClient {
     /// §3.2.5). Fails with [`KvError::Unavailable`] when no live node
     /// is reachable, and [`KvError::RangeNotFound`] when the directory
     /// has no range for the key.
-    fn resolve(&self, key: Bytes, cb: impl FnOnce(Result<CacheEntry, KvError>) + 'static) {
+    fn resolve(
+        &self,
+        key: Bytes,
+        parent: trace::MaybeSpan,
+        cb: impl FnOnce(Result<CacheEntry, KvError>) + 'static,
+    ) {
         // Bind the lookup so the cache borrow ends before `cb` runs: the
         // callback may synchronously re-dispatch (scan split) and re-enter
         // this cache.
@@ -198,6 +219,7 @@ impl KvClient {
                 return;
             }
         };
+        let meta_span = parent.child("meta.lookup");
         let topo = cluster.topology();
         let sim = cluster.sim.clone();
         let my_loc = self.inner.location;
@@ -218,6 +240,7 @@ impl KvClient {
             let sim2 = cluster.sim.clone();
             // Response hop.
             topo2.send(&sim2, node_loc, my_loc, move || {
+                meta_span.end();
                 if let Some(e) = entry.clone() {
                     this.inner.cache.borrow_mut().fill_from_meta(e);
                 }
@@ -242,6 +265,9 @@ struct DispatchState {
     limits: Vec<Option<usize>>,
     outstanding: RefCell<usize>,
     finished: RefCell<Option<FinishFn>>,
+    /// The batch's `kv.send` span; per-attempt `kv.rpc` spans attach here
+    /// even from scheduled retry contexts where no ambient span is active.
+    span: trace::MaybeSpan,
 }
 
 impl DispatchState {
@@ -267,6 +293,11 @@ impl DispatchState {
     ) {
         *state.outstanding.borrow_mut() += 1;
         let key = Self::routing_key(&state.template, &req);
+        let rpc = state.span.child("kv.rpc");
+        rpc.tag("req", idx);
+        if routing_retries + conflict_retries > 0 {
+            rpc.tag("retries", routing_retries + conflict_retries);
+        }
         let st = Rc::clone(state);
         // A META hop dropped by a partition would otherwise leave this
         // piece hanging forever: guard the resolve with an RPC timeout
@@ -276,10 +307,13 @@ impl DispatchState {
             let st = Rc::clone(state);
             let done = Rc::clone(&done);
             let req = req.clone();
+            let rpc = rpc.clone();
             state.client.inner.cluster.sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
                 if done.replace(true) {
                     return;
                 }
+                rpc.tag("timeout", true);
+                rpc.end();
                 st.handle_response(
                     idx,
                     order,
@@ -291,7 +325,7 @@ impl DispatchState {
             })
         };
         let sim = state.client.inner.cluster.sim.clone();
-        state.client.clone().resolve(key, move |entry| {
+        state.client.clone().resolve(key, rpc.clone(), move |entry| {
             if done.replace(true) {
                 return;
             }
@@ -299,6 +333,7 @@ impl DispatchState {
             let entry = match entry {
                 Ok(e) => e,
                 Err(e) => {
+                    rpc.end();
                     st.fail(e);
                     return;
                 }
@@ -323,16 +358,18 @@ impl DispatchState {
                     };
                 }
             }
-            st.send_to_node(idx, order, req, entry, routing_retries, conflict_retries);
+            st.send_to_node(idx, order, req, entry, rpc, routing_retries, conflict_retries);
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_to_node(
         self: Rc<Self>,
         idx: usize,
         order: usize,
         req: RequestKind,
         entry: CacheEntry,
+        rpc: trace::MaybeSpan,
         routing_retries: u32,
         conflict_retries: u32,
     ) {
@@ -341,10 +378,12 @@ impl DispatchState {
         let node = match cluster.node(entry.leaseholder) {
             Some(n) => n,
             None => {
+                rpc.end();
                 self.fail(KvError::NodeUnavailable);
                 return;
             }
         };
+        rpc.tag("node", entry.leaseholder);
         let topo = cluster.topology();
         let sim = cluster.sim.clone();
         let my_loc = client.inner.location;
@@ -354,6 +393,7 @@ impl DispatchState {
         // will not move, so surface the typed error immediately instead
         // of letting the request time out retry after retry.
         if !topo.is_reachable(my_loc, node_loc) {
+            rpc.end();
             self.fail(KvError::Unavailable);
             return;
         }
@@ -373,10 +413,13 @@ impl DispatchState {
             let st = Rc::clone(&self);
             let done = Rc::clone(&done);
             let req = req.clone();
+            let rpc = rpc.clone();
             sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
                 if done.replace(true) {
                     return;
                 }
+                rpc.tag("timeout", true);
+                rpc.end();
                 st.handle_response(
                     idx,
                     order,
@@ -392,6 +435,8 @@ impl DispatchState {
             let sim2 = st.client.inner.cluster.sim.clone();
             let st2 = Rc::clone(&st);
             let req2 = req.clone();
+            let _g = rpc.enter();
+            let rpc2 = rpc.clone();
             node.receive(&cert, sub, move |resp| {
                 // Return hop, then handle.
                 let st3 = Rc::clone(&st2);
@@ -399,6 +444,7 @@ impl DispatchState {
                     if done.replace(true) {
                         return;
                     }
+                    rpc2.end();
                     st3.client.inner.cluster.sim.cancel(timeout);
                     st3.handle_response(idx, order, req2, resp, routing_retries, conflict_retries);
                 });

@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crdb_admission::{AdmissionConfig, AdmissionController, Priority, WorkClass};
+use crdb_obs::trace;
 use crdb_sim::cpu::CpuScheduler;
 use crdb_sim::resource::RateResource;
 use crdb_sim::{Location, Sim};
@@ -33,6 +34,12 @@ use crate::txn::TxnStatus;
 pub(crate) struct PendingOp {
     pub batch: BatchRequest,
     pub respond: Box<dyn FnOnce(BatchResponse)>,
+    /// The request's `kv.serve` span, carried through the admission queue
+    /// and the CPU scheduler so server-side phases attach to the caller's
+    /// trace.
+    pub span: trace::MaybeSpan,
+    /// Child of `span` covering time spent queued in admission.
+    pub queue_span: trace::MaybeSpan,
 }
 
 /// A shared KV storage node.
@@ -218,7 +225,11 @@ impl KvNode {
         let priority = if tenant.is_system() { Priority::High } else { Priority::Normal };
         let is_write = batch.is_write();
         let bytes = batch.payload_bytes() as f64;
-        let op = PendingOp { batch, respond: Box::new(respond) };
+        let span = trace::child("kv.serve");
+        span.tag("node", self.id);
+        span.tag("tenant", tenant);
+        let queue_span = span.child("admission.queue");
+        let op = PendingOp { batch, respond: Box::new(respond), span, queue_span };
         {
             let mut adm = self.admission.borrow_mut();
             if is_write {
@@ -262,7 +273,10 @@ impl KvNode {
                 let inner = cluster.borrow();
                 inner.cost_model.batch_cpu_seconds(&op.batch, rate)
             };
+            op.queue_span.end();
+            let cpu_span = op.span.child("kv.cpu");
             self.cpu.submit(tenant, cost, move || {
+                cpu_span.end();
                 node.execute(op, class, cost, bytes);
             });
         }
@@ -284,17 +298,23 @@ impl KvNode {
     /// Executes an admitted batch after its CPU service completes.
     fn execute(self: &Rc<Self>, op: PendingOp, class: WorkClass, cpu_cost: f64, bytes: f64) {
         let now = self.sim.now();
-        let PendingOp { batch, respond } = op;
+        let PendingOp { batch, respond, span, .. } = op;
         let cluster = match self.cluster.upgrade() {
             Some(c) => c,
             None => return,
         };
 
+        let storage_span = span.child("storage.mvcc");
+        storage_span.tag("requests", batch.requests.len());
         let result = self.execute_requests(&cluster, &batch);
         let (response, write_payload) = match result {
             Ok((results, write_payload)) => (BatchResponse::ok(results), write_payload),
             Err(e) => (BatchResponse::err(e), 0),
         };
+        if write_payload > 0 {
+            storage_span.tag("write_bytes", write_payload);
+        }
+        storage_span.end();
 
         // Traffic features for the estimated-CPU model.
         self.traffic
@@ -359,9 +379,15 @@ impl KvNode {
         };
 
         if delay.is_zero() {
+            span.end();
             respond(response);
         } else {
-            self.sim.schedule_after(delay, move || respond(response));
+            let repl_span = span.child("replication.quorum");
+            self.sim.schedule_after(delay, move || {
+                repl_span.end();
+                span.end();
+                respond(response);
+            });
         }
         self.pump();
     }

@@ -1,0 +1,511 @@
+//! Deterministic per-request trace spans.
+//!
+//! A [`Trace`] owns a flat slab of span records; [`Span`] handles are cheap
+//! clones pointing into it. Spans read their timestamps from the clock the
+//! trace was created with — in experiments that is the simulator's
+//! `ManualClock`, so start/end stamps are sim-time and a same-seed rerun
+//! reproduces the tree exactly.
+//!
+//! # Propagation rules
+//!
+//! The simulator is single-threaded and callback-based, so context flows
+//! through an ambient, thread-local *current-span stack* rather than through
+//! function signatures:
+//!
+//! 1. A component that does work on behalf of the current request calls
+//!    [`child`] (or [`current`]) — both return a no-op [`MaybeSpan`] when no
+//!    trace is active, so instrumentation costs nothing on untraced paths.
+//! 2. Before scheduling a callback (a sim event, a CPU grant, a network
+//!    hop), capture the context: `let span = trace::current();` — the value
+//!    is moved into the closure.
+//! 3. Inside the callback, re-install it for the duration of the callback:
+//!    `let _g = span.enter();`. Guards are strictly LIFO; hold them in a
+//!    local and let scope end pop them.
+//! 4. End spans explicitly ([`MaybeSpan::end`]) when the logical operation
+//!    completes, which is usually inside a later callback than the one that
+//!    created them. Ending twice is a no-op (the first end wins).
+//!
+//! Work whose duration is *modeled* as a single scheduled delay (e.g. the
+//! warm-pool start sequence, which samples each phase and sleeps the sum)
+//! can record the interior decomposition with [`MaybeSpan::child_at`] /
+//! [`MaybeSpan::end_at`], using the same sampled boundaries the model slept
+//! on. The resulting tree still sums to the measured end-to-end latency.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crdb_util::{Clock, SimTime};
+
+use crate::json_escape;
+
+#[derive(Debug)]
+struct SpanRecord {
+    name: String,
+    parent: Option<usize>,
+    start: SimTime,
+    end: Option<SimTime>,
+    tags: Vec<(String, String)>,
+}
+
+struct TraceInner {
+    clock: Arc<dyn Clock>,
+    spans: RefCell<Vec<SpanRecord>>,
+}
+
+/// A single trace: one root span plus every descendant recorded under it.
+pub struct Trace {
+    inner: Rc<TraceInner>,
+}
+
+impl Trace {
+    /// Starts a new trace whose root span begins now (per `clock`). Returns
+    /// the trace handle and the root span.
+    pub fn start(name: &str, clock: Arc<dyn Clock>) -> (Trace, Span) {
+        let now = clock.now();
+        let inner = Rc::new(TraceInner {
+            clock,
+            spans: RefCell::new(vec![SpanRecord {
+                name: name.to_string(),
+                parent: None,
+                start: now,
+                end: None,
+                tags: Vec::new(),
+            }]),
+        });
+        let root = Span { inner: inner.clone(), idx: 0 };
+        (Trace { inner }, root)
+    }
+
+    /// The root span.
+    pub fn root(&self) -> Span {
+        Span { inner: self.inner.clone(), idx: 0 }
+    }
+
+    /// A read-only snapshot of every span, in creation order.
+    pub fn spans(&self) -> Vec<SpanView> {
+        self.inner
+            .spans
+            .borrow()
+            .iter()
+            .map(|r| SpanView {
+                name: r.name.clone(),
+                parent: r.parent,
+                start: r.start,
+                end: r.end,
+                tags: r.tags.clone(),
+            })
+            .collect()
+    }
+
+    /// The first span (in creation order) with the given name, if any.
+    pub fn find(&self, name: &str) -> Option<SpanView> {
+        self.spans().into_iter().find(|s| s.name == name)
+    }
+
+    /// `parent/child/grandchild` slash-paths for every span, in creation
+    /// order. Convenient for golden tests over the tree *shape*.
+    pub fn paths(&self) -> Vec<String> {
+        let spans = self.inner.spans.borrow();
+        let mut paths: Vec<String> = Vec::with_capacity(spans.len());
+        for r in spans.iter() {
+            let p = match r.parent {
+                None => r.name.clone(),
+                Some(p) => format!("{}/{}", paths[p], r.name),
+            };
+            paths.push(p);
+        }
+        paths
+    }
+
+    /// Serializes the span tree as deterministic JSON: children nested under
+    /// parents in creation order, tags sorted by key, times in nanoseconds
+    /// of sim-time (`end_ns` is `null` for spans still open).
+    pub fn to_json(&self) -> String {
+        let spans = self.inner.spans.borrow();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        for (i, r) in spans.iter().enumerate() {
+            if let Some(p) = r.parent {
+                children[p].push(i);
+            }
+        }
+        let mut out = String::new();
+        write_span_json(&spans, &children, 0, &mut out);
+        out
+    }
+
+    /// Renders an indented human-readable tree with durations.
+    pub fn to_text(&self) -> String {
+        let spans = self.inner.spans.borrow();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        for (i, r) in spans.iter().enumerate() {
+            if let Some(p) = r.parent {
+                children[p].push(i);
+            }
+        }
+        let mut out = String::new();
+        write_span_text(&spans, &children, 0, 0, &mut out);
+        out
+    }
+}
+
+fn write_span_json(spans: &[SpanRecord], children: &[Vec<usize>], idx: usize, out: &mut String) {
+    let r = &spans[idx];
+    out.push_str("{\"name\":\"");
+    json_escape(&r.name, out);
+    out.push_str(&format!("\",\"start_ns\":{}", r.start.as_nanos()));
+    match r.end {
+        Some(e) => out.push_str(&format!(",\"end_ns\":{}", e.as_nanos())),
+        None => out.push_str(",\"end_ns\":null"),
+    }
+    if !r.tags.is_empty() {
+        let mut tags = r.tags.clone();
+        // Sorted, last-write-wins: retagging a key replaces the old value.
+        tags.sort_by(|a, b| a.0.cmp(&b.0));
+        tags.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                std::mem::swap(&mut earlier.1, &mut later.1);
+                true
+            } else {
+                false
+            }
+        });
+        out.push_str(",\"tags\":{");
+        for (i, (k, v)) in tags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(k, out);
+            out.push_str("\":\"");
+            json_escape(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    if !children[idx].is_empty() {
+        out.push_str(",\"children\":[");
+        for (i, &c) in children[idx].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_span_json(spans, children, c, out);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+fn write_span_text(
+    spans: &[SpanRecord],
+    children: &[Vec<usize>],
+    idx: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let r = &spans[idx];
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let dur = match r.end {
+        Some(e) => format!("{:.3}ms", e.duration_since(r.start).as_secs_f64() * 1e3),
+        None => "open".to_string(),
+    };
+    out.push_str(&format!("{} [{} @{:.3}ms]", r.name, dur, r.start.as_secs_f64() * 1e3));
+    if !r.tags.is_empty() {
+        let tags: Vec<String> = r.tags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&format!(" {{{}}}", tags.join(", ")));
+    }
+    out.push('\n');
+    for &c in &children[idx] {
+        write_span_text(spans, children, c, depth + 1, out);
+    }
+}
+
+/// A read-only copy of one span's record.
+#[derive(Debug, Clone)]
+pub struct SpanView {
+    /// Span name, e.g. `"pool.acquire"`.
+    pub name: String,
+    /// Index of the parent span in creation order, `None` for the root.
+    pub parent: Option<usize>,
+    /// Sim-time the span began.
+    pub start: SimTime,
+    /// Sim-time the span ended, or `None` if still open.
+    pub end: Option<SimTime>,
+    /// Free-form key/value tags in insertion order.
+    pub tags: Vec<(String, String)>,
+}
+
+impl SpanView {
+    /// `end - start`, or `Duration::ZERO` while the span is open.
+    pub fn duration(&self) -> Duration {
+        match self.end {
+            Some(e) => e.duration_since(self.start),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// The value of tag `key`, if present (last write wins).
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A live handle to one span within a [`Trace`]. Cheap to clone; clones
+/// refer to the same record.
+#[derive(Clone)]
+pub struct Span {
+    inner: Rc<TraceInner>,
+    idx: usize,
+}
+
+impl Span {
+    fn now(&self) -> SimTime {
+        self.inner.clock.now()
+    }
+
+    /// Opens a child span starting now.
+    pub fn child(&self, name: &str) -> Span {
+        self.child_at(name, self.now())
+    }
+
+    /// Opens a child span with an explicit start time (for decomposing
+    /// modeled delays; see module docs).
+    pub fn child_at(&self, name: &str, start: SimTime) -> Span {
+        let mut spans = self.inner.spans.borrow_mut();
+        let idx = spans.len();
+        spans.push(SpanRecord {
+            name: name.to_string(),
+            parent: Some(self.idx),
+            start,
+            end: None,
+            tags: Vec::new(),
+        });
+        Span { inner: self.inner.clone(), idx }
+    }
+
+    /// Attaches (or replaces) a key/value tag.
+    pub fn tag(&self, key: &str, value: impl std::fmt::Display) {
+        let mut spans = self.inner.spans.borrow_mut();
+        spans[self.idx].tags.push((key.to_string(), value.to_string()));
+    }
+
+    /// Ends the span now. Idempotent: the first end wins.
+    pub fn end(&self) {
+        let t = self.now();
+        self.end_at(t);
+    }
+
+    /// Ends the span at an explicit time. Idempotent: the first end wins.
+    pub fn end_at(&self, t: SimTime) {
+        let mut spans = self.inner.spans.borrow_mut();
+        let r = &mut spans[self.idx];
+        if r.end.is_none() {
+            r.end = Some(t);
+        }
+    }
+
+    /// Pushes this span onto the ambient current-span stack. The returned
+    /// guard pops it on drop; guards must be dropped in LIFO order.
+    pub fn enter(&self) -> ScopeGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        ScopeGuard { _not_send: std::marker::PhantomData }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Span>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the ambient stack on drop. See [`Span::enter`].
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The ambient current span, or an inert handle if no trace is active.
+pub fn current() -> MaybeSpan {
+    MaybeSpan(CURRENT.with(|c| c.borrow().last().cloned()))
+}
+
+/// Opens a child of the ambient current span, or returns an inert handle if
+/// no trace is active.
+pub fn child(name: &str) -> MaybeSpan {
+    current().child(name)
+}
+
+/// A span handle that may be inert. Every operation is a no-op when no
+/// trace was active at capture time, so instrumented code paths need no
+/// `if tracing` branches.
+#[derive(Clone, Default)]
+pub struct MaybeSpan(Option<Span>);
+
+impl MaybeSpan {
+    /// An inert handle.
+    pub fn none() -> Self {
+        MaybeSpan(None)
+    }
+
+    /// Whether this handle refers to a live span.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a child span starting now (inert if this handle is inert).
+    pub fn child(&self, name: &str) -> MaybeSpan {
+        MaybeSpan(self.0.as_ref().map(|s| s.child(name)))
+    }
+
+    /// Opens a child span with an explicit start time.
+    pub fn child_at(&self, name: &str, start: SimTime) -> MaybeSpan {
+        MaybeSpan(self.0.as_ref().map(|s| s.child_at(name, start)))
+    }
+
+    /// Attaches a tag.
+    pub fn tag(&self, key: &str, value: impl std::fmt::Display) {
+        if let Some(s) = &self.0 {
+            s.tag(key, value);
+        }
+    }
+
+    /// Ends the span now (first end wins).
+    pub fn end(&self) {
+        if let Some(s) = &self.0 {
+            s.end();
+        }
+    }
+
+    /// Ends the span at an explicit time (first end wins).
+    pub fn end_at(&self, t: SimTime) {
+        if let Some(s) = &self.0 {
+            s.end_at(t);
+        }
+    }
+
+    /// Re-installs this span as the ambient current span for the guard's
+    /// lifetime. Returns `None` (and installs nothing) when inert.
+    pub fn enter(&self) -> Option<ScopeGuard> {
+        self.0.as_ref().map(|s| s.enter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdb_util::clock::ManualClock;
+    use crdb_util::time::dur;
+
+    #[test]
+    fn span_tree_records_times_and_tags() {
+        let clock = ManualClock::new();
+        let (trace, root) = Trace::start("req", clock.clone());
+        clock.advance(dur::ms(1));
+        let a = root.child("a");
+        a.tag("tenant", 7);
+        clock.advance(dur::ms(2));
+        let b = a.child("b");
+        clock.advance(dur::ms(3));
+        b.end();
+        a.end();
+        clock.advance(dur::ms(4));
+        root.end();
+
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "req");
+        assert_eq!(spans[1].tag("tenant"), Some("7"));
+        assert_eq!(spans[1].duration(), dur::ms(5));
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(trace.paths(), vec!["req", "req/a", "req/a/b"]);
+        assert_eq!(spans[0].duration(), dur::ms(10));
+    }
+
+    #[test]
+    fn ambient_stack_propagates_and_unwinds() {
+        let clock = ManualClock::new();
+        let (trace, root) = Trace::start("req", clock.clone());
+        assert!(!current().is_active());
+        {
+            let _g = root.enter();
+            let c = child("inner");
+            assert!(c.is_active());
+            // Capture-and-reenter, as a scheduled callback would.
+            let captured = current();
+            {
+                let _g2 = captured.enter();
+                let d = child("deeper");
+                assert!(d.is_active());
+                d.end();
+            }
+            c.end();
+        }
+        assert!(!current().is_active());
+        assert!(!child("orphan").is_active());
+        assert_eq!(trace.paths(), vec!["req", "req/inner", "req/deeper"]);
+    }
+
+    #[test]
+    fn end_is_idempotent_first_wins() {
+        let clock = ManualClock::new();
+        let (trace, root) = Trace::start("req", clock.clone());
+        clock.advance(dur::ms(5));
+        root.end();
+        clock.advance(dur::ms(5));
+        root.end();
+        assert_eq!(trace.spans()[0].duration(), dur::ms(5));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_nested() {
+        let clock = ManualClock::new();
+        let (trace, root) = Trace::start("req", clock.clone());
+        let a = root.child("a");
+        a.tag("z", "2");
+        a.tag("k", "v\"q");
+        clock.advance(dur::ms(1));
+        a.end();
+        root.end();
+        let j = trace.to_json();
+        let expected = concat!(
+            r#"{"name":"req","start_ns":0,"end_ns":1000000,"#,
+            r#""children":[{"name":"a","start_ns":0,"end_ns":1000000,"#,
+            r#""tags":{"k":"v\"q","z":"2"}}]}"#,
+        );
+        assert_eq!(j, expected);
+        // Same construction under a fresh clock -> same bytes.
+        let clock2 = ManualClock::new();
+        let (trace2, root2) = Trace::start("req", clock2.clone());
+        let a2 = root2.child("a");
+        a2.tag("z", "2");
+        a2.tag("k", "v\"q");
+        clock2.advance(dur::ms(1));
+        a2.end();
+        root2.end();
+        assert_eq!(trace2.to_json(), j);
+    }
+
+    #[test]
+    fn synthetic_decomposition_sums_to_parent() {
+        let clock = ManualClock::new();
+        let (trace, root) = Trace::start("cold", clock.clone());
+        let t0 = clock.now();
+        let p1 = root.child_at("phase1", t0);
+        p1.end_at(t0 + dur::ms(3));
+        let p2 = root.child_at("phase2", t0 + dur::ms(3));
+        p2.end_at(t0 + dur::ms(10));
+        clock.advance(dur::ms(10));
+        root.end();
+        let spans = trace.spans();
+        let total: Duration = spans[1..].iter().map(|s| s.duration()).sum();
+        assert_eq!(total, spans[0].duration());
+    }
+}

@@ -31,19 +31,31 @@ pub struct PipelineConfig {
     /// Additional propagation delay before a generated sample is visible
     /// to the autoscaler (scrape + query stages).
     pub propagation_delay: Duration,
+    /// Samples older than this (relative to the current time) are evicted.
+    /// Readers querying windows up to `horizon - propagation_delay` are
+    /// guaranteed never to observe a gap from eviction.
+    pub horizon: Duration,
 }
 
 impl PipelineConfig {
     /// The original Prometheus pipeline: 10 s generation, and samples
     /// visible only after the scrape (10 s) and query (10 s) stages.
     pub fn prometheus() -> Self {
-        PipelineConfig { generation_interval: dur::secs(10), propagation_delay: dur::secs(20) }
+        PipelineConfig {
+            generation_interval: dur::secs(10),
+            propagation_delay: dur::secs(20),
+            horizon: dur::secs(600),
+        }
     }
 
     /// The revamped direct scrape: 3 s just-in-time sampling, effectively
     /// no extra propagation.
     pub fn direct() -> Self {
-        PipelineConfig { generation_interval: dur::secs(3), propagation_delay: Duration::ZERO }
+        PipelineConfig {
+            generation_interval: dur::secs(3),
+            propagation_delay: Duration::ZERO,
+            horizon: dur::secs(600),
+        }
     }
 
     /// Worst-case staleness of what the autoscaler reads.
@@ -99,12 +111,22 @@ impl MetricsPipeline {
                 let used = ((cpu_total - entry.last_cpu_total) / dt).max(0.0);
                 entry.last_cpu_total = cpu_total;
                 entry.samples.push((now, used));
-                // Bound memory: keep a generous 10-minute horizon.
-                let horizon = now.duration_since(SimTime::ZERO);
-                let _ = horizon;
-                if entry.samples.len() > 1024 {
-                    entry.samples.drain(..512);
+                // Bound memory with the configured time horizon. Eviction
+                // must never outrun visibility: the newest sample that has
+                // cleared propagation (what `visible_usage` returns) is
+                // always retained, even under a pathologically short
+                // horizon.
+                let mut first_keep = entry
+                    .samples
+                    .partition_point(|(t, _)| now.duration_since(*t) > config.horizon);
+                if let Some(newest_visible) = entry
+                    .samples
+                    .iter()
+                    .rposition(|(t, _)| *t + config.propagation_delay <= now)
+                {
+                    first_keep = first_keep.min(newest_visible);
                 }
+                entry.samples.drain(..first_keep);
             }
             true
         });
@@ -198,6 +220,49 @@ mod tests {
         }
         sim.run_for(dur::secs(20));
         let (t, _) = p.visible_usage(TenantId(2), sim.now()).expect("eventually visible");
+        assert!(sim.now().duration_since(t) >= dur::secs(20));
+    }
+
+    /// Regression: the old pruning was count-based (`drain(..512)` past
+    /// 1024 samples), so a small generation interval silently dropped
+    /// samples that were still inside the autoscaler's visible window. The
+    /// horizon-based eviction must keep every sample a reader can reach.
+    #[test]
+    fn pruning_never_drops_visible_samples() {
+        let sim = Sim::new(1);
+        let r = registry();
+        r.add_tenant(TenantId(2), sim.now());
+        let cfg = PipelineConfig {
+            generation_interval: dur::ms(10),
+            propagation_delay: Duration::ZERO,
+            horizon: dur::secs(600),
+        };
+        let p = MetricsPipeline::start(&sim, r, cfg);
+        sim.run_for(dur::secs(30));
+        // 10 ms generation over 30 s => ~3000 samples, all inside a 60 s
+        // window. The old code capped retention at 1024.
+        let samples = p.visible_window(TenantId(2), sim.now(), dur::secs(60));
+        assert!(samples.len() >= 2900, "visible samples were evicted: {}", samples.len());
+    }
+
+    /// The horizon really evicts — and even when it is shorter than the
+    /// propagation delay allows, the newest visible sample survives.
+    #[test]
+    fn horizon_evicts_but_keeps_newest_visible() {
+        let sim = Sim::new(1);
+        let r = registry();
+        r.add_tenant(TenantId(2), sim.now());
+        let cfg = PipelineConfig {
+            generation_interval: dur::secs(10),
+            propagation_delay: dur::secs(20),
+            horizon: dur::secs(30),
+        };
+        let p = MetricsPipeline::start(&sim, r, cfg);
+        sim.run_for(dur::secs(600));
+        // 60 samples generated; only ~the last 30 s retained.
+        let retained = p.visible_window(TenantId(2), sim.now(), dur::secs(600));
+        assert!(retained.len() <= 4, "horizon did not evict: {}", retained.len());
+        let (t, _) = p.visible_usage(TenantId(2), sim.now()).expect("newest visible kept");
         assert!(sim.now().duration_since(t) >= dur::secs(20));
     }
 

@@ -25,6 +25,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
+use crdb_obs::trace;
 use crdb_sim::Sim;
 use crdb_sql::node::SqlNode;
 use crdb_sql::system_db::SystemDatabase;
@@ -154,18 +155,33 @@ impl WarmPool {
         cb: Box<dyn FnOnce(Rc<SqlNode>)>,
     ) {
         *self.acquired.borrow_mut() += 1;
+        let span = trace::child("pool.acquire");
+        span.tag("tenant", tenant);
+        span.tag("attempt", attempt);
+        let ambient = trace::current();
         let jitter = self.config.jitter;
         let sample = |d: Duration| -> Duration {
             let f: f64 = self.sim.with_rng(|r| rand::Rng::gen_range(r, 1.0 - jitter..1.0 + jitter));
             Duration::from_secs_f64(d.as_secs_f64() * f)
         };
-        let mut delay = sample(self.config.pod_assignment);
+        // The whole flow sleeps once for the summed delay; each phase is
+        // recorded as a contiguous child span with the same sampled
+        // boundaries the model sleeps on, so the cold-start trace
+        // decomposes the sub-second budget (§4.2) phase by phase.
+        let mut cursor = self.sim.now();
+        let mut phase = |name: &str, d: Duration| {
+            let c = span.child_at(name, cursor);
+            cursor += d;
+            c.end_at(cursor);
+        };
+        phase("pod.assignment", sample(self.config.pod_assignment));
 
         // Pod acquisition.
         {
             let mut warm = self.warm.borrow_mut();
             if *warm > 0 {
                 *warm -= 1;
+                span.tag("pool_hit", "true");
                 // Schedule replenishment.
                 let pool = Rc::clone(self);
                 self.sim.schedule_after(self.config.replenish_delay, move || {
@@ -176,8 +192,9 @@ impl WarmPool {
                 });
             } else {
                 *self.pool_misses.borrow_mut() += 1;
+                span.tag("pool_hit", "false");
                 // No warm pod: provision a fresh one first.
-                delay += self.config.replenish_delay;
+                phase("pod.provision", self.config.replenish_delay);
             }
         }
 
@@ -185,15 +202,16 @@ impl WarmPool {
         // startup sequence.
         if self.config.prewarm_process {
             // Process already running; the certificate file-watch fires.
-            delay += sample(self.config.cert_delivery);
+            phase("cert.delivery", sample(self.config.cert_delivery));
         } else {
             // Certificates delivered, then the process boots; the proxy's
             // first connection attempt was reset meanwhile.
-            delay += sample(self.config.cert_delivery)
-                + sample(self.config.container_start)
-                + sample(self.config.process_start)
-                + sample(self.config.tcp_retry_penalty);
+            phase("cert.delivery", sample(self.config.cert_delivery));
+            phase("container.start", sample(self.config.container_start));
+            phase("process.start", sample(self.config.process_start));
+            phase("tcp.retry", sample(self.config.tcp_retry_penalty));
         }
+        let delay = cursor.duration_since(self.sim.now());
 
         let node = registry.make_node(tenant);
         let sdb = system_db.clone();
@@ -205,14 +223,19 @@ impl WarmPool {
                 // retry with a fresh one after a capped backoff.
                 pool.fail_next.set(pool.fail_next.get() - 1);
                 pool.start_failures.set(pool.start_failures.get() + 1);
+                span.tag("start_failed", "true");
+                span.end();
                 let backoff = (pool.config.start_retry_base * 2u32.pow(attempt.min(6)))
                     .min(pool.config.start_retry_cap);
                 let pool2 = Rc::clone(&pool);
                 pool.sim.schedule_after(backoff, move || {
+                    let _g = ambient.enter();
                     pool2.acquire_attempt(&registry, &sdb, tenant, attempt + 1, cb);
                 });
                 return;
             }
+            span.end();
+            let _g = ambient.enter();
             let node2 = Rc::clone(&node);
             node.start(&sdb, move || cb(node2));
         });

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
+use crdb_obs::trace;
 use crdb_sim::Sim;
 use crdb_sql::coord::SqlError;
 use crdb_sql::exec::QueryOutput;
@@ -132,6 +133,8 @@ pub struct Proxy {
     pub migrations: Cell<u64>,
     /// Connects that triggered a tenant resume (cold start).
     pub cold_starts: Cell<u64>,
+    /// Client-observed per-statement latency (one sample per attempt).
+    pub statement_latency: RefCell<crdb_util::Histogram>,
 }
 
 impl Proxy {
@@ -158,6 +161,7 @@ impl Proxy {
             connects: Cell::new(0),
             migrations: Cell::new(0),
             cold_starts: Cell::new(0),
+            statement_latency: RefCell::new(crdb_util::Histogram::new()),
         });
         let p = Rc::clone(&proxy);
         sim.schedule_periodic(config.rebalance_interval, move || {
@@ -233,6 +237,21 @@ impl Proxy {
         auth_ok: bool,
         cb: impl FnOnce(Result<Rc<Connection>, ProxyError>) + 'static,
     ) {
+        // The span ends when the client gets its first byte (the session
+        // handle or an error), so its duration is the full connect latency.
+        let span = trace::child("proxy.connect");
+        span.tag("tenant", tenant);
+        let cb = {
+            let span = span.clone();
+            move |r: Result<Rc<Connection>, ProxyError>| {
+                if let Ok(c) = &r {
+                    span.tag("session", c.session());
+                }
+                span.end();
+                cb(r)
+            }
+        };
+        let _scope = span.enter();
         if !self.registry.has_tenant(tenant) {
             cb(Err(ProxyError::UnknownTenant));
             return;
@@ -257,34 +276,46 @@ impl Proxy {
 
         let this = Rc::clone(self);
         let user = user.to_string();
+        let ambient = trace::current();
         self.with_ready_node(tenant, move |node| match node {
             Err(e) => cb(Err(e)),
             Ok(node) => {
                 let hop = this.config.hop_latency * 2;
                 let this2 = Rc::clone(&this);
-                this.sim.schedule_after(hop, move || match node.open_session(&user) {
-                    Err(e) => cb(Err(ProxyError::Sql(e))),
-                    Ok(session) => {
-                        let id = this2.next_conn.get();
-                        this2.next_conn.set(id + 1);
-                        // Capture the initial revival snapshot while the
-                        // fresh session is certainly idle.
-                        let snapshot = node.serialize_session(session).ok();
-                        let conn = Rc::new(Connection {
-                            id,
-                            tenant,
-                            node: RefCell::new(node),
-                            session: Cell::new(session),
-                            migrations: Cell::new(0),
-                            snapshot: RefCell::new(snapshot),
-                        });
-                        this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
-                        this2.registry.with_tenant(tenant, |e| {
-                            e.connections += 1;
-                            e.last_active = this2.sim.now();
-                        });
-                        this2.connects.set(this2.connects.get() + 1);
-                        cb(Ok(conn));
+                let hop_span = ambient.child("network.hop");
+                let ambient2 = ambient.clone();
+                this.sim.schedule_after(hop, move || {
+                    hop_span.end();
+                    let _scope = ambient2.enter();
+                    let open_span = trace::child("session.open");
+                    match node.open_session(&user) {
+                        Err(e) => {
+                            open_span.end();
+                            cb(Err(ProxyError::Sql(e)))
+                        }
+                        Ok(session) => {
+                            let id = this2.next_conn.get();
+                            this2.next_conn.set(id + 1);
+                            // Capture the initial revival snapshot while the
+                            // fresh session is certainly idle.
+                            let snapshot = node.serialize_session(session).ok();
+                            let conn = Rc::new(Connection {
+                                id,
+                                tenant,
+                                node: RefCell::new(node),
+                                session: Cell::new(session),
+                                migrations: Cell::new(0),
+                                snapshot: RefCell::new(snapshot),
+                            });
+                            this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
+                            this2.registry.with_tenant(tenant, |e| {
+                                e.connections += 1;
+                                e.last_active = this2.sim.now();
+                            });
+                            this2.connects.set(this2.connects.get() + 1);
+                            open_span.end();
+                            cb(Ok(conn));
+                        }
                     }
                 });
             }
@@ -338,13 +369,51 @@ impl Proxy {
         params: Vec<Datum>,
         cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
     ) {
+        self.execute_boxed(conn, sql, params, Box::new(cb));
+    }
+
+    /// `execute` with a boxed callback: the crash-mid-flight path in
+    /// [`Self::execute_inner`] re-routes through here, and boxing keeps
+    /// the recursive instantiation's type from growing without bound.
+    fn execute_boxed(
+        self: &Rc<Self>,
+        conn: &Rc<Connection>,
+        sql: &str,
+        params: Vec<Datum>,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        // One span (and one latency sample) per attempt: a crash-mid-flight
+        // re-route through `execute` records a fresh nested attempt.
+        let span = trace::child("proxy.execute");
+        span.tag("tenant", conn.tenant);
+        span.tag("session", conn.session());
+        let begin = self.sim.now();
+        let this0 = Rc::clone(self);
+        let cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)> = {
+            let span = span.clone();
+            Box::new(move |r: Result<QueryOutput, SqlError>| {
+                this0
+                    .statement_latency
+                    .borrow_mut()
+                    .record_duration(this0.sim.now().duration_since(begin));
+                span.end();
+                cb(r)
+            })
+        };
+        let _scope = span.enter();
         if conn.node().state() == NodeState::Stopped {
             let this = Rc::clone(self);
             let conn2 = Rc::clone(conn);
             let sql = sql.to_string();
-            self.revive(conn, move |r| match r {
-                Err(e) => cb(Err(e)),
-                Ok(()) => this.execute_inner(&conn2, &sql, params, cb),
+            let revive_span = trace::child("session.revive");
+            let ambient = trace::current();
+            self.revive(conn, move |r| {
+                revive_span.end();
+                let _scope = ambient.enter();
+                match r {
+                    Err(e) => cb(Err(e)),
+                    Ok(()) => this.execute_inner(&conn2, &sql, params, cb),
+                }
             });
             return;
         }
@@ -356,7 +425,7 @@ impl Proxy {
         conn: &Rc<Connection>,
         sql: &str,
         params: Vec<Datum>,
-        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
     ) {
         let node = conn.node();
         let session = conn.session();
@@ -367,16 +436,21 @@ impl Proxy {
         let tenant = conn.tenant;
         let this = Rc::clone(self);
         let conn2 = Rc::clone(conn);
+        let ambient = trace::current();
+        let req_hop = ambient.child("network.hop");
         self.sim.schedule_after(hop, move || {
+            req_hop.end();
+            let _scope = ambient.enter();
             if conn2.node().state() == NodeState::Stopped {
                 // The backend crashed while the request was on the wire;
                 // route back through `execute`, which revives first.
-                this.execute(&conn2, &sql, params, cb);
+                this.execute_boxed(&conn2, &sql, params, cb);
                 return;
             }
             registry.with_tenant(tenant, |e| e.last_active = sim.now());
             let sim2 = sim.clone();
             let node2 = Rc::clone(&node);
+            let ambient2 = trace::current();
             node.execute(session, &sql, params, move |r| {
                 // Refresh the revival snapshot whenever the session is
                 // idle afterwards, so a later crash resumes from the
@@ -386,7 +460,11 @@ impl Proxy {
                         *conn2.snapshot.borrow_mut() = Some(snap);
                     }
                 }
-                sim2.schedule_after(hop, move || cb(r));
+                let resp_hop = ambient2.child("network.hop");
+                sim2.schedule_after(hop, move || {
+                    resp_hop.end();
+                    cb(r)
+                });
             });
         });
     }

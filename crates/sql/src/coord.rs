@@ -18,6 +18,7 @@ use crdb_kv::batch::{BatchRequest, KvError, RequestKind, ResponseKind};
 use crdb_kv::client::{make_txn_meta, KvClient};
 use crdb_kv::keys as kvkeys;
 use crdb_kv::txn::TxnMeta;
+use crdb_obs::trace;
 
 use crate::expr::EvalError;
 
@@ -178,12 +179,19 @@ impl Txn {
             txn: Some(meta),
             requests: vec![RequestKind::Get { key: self.prefixed(&key) }],
         };
-        client.send(batch, move |resp| match resp.error {
-            Some(e) => cb(Err(map_kv_error(e))),
-            None => match resp.results.into_iter().next() {
-                Some(ResponseKind::Value(v)) => cb(Ok(v)),
-                _ => cb(Err(SqlError::Kv(KvError::RangeNotFound))),
-            },
+        let outer = trace::current();
+        let span = trace::child("txn.read");
+        let _g = span.enter();
+        client.send(batch, move |resp| {
+            span.end();
+            let _g = outer.enter();
+            match resp.error {
+                Some(e) => cb(Err(map_kv_error(e))),
+                None => match resp.results.into_iter().next() {
+                    Some(ResponseKind::Value(v)) => cb(Ok(v)),
+                    _ => cb(Err(SqlError::Kv(KvError::RangeNotFound))),
+                },
+            }
         });
     }
 
@@ -227,7 +235,13 @@ impl Txn {
         let requests: Vec<RequestKind> =
             miss_idx.iter().map(|&i| RequestKind::Get { key: self.prefixed(&keys[i]) }).collect();
         let batch = BatchRequest { tenant: self.tenant(), read_ts, txn: Some(meta), requests };
+        let outer = trace::current();
+        let span = trace::child("txn.read");
+        span.tag("keys", batch.requests.len());
+        let _g = span.enter();
         client.send(batch, move |resp| {
+            span.end();
+            let _g = outer.enter();
             if let Some(e) = resp.error {
                 cb(Err(map_kv_error(e)));
                 return;
@@ -267,7 +281,12 @@ impl Txn {
             txn: Some(meta),
             requests: vec![RequestKind::Scan { start: pstart, end: pend, limit: usize::MAX }],
         };
+        let outer = trace::current();
+        let span = trace::child("txn.scan");
+        let _g = span.enter();
         client.send(batch, move |resp| {
+            span.end();
+            let _g = outer.enter();
             if let Some(e) = resp.error {
                 cb(Err(map_kv_error(e)));
                 return;
@@ -358,11 +377,20 @@ impl Txn {
             requests: intents,
         };
         let this = self.clone();
+        let outer = trace::current();
+        let span = trace::child("txn.commit");
+        span.tag("intents", intent_keys.len());
+        let intents_span = span.child("commit.intents");
+        let _g = intents_span.enter();
         client.send(batch, move |resp| {
+            intents_span.end();
             if let Some(e) = resp.error {
                 this.inner.borrow_mut().state = TxnState::Aborted;
                 // Best-effort cleanup of any intents that did land.
                 this.cleanup_intents(&intent_keys, None);
+                span.tag("error", true);
+                span.end();
+                let _g = outer.enter();
                 cb(Err(map_kv_error(e)));
                 return;
             }
@@ -377,10 +405,16 @@ impl Txn {
                 requests: vec![RequestKind::EndTxn { commit: true }],
             };
             let this2 = this.clone();
+            let end_span = span.child("commit.end_txn");
+            let _g = end_span.enter();
             client.send(commit, move |resp| {
+                end_span.end();
                 if let Some(e) = resp.error {
                     this2.inner.borrow_mut().state = TxnState::Aborted;
                     this2.cleanup_intents(&intent_keys, None);
+                    span.tag("error", true);
+                    span.end();
+                    let _g = outer.enter();
                     cb(Err(map_kv_error(e)));
                     return;
                 }
@@ -389,7 +423,14 @@ impl Txn {
                 // the evaluation deterministic; production resolves the
                 // non-anchor ranges asynchronously).
                 let commit_ts = this2.inner.borrow().meta.write_ts;
-                this2.cleanup_intents(&intent_keys, Some(commit_ts));
+                let resolve_span = span.child("commit.resolve");
+                {
+                    let _g = resolve_span.enter();
+                    this2.cleanup_intents(&intent_keys, Some(commit_ts));
+                }
+                resolve_span.end();
+                span.end();
+                let _g = outer.enter();
                 cb(Ok(()));
             });
         });

@@ -18,6 +18,7 @@ use std::rc::Rc;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use crdb_kv::client::KvClient;
+use crdb_obs::trace;
 use crdb_sim::cpu::CpuScheduler;
 use crdb_sim::{Location, Sim};
 use crdb_util::time::{dur, SimTime};
@@ -216,21 +217,43 @@ impl SqlNode {
         // Total modeled latency of the blocking system-table accesses.
         let sys_latency = system_db.cold_start_latency(&topology, self.config.location);
 
+        let span = trace::child("sql.node.start");
+        span.tag("instance", self.instance_id);
+        span.tag("tenant", self.tenant);
+        let init_span = span.child("process.init");
         let node = Rc::clone(self);
         self.cpu.submit(self.tenant, self.config.startup_cpu, move || {
+            init_span.end();
+            let sys_span = span.child("systemdb.access");
             let node2 = Rc::clone(&node);
             node.sim.schedule_after(sys_latency, move || {
+                sys_span.end();
                 // Real catalog load: scan persisted descriptors.
+                let catalog_span = span.child("catalog.load");
                 let node3 = Rc::clone(&node2);
-                node2.load_catalog(move || {
-                    // Register this instance for DistSQL discovery.
-                    let node4 = Rc::clone(&node3);
-                    node3.register_instance(move || {
-                        node4.state.set(NodeState::Ready);
-                        node4.cold_start.set(Some(node4.sim.now().duration_since(started_at)));
-                        node4.start_background_loop();
-                        on_ready();
-                    });
+                let span2 = span.clone();
+                let _scope = catalog_span.enter();
+                node2.load_catalog({
+                    let catalog_span = catalog_span.clone();
+                    move || {
+                        catalog_span.end();
+                        // Register this instance for DistSQL discovery.
+                        let reg_span = span2.child("instance.register");
+                        let node4 = Rc::clone(&node3);
+                        let _scope = reg_span.enter();
+                        node3.register_instance({
+                            let reg_span = reg_span.clone();
+                            move || {
+                                reg_span.end();
+                                span2.end();
+                                node4.state.set(NodeState::Ready);
+                                node4.cold_start
+                                    .set(Some(node4.sim.now().duration_since(started_at)));
+                                node4.start_background_loop();
+                                on_ready();
+                            }
+                        });
+                    }
                 });
             });
         });
@@ -364,6 +387,20 @@ impl SqlNode {
                 return;
             }
         };
+        let span = trace::child("sql.execute");
+        span.tag("session", session);
+        span.tag("tenant", self.tenant);
+        let cb = {
+            let span = span.clone();
+            move |r: Result<QueryOutput, SqlError>| {
+                if r.is_err() {
+                    span.tag("error", true);
+                }
+                span.end();
+                cb(r);
+            }
+        };
+        let _scope = span.enter();
         self.execute_statement(session, stmt, params, 0, Box::new(cb));
     }
 
@@ -424,7 +461,13 @@ impl SqlNode {
             _ => {}
         }
 
-        let plan = match plan_statement(&mut self.catalog.borrow_mut(), &stmt) {
+        // Bind the planning result before matching: a `match` on the
+        // expression directly would keep the catalog `RefMut` temporary
+        // alive through the arms, and the `unknown table` arm can re-enter
+        // `execute_statement` synchronously (a fail-fast catalog refresh
+        // during a partition), which needs the catalog borrow again.
+        let planned = plan_statement(&mut self.catalog.borrow_mut(), &stmt);
+        let plan = match planned {
             Ok(p) => p,
             Err(SqlError::Plan(msg)) if msg.starts_with("unknown table") && attempt == 0 => {
                 // The table may have been created by another SQL node since
@@ -487,7 +530,9 @@ impl SqlNode {
                             // Retry the whole autocommit statement at a new
                             // timestamp after a short backoff.
                             let node2 = Rc::clone(&node);
+                            let ambient = trace::current();
                             node.sim.schedule_after(dur::ms(2 << attempt), move || {
+                                let _g = ambient.enter();
                                 node2.execute_statement(session, stmt2, params2, attempt + 1, cb)
                             });
                         }
@@ -499,9 +544,11 @@ impl SqlNode {
                                 txn.commit(move |r| match r {
                                     Err(e) if e.is_retryable() && attempt < 5 => {
                                         let node3 = Rc::clone(&node2);
+                                        let ambient = trace::current();
                                         node2.sim.schedule_after(
                                             dur::ms(2 << attempt),
                                             move || {
+                                                let _g = ambient.enter();
                                                 node3.execute_statement(
                                                     session,
                                                     stmt2,
@@ -545,7 +592,11 @@ impl SqlNode {
             cost += stats.bytes_read as f64 * self.config.cpu_marshal_per_byte
                 + stats.rows_read as f64 * self.config.cpu_marshal_per_row;
         }
-        self.cpu.submit(self.tenant, cost, move || cb(Ok(output)));
+        let span = trace::child("sql.cpu");
+        self.cpu.submit(self.tenant, cost, move || {
+            span.end();
+            cb(Ok(output))
+        });
     }
 
     fn persist_descriptor(

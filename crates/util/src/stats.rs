@@ -12,18 +12,25 @@ use std::time::Duration;
 use crate::time::SimTime;
 
 /// A time-based sliding window of `(time, value)` samples supporting
-/// average and maximum queries over the retained span.
+/// average and maximum queries over the span `[now - window, now]`.
+///
+/// Queries take the caller's `now` and evict relative to it, so a window
+/// that stops receiving samples decays to empty (and its stats to 0) once
+/// the last sample ages out — a tenant that goes idle must not keep
+/// reporting its last busy reading forever. The average is *time-weighted*:
+/// each sample's value holds from its timestamp until the next sample (or
+/// `now`), so irregular sampling cannot skew the result toward whichever
+/// phase happened to be sampled densely.
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     window: Duration,
     samples: VecDeque<(SimTime, f64)>,
-    sum: f64,
 }
 
 impl SlidingWindow {
     /// Creates a window retaining samples newer than `window`.
     pub fn new(window: Duration) -> Self {
-        SlidingWindow { window, samples: VecDeque::new(), sum: 0.0 }
+        SlidingWindow { window, samples: VecDeque::new() }
     }
 
     /// Records a sample at time `now`. Samples must arrive in
@@ -33,34 +40,51 @@ impl SlidingWindow {
             debug_assert!(now >= last, "samples must be time-ordered");
         }
         self.samples.push_back((now, value));
-        self.sum += value;
         self.evict(now);
     }
 
-    fn evict(&mut self, now: SimTime) {
-        let cutoff = now.duration_since(SimTime::ZERO);
-        while let Some(&(t, v)) = self.samples.front() {
-            if cutoff.saturating_sub(t.duration_since(SimTime::ZERO)) > self.window {
+    /// Drops samples that have aged out as of `now`.
+    pub fn evict(&mut self, now: SimTime) {
+        while let Some(&(t, _)) = self.samples.front() {
+            if now.duration_since(t) > self.window {
                 self.samples.pop_front();
-                self.sum -= v;
             } else {
                 break;
             }
         }
     }
 
-    /// Average of samples within the window ending at the most recent
-    /// sample, or 0 if empty.
-    pub fn avg(&self) -> f64 {
+    /// Time-weighted average over `[now - window, now]`, or 0 if no sample
+    /// is live at `now`. Evicts aged-out samples first. If all retained
+    /// samples share one timestamp (zero total weight), falls back to their
+    /// plain mean.
+    pub fn avg(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
         if self.samples.is_empty() {
-            0.0
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (i, &(t, v)) in self.samples.iter().enumerate() {
+            let until = match self.samples.get(i + 1) {
+                Some(&(next, _)) => next,
+                None => now,
+            };
+            let w = until.duration_since(t).as_secs_f64();
+            weighted += v * w;
+            weight += w;
+        }
+        if weight > 0.0 {
+            weighted / weight
         } else {
-            self.sum / self.samples.len() as f64
+            self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
         }
     }
 
-    /// Maximum sample within the window, or 0 if empty.
-    pub fn max(&self) -> f64 {
+    /// Maximum sample within the window as of `now`, or 0 if empty. Evicts
+    /// aged-out samples first.
+    pub fn max(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
         self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
     }
 
@@ -159,8 +183,9 @@ mod tests {
         w.record(t(0.0), 1.0);
         w.record(t(1.0), 3.0);
         w.record(t(2.0), 2.0);
-        assert_eq!(w.avg(), 2.0);
-        assert_eq!(w.max(), 3.0);
+        // Time-weighted: 1.0 holds for 1s, 3.0 for 1s, 2.0 has no span yet.
+        assert_eq!(w.avg(t(2.0)), 2.0);
+        assert_eq!(w.max(t(2.0)), 3.0);
     }
 
     #[test]
@@ -170,8 +195,42 @@ mod tests {
         w.record(t(0.0), 100.0);
         w.record(t(10.0), 2.0);
         assert_eq!(w.len(), 1);
-        assert_eq!(w.avg(), 2.0);
-        assert_eq!(w.max(), 2.0);
+        assert_eq!(w.avg(t(10.0)), 2.0);
+        assert_eq!(w.max(t(10.0)), 2.0);
+    }
+
+    /// Regression: before the fix, `avg`/`max` only evicted on `record`, so
+    /// a window that stopped receiving samples (an idle tenant) reported its
+    /// last busy reading forever and the autoscaler could never see 0.
+    #[test]
+    fn sliding_window_idle_decays_to_zero() {
+        let mut w = SlidingWindow::new(dur::secs(5));
+        let t = |s| SimTime::from_secs_f64(s);
+        w.record(t(0.0), 8.0);
+        w.record(t(1.0), 8.0);
+        // Tenant goes idle: no further records. Stats must decay relative
+        // to the caller's now, not the last record time.
+        assert!(w.avg(t(2.0)) > 0.0);
+        assert_eq!(w.avg(t(7.0)), 0.0);
+        assert_eq!(w.max(t(7.0)), 0.0);
+        assert!(w.is_empty());
+    }
+
+    /// Regression: the average is time-weighted, so a dense burst of samples
+    /// cannot dominate a sparsely-sampled quiet period of equal duration.
+    #[test]
+    fn sliding_window_avg_is_time_weighted() {
+        let mut w = SlidingWindow::new(dur::secs(60));
+        let t = |s| SimTime::from_secs_f64(s);
+        // 11 samples of 100.0 packed into the first second...
+        for i in 0..=10 {
+            w.record(t(i as f64 * 0.1), 100.0);
+        }
+        // ...then a single 0.0 sample holding for the next 9 seconds.
+        w.record(t(1.0), 0.0);
+        let avg = w.avg(t(10.0));
+        // Per-sample mean would be ~92; the true duty cycle is 10%.
+        assert!((avg - 10.0).abs() < 1.0, "avg={avg}");
     }
 
     #[test]
