@@ -14,7 +14,7 @@
 //! trickle rates converges to the refill rate — by blending each node's
 //! previous grant toward the fair share of currently-active requesters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crdb_util::bucket::TokenBucket;
@@ -56,7 +56,7 @@ struct NodeGrantState {
 pub struct BucketServer {
     bucket: TokenBucket,
     refill_rate: f64,
-    nodes: HashMap<SqlInstanceId, NodeGrantState>,
+    nodes: BTreeMap<SqlInstanceId, NodeGrantState>,
     /// Total tokens handed out (for billing/metrics).
     pub tokens_granted: f64,
 }
@@ -70,7 +70,7 @@ impl BucketServer {
         BucketServer {
             bucket: TokenBucket::new(rate, rate * 5.0),
             refill_rate: rate,
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             tokens_granted: 0.0,
         }
     }
@@ -80,7 +80,7 @@ impl BucketServer {
         BucketServer {
             bucket: TokenBucket::new(f64::INFINITY, f64::INFINITY),
             refill_rate: f64::INFINITY,
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             tokens_granted: 0.0,
         }
     }
@@ -163,7 +163,9 @@ impl BucketServer {
         let mut rates: Vec<(SqlInstanceId, f64)> = self
             .nodes
             .iter()
-            .filter(|(_, s)| s.trickling && now.duration_since(s.last_request_at) < TRICKLE_DURATION)
+            .filter(|(_, s)| {
+                s.trickling && now.duration_since(s.last_request_at) < TRICKLE_DURATION
+            })
             .map(|(id, s)| (*id, s.last_trickle_rate))
             .collect();
         rates.sort_by_key(|&(id, _)| id);
@@ -381,7 +383,7 @@ mod tests {
     #[test]
     fn lump_granted_nodes_do_not_dilute_fair_share() {
         let mut server = BucketServer::new(1.0); // 1000/s, 5000 burst
-        // Node 3 takes a modest lump grant and goes quiet.
+                                                 // Node 3 takes a modest lump grant and goes quiet.
         assert!(matches!(
             server.request(t(0.0), SqlInstanceId(3), 100.0, 0.0),
             GrantResponse::Granted(_)

@@ -8,7 +8,7 @@
 //! transaction fairness under contention. Operations carry deadlines and
 //! are dropped (reported, not granted) once expired.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Duration;
 
 use crdb_util::stats::DecayingCounter;
@@ -77,7 +77,7 @@ struct TenantQueue<T> {
 
 /// The two-level fair queue.
 pub struct WorkQueue<T> {
-    tenants: HashMap<TenantId, TenantQueue<T>>,
+    tenants: BTreeMap<TenantId, TenantQueue<T>>,
     half_life: Duration,
     next_seq: u64,
     queued: usize,
@@ -88,7 +88,7 @@ pub struct WorkQueue<T> {
 impl<T> WorkQueue<T> {
     /// Creates a queue whose fairness signal decays with `half_life`.
     pub fn new(half_life: Duration) -> Self {
-        WorkQueue { tenants: HashMap::new(), half_life, next_seq: 0, queued: 0, timed_out: 0 }
+        WorkQueue { tenants: BTreeMap::new(), half_life, next_seq: 0, queued: 0, timed_out: 0 }
     }
 
     fn tenant_entry(&mut self, tenant: TenantId) -> &mut TenantQueue<T> {
@@ -170,6 +170,8 @@ impl<T> WorkQueue<T> {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crdb_util::time::dur;
 

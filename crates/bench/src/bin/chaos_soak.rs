@@ -83,9 +83,6 @@ fn main() {
         "same-seed runs must produce byte-identical metrics snapshots"
     );
     println!("  {} log lines, identical across runs", report.log.lines().count());
-    println!(
-        "  {} metric snapshot bytes, identical across runs",
-        report.metrics_snapshot.len()
-    );
+    println!("  {} metric snapshot bytes, identical across runs", report.metrics_snapshot.len());
     println!("\nOK: soak clean, log + metrics reproducible (seed {seed})");
 }

@@ -14,6 +14,9 @@
 //!   stable plateau (~42% in the paper) and the test tenant sees
 //!   single-tenant latencies (p50 0.019 s / p99 0.037 s).
 
+// simlint: allow-file(wall-clock) — bench harness: measures real elapsed
+// wall time of the simulation run itself, outside the deterministic sim clock
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

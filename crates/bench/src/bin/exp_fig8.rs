@@ -7,6 +7,9 @@
 //! of `LoadTrace::fig8_profile` (DESIGN.md §1), driven at scaled cost so a
 //! few dozen workers produce multi-vCPU load.
 
+// simlint: allow-file(wall-clock) — bench harness: measures real elapsed
+// wall time of the simulation run itself, outside the deterministic sim clock
+
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 

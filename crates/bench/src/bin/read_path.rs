@@ -13,6 +13,9 @@
 //!   path must stop pulling after ~`limit` live entries while the eager
 //!   path materializes the whole span.
 
+// simlint: allow-file(wall-clock) — bench harness: measures real elapsed
+// wall time of the simulation run itself, outside the deterministic sim clock
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

@@ -29,7 +29,11 @@ use crdb_sim::Sim;
 use crdb_util::time::dur;
 use crdb_util::RegionId;
 
-fn connect(sim: &Sim, cluster: &Rc<ServerlessCluster>, tenant: crdb_util::TenantId) -> Rc<Connection> {
+fn connect(
+    sim: &Sim,
+    cluster: &Rc<ServerlessCluster>,
+    tenant: crdb_util::TenantId,
+) -> Rc<Connection> {
     let slot = Rc::new(RefCell::new(None));
     let s = Rc::clone(&slot);
     cluster.connect(tenant, "10.0.0.1", "app", move |r| {
@@ -71,26 +75,21 @@ fn cold_start_trace() -> (Trace, Duration) {
             let sim3 = sim2.clone();
             let root3 = root2.clone();
             let finished3 = Rc::clone(&finished2);
-            cluster2.execute(
-                &conn,
-                "CREATE TABLE t (id INT PRIMARY KEY, v INT)",
-                vec![],
-                {
-                    let conn = Rc::clone(&conn);
-                    move |r| {
-                        r.expect("create table");
-                        let _g = root3.enter();
-                        let root4 = root3.clone();
-                        let sim4 = sim3.clone();
-                        let finished4 = Rc::clone(&finished3);
-                        cluster3.execute(&conn, "INSERT INTO t VALUES (1, 100)", vec![], move |r| {
-                            r.expect("insert");
-                            root4.end();
-                            *finished4.borrow_mut() = Some(sim4.now().duration_since(begin));
-                        });
-                    }
-                },
-            );
+            cluster2.execute(&conn, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", vec![], {
+                let conn = Rc::clone(&conn);
+                move |r| {
+                    r.expect("create table");
+                    let _g = root3.enter();
+                    let root4 = root3.clone();
+                    let sim4 = sim3.clone();
+                    let finished4 = Rc::clone(&finished3);
+                    cluster3.execute(&conn, "INSERT INTO t VALUES (1, 100)", vec![], move |r| {
+                        r.expect("insert");
+                        root4.end();
+                        *finished4.borrow_mut() = Some(sim4.now().duration_since(begin));
+                    });
+                }
+            });
         });
     }
     sim.run_for(dur::secs(60));
@@ -112,10 +111,7 @@ fn throttled_trace() -> Trace {
     let mut gated = false;
     for i in 0..400 {
         run_sql(&sim, &cluster, &conn, &format!("INSERT INTO burn VALUES ({i}, {i})"));
-        if info
-            .gate_until(conn.node().instance_id)
-            .is_some_and(|until| until > sim.now())
-        {
+        if info.gate_until(conn.node().instance_id).is_some_and(|until| until > sim.now()) {
             gated = true;
             break;
         }

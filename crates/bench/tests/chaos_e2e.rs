@@ -38,10 +38,7 @@ fn chaos_small_plan_holds_invariants_and_replays() {
         report.metrics_snapshot, again.metrics_snapshot,
         "same-seed runs must produce byte-identical metrics snapshots"
     );
-    assert!(
-        report.metrics_snapshot.contains("proxy.connects"),
-        "snapshot covers the proxy layer"
-    );
+    assert!(report.metrics_snapshot.contains("proxy.connects"), "snapshot covers the proxy layer");
     assert!(
         report.metrics_snapshot.contains("kv.node.1.storage.flush_bytes"),
         "snapshot covers the storage layer"

@@ -7,16 +7,16 @@
 //! accounting loop that feeds each tenant's distributed token bucket.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
 use crdb_accounting::model::EcpuModel;
 use crdb_kv::client::KvClient;
-use crdb_obs::metrics::Sampler;
-use crdb_obs::trace;
 use crdb_kv::cluster::{KvCluster, KvClusterConfig};
 use crdb_kv::cost::TrafficStats;
+use crdb_obs::metrics::Sampler;
+use crdb_obs::trace;
 use crdb_serverless::autoscaler::{Autoscaler, AutoscalerConfig};
 use crdb_serverless::metrics::{MetricsPipeline, PipelineConfig};
 use crdb_serverless::pool::{ColdStartConfig, WarmPool};
@@ -96,7 +96,7 @@ pub struct ServerlessCluster {
     /// Unified observability registry: every layer's counters, gauges and
     /// histograms, sampled deterministically at snapshot time.
     pub obs: crdb_obs::Registry,
-    tenants: Rc<RefCell<HashMap<TenantId, Rc<TenantInfo>>>>,
+    tenants: Rc<RefCell<BTreeMap<TenantId, Rc<TenantInfo>>>>,
     /// Preferred placement for a tenant's next SQL nodes (set by probers
     /// and multi-region tests before connecting).
     preferred_location: Rc<RefCell<HashMap<TenantId, Location>>>,
@@ -109,8 +109,8 @@ impl ServerlessCluster {
     /// Builds and starts a deployment on `sim`.
     pub fn new(sim: &Sim, config: ServerlessConfig) -> Rc<ServerlessCluster> {
         let kv = KvCluster::new(sim, config.topology.clone(), config.kv.clone());
-        let tenants: Rc<RefCell<HashMap<TenantId, Rc<TenantInfo>>>> =
-            Rc::new(RefCell::new(HashMap::new()));
+        let tenants: Rc<RefCell<BTreeMap<TenantId, Rc<TenantInfo>>>> =
+            Rc::new(RefCell::new(BTreeMap::new()));
         let preferred_location: Rc<RefCell<HashMap<TenantId, Location>>> =
             Rc::new(RefCell::new(HashMap::new()));
         let next_instance = Rc::new(Cell::new(1u64));
@@ -258,8 +258,8 @@ impl ServerlessCluster {
         // cumulative estimated CPU. Tenant iteration is sorted for
         // determinism.
         let tenants = self.tenants.borrow();
-        let mut ids: Vec<TenantId> = tenants.keys().copied().collect();
-        ids.sort();
+        // BTreeMap: key order is already deterministic.
+        let ids: Vec<TenantId> = tenants.keys().copied().collect();
         for id in ids {
             let info = &tenants[&id];
             let p = format!("tenant.{}", id.raw());

@@ -139,10 +139,8 @@ fn idle_usage_decays_to_zero_and_suspends() {
         out.borrow_mut().take().expect("insert completed").expect("insert ok");
     }
     sim.run_for(dur::secs(5));
-    let (_, busy) = cluster
-        .pipeline
-        .visible_usage(tenant, sim.now())
-        .expect("usage visible after burst");
+    let (_, busy) =
+        cluster.pipeline.visible_usage(tenant, sim.now()).expect("usage visible after burst");
     assert!(busy > 0.0, "burst produced visible CPU usage: {busy}");
 
     // Go idle. The visible usage must decay to zero (fresh samples of 0

@@ -66,11 +66,8 @@ fn cold_start_trace_has_golden_structure() {
     // Golden structure: the connect's children, in order.
     let connect_idx =
         spans.iter().position(|s| s.name == "proxy.connect").expect("proxy.connect span");
-    let connect_children: Vec<&str> = spans
-        .iter()
-        .filter(|s| s.parent == Some(connect_idx))
-        .map(|s| s.name.as_str())
-        .collect();
+    let connect_children: Vec<&str> =
+        spans.iter().filter(|s| s.parent == Some(connect_idx)).map(|s| s.name.as_str()).collect();
     assert_eq!(
         connect_children,
         ["pool.acquire", "sql.node.start", "network.hop", "session.open"],

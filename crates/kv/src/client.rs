@@ -535,7 +535,10 @@ impl DispatchState {
     }
 
     fn fail(self: &Rc<Self>, error: KvError) {
-        if let Some(cb) = self.finished.borrow_mut().take() {
+        // Bind before branching: the callback may issue a follow-up batch
+        // that re-enters this state while the guard is live.
+        let cb = self.finished.borrow_mut().take();
+        if let Some(cb) = cb {
             cb(BatchResponse::err(error));
         }
         Self::piece_done(self);
@@ -550,7 +553,10 @@ impl DispatchState {
         if remaining > 0 {
             return;
         }
-        let cb = match state.finished.borrow_mut().take() {
+        // Bind before matching so the RefMut guard is dropped here and not
+        // held across the merge below (PR 3 bug class).
+        let finished = state.finished.borrow_mut().take();
+        let cb = match finished {
             Some(cb) => cb,
             None => return, // already failed
         };

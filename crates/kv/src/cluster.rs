@@ -257,8 +257,11 @@ impl KvCluster {
             let cluster = self.clone();
             let sim = self.sim.clone();
             self.sim.schedule_periodic(interval, move || {
-                let node = match cluster.inner.borrow().nodes.get(&id) {
-                    Some(n) => Rc::clone(n),
+                // Bind before matching: the guard must not outlive this
+                // statement (heartbeat work below re-borrows `inner`).
+                let node = cluster.inner.borrow().nodes.get(&id).map(Rc::clone);
+                let node = match node {
+                    Some(n) => n,
                     None => return false,
                 };
                 if !node.is_alive() {
@@ -604,7 +607,10 @@ impl KvCluster {
 
     /// Marks a node dead or alive (failure injection).
     pub fn set_node_alive(&self, id: NodeId, alive: bool) {
-        if let Some(n) = self.inner.borrow().nodes.get(&id) {
+        // Bind before branching so the cluster-state guard is not held
+        // while node state flips (which can fire liveness callbacks).
+        let node = self.inner.borrow().nodes.get(&id).map(Rc::clone);
+        if let Some(n) = node {
             n.set_alive(alive);
         }
     }

@@ -7,7 +7,7 @@
 //! Fig. 12 "no limits" chaos: an overloaded node cannot get its heartbeat
 //! CPU scheduled in time, fails liveness, and sheds all of its leases.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crdb_util::time::SimTime;
@@ -41,7 +41,7 @@ struct Record {
 /// The shared liveness table.
 #[derive(Debug, Default)]
 pub struct Liveness {
-    records: HashMap<NodeId, Record>,
+    records: BTreeMap<NodeId, Record>,
     /// Total epoch increments (lease-invalidating events), for metrics.
     pub epoch_bumps: u64,
 }
@@ -91,10 +91,8 @@ impl Liveness {
 
     /// All registered nodes currently live.
     pub fn live_nodes(&self, now: SimTime) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> =
-            self.records.iter().filter(|(_, r)| r.expires >= now).map(|(&n, _)| n).collect();
-        v.sort();
-        v
+        // BTreeMap: already in node-id order.
+        self.records.iter().filter(|(_, r)| r.expires >= now).map(|(&n, _)| n).collect()
     }
 }
 

@@ -671,6 +671,7 @@ impl KvNode {
     /// Traffic features summed over all tenants.
     pub fn traffic_stats_total(&self) -> TrafficStats {
         let mut total = TrafficStats::default();
+        // simlint: allow(nondet-iter) — all TrafficStats fields are integer counters, so the sum is order-independent
         for s in self.traffic.borrow().values() {
             total.read_batches += s.read_batches;
             total.read_requests += s.read_requests;

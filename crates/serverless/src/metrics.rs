@@ -116,13 +116,10 @@ impl MetricsPipeline {
                 // cleared propagation (what `visible_usage` returns) is
                 // always retained, even under a pathologically short
                 // horizon.
-                let mut first_keep = entry
-                    .samples
-                    .partition_point(|(t, _)| now.duration_since(*t) > config.horizon);
-                if let Some(newest_visible) = entry
-                    .samples
-                    .iter()
-                    .rposition(|(t, _)| *t + config.propagation_delay <= now)
+                let mut first_keep =
+                    entry.samples.partition_point(|(t, _)| now.duration_since(*t) > config.horizon);
+                if let Some(newest_visible) =
+                    entry.samples.iter().rposition(|(t, _)| *t + config.propagation_delay <= now)
                 {
                     first_keep = first_keep.min(newest_visible);
                 }

@@ -9,7 +9,7 @@
 //! sessions between SQL nodes using the serialized-session protocol.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -118,7 +118,7 @@ pub struct Proxy {
     registry: Registry,
     pool: Rc<WarmPool>,
     system_db: SystemDbProvider,
-    conns: RefCell<HashMap<u64, Rc<Connection>>>,
+    conns: RefCell<BTreeMap<u64, Rc<Connection>>>,
     next_conn: Cell<u64>,
     throttle: RefCell<HashMap<String, ThrottleState>>,
     /// Per-tenant allowlist (None = all allowed).
@@ -152,7 +152,7 @@ impl Proxy {
             registry,
             pool,
             system_db,
-            conns: RefCell::new(HashMap::new()),
+            conns: RefCell::new(BTreeMap::new()),
             next_conn: Cell::new(1),
             throttle: RefCell::new(HashMap::new()),
             allowlist: RefCell::new(HashMap::new()),
@@ -189,12 +189,17 @@ impl Proxy {
     }
 
     fn check_ip(&self, tenant: TenantId, ip: &str) -> bool {
-        if let Some(denied) = self.denylist.borrow().get(&tenant) {
+        // Guards are bound to locals (not scrutinees) so neither list's
+        // borrow is held across the other lookup or any caller re-entry.
+        let denylist = self.denylist.borrow();
+        if let Some(denied) = denylist.get(&tenant) {
             if denied.iter().any(|d| d == ip) {
                 return false;
             }
         }
-        if let Some(allowed) = self.allowlist.borrow().get(&tenant) {
+        drop(denylist);
+        let allowlist = self.allowlist.borrow();
+        if let Some(allowed) = allowlist.get(&tenant) {
             return allowed.iter().any(|a| a == ip);
         }
         true
@@ -544,10 +549,10 @@ impl Proxy {
     /// Periodic connection rebalancing (§4.2.2): drains first, then
     /// smooths imbalance across ready nodes.
     pub fn rebalance(self: &Rc<Self>) {
-        // Sorted so the migration order (and thus pod placement) is
-        // deterministic — the map's iteration order is not.
-        let mut conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
-        conns.sort_by_key(|c| c.id);
+        // The conn map is a BTreeMap keyed by connection id, so migration
+        // order (and thus pod placement) is deterministic. Collected up
+        // front because migrating re-enters the conn map.
+        let conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
         for conn in conns {
             let node = conn.node();
             if node.state() == NodeState::Stopped {

@@ -7,7 +7,7 @@
 //! independent of tenant provisioning details.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crdb_sql::node::{NodeState, SqlNode};
@@ -60,14 +60,14 @@ impl TenantEntry {
 /// The shared registry.
 #[derive(Clone)]
 pub struct Registry {
-    inner: Rc<RefCell<HashMap<TenantId, TenantEntry>>>,
+    inner: Rc<RefCell<BTreeMap<TenantId, TenantEntry>>>,
     factory: NodeFactory,
 }
 
 impl Registry {
     /// Creates a registry with a node factory.
     pub fn new(factory: NodeFactory) -> Registry {
-        Registry { inner: Rc::new(RefCell::new(HashMap::new())), factory }
+        Registry { inner: Rc::new(RefCell::new(BTreeMap::new())), factory }
     }
 
     /// Registers a tenant (starts suspended).
@@ -91,9 +91,8 @@ impl Registry {
 
     /// All tenant IDs.
     pub fn tenant_ids(&self) -> Vec<TenantId> {
-        let mut v: Vec<TenantId> = self.inner.borrow().keys().copied().collect();
-        v.sort();
-        v
+        // BTreeMap: already in tenant-id order.
+        self.inner.borrow().keys().copied().collect()
     }
 
     /// Creates a fresh SQL node for `tenant` via the injected factory.

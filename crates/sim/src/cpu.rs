@@ -236,6 +236,7 @@ impl CpuScheduler {
         inner.advance(now);
         // Summed in tenant order: float addition is order-sensitive and
         // the map's iteration order is not deterministic across runs.
+        // simlint: allow(nondet-iter) — collected then sorted by tenant id before the order-sensitive float sum
         let mut entries: Vec<(TenantId, f64)> = inner.usage.iter().map(|(t, v)| (*t, *v)).collect();
         entries.sort_by_key(|&(t, _)| t);
         entries.into_iter().map(|(_, v)| v).sum()

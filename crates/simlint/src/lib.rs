@@ -1,0 +1,90 @@
+//! `crdb-simlint` — the workspace's determinism & re-entrancy linter.
+//!
+//! The reproduction's value rests on deterministic simulation: same
+//! seed ⇒ byte-identical fault logs, traces, and metrics snapshots.
+//! Two hazard classes repeatedly broke that contract and were fixed by
+//! hand in earlier PRs (hash-order iteration leaking into outputs;
+//! `RefCell` guards held across re-entrant calls). This crate makes
+//! those invariants machine-checked: a hand-rolled lexer strips
+//! comments and strings, a line- and scope-aware engine applies the
+//! rules, and CI fails on any unsuppressed finding.
+//!
+//! See `DESIGN.md` §"Static analysis" for the determinism contract and
+//! the historical bug behind each rule; `crdb-simlint list` prints the
+//! same from the registry.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, check_paths, collect_files, Finding};
+pub use rules::{rule, Rule, RULES};
+
+/// Renders findings as a JSON array (hand-rolled — the workspace is
+/// hermetic, so no serde).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"suppressed\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            match &f.suppress_reason {
+                Some(r) => json_str(r),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_array_shape() {
+        let f = Finding {
+            rule: "wall-clock",
+            path: "x.rs".into(),
+            line: 3,
+            message: "m".into(),
+            snippet: "s".into(),
+            suppress_reason: None,
+        };
+        let j = to_json(&[f]);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"rule\":\"wall-clock\""));
+        assert!(j.contains("\"suppressed\":null"));
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: known-negative cases for `ambient-rng` — seeding from the
+// sim seed is the sanctioned path.
+
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn derived(parent: &mut SmallRng) -> SmallRng {
+    SmallRng::seed_from_u64(parent.next_u64())
+}
+
+pub fn comment_mention() {
+    // never use thread_rng() here; derive from the Sim seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_entropy_is_fine() {
+        let _r = rand::thread_rng();
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: known-positive cases for `ambient-rng`.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn reseed() -> Rng {
+    Rng::from_entropy()
+}
+
+pub fn os_entropy(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf);
+}

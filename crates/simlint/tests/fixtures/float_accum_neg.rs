@@ -1,0 +1,16 @@
+// Fixture: known-negative cases for `float-accum` — ordered maps and
+// Vec folds are deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_fold(usage: &BTreeMap<u64, f64>) -> f64 {
+    usage.values().sum::<f64>()
+}
+
+pub fn vec_fold(samples: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for v in samples.iter() {
+        total += v;
+    }
+    total
+}

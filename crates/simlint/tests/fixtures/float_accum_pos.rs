@@ -1,0 +1,16 @@
+// Fixture: known-positive cases for `float-accum` — float folds in
+// hash order drift run to run (addition is not associative).
+
+use std::collections::HashMap;
+
+pub fn loop_accum(usage: &HashMap<u64, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for (_t, v) in usage.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn chain_fold(usage: &HashMap<u64, f64>) -> f64 {
+    usage.values().sum::<f64>()
+}

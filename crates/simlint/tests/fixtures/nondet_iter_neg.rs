@@ -1,0 +1,52 @@
+// Fixture: known-negative cases for `nondet-iter` — ordered maps,
+// keyed lookups, patterns inside strings/comments, and test-only code
+// must all stay silent.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Registry {
+    tenants: BTreeMap<u64, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        // BTreeMap iteration is ordered: fine.
+        self.tenants.values().cloned().collect()
+    }
+}
+
+pub fn keyed_lookup(m: &HashMap<u64, String>, k: u64) -> Option<&String> {
+    // get() by key is order-independent: fine.
+    m.get(&k)
+}
+
+pub fn sorted_wrapper(m: &HashMap<u64, u64>) -> u64 {
+    // Root of the for-expression is a call, not the hash name: fine.
+    let mut total = 0;
+    for v in sorted(m) {
+        total += v;
+    }
+    total
+}
+
+fn sorted(m: &HashMap<u64, u64>) -> Vec<u64> {
+    // simlint: allow(nondet-iter) — collected then sorted before use
+    let mut v: Vec<u64> = m.values().copied().collect();
+    v.sort();
+    v
+}
+
+pub fn pattern_in_string() -> &'static str {
+    "call map.iter() on a HashMap"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_does_not_matter_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_k, _v) in m.iter() {}
+    }
+}

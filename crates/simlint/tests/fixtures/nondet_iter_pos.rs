@@ -1,0 +1,31 @@
+// Fixture: known-positive cases for `nondet-iter`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    tenants: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (_, v) in self.tenants.iter() {
+            out.push(v.clone());
+        }
+        out
+    }
+
+    pub fn drain_all(&mut self) {
+        for (_, _v) in self.tenants.drain() {}
+    }
+}
+
+pub fn collect_members(set: HashSet<u32>) -> Vec<u32> {
+    set.into_iter().collect()
+}
+
+pub fn local_binding() -> usize {
+    let live = HashMap::<u64, u64>::new();
+    live.keys().count()
+}

@@ -1,0 +1,35 @@
+// Fixture: known-negative cases for `reentrant-borrow` — the
+// bind-before-match idiom and guards dropped before re-entry.
+
+impl Node {
+    fn plan(&self, stmt: Statement) {
+        let plan = {
+            let mut catalog = self.catalog.borrow_mut();
+            plan_statement(&mut catalog, &stmt)
+        };
+        match plan {
+            Ok(p) => consume(p),
+            Err(_) => {}
+        }
+    }
+
+    fn clone_out_then_match(&self) {
+        let existing = self.conns.borrow().get(&0).cloned();
+        if let Some(conn) = existing {
+            consume(conn);
+        }
+    }
+
+    fn drop_before_call(&self) {
+        let guard = self.state.borrow_mut();
+        drop(guard);
+        self.tick();
+    }
+
+    fn scoped_guard(&self) {
+        {
+            let _guard = self.state.borrow_mut();
+        }
+        self.tick();
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: known-positive cases for `reentrant-borrow`.
+//
+// The first function reproduces, literally, the PR 3 sql::node bug: a
+// catalog RefMut bound in a match scrutinee lives for the whole match
+// body, so the `self.load_catalog(...)` retry in the Err arm re-borrows
+// and panics under chaos.
+
+impl Node {
+    fn plan(&self, stmt: Statement) {
+        let plan = match plan_statement(&mut self.catalog.borrow_mut(), &stmt) {
+            Ok(p) => p,
+            Err(_) => {
+                self.load_catalog(move || {});
+                return;
+            }
+        };
+        let _ = plan;
+    }
+
+    fn if_let_scrutinee(&self) {
+        if let Some(conn) = self.conns.borrow().get(&0) {
+            let _ = conn;
+        }
+    }
+
+    fn guard_across_self_call(&self) {
+        let guard = self.state.borrow_mut();
+        self.tick();
+        drop(guard);
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: suppression-directive behaviors.
+//
+// - a reasoned `allow` suppresses (finding kept, marked inactive)
+// - a reasonless `allow` is itself a `bad-directive` violation and
+//   suppresses nothing
+// - doc comments never carry directives
+
+use std::collections::HashMap;
+
+pub struct S {
+    m: HashMap<u32, u32>,
+}
+
+impl S {
+    pub fn suppressed_ok(&self) -> u64 {
+        // simlint: allow(nondet-iter) — integer count, order-independent
+        self.m.values().map(|v| *v as u64).sum::<u64>()
+    }
+
+    pub fn reasonless(&self) -> usize {
+        // simlint: allow(nondet-iter)
+        self.m.iter().count()
+    }
+}
+
+/// Doc comments are inert: simlint: allow(wall-clock) — not a directive
+pub fn doc_comment_is_inert() -> std::time::Instant {
+    std::time::Instant::now()
+}

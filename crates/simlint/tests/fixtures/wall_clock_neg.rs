@@ -1,0 +1,27 @@
+// Fixture: known-negative cases for `wall-clock` — comments, strings,
+// test code, and the sim clock must all stay silent.
+
+pub fn comment_mention() -> u64 {
+    // Instant::now() would be wrong here; take the sim clock instead.
+    42
+}
+
+pub fn string_mention() -> &'static str {
+    "do not call Instant::now() in sim code"
+}
+
+pub fn sim_clock(clock: &dyn Clock) -> u64 {
+    clock.now_nanos()
+}
+
+pub trait Clock {
+    fn now_nanos(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: known-positive cases for `wall-clock`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn qualified() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,131 @@
+//! Per-rule fixture tests: each rule has a known-positive file that
+//! must produce findings and a known-negative file that must not
+//! (guards against both missed bugs and false-positive regressions).
+
+use std::fs;
+use std::path::PathBuf;
+
+use crdb_simlint::{analyze_source, Finding};
+
+fn analyze(name: &str) -> (String, Vec<Finding>) {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+    (src.clone(), analyze_source(&p.display().to_string(), &src))
+}
+
+fn active<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule && f.is_active()).collect()
+}
+
+#[test]
+fn nondet_iter_positive() {
+    let (_, f) = analyze("nondet_iter_pos.rs");
+    let hits = active(&f, "nondet-iter");
+    // field iter, drain, HashSet into_iter, let-bound keys().
+    assert!(hits.len() >= 4, "expected >=4 nondet-iter findings, got: {hits:#?}");
+}
+
+#[test]
+fn nondet_iter_negative() {
+    let (_, f) = analyze("nondet_iter_neg.rs");
+    assert!(active(&f, "nondet-iter").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn wall_clock_positive() {
+    let (_, f) = analyze("wall_clock_pos.rs");
+    assert!(active(&f, "wall-clock").len() >= 3, "got: {f:#?}");
+}
+
+#[test]
+fn wall_clock_negative() {
+    let (_, f) = analyze("wall_clock_neg.rs");
+    assert!(active(&f, "wall-clock").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn ambient_rng_positive() {
+    let (_, f) = analyze("ambient_rng_pos.rs");
+    // thread_rng, from_entropy, OsRng.
+    assert!(active(&f, "ambient-rng").len() >= 3, "got: {f:#?}");
+}
+
+#[test]
+fn ambient_rng_negative() {
+    let (_, f) = analyze("ambient_rng_neg.rs");
+    assert!(active(&f, "ambient-rng").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn reentrant_borrow_positive_includes_the_pr3_pattern() {
+    let (src, f) = analyze("reentrant_borrow_pos.rs");
+    // The fixture must carry the literal sql::node pattern PR 3 fixed.
+    let pr3_line = src
+        .lines()
+        .position(|l| l.contains("match plan_statement(&mut self.catalog.borrow_mut(), &stmt)"))
+        .expect("fixture lost the literal PR 3 pattern")
+        + 1;
+    let hits = active(&f, "reentrant-borrow");
+    assert!(
+        hits.iter().any(|h| h.line == pr3_line),
+        "no reentrant-borrow finding at the PR 3 pattern (line {pr3_line}): {hits:#?}"
+    );
+    // Scrutinee borrow in if-let, and a guard held across a self-call.
+    assert!(hits.len() >= 3, "expected >=3 reentrant-borrow findings, got: {hits:#?}");
+}
+
+#[test]
+fn reentrant_borrow_negative() {
+    let (_, f) = analyze("reentrant_borrow_neg.rs");
+    assert!(active(&f, "reentrant-borrow").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn float_accum_positive() {
+    let (_, f) = analyze("float_accum_pos.rs");
+    // `total +=` inside the hash loop, and the .sum::<f64>() chain fold.
+    assert!(active(&f, "float-accum").len() >= 2, "got: {f:#?}");
+}
+
+#[test]
+fn float_accum_negative() {
+    let (_, f) = analyze("float_accum_neg.rs");
+    assert!(active(&f, "float-accum").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_keeps_the_reason() {
+    let (_, f) = analyze("suppression.rs");
+    let suppressed: Vec<_> =
+        f.iter().filter(|x| x.rule == "nondet-iter" && !x.is_active()).collect();
+    assert_eq!(suppressed.len(), 1, "got: {f:#?}");
+    assert_eq!(suppressed[0].suppress_reason.as_deref(), Some("integer count, order-independent"));
+}
+
+#[test]
+fn reasonless_allow_is_bad_directive_and_suppresses_nothing() {
+    let (_, f) = analyze("suppression.rs");
+    assert_eq!(active(&f, "bad-directive").len(), 1, "got: {f:#?}");
+    // The finding under the reasonless directive stays active.
+    assert_eq!(active(&f, "nondet-iter").len(), 1, "got: {f:#?}");
+}
+
+#[test]
+fn doc_comment_directive_is_inert() {
+    let (_, f) = analyze("suppression.rs");
+    // The Instant::now() under the doc comment must still be reported.
+    assert_eq!(active(&f, "wall-clock").len(), 1, "got: {f:#?}");
+}
+
+#[test]
+fn allow_file_suppresses_named_rule_only() {
+    let (_, f) = analyze("allow_file.rs");
+    assert!(active(&f, "wall-clock").is_empty(), "allow-file failed: {f:#?}");
+    assert_eq!(
+        f.iter().filter(|x| x.rule == "wall-clock" && !x.is_active()).count(),
+        2,
+        "both wall-clock sites should be recorded as suppressed: {f:#?}"
+    );
+    // Rules the directive does not name still fire.
+    assert_eq!(active(&f, "nondet-iter").len(), 1, "got: {f:#?}");
+}

@@ -247,7 +247,8 @@ impl SqlNode {
                                 reg_span.end();
                                 span2.end();
                                 node4.state.set(NodeState::Ready);
-                                node4.cold_start
+                                node4
+                                    .cold_start
                                     .set(Some(node4.sim.now().duration_since(started_at)));
                                 node4.start_background_loop();
                                 on_ready();

@@ -6,7 +6,7 @@
 //! walks. Span endpoints stay as expressions so one prepared plan serves
 //! every parameter binding ("same query, same plan" — §6.7).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::coord::SqlError;
 use crate::expr::{resolve_name, BinOp, Expr};
@@ -17,7 +17,7 @@ use crate::value::ColumnType;
 /// The per-tenant table catalog (a cache of `system.descriptor`).
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: HashMap<String, TableDescriptor>,
+    tables: BTreeMap<String, TableDescriptor>,
     next_table_id: u64,
 }
 
@@ -28,7 +28,7 @@ pub const FIRST_USER_TABLE_ID: u64 = 100;
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Catalog { tables: HashMap::new(), next_table_id: FIRST_USER_TABLE_ID }
+        Catalog { tables: BTreeMap::new(), next_table_id: FIRST_USER_TABLE_ID }
     }
 
     /// Looks up a table.

@@ -28,6 +28,7 @@ pub struct WallClock {
 impl WallClock {
     /// Creates a wall clock anchored at the present moment.
     pub fn new() -> Self {
+        // simlint: allow(wall-clock) — the one sanctioned wall-clock adapter behind the Clock trait; sim components use ManualClock
         WallClock { start: Instant::now() }
     }
 }

@@ -2,7 +2,7 @@
 //! deployment.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use crdb_core::{DedicatedCluster, ServerlessCluster};
@@ -20,8 +20,8 @@ use crate::driver::SqlExecutor;
 pub struct ServerlessExecutor {
     cluster: Rc<ServerlessCluster>,
     tenant: TenantId,
-    conns: RefCell<HashMap<usize, Rc<Connection>>>,
-    connecting: RefCell<HashMap<usize, Vec<ConnWaiter>>>,
+    conns: RefCell<BTreeMap<usize, Rc<Connection>>>,
+    connecting: RefCell<BTreeMap<usize, Vec<ConnWaiter>>>,
 }
 
 /// A statement waiting for its worker's connection to come up.
@@ -33,14 +33,17 @@ impl ServerlessExecutor {
         Rc::new(ServerlessExecutor {
             cluster,
             tenant,
-            conns: RefCell::new(HashMap::new()),
-            connecting: RefCell::new(HashMap::new()),
+            conns: RefCell::new(BTreeMap::new()),
+            connecting: RefCell::new(BTreeMap::new()),
         })
     }
 
     fn with_conn(self: &Rc<Self>, worker: usize, cb: Box<dyn FnOnce(Rc<Connection>)>) {
-        if let Some(conn) = self.conns.borrow().get(&worker) {
-            cb(Rc::clone(conn));
+        // Bind before branching: `cb` may synchronously issue queries that
+        // re-enter `with_conn` and borrow the conn map again.
+        let existing = self.conns.borrow().get(&worker).map(Rc::clone);
+        if let Some(conn) = existing {
+            cb(conn);
             return;
         }
         let mut connecting = self.connecting.borrow_mut();
@@ -64,7 +67,8 @@ impl ServerlessExecutor {
 
     /// Closes all worker connections.
     pub fn close_all(&self) {
-        for (_, conn) in self.conns.borrow_mut().drain() {
+        let conns = std::mem::take(&mut *self.conns.borrow_mut());
+        for (_, conn) in conns {
             self.cluster.close(&conn);
         }
     }
