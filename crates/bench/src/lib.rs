@@ -7,6 +7,7 @@
 //! preserves.
 
 pub mod chaos;
+pub mod disaster;
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,0 +1,47 @@
+//! End-to-end disaster test: a scripted region outage (with pod-start
+//! burst and overlapping latency spike) against the full serverless
+//! stack running TPC-C-lite, with the blast-radius invariants.
+
+use crdb_bench::disaster::{run_disaster, DisasterOptions};
+use crdb_util::time::dur;
+
+fn options(seed: u64) -> DisasterOptions {
+    DisasterOptions {
+        seed,
+        workers: 2,
+        think_time: dur::ms(300),
+        warmup: dur::secs(15),
+        outage: dur::secs(30),
+        cooldown: dur::secs(60),
+        statement_deadline: dur::secs(2),
+    }
+}
+
+#[test]
+fn scripted_region_loss_holds_invariants_and_replays() {
+    let report = run_disaster(&options(11));
+    assert!(report.committed > 0, "workload progresses through the disaster");
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert!(report.slots_lost > 0, "the dark region burned warm slots");
+    assert!(report.log.contains("region-outage region=1"), "script injected the outage");
+    assert!(report.log.contains("region-recover region=1"), "script recovered the region");
+    assert!(report.log.contains("tenants re-homed"), "the victim tenant was re-homed");
+
+    // Same seed replays to a byte-identical fault log and metrics
+    // snapshot; degradation counters live in the snapshot.
+    let again = run_disaster(&options(11));
+    assert_eq!(report.log, again.log);
+    assert_eq!(report.metrics_snapshot, again.metrics_snapshot);
+    assert!(
+        report.metrics_snapshot.contains("kv.degrade.deadline_exceeded"),
+        "snapshot surfaces degradation counters"
+    );
+    assert!(
+        report.metrics_snapshot.contains("pool.slots_lost"),
+        "snapshot surfaces burned warm slots"
+    );
+}

@@ -25,8 +25,9 @@
 use std::rc::Rc;
 
 use crdb_sim::fault::{FaultInjector, FaultKind, FaultSchedule};
+use crdb_sim::Location;
 use crdb_sql::node::{NodeState, SqlNode};
-use crdb_util::TenantId;
+use crdb_util::{RegionId, TenantId};
 
 use crate::ServerlessCluster;
 
@@ -79,15 +80,138 @@ pub fn install_chaos(
             inj.note(&format!("partition healed {}-{}", a.raw(), b.raw()));
         }
         FaultKind::LatencySpikeStart { factor_pct } => {
-            topology.set_latency_factor_pct(factor_pct);
+            // Push/pop so overlapping spikes compose: ending one spike
+            // restores whatever factor was active when it started, not a
+            // hardcoded 100%.
+            topology.push_latency_factor_pct(factor_pct);
             inj.note(&format!("latency spike {factor_pct}%"));
         }
         FaultKind::LatencySpikeEnd => {
-            topology.set_latency_factor_pct(100);
+            topology.pop_latency_factor_pct();
             inj.note("latency spike over");
+        }
+        FaultKind::PartitionOneWayStart { from, to } => {
+            topology.partition_one_way(from, to);
+            inj.note(&format!("one-way partition up {}>{}", from.raw(), to.raw()));
+        }
+        FaultKind::PartitionOneWayHeal { from, to } => {
+            topology.heal_one_way(from, to);
+            inj.note(&format!("one-way partition healed {}>{}", from.raw(), to.raw()));
+        }
+        FaultKind::ZoneOutage { region, zone } => {
+            // Atomically: drop the zone's traffic, down its KV nodes,
+            // crash its SQL pods. The warm pool is per-region, so zone
+            // loss leaves pool capacity intact.
+            topology.set_zone_dark(region, zone, true);
+            let mut downed = 0usize;
+            for id in c.kv.nodes_in_zone(region, zone) {
+                c.kv.set_node_alive(id, false);
+                downed += 1;
+            }
+            let crashed = crash_sql_pods_in(&c, region, Some(zone));
+            inj.note(&format!(
+                "zone outage region={} zone={zone}: {downed} kv nodes down, {crashed} sql pods crashed",
+                region.raw(),
+            ));
+        }
+        FaultKind::ZoneRecover { region, zone } => {
+            topology.set_zone_dark(region, zone, false);
+            let mut up = 0usize;
+            for id in c.kv.nodes_in_zone(region, zone) {
+                c.kv.set_node_alive(id, true);
+                up += 1;
+            }
+            inj.note(&format!(
+                "zone recovered region={} zone={zone}: {up} kv nodes restarted",
+                region.raw(),
+            ));
+        }
+        FaultKind::RegionOutage { region } => {
+            // Atomically: drop all of the region's traffic, down every KV
+            // node and SQL pod located there, burn the region's warm-pool
+            // slots, and re-home affected tenants so their next cold
+            // starts land in a surviving region.
+            topology.set_region_dark(region, true);
+            let mut downed = 0usize;
+            for id in c.kv.nodes_in_region(region) {
+                c.kv.set_node_alive(id, false);
+                downed += 1;
+            }
+            let crashed = crash_sql_pods_in(&c, region, None);
+            c.pool.set_region_dark(region, true);
+            let rehomed = rehome_tenants(&c, region, false);
+            inj.note(&format!(
+                "region outage region={}: {downed} kv nodes down, {crashed} sql pods crashed, {rehomed} tenants re-homed",
+                region.raw(),
+            ));
+        }
+        FaultKind::RegionRecover { region } => {
+            topology.set_region_dark(region, false);
+            let mut up = 0usize;
+            for id in c.kv.nodes_in_region(region) {
+                c.kv.set_node_alive(id, true);
+                up += 1;
+            }
+            c.pool.set_region_dark(region, false);
+            let rehomed = rehome_tenants(&c, region, true);
+            inj.note(&format!(
+                "region recovered region={}: {up} kv nodes restarted, {rehomed} tenants homed back",
+                region.raw(),
+            ));
         }
     });
     injector
+}
+
+/// Crashes every live SQL pod located in `region` (and `zone`, when
+/// given), in instance-id order. Returns the number crashed.
+fn crash_sql_pods_in(cluster: &ServerlessCluster, region: RegionId, zone: Option<u32>) -> usize {
+    let mut pods: Vec<Rc<SqlNode>> = Vec::new();
+    for tenant in cluster.registry.tenant_ids() {
+        cluster.registry.with_tenant(tenant, |e| {
+            for n in e.nodes.iter().chain(e.draining.iter().map(|(n, _)| n)) {
+                let loc = n.config.location;
+                if loc.region == region
+                    && zone.is_none_or(|z| loc.zone == z)
+                    && matches!(n.state(), NodeState::Ready | NodeState::Draining)
+                {
+                    pods.push(Rc::clone(n));
+                }
+            }
+        });
+    }
+    pods.sort_by_key(|n| n.instance_id.raw());
+    for pod in &pods {
+        pod.crash();
+    }
+    pods.len()
+}
+
+/// Re-homes tenants around a region outage. With `back == false`, every
+/// tenant whose preferred placement sits in the dark `region` is pointed
+/// at the first surviving region in its own region list (zone 0); with
+/// `back == true`, tenants whose home is the recovered `region` are
+/// pointed home again. Returns the number of tenants moved.
+fn rehome_tenants(cluster: &ServerlessCluster, region: RegionId, back: bool) -> usize {
+    let mut moved = 0usize;
+    for tenant in cluster.registry.tenant_ids() {
+        let Some(info) = cluster.tenant(tenant) else { continue };
+        if back {
+            if info.home_region == region {
+                cluster.set_preferred_location(tenant, Location::new(region, 0));
+                moved += 1;
+            }
+        } else if info.home_region == region {
+            let Some(survivor) = info.regions.iter().copied().find(|&r| r != region) else {
+                // Single-region tenant: nowhere to go; its cold starts
+                // fail until the region recovers.
+                continue;
+            };
+            cluster.set_preferred_location(tenant, Location::new(survivor, 0));
+            moved += 1;
+        }
+    }
+    moved
 }
 
 /// Deterministically picks a live SQL pod across all tenants: candidates

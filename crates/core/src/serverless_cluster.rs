@@ -163,7 +163,10 @@ impl ServerlessCluster {
             })
         };
 
-        let pool = WarmPool::new(sim, config.coldstart.clone());
+        // One warm-pool partition per region, so a region outage burns
+        // only that region's slots and cold starts fall back elsewhere.
+        let pool_regions: Vec<RegionId> = config.topology.regions().collect();
+        let pool = WarmPool::new_multi_region(sim, config.coldstart.clone(), &pool_regions);
         let pipeline = MetricsPipeline::start(sim, registry.clone(), config.pipeline.clone());
         let proxy = Proxy::start(
             sim,
@@ -219,6 +222,8 @@ impl ServerlessCluster {
         s.counter("proxy.cold_starts", self.proxy.cold_starts.get());
         s.gauge("proxy.connections", self.proxy.connection_count() as f64);
         s.histogram("proxy.statement_latency", &self.proxy.statement_latency.borrow());
+        s.counter("proxy.shed_statements", self.proxy.shed_statements.get());
+        s.counter("proxy.breaker_trips", self.proxy.breaker_trips());
 
         // Autoscaler + warm pool.
         s.counter("autoscaler.scale_ups", self.autoscaler.scale_ups.get());
@@ -227,7 +232,17 @@ impl ServerlessCluster {
         s.counter("pool.acquired", *self.pool.acquired.borrow());
         s.counter("pool.misses", *self.pool.pool_misses.borrow());
         s.counter("pool.start_failures", self.pool.start_failures.get());
+        s.counter("pool.slots_lost", self.pool.slots_lost.get());
         s.gauge("pool.available", self.pool.available() as f64);
+
+        // Degradation: how hard the KV layer is working to stay up.
+        let d = self.kv.degrade();
+        s.counter("kv.degrade.retries", d.retries.get());
+        s.counter("kv.degrade.deadline_exceeded", d.deadline_exceeded.get());
+        s.counter("kv.degrade.breaker_trips", d.breaker_trips.get());
+        s.counter("kv.degrade.breaker_fast_fails", d.breaker_fast_fails.get());
+        s.counter("kv.degrade.quorum_losses", d.quorum_losses.get());
+        s.counter("kv.degrade.txn_pushes", d.txn_pushes.get());
 
         // KV nodes: storage engine counters and admission depth.
         let mut node_ids = self.kv.node_ids();

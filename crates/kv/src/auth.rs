@@ -113,7 +113,13 @@ mod tests {
     use bytes::Bytes;
 
     fn batch(tenant: u64, requests: Vec<RequestKind>) -> BatchRequest {
-        BatchRequest { tenant: TenantId(tenant), read_ts: Timestamp::ZERO, txn: None, requests }
+        BatchRequest {
+            tenant: TenantId(tenant),
+            read_ts: Timestamp::ZERO,
+            txn: None,
+            deadline: crdb_util::Deadline::NONE,
+            requests,
+        }
     }
 
     #[test]
@@ -161,6 +167,7 @@ mod tests {
             tenant: TenantId::SYSTEM,
             read_ts: Timestamp::ZERO,
             txn: None,
+            deadline: crdb_util::Deadline::NONE,
             requests: vec![RequestKind::Get { key: keys::make_key(TenantId(42), b"k") }],
         };
         assert!(authorize(&ca, &cert, &b).is_ok());

@@ -8,7 +8,7 @@
 //! estimated-CPU feature extraction.
 
 use bytes::Bytes;
-use crdb_util::{NodeId, RangeId, TenantId};
+use crdb_util::{Deadline, NodeId, RangeId, TenantId};
 
 use crate::hlc::Timestamp;
 use crate::txn::TxnMeta;
@@ -124,6 +124,10 @@ pub struct BatchRequest {
     pub read_ts: Timestamp,
     /// Enclosing transaction, if any.
     pub txn: Option<TxnMeta>,
+    /// The originating caller's deadline, propagated proxy → SQL
+    /// coordinator → KV client → node. No layer below may schedule a
+    /// retry past it; [`Deadline::NONE`] means unbounded.
+    pub deadline: Deadline,
     /// The requests, executed in order.
     pub requests: Vec<RequestKind>,
 }
@@ -189,6 +193,9 @@ pub enum KvError {
     /// retries internally — this is the typed error surfaced to callers
     /// instead of hanging or retrying forever.
     Unavailable,
+    /// Terminal: the batch's propagated deadline expired (or the next
+    /// retry would land past it). Never retried at any layer.
+    DeadlineExceeded,
 }
 
 /// The outcome of a batch.
@@ -250,6 +257,7 @@ mod tests {
             tenant: TenantId(2),
             read_ts: Timestamp::ZERO,
             txn: None,
+            deadline: Deadline::NONE,
             requests: vec![
                 RequestKind::Get { key: key.clone() },
                 RequestKind::Put { key: key.clone(), value: Bytes::from_static(b"abc") },

@@ -8,12 +8,16 @@
 //! responses in request order.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use crdb_obs::trace;
 use crdb_sim::Location;
+use crdb_util::retry::{Breaker, BreakerConfig, Deadline, RetryPolicy};
 use crdb_util::time::dur;
+use crdb_util::NodeId;
 
 use crate::auth::TenantCert;
 use crate::batch::{BatchRequest, BatchResponse, KvError, RequestKind, ResponseKind};
@@ -29,20 +33,38 @@ use crate::txn::TxnMeta;
 const MAX_ROUTING_RETRIES: u32 = 16;
 /// Maximum intent-conflict retries per sub-batch.
 const MAX_CONFLICT_RETRIES: u32 = 32;
-/// Routing backoff doubles from 50 ms and is capped here.
-const ROUTING_BACKOFF_CAP_MS: u64 = 1_600;
-/// Conflict backoff grows linearly from 1 ms and is capped here.
-const CONFLICT_BACKOFF_CAP_MS: u64 = 32;
 /// An RPC with no reply by this deadline (its request or response was
 /// dropped by a partition) is treated as a `NodeUnavailable` hop
 /// failure and retried — the client never hangs on a dropped message.
+/// Clamped to the batch deadline's remaining time when one is set.
 const RPC_TIMEOUT_MS: u64 = 10_000;
+
+/// Routing backoff: doubles from 50 ms, capped at 1.6 s. The budget is
+/// `MAX_ROUTING_RETRIES + 1` because the terminal check lives in
+/// `retry_routing` (the redirect path retries without backoff), so the
+/// policy must still yield the final backoff at attempt 16 — exactly
+/// the legacy `(50ms << n.min(5)).min(1600ms)` schedule.
+fn routing_policy() -> RetryPolicy {
+    RetryPolicy::exponential(dur::ms(50), dur::ms(1_600), MAX_ROUTING_RETRIES + 1)
+}
+
+/// Conflict backoff: linear from 1 ms in 2 ms steps, capped at 32 ms —
+/// exactly the legacy `(1 + 2n).min(32)` ms schedule with its 32-retry
+/// budget.
+fn conflict_policy() -> RetryPolicy {
+    RetryPolicy::linear(dur::ms(1), dur::ms(2), dur::ms(32), MAX_CONFLICT_RETRIES)
+}
 
 struct ClientInner {
     cluster: KvCluster,
     cert: TenantCert,
     location: Location,
     cache: RefCell<RangeCache>,
+    /// Per-target circuit breakers: repeated RPC timeouts against one
+    /// node (a dark zone/region, a broken return path) trip the node's
+    /// breaker, converting further sends into immediate hop failures
+    /// instead of full RPC-timeout waits.
+    breakers: RefCell<BTreeMap<NodeId, Breaker>>,
 }
 
 /// A cloneable handle to one SQL node's KV client.
@@ -60,6 +82,7 @@ impl KvClient {
                 cert,
                 location,
                 cache: RefCell::new(RangeCache::new()),
+                breakers: RefCell::new(BTreeMap::new()),
             }),
         }
     }
@@ -90,6 +113,13 @@ impl KvClient {
     /// too). Sub-batches run concurrently; the whole batch fails on the
     /// first sub-batch error.
     pub fn send(&self, batch: BatchRequest, cb: impl FnOnce(BatchResponse) + 'static) {
+        // A batch whose deadline already passed never touches the
+        // network: the typed terminal error surfaces immediately.
+        if batch.deadline.expired(self.inner.cluster.sim.now()) {
+            self.inner.cluster.degrade().bump_deadline_exceeded();
+            cb(BatchResponse::err(KvError::DeadlineExceeded));
+            return;
+        }
         // Pieces: (original request index, span-order, request)
         let mut pieces: Vec<(usize, usize, RequestKind)> = Vec::new();
         for (i, req) in batch.requests.iter().enumerate() {
@@ -143,6 +173,7 @@ impl KvClient {
             tenant: self.inner.cert.tenant(),
             read_ts: self.inner.cluster.now_ts(),
             txn: None,
+            deadline: Deadline::NONE,
             requests: vec![RequestKind::Get { key }],
         };
         self.send(batch, move |resp| match resp.error {
@@ -160,6 +191,7 @@ impl KvClient {
             tenant: self.inner.cert.tenant(),
             read_ts: self.inner.cluster.now_ts(),
             txn: None,
+            deadline: Deadline::NONE,
             requests: vec![RequestKind::Put { key, value }],
         };
         self.send(batch, move |resp| match resp.error {
@@ -180,6 +212,7 @@ impl KvClient {
             tenant: self.inner.cert.tenant(),
             read_ts: self.inner.cluster.now_ts(),
             txn: None,
+            deadline: Deadline::NONE,
             requests: vec![RequestKind::Scan { start, end, limit }],
         };
         self.send(batch, move |resp| match resp.error {
@@ -292,6 +325,14 @@ impl DispatchState {
         conflict_retries: u32,
     ) {
         *state.outstanding.borrow_mut() += 1;
+        // The deadline is re-checked per dispatch: a piece that expired
+        // while queued behind a backoff fails typed instead of sending.
+        let now = state.client.inner.cluster.sim.now();
+        if state.template.deadline.expired(now) {
+            state.client.inner.cluster.degrade().bump_deadline_exceeded();
+            state.fail(KvError::DeadlineExceeded);
+            return;
+        }
         let key = Self::routing_key(&state.template, &req);
         let rpc = state.span.child("kv.rpc");
         rpc.tag("req", idx);
@@ -308,7 +349,7 @@ impl DispatchState {
             let done = Rc::clone(&done);
             let req = req.clone();
             let rpc = rpc.clone();
-            state.client.inner.cluster.sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
+            state.client.inner.cluster.sim.schedule_after(state.rpc_timeout(now), move || {
                 if done.replace(true) {
                     return;
                 }
@@ -397,27 +438,52 @@ impl DispatchState {
             self.fail(KvError::Unavailable);
             return;
         }
+        // Per-target circuit breaker: once the node's breaker is open
+        // (repeated RPC timeouts — a broken return path or a node inside
+        // a dark domain the client can still "see"), skip the RPC-timeout
+        // wait entirely and take the routing-failure path, which backs
+        // off, refreshes META, and reroutes once the lease moves.
+        let now = sim.now();
+        if !self.breaker_allows(entry.leaseholder, now) {
+            let degrade = cluster.degrade();
+            degrade.breaker_fast_fails.set(degrade.breaker_fast_fails.get() + 1);
+            rpc.tag("breaker_open", true);
+            rpc.end();
+            self.handle_response(
+                idx,
+                order,
+                req,
+                BatchResponse::err(KvError::NodeUnavailable),
+                routing_retries,
+                conflict_retries,
+            );
+            return;
+        }
         let sub = BatchRequest {
             tenant: self.template.tenant,
             read_ts: self.template.read_ts,
             txn: self.template.txn.clone(),
+            deadline: self.template.deadline,
             requests: vec![req.clone()],
         };
         let cert = client.inner.cert.clone();
         let st = Rc::clone(&self);
         // RPC timeout: a partition starting while this request is in
         // flight drops a hop; convert the silence into a retryable hop
-        // failure so the piece never hangs.
+        // failure so the piece never hangs. Clamped to the deadline's
+        // remaining time — waiting past it would be wasted.
         let done = Rc::new(Cell::new(false));
+        let target = entry.leaseholder;
         let timeout = {
             let st = Rc::clone(&self);
             let done = Rc::clone(&done);
             let req = req.clone();
             let rpc = rpc.clone();
-            sim.schedule_after(dur::ms(RPC_TIMEOUT_MS), move || {
+            sim.schedule_after(self.rpc_timeout(now), move || {
                 if done.replace(true) {
                     return;
                 }
+                st.breaker_record(target, false);
                 rpc.tag("timeout", true);
                 rpc.end();
                 st.handle_response(
@@ -444,12 +510,48 @@ impl DispatchState {
                     if done.replace(true) {
                         return;
                     }
+                    // Any reply — even an error — proves the path and
+                    // node are live enough to answer.
+                    st3.breaker_record(target, true);
                     rpc2.end();
                     st3.client.inner.cluster.sim.cancel(timeout);
                     st3.handle_response(idx, order, req2, resp, routing_retries, conflict_retries);
                 });
             });
         });
+    }
+
+    /// Effective RPC timeout at `now`: the fixed wire timeout, clamped
+    /// to the batch deadline's remaining time.
+    fn rpc_timeout(&self, now: crdb_util::SimTime) -> Duration {
+        dur::ms(RPC_TIMEOUT_MS).min(self.template.deadline.remaining(now))
+    }
+
+    /// Whether `node`'s breaker admits a request at `now`.
+    fn breaker_allows(&self, node: NodeId, now: crdb_util::SimTime) -> bool {
+        let mut breakers = self.client.inner.breakers.borrow_mut();
+        breakers.entry(node).or_insert_with(|| Breaker::new(BreakerConfig::default())).allow(now)
+    }
+
+    /// Records an RPC outcome against `node`'s breaker, bumping the
+    /// shared trip counter when the breaker opens.
+    fn breaker_record(&self, node: NodeId, success: bool) {
+        let now = self.client.inner.cluster.sim.now();
+        let tripped = {
+            let mut breakers = self.client.inner.breakers.borrow_mut();
+            let b = breakers.entry(node).or_insert_with(|| Breaker::new(BreakerConfig::default()));
+            let before = b.trips();
+            if success {
+                b.record_success(now);
+            } else {
+                b.record_failure(now);
+            }
+            b.trips() > before
+        };
+        if tripped {
+            let degrade = self.client.inner.cluster.degrade();
+            degrade.breaker_trips.set(degrade.breaker_trips.get() + 1);
+        }
     }
 
     fn handle_response(
@@ -482,34 +584,54 @@ impl DispatchState {
                 // period, so retries back off long enough to observe that.
                 let key = Self::routing_key(&self.template, &req);
                 self.client.inner.cache.borrow_mut().invalidate(&key);
-                let st = Rc::clone(&self);
                 let sim = self.client.inner.cluster.sim.clone();
-                let backoff =
-                    dur::ms((50u64 << routing_retries.min(5)).min(ROUTING_BACKOFF_CAP_MS));
-                sim.schedule_after(backoff, move || {
-                    st.retry_routing(idx, order, req, routing_retries, conflict_retries);
-                });
+                // The backoff must land before the batch deadline: a retry
+                // scheduled past it is never scheduled at all.
+                match routing_policy().next_delay(
+                    routing_retries,
+                    sim.now(),
+                    self.template.deadline,
+                ) {
+                    Some(backoff) => {
+                        let st = Rc::clone(&self);
+                        sim.schedule_after(backoff, move || {
+                            st.retry_routing(idx, order, req, routing_retries, conflict_retries);
+                        });
+                    }
+                    None => {
+                        self.client.inner.cluster.degrade().bump_deadline_exceeded();
+                        self.fail(KvError::DeadlineExceeded);
+                    }
+                }
             }
-            Some(KvError::IntentConflict { .. })
-                if conflict_retries < MAX_CONFLICT_RETRIES && !req.is_write() =>
-            {
+            Some(e @ KvError::IntentConflict { .. }) if !req.is_write() => {
                 // Back off briefly and retry: the conflicting transaction
                 // commits or aborts shortly (short commit windows).
-                let st = Rc::clone(&self);
                 let sim = self.client.inner.cluster.sim.clone();
-                let backoff =
-                    dur::ms((1 + 2 * conflict_retries as u64).min(CONFLICT_BACKOFF_CAP_MS));
-                sim.schedule_after(backoff, move || {
-                    Self::dispatch_piece(
-                        &st,
-                        idx,
-                        order,
-                        req,
-                        routing_retries,
-                        conflict_retries + 1,
-                    );
-                    Self::piece_done(&st);
-                });
+                match conflict_policy().delay(conflict_retries) {
+                    Some(backoff) if self.template.deadline.allows(sim.now(), backoff) => {
+                        let degrade = self.client.inner.cluster.degrade();
+                        degrade.retries.set(degrade.retries.get() + 1);
+                        let st = Rc::clone(&self);
+                        sim.schedule_after(backoff, move || {
+                            Self::dispatch_piece(
+                                &st,
+                                idx,
+                                order,
+                                req,
+                                routing_retries,
+                                conflict_retries + 1,
+                            );
+                            Self::piece_done(&st);
+                        });
+                    }
+                    Some(_) => {
+                        self.client.inner.cluster.degrade().bump_deadline_exceeded();
+                        self.fail(KvError::DeadlineExceeded);
+                    }
+                    // Conflict budget exhausted: surface the conflict.
+                    None => self.fail(e),
+                }
             }
             Some(e) => self.fail(e),
         }
@@ -529,6 +651,8 @@ impl DispatchState {
             self.fail(KvError::Unavailable);
             return;
         }
+        let degrade = self.client.inner.cluster.degrade();
+        degrade.retries.set(degrade.retries.get() + 1);
         let st = Rc::clone(&self);
         Self::dispatch_piece(&st, idx, order, req, routing_retries + 1, conflict_retries);
         Self::piece_done(&self);

@@ -8,7 +8,7 @@
 //! makes overloaded nodes miss them — Fig. 12), lease validity checks, and
 //! size-based range splits.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
@@ -99,6 +99,40 @@ pub struct ClusterInner {
     next_txn_id: u64,
     /// Lease transfers due to liveness failures (Fig. 12 signal).
     pub lease_transfers: u64,
+    /// Shared degradation counters (retries, deadlines, breakers,
+    /// quorum losses) — `Rc` so nodes and clients bump them without
+    /// borrowing the cluster state.
+    pub(crate) degrade: Rc<DegradeCounters>,
+}
+
+/// Cluster-wide degradation counters: retry, deadline, and breaker
+/// activity across every client and node, surfaced through `obs`.
+#[derive(Debug, Default)]
+pub struct DegradeCounters {
+    /// Client-side retries actually scheduled (routing + conflict).
+    pub retries: Cell<u64>,
+    /// Batches failed because their propagated deadline expired or the
+    /// next retry would have landed past it.
+    pub deadline_exceeded: Cell<u64>,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open transitions).
+    pub breaker_trips: Cell<u64>,
+    /// Requests failed fast by an open breaker instead of waiting out
+    /// an RPC timeout.
+    pub breaker_fast_fails: Cell<u64>,
+    /// Write batches rejected before execution because their range had
+    /// no live replication quorum.
+    pub quorum_losses: Cell<u64>,
+    /// Abandoned transactions (dead coordinator, intent past
+    /// [`crate::node::TXN_ABANDON_TIMEOUT`]) aborted by a conflicting
+    /// reader's push.
+    pub txn_pushes: Cell<u64>,
+}
+
+impl DegradeCounters {
+    /// Increments the deadline-exceeded counter.
+    pub fn bump_deadline_exceeded(&self) {
+        self.deadline_exceeded.set(self.deadline_exceeded.get() + 1);
+    }
 }
 
 /// A handle to the KV cluster. Cheap to clone.
@@ -127,6 +161,7 @@ impl KvCluster {
             next_range_id: 1,
             next_txn_id: 1,
             lease_transfers: 0,
+            degrade: Rc::new(DegradeCounters::default()),
             config,
         }));
         let cluster = KvCluster { sim: sim.clone(), inner };
@@ -445,10 +480,18 @@ impl KvCluster {
             };
             for i in 0..live.len() {
                 let n = live[(start + i) % live.len()];
-                let region = inner.nodes[&n].location.region;
-                let covered =
-                    replicas.iter().filter(|r| inner.nodes[r].location.region == region).count();
-                if covered == 0 || replicas.len() >= inner.topology.region_count() {
+                let location = inner.nodes[&n].location;
+                let region_covered =
+                    replicas.iter().any(|r| inner.nodes[r].location.region == location.region);
+                // Domain spread: cover every region first; once all
+                // regions hold a replica, extra replicas within a region
+                // must land in a zone not already covered there — so a
+                // single zone loss can never take out two replicas of
+                // one range (the quorum-survival property).
+                let zone_covered = replicas.iter().any(|r| inner.nodes[r].location == location);
+                if !region_covered
+                    || (replicas.len() >= inner.topology.region_count() && !zone_covered)
+                {
                     replicas.push(n);
                 }
                 if replicas.len() == inner.config.replication_factor {
@@ -577,6 +620,28 @@ impl KvCluster {
     /// The cluster topology.
     pub fn topology(&self) -> Rc<Topology> {
         Rc::clone(&self.inner.borrow().topology)
+    }
+
+    /// Shared degradation counters (retries, deadlines, breakers).
+    pub fn degrade(&self) -> Rc<DegradeCounters> {
+        Rc::clone(&self.inner.borrow().degrade)
+    }
+
+    /// Node IDs located in `region`, in id order.
+    pub fn nodes_in_region(&self, region: crdb_util::RegionId) -> Vec<NodeId> {
+        let inner = self.inner.borrow();
+        inner.nodes.iter().filter(|(_, n)| n.location.region == region).map(|(&id, _)| id).collect()
+    }
+
+    /// Node IDs located in `region`'s zone `zone`, in id order.
+    pub fn nodes_in_zone(&self, region: crdb_util::RegionId, zone: u32) -> Vec<NodeId> {
+        let inner = self.inner.borrow();
+        inner
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.location.region == region && n.location.zone == zone)
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Approximate control-plane memory attributable to ranges and

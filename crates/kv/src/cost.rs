@@ -268,6 +268,7 @@ mod tests {
             tenant: TenantId(2),
             read_ts: Timestamp::ZERO,
             txn: None,
+            deadline: crdb_util::Deadline::NONE,
             requests: (0..n)
                 .map(|i| RequestKind::Get {
                     key: keys::make_key(TenantId(2), format!("k{i}").as_bytes()),
@@ -281,6 +282,7 @@ mod tests {
             tenant: TenantId(2),
             read_ts: Timestamp::ZERO,
             txn: None,
+            deadline: crdb_util::Deadline::NONE,
             requests: (0..n)
                 .map(|i| RequestKind::Put {
                     key: keys::make_key(TenantId(2), format!("k{i}").as_bytes()),

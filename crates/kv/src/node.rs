@@ -30,6 +30,12 @@ use crate::hlc::{Hlc, Timestamp};
 use crate::mvcc;
 use crate::txn::TxnStatus;
 
+/// How long an intent may sit untouched with its transaction still
+/// `Pending` before a conflicting reader may declare the transaction
+/// abandoned (coordinator crashed) and push-abort it. Far above any
+/// live transaction's lifetime, so only orphans are ever pushed.
+pub const TXN_ABANDON_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// An operation queued in admission: the batch plus its response path.
 pub(crate) struct PendingOp {
     pub batch: BatchRequest,
@@ -219,9 +225,20 @@ impl KvNode {
         }
         // Admission (§5.1): reads through the CQ, writes through WQ + CQ.
         let now = self.sim.now();
+        // Propagated deadline: a batch that is already past it fails
+        // typed without queuing, and the admission deadline is clamped
+        // to it — the node never works on a request its caller has
+        // already abandoned.
+        if batch.deadline.expired(now) {
+            if let Some(c) = self.cluster.upgrade() {
+                c.borrow().degrade.bump_deadline_exceeded();
+            }
+            respond(BatchResponse::err(KvError::DeadlineExceeded));
+            return;
+        }
         let tenant = batch.tenant;
         let txn_start = batch.txn.as_ref().map(|t| t.start_ts.to_sim_time()).unwrap_or(now);
-        let deadline = now + dur::secs(30);
+        let deadline = (now + dur::secs(30)).min(batch.deadline.time());
         let priority = if tenant.is_system() { Priority::High } else { Priority::Normal };
         let is_write = batch.is_write();
         let bytes = batch.payload_bytes() as f64;
@@ -304,6 +321,51 @@ impl KvNode {
             None => return,
         };
 
+        // Write-quorum gate: a write whose range has lost its
+        // replication quorum (a zone/region outage downed a follower
+        // majority) is rejected *before* any MVCC mutation applies — a
+        // write that cannot replicate must never apply or ack.
+        if batch.is_write() {
+            let has_quorum = {
+                let inner = cluster.borrow();
+                match Self::batch_anchor_key(&batch)
+                    .and_then(|a| inner.directory.lookup(&a).map(|r| r.desc.replicas.clone()))
+                {
+                    Some(replicas) => {
+                        let live = replicas
+                            .iter()
+                            .filter(|&&n| {
+                                n == self.id || inner.nodes.get(&n).is_some_and(|f| f.is_alive())
+                            })
+                            .count();
+                        live > replicas.len() / 2
+                    }
+                    // Missing range: RangeNotFound surfaces from the
+                    // normal execution path below.
+                    None => true,
+                }
+            };
+            if !has_quorum {
+                {
+                    let degrade = Rc::clone(&cluster.borrow().degrade);
+                    degrade.quorum_losses.set(degrade.quorum_losses.get() + 1);
+                }
+                self.admission.borrow_mut().complete(
+                    now,
+                    batch.tenant,
+                    class,
+                    cpu_cost,
+                    bytes,
+                    None,
+                );
+                span.tag("quorum_loss", true);
+                span.end();
+                respond(BatchResponse::err(KvError::Unavailable));
+                self.pump();
+                return;
+            }
+        }
+
         let storage_span = span.child("storage.mvcc");
         storage_span.tag("requests", batch.requests.len());
         let result = self.execute_requests(&cluster, &batch);
@@ -343,18 +405,23 @@ impl KvNode {
         );
 
         // Replication: respond only after a quorum would have acked.
+        // Only *live* followers can ack — with a domain down, the commit
+        // waits for the surviving (possibly slower) replicas instead of
+        // crediting acks from dead ones.
         let delay = if write_payload > 0 {
             let (leader, followers, follower_cost) = {
                 let inner = cluster.borrow();
                 let anchor = Self::batch_anchor_key(&batch).expect("anchored");
                 let range = inner.directory.lookup(&anchor);
-                let followers: Vec<Location> = range
+                let followers: Vec<(Location, bool)> = range
                     .map(|r| {
                         r.desc
                             .replicas
                             .iter()
                             .filter(|&&n| n != self.id)
-                            .filter_map(|n| inner.nodes.get(n).map(|node| node.location))
+                            .filter_map(|n| {
+                                inner.nodes.get(n).map(|node| (node.location, node.is_alive()))
+                            })
                             .collect()
                     })
                     .unwrap_or_default();
@@ -373,7 +440,10 @@ impl KvNode {
             };
             let _ = follower_cost;
             let topology = cluster.borrow().topology.clone();
-            crate::replication::quorum_commit_delay(&self.sim, &topology, leader, &followers)
+            // The pre-execute gate above guarantees a live quorum at
+            // this instant (liveness cannot change mid-event).
+            crate::replication::quorum_commit_delay_live(&self.sim, &topology, leader, &followers)
+                .unwrap_or(Duration::ZERO)
         } else {
             Duration::ZERO
         };
@@ -563,6 +633,12 @@ impl KvNode {
                 }
                 RequestKind::EndTxn { commit } => {
                     let txn = batch.txn.as_ref().ok_or(KvError::TxnAborted)?;
+                    // A transaction already aborted by a pusher must not
+                    // commit: its intents are gone, so acknowledging the
+                    // commit would silently lose the writes.
+                    if cluster.borrow().txn_status.get(&txn.txn_id) == Some(&TxnStatus::Aborted) {
+                        return Err(KvError::TxnAborted);
+                    }
                     let status = if *commit {
                         TxnStatus::Committed(txn.write_ts)
                     } else {
@@ -659,7 +735,38 @@ impl KvNode {
                     mvcc::ReadResult::Intent(_) => None,
                 }
             }
-            Some(TxnStatus::Pending) | None => None,
+            Some(TxnStatus::Pending) | None => {
+                // Push check: a transaction whose coordinator died (pod
+                // crash, region outage) leaves intents that would block
+                // readers forever — there is no one left to resolve them.
+                // An intent untouched for longer than any plausible live
+                // transaction marks its owner abandoned: abort it and
+                // clear the intent, exactly like CockroachDB's pusher
+                // aborting an expired transaction record.
+                let now = self.sim.now().as_nanos();
+                if now.saturating_sub(intent.ts.wall) < TXN_ABANDON_TIMEOUT.as_nanos() as u64 {
+                    return None;
+                }
+                {
+                    let mut inner = cluster.borrow_mut();
+                    inner.txn_status.insert(intent.txn_id, TxnStatus::Aborted);
+                    inner.txn_finalized_at.insert(intent.txn_id, self.sim.now());
+                }
+                let record =
+                    crate::txn::TxnRecord { txn_id: intent.txn_id, status: TxnStatus::Aborted };
+                mvcc::put_txn_record(&self.engine, &record);
+                mvcc::resolve_intent(&self.engine, key, intent.txn_id, None);
+                for e in replica_engines {
+                    mvcc::put_txn_record(e, &record);
+                    mvcc::resolve_intent(e, key, intent.txn_id, None);
+                }
+                let degrade = &cluster.borrow().degrade;
+                degrade.txn_pushes.set(degrade.txn_pushes.get() + 1);
+                match mvcc::get(&self.engine, key, read_ts, None) {
+                    mvcc::ReadResult::Value(v) => Some(v),
+                    mvcc::ReadResult::Intent(_) => None,
+                }
+            }
         }
     }
 

@@ -14,7 +14,7 @@ use crdb_kv::keys;
 use crdb_sim::{Location, Sim, Topology};
 use crdb_util::time::dur;
 use crdb_util::time::SimTime;
-use crdb_util::{RegionId, TenantId};
+use crdb_util::{Deadline, RegionId, TenantId};
 
 fn setup(seed: u64) -> (Sim, KvCluster) {
     let sim = Sim::new(seed);
@@ -121,6 +121,7 @@ fn transactional_commit_is_atomic_and_isolated() {
         tenant: TenantId(2),
         read_ts: txn.start_ts,
         txn: Some(txn.clone()),
+        deadline: Deadline::NONE,
         requests: vec![
             RequestKind::WriteIntent {
                 key: k(2, "acct/a"),
@@ -143,6 +144,7 @@ fn transactional_commit_is_atomic_and_isolated() {
                 tenant: TenantId(2),
                 read_ts: txn2.start_ts,
                 txn: Some(txn2.clone()),
+                deadline: Deadline::NONE,
                 requests: vec![RequestKind::EndTxn { commit: true }],
             };
             let client3 = client2.clone();
@@ -153,6 +155,7 @@ fn transactional_commit_is_atomic_and_isolated() {
                     tenant: TenantId(2),
                     read_ts: txn3.start_ts,
                     txn: Some(txn3.clone()),
+                    deadline: Deadline::NONE,
                     requests: vec![
                         RequestKind::ResolveIntent {
                             key: k(2, "acct/a"),
@@ -200,6 +203,7 @@ fn aborted_txn_leaves_no_trace() {
         tenant: TenantId(2),
         read_ts: txn.start_ts,
         txn: Some(txn.clone()),
+        deadline: Deadline::NONE,
         requests: vec![RequestKind::WriteIntent {
             key: k(2, "key"),
             value: Some(Bytes::from_static(b"doomed")),
@@ -214,6 +218,7 @@ fn aborted_txn_leaves_no_trace() {
                 tenant: TenantId(2),
                 read_ts: txn2.start_ts,
                 txn: Some(txn2.clone()),
+                deadline: Deadline::NONE,
                 requests: vec![
                     RequestKind::EndTxn { commit: false },
                     RequestKind::ResolveIntent { key: k(2, "key"), commit_ts: None },
@@ -241,6 +246,7 @@ fn reader_waits_out_pending_intent_then_sees_commit() {
         tenant: TenantId(2),
         read_ts: txn.start_ts,
         txn: Some(txn.clone()),
+        deadline: Deadline::NONE,
         requests: vec![RequestKind::WriteIntent {
             key: k(2, "contested"),
             value: Some(Bytes::from_static(b"v1")),
@@ -264,6 +270,7 @@ fn reader_waits_out_pending_intent_then_sees_commit() {
                 tenant: TenantId(2),
                 read_ts: txn2.start_ts,
                 txn: Some(txn2.clone()),
+                deadline: Deadline::NONE,
                 requests: vec![RequestKind::EndTxn { commit: true }],
             };
             client2.send(commit, |resp| assert!(resp.is_ok()));
@@ -284,6 +291,7 @@ fn write_write_conflict_surfaces_as_error() {
         tenant: TenantId(2),
         read_ts: txn1.start_ts,
         txn: Some(txn1.clone()),
+        deadline: Deadline::NONE,
         requests: vec![RequestKind::WriteIntent {
             key: k(2, "hot"),
             value: Some(Bytes::from_static(b"1")),
@@ -299,6 +307,7 @@ fn write_write_conflict_surfaces_as_error() {
         tenant: TenantId(2),
         read_ts: txn2.start_ts,
         txn: Some(txn2.clone()),
+        deadline: Deadline::NONE,
         requests: vec![RequestKind::WriteIntent {
             key: k(2, "hot"),
             value: Some(Bytes::from_static(b"2")),
@@ -532,4 +541,136 @@ fn total_outage_exhausts_retries_into_unavailable() {
     client.get(k(2, "x"), move |r| *g.borrow_mut() = Some(r));
     sim.run_for(dur::secs(120));
     assert_eq!(*got.borrow(), Some(Err(KvError::Unavailable)), "typed error after exhaustion");
+}
+
+#[test]
+fn deadline_bounds_outage_and_schedules_no_retry_past_it() {
+    let (sim, cluster) = setup(16);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "x"), Bytes::from_static(b"1"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // Same total outage as above, but the batch carries a 2s deadline.
+    // Without one, routing retries burn ~19s before the typed error;
+    // with one, the error must surface by the deadline because neither a
+    // retry backoff nor an RPC timeout may be scheduled past it.
+    for id in cluster.node_ids() {
+        cluster.set_node_alive(id, false);
+    }
+    let deadline_at = sim.now() + dur::secs(2);
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    let s2 = sim.clone();
+    let batch = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: cluster.now_ts(),
+        txn: None,
+        deadline: Deadline::at(deadline_at),
+        requests: vec![RequestKind::Get { key: k(2, "x") }],
+    };
+    client.send(batch, move |resp| *g.borrow_mut() = Some((resp.error, s2.now())));
+    sim.run_for(dur::secs(120));
+
+    let (error, finished_at) = got.borrow_mut().take().expect("batch completed");
+    assert!(
+        matches!(error, Some(KvError::DeadlineExceeded) | Some(KvError::Unavailable)),
+        "typed terminal error, got {error:?}"
+    );
+    assert!(
+        finished_at <= deadline_at,
+        "error surfaced at {finished_at:?}, past the {deadline_at:?} deadline: a retry or \
+         timeout was scheduled beyond it"
+    );
+    // An already-expired deadline never touches the network.
+    let g2 = Rc::new(RefCell::new(None));
+    let g2c = Rc::clone(&g2);
+    let expired = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: cluster.now_ts(),
+        txn: None,
+        deadline: Deadline::at(sim.now()),
+        requests: vec![RequestKind::Get { key: k(2, "x") }],
+    };
+    client.send(expired, move |resp| *g2c.borrow_mut() = Some(resp.error));
+    assert_eq!(
+        *g2.borrow(),
+        Some(Some(KvError::DeadlineExceeded)),
+        "expired deadline fails synchronously"
+    );
+    assert!(cluster.degrade().deadline_exceeded.get() > 0, "deadline expiry was counted");
+}
+
+#[test]
+fn abandoned_txn_intent_is_pushed_and_cannot_later_commit() {
+    let (sim, cluster) = setup(17);
+    let client = client_for(&cluster, TenantId(2));
+    client.put(k(2, "x"), Bytes::from_static(b"committed"), |r| r.unwrap());
+    sim.run_for(dur::secs(2));
+
+    // An orphan writes an intent and then its coordinator "dies": no
+    // EndTxn, no cleanup ever arrives.
+    let orphan = make_txn_meta(&cluster, k(2, "x"));
+    let write = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: orphan.start_ts,
+        txn: Some(orphan.clone()),
+        deadline: Deadline::NONE,
+        requests: vec![RequestKind::WriteIntent {
+            key: k(2, "x"),
+            value: Some(Bytes::from_static(b"orphaned")),
+        }],
+    };
+    client.send(write, |resp| assert!(resp.error.is_none(), "{:?}", resp.error));
+    sim.run_for(dur::secs(2));
+
+    // Within the abandonment window the intent still blocks readers
+    // (conflict budget exhausts into the typed conflict).
+    let early = Rc::new(RefCell::new(None));
+    {
+        let e = Rc::clone(&early);
+        client.get(k(2, "x"), move |r| *e.borrow_mut() = Some(r));
+    }
+    sim.run_for(dur::secs(2));
+    assert_eq!(
+        *early.borrow(),
+        Some(Err(KvError::IntentConflict { other_txn: orphan.txn_id })),
+        "live-window intent still blocks"
+    );
+
+    // Past TXN_ABANDON_TIMEOUT a conflicting reader pushes the orphan:
+    // the intent is aborted away and the committed value reads through.
+    sim.run_for(dur::secs(10));
+    let pushed = Rc::new(RefCell::new(None));
+    {
+        let p = Rc::clone(&pushed);
+        client.get(k(2, "x"), move |r| *p.borrow_mut() = Some(r));
+    }
+    sim.run_for(dur::secs(5));
+    assert_eq!(
+        *pushed.borrow(),
+        Some(Ok(Some(Bytes::from_static(b"committed")))),
+        "push-abort clears the abandoned intent"
+    );
+    assert!(cluster.degrade().txn_pushes.get() > 0, "push was counted");
+
+    // The pushed transaction must not be able to commit afterwards: its
+    // intents are gone, so an acknowledged commit would lose the writes.
+    let end = BatchRequest {
+        tenant: TenantId(2),
+        read_ts: orphan.start_ts,
+        txn: Some(orphan.clone()),
+        deadline: Deadline::NONE,
+        requests: vec![RequestKind::EndTxn { commit: true }],
+    };
+    let commit = Rc::new(RefCell::new(None));
+    {
+        let c = Rc::clone(&commit);
+        client.send(end, move |resp| *c.borrow_mut() = Some(resp.error));
+    }
+    sim.run_for(dur::secs(5));
+    assert_eq!(
+        *commit.borrow(),
+        Some(Some(KvError::TxnAborted)),
+        "a pushed txn's commit is refused"
+    );
 }

@@ -22,6 +22,7 @@
 //! KV/system-database work.
 
 use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -30,7 +31,7 @@ use crdb_sim::Sim;
 use crdb_sql::node::SqlNode;
 use crdb_sql::system_db::SystemDatabase;
 use crdb_util::time::dur;
-use crdb_util::TenantId;
+use crdb_util::{RegionId, RetryPolicy, TenantId};
 
 use crate::registry::Registry;
 
@@ -84,11 +85,16 @@ impl Default for ColdStartConfig {
     }
 }
 
-/// The warm pod pool.
+/// The warm pod pool. Slots are tracked per region: a region outage
+/// atomically loses every warm slot located there (the pods are gone),
+/// and acquisitions fall back to live regions until the dark region is
+/// reprovisioned on recovery.
 pub struct WarmPool {
     sim: Sim,
     config: ColdStartConfig,
-    warm: RefCell<usize>,
+    warm: RefCell<BTreeMap<RegionId, usize>>,
+    /// Regions currently dark (no slots can be acquired or replenished).
+    dark: RefCell<BTreeSet<RegionId>>,
     /// Pods handed out (for stats).
     pub acquired: RefCell<u64>,
     /// Acquisitions that found the pool empty and paid full provisioning.
@@ -97,21 +103,63 @@ pub struct WarmPool {
     fail_next: Cell<u32>,
     /// Pod starts that failed and were retried (for stats/invariants).
     pub start_failures: Cell<u64>,
+    /// Warm slots destroyed by region outages (for stats/invariants).
+    pub slots_lost: Cell<u64>,
 }
 
 impl WarmPool {
-    /// Creates a full pool.
+    /// Creates a full single-region pool (region 0).
     pub fn new(sim: &Sim, config: ColdStartConfig) -> Rc<WarmPool> {
-        let warm = config.pool_size;
+        WarmPool::new_multi_region(sim, config, &[RegionId(0)])
+    }
+
+    /// Creates a pool holding `config.pool_size` warm slots in *each* of
+    /// `regions`.
+    pub fn new_multi_region(
+        sim: &Sim,
+        config: ColdStartConfig,
+        regions: &[RegionId],
+    ) -> Rc<WarmPool> {
+        let warm: BTreeMap<RegionId, usize> =
+            regions.iter().map(|&r| (r, config.pool_size)).collect();
         Rc::new(WarmPool {
             sim: sim.clone(),
             config,
             warm: RefCell::new(warm),
+            dark: RefCell::new(BTreeSet::new()),
             acquired: RefCell::new(0),
             pool_misses: RefCell::new(0),
             fail_next: Cell::new(0),
             start_failures: Cell::new(0),
+            slots_lost: Cell::new(0),
         })
+    }
+
+    /// Marks a region's warm slots destroyed (outage) or reprovisionable
+    /// (recovery). Going dark burns every slot in the region on the spot;
+    /// recovery refills the region to `pool_size` after one
+    /// `replenish_delay` (the control plane reprovisions in bulk).
+    pub fn set_region_dark(self: &Rc<Self>, region: RegionId, dark: bool) {
+        if dark {
+            if self.dark.borrow_mut().insert(region) {
+                let mut warm = self.warm.borrow_mut();
+                if let Some(slots) = warm.get_mut(&region) {
+                    self.slots_lost.set(self.slots_lost.get() + *slots as u64);
+                    *slots = 0;
+                }
+            }
+        } else if self.dark.borrow_mut().remove(&region) {
+            let pool = Rc::clone(self);
+            self.sim.schedule_after(self.config.replenish_delay, move || {
+                if pool.dark.borrow().contains(&region) {
+                    return; // went dark again before the refill landed
+                }
+                let mut warm = pool.warm.borrow_mut();
+                if let Some(slots) = warm.get_mut(&region) {
+                    *slots = pool.config.pool_size;
+                }
+            });
+        }
     }
 
     /// Fault injection: makes the next `n` pod starts fail. Each failure
@@ -121,9 +169,18 @@ impl WarmPool {
         self.fail_next.set(self.fail_next.get().saturating_add(n));
     }
 
-    /// Warm pods currently available.
+    /// Warm pods currently available across all live regions.
     pub fn available(&self) -> usize {
-        *self.warm.borrow()
+        let dark = self.dark.borrow();
+        self.warm.borrow().iter().filter(|(r, _)| !dark.contains(r)).map(|(_, n)| n).sum()
+    }
+
+    /// Warm pods available in one region (zero while it is dark).
+    pub fn available_in(&self, region: RegionId) -> usize {
+        if self.dark.borrow().contains(&region) {
+            return 0;
+        }
+        self.warm.borrow().get(&region).copied().unwrap_or(0)
     }
 
     /// The configured flow.
@@ -143,7 +200,34 @@ impl WarmPool {
         tenant: TenantId,
         cb: impl FnOnce(Rc<SqlNode>) + 'static,
     ) {
-        self.acquire_attempt(registry, system_db, tenant, 0, Box::new(cb));
+        let preferred = self.warm.borrow().keys().next().copied().unwrap_or(RegionId(0));
+        self.acquire_attempt(registry, system_db, tenant, preferred, 0, Box::new(cb));
+    }
+
+    /// Like [`WarmPool::acquire_and_start`], but draws from `preferred`'s
+    /// warm slots first, falling back to any live region (the re-homing
+    /// path when a tenant's home region is dark).
+    pub fn acquire_and_start_in(
+        self: &Rc<Self>,
+        registry: &Registry,
+        system_db: &SystemDatabase,
+        tenant: TenantId,
+        preferred: RegionId,
+        cb: impl FnOnce(Rc<SqlNode>) + 'static,
+    ) {
+        self.acquire_attempt(registry, system_db, tenant, preferred, 0, Box::new(cb));
+    }
+
+    /// The region an acquisition would draw a warm slot from: `preferred`
+    /// when it is live and stocked, else the first live region with
+    /// slots.
+    fn pick_region(&self, preferred: RegionId) -> Option<RegionId> {
+        let dark = self.dark.borrow();
+        let warm = self.warm.borrow();
+        if !dark.contains(&preferred) && warm.get(&preferred).is_some_and(|&n| n > 0) {
+            return Some(preferred);
+        }
+        warm.iter().find(|(r, &n)| !dark.contains(r) && n > 0).map(|(&r, _)| r)
     }
 
     fn acquire_attempt(
@@ -151,6 +235,7 @@ impl WarmPool {
         registry: &Registry,
         system_db: &SystemDatabase,
         tenant: TenantId,
+        preferred: RegionId,
         attempt: u32,
         cb: Box<dyn FnOnce(Rc<SqlNode>)>,
     ) {
@@ -176,24 +261,30 @@ impl WarmPool {
         };
         phase("pod.assignment", sample(self.config.pod_assignment));
 
-        // Pod acquisition.
-        {
-            let mut warm = self.warm.borrow_mut();
-            if *warm > 0 {
-                *warm -= 1;
+        // Pod acquisition: the preferred region's slots first, any live
+        // region's second, full provisioning when every live region is dry.
+        match self.pick_region(preferred) {
+            Some(region) => {
+                *self.warm.borrow_mut().get_mut(&region).expect("picked region exists") -= 1;
                 span.tag("pool_hit", "true");
-                // Schedule replenishment.
+                // Schedule replenishment of the region we drew from.
                 let pool = Rc::clone(self);
                 self.sim.schedule_after(self.config.replenish_delay, move || {
+                    if pool.dark.borrow().contains(&region) {
+                        return; // the region died meanwhile; recovery refills it
+                    }
                     let mut warm = pool.warm.borrow_mut();
-                    if *warm < pool.config.pool_size {
-                        *warm += 1;
+                    if let Some(slots) = warm.get_mut(&region) {
+                        if *slots < pool.config.pool_size {
+                            *slots += 1;
+                        }
                     }
                 });
-            } else {
+            }
+            None => {
                 *self.pool_misses.borrow_mut() += 1;
                 span.tag("pool_hit", "false");
-                // No warm pod: provision a fresh one first.
+                // No warm pod anywhere: provision a fresh one first.
                 phase("pod.provision", self.config.replenish_delay);
             }
         }
@@ -225,12 +316,20 @@ impl WarmPool {
                 pool.start_failures.set(pool.start_failures.get() + 1);
                 span.tag("start_failed", "true");
                 span.end();
-                let backoff = (pool.config.start_retry_base * 2u32.pow(attempt.min(6)))
-                    .min(pool.config.start_retry_cap);
+                // Shared backoff policy (no budget: the pool retries until
+                // a pod sticks — equivalent to the old
+                // `(base * 2^min(n,6)).min(cap)` under the default config).
+                let backoff = RetryPolicy::exponential(
+                    pool.config.start_retry_base,
+                    pool.config.start_retry_cap,
+                    u32::MAX,
+                )
+                .delay(attempt)
+                .expect("unbounded budget always yields a delay");
                 let pool2 = Rc::clone(&pool);
                 pool.sim.schedule_after(backoff, move || {
                     let _g = ambient.enter();
-                    pool2.acquire_attempt(&registry, &sdb, tenant, attempt + 1, cb);
+                    pool2.acquire_attempt(&registry, &sdb, tenant, preferred, attempt + 1, cb);
                 });
                 return;
             }
@@ -361,6 +460,39 @@ mod tests {
         // Backoffs: 0.25 + 0.5 + 1 + 2 + 4*7 = 31.75s; with per-attempt
         // flow delays the total stays far below an uncapped 250ms << 10.
         assert!(elapsed < dur::secs(45), "capped backoff bounds recovery: {elapsed:?}");
+    }
+
+    #[test]
+    fn region_outage_burns_warm_slots_and_acquisitions_fall_back() {
+        let (sim, registry, _single, sdb) = fixture(true);
+        let pool = WarmPool::new_multi_region(
+            &sim,
+            ColdStartConfig::default(),
+            &[RegionId(0), RegionId(1)],
+        );
+        let size = ColdStartConfig::default().pool_size;
+        assert_eq!(pool.available(), 2 * size);
+
+        // Region 1 goes dark: its warm slots are destroyed on the spot.
+        pool.set_region_dark(RegionId(1), true);
+        assert_eq!(pool.available(), size);
+        assert_eq!(pool.available_in(RegionId(1)), 0);
+        assert_eq!(pool.slots_lost.get(), size as u64);
+
+        // An acquisition preferring the dark region falls back to a live
+        // one — still a pool hit, no provisioning penalty.
+        let done = Rc::new(Cell::new(false));
+        let d = Rc::clone(&done);
+        pool.acquire_and_start_in(&registry, &sdb, TenantId(2), RegionId(1), move |_| d.set(true));
+        assert_eq!(pool.available_in(RegionId(0)), size - 1);
+        assert_eq!(*pool.pool_misses.borrow(), 0, "fallback is a pool hit");
+        sim.run_for(dur::secs(30));
+        assert!(done.get());
+
+        // Recovery reprovisions the region after the replenish delay.
+        pool.set_region_dark(RegionId(1), false);
+        sim.run_for(dur::secs(30));
+        assert_eq!(pool.available_in(RegionId(1)), size);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
+use crdb_kv::batch::KvError;
 use crdb_obs::trace;
 use crdb_sim::Sim;
 use crdb_sql::coord::SqlError;
@@ -22,7 +23,7 @@ use crdb_sql::session::SessionSnapshot;
 use crdb_sql::system_db::SystemDatabase;
 use crdb_sql::value::Datum;
 use crdb_util::time::{dur, SimTime};
-use crdb_util::TenantId;
+use crdb_util::{Breaker, BreakerConfig, Deadline, RetryPolicy, TenantId};
 
 use crate::pool::WarmPool;
 use crate::registry::Registry;
@@ -44,6 +45,10 @@ pub struct ProxyConfig {
     pub rebalance_interval: Duration,
     /// Imbalance (in connections) that triggers migration between nodes.
     pub rebalance_threshold: u64,
+    /// Per-statement deadline stamped at the proxy and propagated
+    /// SQL → KV client → node (`None` = unbounded, the historical
+    /// behavior). No layer below may schedule a retry past it.
+    pub statement_deadline: Option<Duration>,
 }
 
 impl Default for ProxyConfig {
@@ -54,6 +59,7 @@ impl Default for ProxyConfig {
             auth_backoff_cap: dur::secs(60),
             rebalance_interval: dur::secs(10),
             rebalance_threshold: 2,
+            statement_deadline: None,
         }
     }
 }
@@ -135,6 +141,19 @@ pub struct Proxy {
     pub cold_starts: Cell<u64>,
     /// Client-observed per-statement latency (one sample per attempt).
     pub statement_latency: RefCell<crdb_util::Histogram>,
+    /// Per-tenant client-observed statement latency — the blast-radius
+    /// invariant ("healthy-region tenants keep their p99") is checked
+    /// against these, not the global histogram.
+    tenant_latency: RefCell<BTreeMap<TenantId, crdb_util::Histogram>>,
+    /// Per-tenant circuit breakers: a tenant whose backend path keeps
+    /// failing (dark region) is shed with a fast `Unavailable` instead of
+    /// tying up proxy capacity, while other tenants are untouched.
+    breakers: RefCell<BTreeMap<TenantId, Breaker>>,
+    /// Statements shed by an open per-tenant breaker.
+    pub shed_statements: Cell<u64>,
+    /// Live copy of [`ProxyConfig::statement_deadline`], adjustable at
+    /// runtime via [`Proxy::set_statement_deadline`].
+    statement_deadline: Cell<Option<Duration>>,
 }
 
 impl Proxy {
@@ -162,6 +181,10 @@ impl Proxy {
             migrations: Cell::new(0),
             cold_starts: Cell::new(0),
             statement_latency: RefCell::new(crdb_util::Histogram::new()),
+            tenant_latency: RefCell::new(BTreeMap::new()),
+            breakers: RefCell::new(BTreeMap::new()),
+            shed_statements: Cell::new(0),
+            statement_deadline: Cell::new(config.statement_deadline),
         });
         let p = Rc::clone(&proxy);
         sim.schedule_periodic(config.rebalance_interval, move || {
@@ -219,10 +242,16 @@ impl Proxy {
         entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
         // The first failure waits exactly the base; each further failure
         // doubles it, clamped to the configured cap so arbitrarily long
-        // streaks neither overflow nor lock a source out forever.
-        let exp = entry.consecutive_failures.saturating_sub(1).min(10);
-        let backoff =
-            (self.config.auth_backoff_base * 2u32.pow(exp)).min(self.config.auth_backoff_cap);
+        // streaks neither overflow nor lock a source out forever. The
+        // shared policy reproduces the old `(base * 2^min(n,10)).min(cap)`
+        // schedule exactly under the default config.
+        let backoff = RetryPolicy::exponential(
+            self.config.auth_backoff_base,
+            self.config.auth_backoff_cap,
+            u32::MAX,
+        )
+        .delay(entry.consecutive_failures - 1)
+        .expect("unbounded budget always yields a delay");
         entry.blocked_until = now + backoff;
     }
 
@@ -374,7 +403,76 @@ impl Proxy {
         params: Vec<Datum>,
         cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
     ) {
-        self.execute_boxed(conn, sql, params, Box::new(cb));
+        // Shed load for tenants whose backend path keeps failing: the
+        // breaker fast-fails at the proxy without touching the SQL or KV
+        // layers, so a dark-region tenant cannot tie up shared capacity.
+        if !self.breaker_allows(conn.tenant) {
+            self.shed_statements.set(self.shed_statements.get() + 1);
+            cb(Err(SqlError::Kv(KvError::Unavailable)));
+            return;
+        }
+        // The statement's deadline is stamped once here; revival and
+        // crash-mid-flight re-routes all count against the same budget.
+        let deadline = match self.statement_deadline.get() {
+            Some(d) => Deadline::at(self.sim.now() + d),
+            None => Deadline::NONE,
+        };
+        self.execute_boxed(conn, sql, params, deadline, Box::new(cb));
+    }
+
+    /// Changes the per-statement deadline for subsequent statements
+    /// (`None` = unbounded). Lets operators widen the budget for offline
+    /// audit sessions without rebuilding the proxy.
+    pub fn set_statement_deadline(&self, deadline: Option<Duration>) {
+        self.statement_deadline.set(deadline);
+    }
+
+    fn breaker_allows(&self, tenant: TenantId) -> bool {
+        let now = self.sim.now();
+        self.breakers
+            .borrow_mut()
+            .entry(tenant)
+            .or_insert_with(|| Breaker::new(BreakerConfig::default()))
+            .allow(now)
+    }
+
+    /// Records a statement outcome into the tenant's breaker. Only
+    /// infrastructure failures count: user errors (parse, constraint, …)
+    /// prove the backend is reachable and count as successes.
+    fn breaker_record(&self, tenant: TenantId, r: &Result<QueryOutput, SqlError>) {
+        let infra_failure = matches!(
+            r,
+            Err(SqlError::Unavailable)
+                | Err(SqlError::Kv(
+                    KvError::Unavailable
+                        | KvError::NodeUnavailable
+                        | KvError::DeadlineExceeded
+                        | KvError::AdmissionTimeout
+                ))
+        );
+        let now = self.sim.now();
+        let mut breakers = self.breakers.borrow_mut();
+        let b = breakers.entry(tenant).or_insert_with(|| Breaker::new(BreakerConfig::default()));
+        if infra_failure {
+            b.record_failure(now);
+        } else {
+            b.record_success(now);
+        }
+    }
+
+    /// Total per-tenant breaker trips (for metrics).
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.borrow().values().map(|b| b.trips()).sum()
+    }
+
+    /// The p99 client-observed statement latency for one tenant, if it
+    /// has issued any statements.
+    pub fn tenant_statement_p99(&self, tenant: TenantId) -> Option<Duration> {
+        self.tenant_latency
+            .borrow()
+            .get(&tenant)
+            .filter(|h| h.count() > 0)
+            .map(|h| h.quantile_duration(0.99))
     }
 
     /// `execute` with a boxed callback: the crash-mid-flight path in
@@ -385,6 +483,7 @@ impl Proxy {
         conn: &Rc<Connection>,
         sql: &str,
         params: Vec<Datum>,
+        deadline: Deadline,
         cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
     ) {
         // One span (and one latency sample) per attempt: a crash-mid-flight
@@ -393,14 +492,20 @@ impl Proxy {
         span.tag("tenant", conn.tenant);
         span.tag("session", conn.session());
         let begin = self.sim.now();
+        let tenant = conn.tenant;
         let this0 = Rc::clone(self);
         let cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)> = {
             let span = span.clone();
             Box::new(move |r: Result<QueryOutput, SqlError>| {
+                let elapsed = this0.sim.now().duration_since(begin);
+                this0.statement_latency.borrow_mut().record_duration(elapsed);
                 this0
-                    .statement_latency
+                    .tenant_latency
                     .borrow_mut()
-                    .record_duration(this0.sim.now().duration_since(begin));
+                    .entry(tenant)
+                    .or_default()
+                    .record_duration(elapsed);
+                this0.breaker_record(tenant, &r);
                 span.end();
                 cb(r)
             })
@@ -417,12 +522,12 @@ impl Proxy {
                 let _scope = ambient.enter();
                 match r {
                     Err(e) => cb(Err(e)),
-                    Ok(()) => this.execute_inner(&conn2, &sql, params, cb),
+                    Ok(()) => this.execute_inner(&conn2, &sql, params, deadline, cb),
                 }
             });
             return;
         }
-        self.execute_inner(conn, sql, params, cb);
+        self.execute_inner(conn, sql, params, deadline, cb);
     }
 
     fn execute_inner(
@@ -430,6 +535,7 @@ impl Proxy {
         conn: &Rc<Connection>,
         sql: &str,
         params: Vec<Datum>,
+        deadline: Deadline,
         cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
     ) {
         let node = conn.node();
@@ -448,15 +554,16 @@ impl Proxy {
             let _scope = ambient.enter();
             if conn2.node().state() == NodeState::Stopped {
                 // The backend crashed while the request was on the wire;
-                // route back through `execute`, which revives first.
-                this.execute_boxed(&conn2, &sql, params, cb);
+                // route back through `execute`, which revives first (the
+                // original statement deadline keeps counting).
+                this.execute_boxed(&conn2, &sql, params, deadline, cb);
                 return;
             }
             registry.with_tenant(tenant, |e| e.last_active = sim.now());
             let sim2 = sim.clone();
             let node2 = Rc::clone(&node);
             let ambient2 = trace::current();
-            node.execute(session, &sql, params, move |r| {
+            node.execute_with_deadline(session, &sql, params, deadline, move |r| {
                 // Refresh the revival snapshot whenever the session is
                 // idle afterwards, so a later crash resumes from the
                 // latest committed state.
@@ -667,6 +774,95 @@ mod tests {
         proxy.record_auth_failure("203.0.113.9");
         let throttle = proxy.throttle.borrow();
         assert_eq!(throttle.get("203.0.113.9").unwrap().consecutive_failures, 1);
+    }
+
+    #[test]
+    fn statement_deadline_bounds_kv_outage_and_breaker_sheds() {
+        let sim = Sim::new(21);
+        let cluster = KvCluster::new(
+            &sim,
+            Topology::single_region("us-east1", 3),
+            KvClusterConfig::default(),
+        );
+        let cert = cluster.create_tenant(TenantId(2));
+        let sim2 = sim.clone();
+        let next_id = Rc::new(Cell::new(1u64));
+        let factory = {
+            let cluster = cluster.clone();
+            Rc::new(move |_tenant: TenantId| {
+                let client =
+                    KvClient::new(cluster.clone(), cert.clone(), Location::new(RegionId(0), 0));
+                let id = next_id.get();
+                next_id.set(id + 1);
+                SqlNode::new(&sim2, SqlInstanceId(id), client, SqlNodeConfig::default())
+            })
+        };
+        let registry = Registry::new(factory);
+        registry.add_tenant(TenantId(2), sim.now());
+        let pool = WarmPool::new(&sim, ColdStartConfig::default());
+        let sdb: SystemDbProvider =
+            Rc::new(|_| SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]));
+        let proxy = Proxy::start(
+            &sim,
+            ProxyConfig { statement_deadline: Some(dur::secs(2)), ..Default::default() },
+            registry.clone(),
+            pool,
+            sdb,
+        );
+
+        let slot = Rc::new(RefCell::new(None));
+        {
+            let s = Rc::clone(&slot);
+            proxy.connect(TenantId(2), "10.0.0.1", "app", true, move |r| {
+                *s.borrow_mut() = Some(r.expect("connect"));
+            });
+        }
+        sim.run_for(dur::secs(10));
+        let conn = slot.borrow_mut().take().expect("connected");
+        let run = |sql: &str, window: Duration| -> (Result<QueryOutput, SqlError>, Duration) {
+            let out = Rc::new(RefCell::new(None));
+            let o = Rc::clone(&out);
+            let begin = sim.now();
+            let s2 = sim.clone();
+            proxy.execute(&conn, sql, vec![], move |r| {
+                *o.borrow_mut() = Some((r, s2.now().duration_since(begin)))
+            });
+            sim.run_for(window);
+            let r = out.borrow_mut().take();
+            r.expect("completed")
+        };
+        run("CREATE TABLE t (id INT PRIMARY KEY)", dur::secs(30)).0.expect("ok");
+
+        // Total KV outage: without a deadline the client's routing budget
+        // would retry for ~19s per statement. The propagated deadline
+        // bounds each failure near 2s, and five consecutive
+        // infrastructure failures trip the tenant's breaker.
+        for id in cluster.node_ids() {
+            cluster.set_node_alive(id, false);
+        }
+        // 1s windows keep each follow-up statement inside the breaker's
+        // 3s cooldown, so the trip is observable as a shed below.
+        for i in 0..5 {
+            let (r, elapsed) = run("SELECT * FROM t", dur::secs(1));
+            assert!(r.is_err(), "statement {i} fails during the outage");
+            assert!(elapsed < dur::secs(4), "deadline bounds attempt {i}: {elapsed:?}");
+        }
+        assert!(proxy.breaker_trips() >= 1, "breaker tripped after the failure streak");
+
+        // The open breaker sheds instantly at the proxy.
+        let (r, elapsed) = run("SELECT * FROM t", dur::secs(1));
+        assert!(matches!(r, Err(SqlError::Kv(KvError::Unavailable))), "shed error: {r:?}");
+        assert_eq!(elapsed, Duration::ZERO, "shed without touching SQL or KV");
+        assert!(proxy.shed_statements.get() >= 1);
+
+        // Recovery: nodes return, the breaker's cooldown lapses, and the
+        // half-open probe closes it again.
+        for id in cluster.node_ids() {
+            cluster.set_node_alive(id, true);
+        }
+        sim.run_for(dur::secs(30));
+        let (r, _) = run("SELECT * FROM t", dur::secs(30));
+        r.expect("service restored after recovery");
     }
 
     #[test]

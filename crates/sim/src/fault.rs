@@ -71,8 +71,51 @@ pub enum FaultKind {
         /// Multiplier in percent (e.g. 400 = 4×).
         factor_pct: u32,
     },
-    /// End the latency spike (factor back to 1×).
+    /// End the latency spike (factor restored to whatever was active
+    /// before the most recent spike started).
     LatencySpikeEnd,
+    /// Start an asymmetric partition: traffic `from → to` drops while
+    /// `to → from` still flows.
+    PartitionOneWayStart {
+        /// Region whose outbound traffic toward `to` dies.
+        from: RegionId,
+        /// Destination region.
+        to: RegionId,
+    },
+    /// Heal the one-way partition `from → to`.
+    PartitionOneWayHeal {
+        /// Region whose outbound traffic was dropped.
+        from: RegionId,
+        /// Destination region.
+        to: RegionId,
+    },
+    /// A full zone outage: every KV node, SQL pod, and warm-pool slot in
+    /// the zone goes down atomically and the zone's traffic drops.
+    ZoneOutage {
+        /// The region containing the zone.
+        region: RegionId,
+        /// The zone index within the region.
+        zone: u32,
+    },
+    /// Recover a zone from an outage.
+    ZoneRecover {
+        /// The region containing the zone.
+        region: RegionId,
+        /// The zone index within the region.
+        zone: u32,
+    },
+    /// A full region outage: everything located in the region goes down
+    /// atomically — KV nodes, SQL pods, warm-pool capacity — and all of
+    /// the region's traffic (including intra-region) drops.
+    RegionOutage {
+        /// The dark region.
+        region: RegionId,
+    },
+    /// Recover a region from an outage.
+    RegionRecover {
+        /// The recovering region.
+        region: RegionId,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -92,6 +135,24 @@ impl fmt::Display for FaultKind {
                 write!(f, "latency-spike-start factor_pct={factor_pct}")
             }
             FaultKind::LatencySpikeEnd => write!(f, "latency-spike-end"),
+            FaultKind::PartitionOneWayStart { from, to } => {
+                write!(f, "partition-one-way-start regions={}>{}", from.raw(), to.raw())
+            }
+            FaultKind::PartitionOneWayHeal { from, to } => {
+                write!(f, "partition-one-way-heal regions={}>{}", from.raw(), to.raw())
+            }
+            FaultKind::ZoneOutage { region, zone } => {
+                write!(f, "zone-outage region={} zone={zone}", region.raw())
+            }
+            FaultKind::ZoneRecover { region, zone } => {
+                write!(f, "zone-recover region={} zone={zone}", region.raw())
+            }
+            FaultKind::RegionOutage { region } => {
+                write!(f, "region-outage region={}", region.raw())
+            }
+            FaultKind::RegionRecover { region } => {
+                write!(f, "region-recover region={}", region.raw())
+            }
         }
     }
 }
@@ -251,6 +312,84 @@ impl FaultSchedule {
         FaultSchedule { events }
     }
 
+    /// Merges two schedules, re-establishing the stable
+    /// `(time, rendering)` order so composed disaster scripts replay
+    /// deterministically regardless of composition order.
+    pub fn merge(mut self, other: FaultSchedule) -> FaultSchedule {
+        self.events.extend(other.events);
+        self.events.sort_by(|x, y| {
+            x.at.cmp(&y.at).then_with(|| x.kind.to_string().cmp(&y.kind.to_string()))
+        });
+        self
+    }
+
+    /// Disaster script: a zone goes dark at `at` and recovers after
+    /// `duration`.
+    pub fn zone_loss(
+        region: RegionId,
+        zone: u32,
+        at: SimTime,
+        duration: Duration,
+    ) -> FaultSchedule {
+        FaultSchedule {
+            events: vec![
+                FaultEvent { at, kind: FaultKind::ZoneOutage { region, zone } },
+                FaultEvent { at: at + duration, kind: FaultKind::ZoneRecover { region, zone } },
+            ],
+        }
+    }
+
+    /// Disaster script: a full region goes dark at `at` and recovers
+    /// after `duration`.
+    pub fn region_loss(region: RegionId, at: SimTime, duration: Duration) -> FaultSchedule {
+        FaultSchedule {
+            events: vec![
+                FaultEvent { at, kind: FaultKind::RegionOutage { region } },
+                FaultEvent { at: at + duration, kind: FaultKind::RegionRecover { region } },
+            ],
+        }
+    }
+
+    /// Disaster script: pod starts begin failing just before a full
+    /// region loss, so the outage lands while the warm pool is burning
+    /// through cold-start retries — the worst-case §4.3.1 path.
+    pub fn region_loss_mid_cold_start(
+        region: RegionId,
+        at: SimTime,
+        duration: Duration,
+        failed_starts: u32,
+    ) -> FaultSchedule {
+        let lead = Duration::from_secs(2);
+        let burst_at = SimTime::from_nanos(at.as_nanos().saturating_sub(lead.as_nanos() as u64));
+        FaultSchedule {
+            events: vec![FaultEvent {
+                at: burst_at,
+                kind: FaultKind::PodStartFailure { count: failed_starts },
+            }],
+        }
+        .merge(FaultSchedule::region_loss(region, at, duration))
+    }
+
+    /// Disaster script: a region flaps `cycles` times — dark for `down`,
+    /// back for `up`, repeatedly — exercising breaker re-trips and
+    /// repeated re-homing.
+    pub fn flapping_region(
+        region: RegionId,
+        first_at: SimTime,
+        down: Duration,
+        up: Duration,
+        cycles: u32,
+    ) -> FaultSchedule {
+        let mut events = Vec::new();
+        let mut at = first_at;
+        for _ in 0..cycles {
+            events.push(FaultEvent { at, kind: FaultKind::RegionOutage { region } });
+            events.push(FaultEvent { at: at + down, kind: FaultKind::RegionRecover { region } });
+            at = at + down + up;
+        }
+        FaultSchedule { events }
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -361,6 +500,76 @@ mod tests {
         assert_eq!(seen.get(), total);
         assert_eq!(injector.injected(), total);
         assert_eq!(injector.log().lines().count(), total);
+    }
+
+    #[test]
+    fn disaster_scripts_compose_deterministically() {
+        let t0 = SimTime::from_nanos(60_000_000_000);
+        let outage = FaultSchedule::region_loss(RegionId(1), t0, Duration::from_secs(120));
+        let spike = FaultSchedule {
+            events: vec![
+                FaultEvent { at: t0, kind: FaultKind::LatencySpikeStart { factor_pct: 300 } },
+                FaultEvent { at: t0 + Duration::from_secs(30), kind: FaultKind::LatencySpikeEnd },
+            ],
+        };
+        let a = outage.clone().merge(spike.clone());
+        let b = spike.merge(outage);
+        assert_eq!(a.events, b.events, "merge order must not matter");
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn region_loss_mid_cold_start_orders_burst_before_outage() {
+        let t0 = SimTime::from_nanos(10_000_000_000);
+        let s =
+            FaultSchedule::region_loss_mid_cold_start(RegionId(2), t0, Duration::from_secs(60), 3);
+        assert_eq!(s.len(), 3);
+        assert!(matches!(s.events[0].kind, FaultKind::PodStartFailure { count: 3 }));
+        assert!(s.events[0].at < t0);
+        assert!(matches!(s.events[1].kind, FaultKind::RegionOutage { .. }));
+        assert!(matches!(s.events[2].kind, FaultKind::RegionRecover { .. }));
+    }
+
+    #[test]
+    fn flapping_region_alternates_outage_and_recovery() {
+        let s = FaultSchedule::flapping_region(
+            RegionId(1),
+            SimTime::from_nanos(0),
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            3,
+        );
+        assert_eq!(s.len(), 6);
+        for (i, e) in s.events.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(matches!(e.kind, FaultKind::RegionOutage { .. }));
+            } else {
+                assert!(matches!(e.kind, FaultKind::RegionRecover { .. }));
+            }
+        }
+        assert!(s.events.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn new_fault_kinds_render_stably() {
+        // The schedule sort key is the Display string — pin the formats.
+        assert_eq!(
+            FaultKind::ZoneOutage { region: RegionId(1), zone: 2 }.to_string(),
+            "zone-outage region=1 zone=2"
+        );
+        assert_eq!(
+            FaultKind::RegionOutage { region: RegionId(0) }.to_string(),
+            "region-outage region=0"
+        );
+        assert_eq!(
+            FaultKind::PartitionOneWayStart { from: RegionId(0), to: RegionId(2) }.to_string(),
+            "partition-one-way-start regions=0>2"
+        );
+        assert_eq!(
+            FaultKind::RegionRecover { region: RegionId(2) }.to_string(),
+            "region-recover region=2"
+        );
     }
 
     #[test]

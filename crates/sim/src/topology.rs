@@ -45,8 +45,19 @@ impl Location {
 struct NetFaults {
     /// Region pairs that cannot exchange messages (stored both ways).
     partitions: HashSet<(RegionId, RegionId)>,
+    /// Directed region pairs whose traffic is dropped one way only
+    /// (asymmetric partition: `(from, to)` is dead, `(to, from)` works).
+    one_way: HashSet<(RegionId, RegionId)>,
+    /// Regions that are entirely dark (a full region outage): nothing in
+    /// or out, including intra-region traffic touching the region.
+    dark_regions: HashSet<RegionId>,
+    /// Individual zones that are dark (a zone outage).
+    dark_zones: HashSet<(RegionId, u32)>,
     /// Global latency multiplier in percent (100 = no spike).
     latency_factor_pct: u32,
+    /// Previous multipliers, so overlapping spikes restore the factor
+    /// they replaced instead of snapping back to 100%.
+    factor_stack: Vec<u32>,
     /// Messages dropped because of a partition.
     dropped: u64,
 }
@@ -174,11 +185,31 @@ impl Topology {
         sim.schedule_after(latency, message);
     }
 
-    /// True when no partition separates `from` and `to`. Intra-region
-    /// traffic is never partitioned (partitions are inter-region).
+    /// True when no partition or outage separates `from` and `to`.
+    /// Symmetric partitions are inter-region (intra-region traffic is
+    /// never partitioned), but a dark zone or region blocks *all* of its
+    /// traffic, including intra-region hops.
     pub fn is_reachable(&self, from: Location, to: Location) -> bool {
-        from.region == to.region
-            || !self.faults.borrow().partitions.contains(&(from.region, to.region))
+        let faults = self.faults.borrow();
+        if faults.dark_regions.contains(&from.region)
+            || faults.dark_regions.contains(&to.region)
+            || faults.dark_zones.contains(&(from.region, from.zone))
+            || faults.dark_zones.contains(&(to.region, to.zone))
+        {
+            return false;
+        }
+        if from.region == to.region {
+            return true;
+        }
+        !faults.partitions.contains(&(from.region, to.region))
+            && !faults.one_way.contains(&(from.region, to.region))
+    }
+
+    /// True when `location` sits inside a dark zone or region.
+    pub fn is_dark(&self, location: Location) -> bool {
+        let faults = self.faults.borrow();
+        faults.dark_regions.contains(&location.region)
+            || faults.dark_zones.contains(&(location.region, location.zone))
     }
 
     /// Starts a symmetric partition between two regions.
@@ -198,14 +229,73 @@ impl Topology {
         faults.partitions.remove(&(b, a));
     }
 
-    /// Heals every partition.
-    pub fn heal_all(&self) {
-        self.faults.borrow_mut().partitions.clear();
+    /// Starts an asymmetric partition: messages `from → to` are dropped
+    /// while `to → from` still flows (e.g. a broken return path).
+    pub fn partition_one_way(&self, from: RegionId, to: RegionId) {
+        if from == to {
+            return;
+        }
+        self.faults.borrow_mut().one_way.insert((from, to));
     }
 
-    /// Sets the global latency multiplier in percent (100 = normal).
+    /// Heals the one-way partition `from → to`.
+    pub fn heal_one_way(&self, from: RegionId, to: RegionId) {
+        self.faults.borrow_mut().one_way.remove(&(from, to));
+    }
+
+    /// Heals every partition, symmetric and one-way. Dark zones and
+    /// regions are *not* cleared here — outages end via their scheduled
+    /// recovery events (or [`Topology::set_region_dark`] /
+    /// [`Topology::set_zone_dark`] with `dark = false`).
+    pub fn heal_all(&self) {
+        let mut faults = self.faults.borrow_mut();
+        faults.partitions.clear();
+        faults.one_way.clear();
+    }
+
+    /// Marks an entire region dark (`dark = true`) or restores it.
+    pub fn set_region_dark(&self, region: RegionId, dark: bool) {
+        let mut faults = self.faults.borrow_mut();
+        if dark {
+            faults.dark_regions.insert(region);
+        } else {
+            faults.dark_regions.remove(&region);
+        }
+    }
+
+    /// Marks a single zone dark (`dark = true`) or restores it.
+    pub fn set_zone_dark(&self, region: RegionId, zone: u32, dark: bool) {
+        let mut faults = self.faults.borrow_mut();
+        if dark {
+            faults.dark_zones.insert((region, zone));
+        } else {
+            faults.dark_zones.remove(&(region, zone));
+        }
+    }
+
+    /// Sets the global latency multiplier in percent (100 = normal),
+    /// discarding any stacked spike factors.
     pub fn set_latency_factor_pct(&self, pct: u32) {
-        self.faults.borrow_mut().latency_factor_pct = pct.max(1);
+        let mut faults = self.faults.borrow_mut();
+        faults.latency_factor_pct = pct.max(1);
+        faults.factor_stack.clear();
+    }
+
+    /// Starts a latency spike, remembering the factor it replaces so
+    /// overlapping spikes compose: each [`Topology::pop_latency_factor_pct`]
+    /// restores the previous factor rather than resetting to 100%.
+    pub fn push_latency_factor_pct(&self, pct: u32) {
+        let mut faults = self.faults.borrow_mut();
+        let prev = faults.latency_factor_pct;
+        faults.factor_stack.push(prev);
+        faults.latency_factor_pct = pct.max(1);
+    }
+
+    /// Ends the most recent latency spike, restoring the factor that was
+    /// active before it (100% if the stack is empty).
+    pub fn pop_latency_factor_pct(&self) {
+        let mut faults = self.faults.borrow_mut();
+        faults.latency_factor_pct = faults.factor_stack.pop().unwrap_or(100);
     }
 
     /// Messages dropped so far because of partitions.
@@ -312,6 +402,83 @@ mod tests {
         let spiked = t.sample_latency(&sim, us, eu);
         assert!(spiked >= normal.mul_f64(3.5), "{spiked:?} vs {normal:?}");
         t.set_latency_factor_pct(100);
+    }
+
+    #[test]
+    fn one_way_partition_is_asymmetric() {
+        let t = Topology::three_region();
+        let us = Location::new(RegionId(0), 0);
+        let eu = Location::new(RegionId(1), 0);
+        t.partition_one_way(RegionId(0), RegionId(1));
+        assert!(!t.is_reachable(us, eu), "forward path dead");
+        assert!(t.is_reachable(eu, us), "return path still up");
+        t.heal_one_way(RegionId(0), RegionId(1));
+        assert!(t.is_reachable(us, eu));
+        // Self-partition is a no-op.
+        t.partition_one_way(RegionId(0), RegionId(0));
+        assert!(t.is_reachable(us, Location::new(RegionId(0), 1)));
+        // heal_all clears one-way partitions too.
+        t.partition_one_way(RegionId(1), RegionId(2));
+        t.heal_all();
+        assert!(t.is_reachable(eu, Location::new(RegionId(2), 0)));
+    }
+
+    #[test]
+    fn dark_region_blocks_all_traffic_including_intra_region() {
+        let t = Topology::three_region();
+        let eu_a = Location::new(RegionId(1), 0);
+        let eu_b = Location::new(RegionId(1), 1);
+        let us = Location::new(RegionId(0), 0);
+        t.set_region_dark(RegionId(1), true);
+        assert!(t.is_dark(eu_a));
+        assert!(!t.is_reachable(eu_a, eu_b), "intra-region traffic dies in a dark region");
+        assert!(!t.is_reachable(us, eu_a));
+        assert!(!t.is_reachable(eu_a, us));
+        assert!(t.is_reachable(us, Location::new(RegionId(2), 0)), "other regions unaffected");
+        // heal_all does NOT recover a dark region.
+        t.heal_all();
+        assert!(!t.is_reachable(us, eu_a));
+        t.set_region_dark(RegionId(1), false);
+        assert!(t.is_reachable(us, eu_a));
+        assert!(!t.is_dark(eu_a));
+    }
+
+    #[test]
+    fn dark_zone_blocks_only_that_zone() {
+        let t = Topology::single_region("us-east1", 3);
+        let z0 = Location::new(RegionId(0), 0);
+        let z1 = Location::new(RegionId(0), 1);
+        let z2 = Location::new(RegionId(0), 2);
+        t.set_zone_dark(RegionId(0), 1, true);
+        assert!(t.is_dark(z1));
+        assert!(!t.is_reachable(z0, z1));
+        assert!(!t.is_reachable(z1, z2));
+        assert!(t.is_reachable(z0, z2), "unaffected zones still talk");
+        t.set_zone_dark(RegionId(0), 1, false);
+        assert!(t.is_reachable(z0, z1));
+    }
+
+    #[test]
+    fn overlapping_latency_spikes_restore_previous_factor() {
+        let sim = Sim::new(1);
+        let t = Topology::three_region();
+        let us = Location::new(RegionId(0), 0);
+        let eu = Location::new(RegionId(1), 0);
+        let normal = t.sample_latency(&sim, us, eu);
+        // Spike A (400%) then overlapping spike B (200%).
+        t.push_latency_factor_pct(400);
+        t.push_latency_factor_pct(200);
+        // B ends: factor must return to A's 400%, not 100%.
+        t.pop_latency_factor_pct();
+        let still_spiked = t.sample_latency(&sim, us, eu);
+        assert!(still_spiked >= normal.mul_f64(3.5), "{still_spiked:?} vs {normal:?}");
+        // A ends: back to normal.
+        t.pop_latency_factor_pct();
+        let restored = t.sample_latency(&sim, us, eu);
+        assert!(restored <= normal.mul_f64(1.2), "{restored:?} vs {normal:?}");
+        // Popping an empty stack is safe and pins the factor at 100%.
+        t.pop_latency_factor_pct();
+        assert!(t.sample_latency(&sim, us, eu) <= normal.mul_f64(1.2));
     }
 
     #[test]

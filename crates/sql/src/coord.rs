@@ -19,6 +19,7 @@ use crdb_kv::client::{make_txn_meta, KvClient};
 use crdb_kv::keys as kvkeys;
 use crdb_kv::txn::TxnMeta;
 use crdb_obs::trace;
+use crdb_util::Deadline;
 
 use crate::expr::EvalError;
 
@@ -35,6 +36,10 @@ pub enum SqlError {
     Kv(KvError),
     /// Serialization conflict: the transaction should be retried.
     Retry(String),
+    /// Transient infrastructure failure (partition, crash, dark region):
+    /// retryable like [`SqlError::Retry`], but kept distinct so upstream
+    /// circuit breakers can tell an outage from workload contention.
+    Unavailable,
     /// Constraint violation (duplicate primary key, null in non-null).
     Constraint(String),
     /// Session/transaction state misuse.
@@ -49,6 +54,7 @@ impl fmt::Display for SqlError {
             SqlError::Eval(e) => write!(f, "evaluation error: {e}"),
             SqlError::Kv(e) => write!(f, "kv error: {e:?}"),
             SqlError::Retry(m) => write!(f, "restart transaction: {m}"),
+            SqlError::Unavailable => write!(f, "restart transaction: kv unavailable"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
             SqlError::State(m) => write!(f, "invalid state: {m}"),
         }
@@ -58,7 +64,7 @@ impl fmt::Display for SqlError {
 impl SqlError {
     /// Whether the enclosing transaction should be retried.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, SqlError::Retry(_))
+        matches!(self, SqlError::Retry(_) | SqlError::Unavailable)
     }
 }
 
@@ -72,7 +78,10 @@ fn map_kv_error(e: KvError) -> SqlError {
         // Transient infrastructure failure (crash or partition): the
         // statement failed fast, but the transaction is retryable once
         // the fault clears or leases move.
-        KvError::Unavailable => SqlError::Retry("kv unavailable".into()),
+        KvError::Unavailable => SqlError::Unavailable,
+        // Deliberately NOT retryable: the caller's deadline has already
+        // passed, so re-running the transaction can only waste work.
+        KvError::DeadlineExceeded => SqlError::Kv(KvError::DeadlineExceeded),
         other => SqlError::Kv(other),
     }
 }
@@ -93,6 +102,9 @@ struct TxnInner {
     /// coordinator-side refresh that stands in for the timestamp cache.
     reads: Vec<(Bytes, Bytes)>,
     state: TxnState,
+    /// The caller's deadline, stamped onto every KV batch this
+    /// transaction issues ([`Deadline::NONE`] when unbounded).
+    deadline: Deadline,
     /// KV batches issued (stats for CPU accounting and eCPU features).
     pub kv_batches: u64,
 }
@@ -112,6 +124,13 @@ pub struct Txn {
 impl Txn {
     /// Begins a transaction on `client`.
     pub fn begin(client: &KvClient) -> Txn {
+        Txn::begin_with_deadline(client, Deadline::NONE)
+    }
+
+    /// Begins a transaction whose KV batches all carry `deadline` — the
+    /// propagation point from the SQL layer into the KV client, which in
+    /// turn refuses to schedule any retry past it.
+    pub fn begin_with_deadline(client: &KvClient, deadline: Deadline) -> Txn {
         // The anchor is provisional until the first write is known.
         let meta = make_txn_meta(client.cluster(), Bytes::from_static(b""));
         Txn {
@@ -121,9 +140,14 @@ impl Txn {
                 writes: BTreeMap::new(),
                 reads: Vec::new(),
                 state: TxnState::Pending,
+                deadline,
                 kv_batches: 0,
             })),
         }
+    }
+
+    fn deadline(&self) -> Deadline {
+        self.inner.borrow().deadline
     }
 
     fn tenant(&self) -> crdb_util::TenantId {
@@ -177,6 +201,7 @@ impl Txn {
             tenant: self.tenant(),
             read_ts,
             txn: Some(meta),
+            deadline: self.deadline(),
             requests: vec![RequestKind::Get { key: self.prefixed(&key) }],
         };
         let outer = trace::current();
@@ -234,7 +259,13 @@ impl Txn {
         };
         let requests: Vec<RequestKind> =
             miss_idx.iter().map(|&i| RequestKind::Get { key: self.prefixed(&keys[i]) }).collect();
-        let batch = BatchRequest { tenant: self.tenant(), read_ts, txn: Some(meta), requests };
+        let batch = BatchRequest {
+            tenant: self.tenant(),
+            read_ts,
+            txn: Some(meta),
+            deadline: self.deadline(),
+            requests,
+        };
         let outer = trace::current();
         let span = trace::child("txn.read");
         span.tag("keys", batch.requests.len());
@@ -279,6 +310,7 @@ impl Txn {
             tenant,
             read_ts,
             txn: Some(meta),
+            deadline: self.deadline(),
             requests: vec![RequestKind::Scan { start: pstart, end: pend, limit: usize::MAX }],
         };
         let outer = trace::current();
@@ -374,6 +406,7 @@ impl Txn {
             tenant,
             read_ts: meta.start_ts,
             txn: Some(meta.clone()),
+            deadline: self.deadline(),
             requests: intents,
         };
         let this = self.clone();
@@ -402,6 +435,7 @@ impl Txn {
                 tenant,
                 read_ts: meta.start_ts,
                 txn: Some(meta.clone()),
+                deadline: this.deadline(),
                 requests: vec![RequestKind::EndTxn { commit: true }],
             };
             let this2 = this.clone();
@@ -446,10 +480,14 @@ impl Txn {
         if requests.is_empty() {
             return;
         }
+        // Cleanup runs unbounded: resolving intents after an abort or
+        // commit must not itself be abandoned mid-way by the caller's
+        // deadline, or orphaned intents would block other transactions.
         let batch = BatchRequest {
             tenant: self.tenant(),
             read_ts: meta.start_ts,
             txn: Some(meta),
+            deadline: Deadline::NONE,
             requests,
         };
         client.send(batch, |_resp| {});

@@ -22,7 +22,7 @@ use crdb_obs::trace;
 use crdb_sim::cpu::CpuScheduler;
 use crdb_sim::{Location, Sim};
 use crdb_util::time::{dur, SimTime};
-use crdb_util::{SqlInstanceId, TenantId};
+use crdb_util::{Deadline, SqlInstanceId, TenantId};
 
 use crate::coord::{SqlError, Txn};
 use crate::exec::{execute, QueryOutput};
@@ -377,6 +377,22 @@ impl SqlNode {
         params: Vec<crate::value::Datum>,
         cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
     ) {
+        self.execute_with_deadline(session, sql, params, Deadline::NONE, cb)
+    }
+
+    /// Like [`SqlNode::execute`], but every KV batch the statement issues
+    /// carries `deadline`, and no statement-level retry is scheduled past
+    /// it. This is how the proxy's per-statement deadline propagates into
+    /// the SQL layer. Internal maintenance work (catalog refresh, index
+    /// backfill, intent cleanup) stays unbounded.
+    pub fn execute_with_deadline(
+        self: &Rc<Self>,
+        session: u64,
+        sql: &str,
+        params: Vec<crate::value::Datum>,
+        deadline: Deadline,
+        cb: impl FnOnce(Result<QueryOutput, SqlError>) + 'static,
+    ) {
         if !matches!(self.state.get(), NodeState::Ready | NodeState::Draining) {
             cb(Err(SqlError::State(format!("node is {:?}", self.state.get()))));
             return;
@@ -402,7 +418,7 @@ impl SqlNode {
             }
         };
         let _scope = span.enter();
-        self.execute_statement(session, stmt, params, 0, Box::new(cb));
+        self.execute_statement(session, stmt, params, deadline, 0, Box::new(cb));
     }
 
     fn execute_statement(
@@ -410,6 +426,7 @@ impl SqlNode {
         session: u64,
         stmt: Statement,
         params: Vec<crate::value::Datum>,
+        deadline: Deadline,
         attempt: u32,
         cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
     ) {
@@ -430,7 +447,7 @@ impl SqlNode {
                     cb(Err(SqlError::State("transaction already open".into())));
                     return;
                 }
-                s.txn = Some(Txn::begin(&self.client));
+                s.txn = Some(Txn::begin_with_deadline(&self.client, deadline));
                 // Release the borrow before the callback: it may issue the
                 // next statement synchronously.
                 drop(sessions);
@@ -476,7 +493,7 @@ impl SqlNode {
                 // (the analogue of a descriptor-lease refresh) and retry.
                 let node = Rc::clone(self);
                 self.load_catalog(move || {
-                    node.execute_statement(session, stmt, params, 1, cb);
+                    node.execute_statement(session, stmt, params, deadline, 1, cb);
                 });
                 return;
             }
@@ -517,7 +534,7 @@ impl SqlNode {
                     let sessions = self.sessions.borrow();
                     match sessions.get(&session).and_then(|s| s.txn.clone()) {
                         Some(t) if t.is_pending() => (t, false),
-                        _ => (Txn::begin(&self.client), true),
+                        _ => (Txn::begin_with_deadline(&self.client, deadline), true),
                     }
                 };
                 let node = Rc::clone(self);
@@ -529,12 +546,25 @@ impl SqlNode {
                     match result {
                         Err(e) if e.is_retryable() && autocommit && attempt < 5 => {
                             // Retry the whole autocommit statement at a new
-                            // timestamp after a short backoff.
+                            // timestamp after a short backoff — unless that
+                            // retry would land past the caller's deadline.
+                            let backoff = dur::ms(2 << attempt);
+                            if !deadline.allows(node.sim.now(), backoff) {
+                                cb(Err(SqlError::Kv(crdb_kv::batch::KvError::DeadlineExceeded)));
+                                return;
+                            }
                             let node2 = Rc::clone(&node);
                             let ambient = trace::current();
-                            node.sim.schedule_after(dur::ms(2 << attempt), move || {
+                            node.sim.schedule_after(backoff, move || {
                                 let _g = ambient.enter();
-                                node2.execute_statement(session, stmt2, params2, attempt + 1, cb)
+                                node2.execute_statement(
+                                    session,
+                                    stmt2,
+                                    params2,
+                                    deadline,
+                                    attempt + 1,
+                                    cb,
+                                )
                             });
                         }
                         Err(e) => cb(Err(e)),
@@ -544,21 +574,26 @@ impl SqlNode {
                                 let txn2 = txn.clone();
                                 txn.commit(move |r| match r {
                                     Err(e) if e.is_retryable() && attempt < 5 => {
+                                        let backoff = dur::ms(2 << attempt);
+                                        if !deadline.allows(node2.sim.now(), backoff) {
+                                            cb(Err(SqlError::Kv(
+                                                crdb_kv::batch::KvError::DeadlineExceeded,
+                                            )));
+                                            return;
+                                        }
                                         let node3 = Rc::clone(&node2);
                                         let ambient = trace::current();
-                                        node2.sim.schedule_after(
-                                            dur::ms(2 << attempt),
-                                            move || {
-                                                let _g = ambient.enter();
-                                                node3.execute_statement(
-                                                    session,
-                                                    stmt2,
-                                                    params2,
-                                                    attempt + 1,
-                                                    cb,
-                                                )
-                                            },
-                                        );
+                                        node2.sim.schedule_after(backoff, move || {
+                                            let _g = ambient.enter();
+                                            node3.execute_statement(
+                                                session,
+                                                stmt2,
+                                                params2,
+                                                deadline,
+                                                attempt + 1,
+                                                cb,
+                                            )
+                                        });
                                     }
                                     Err(e) => cb(Err(e)),
                                     Ok(()) => {

@@ -12,7 +12,10 @@
 //!   autoscaler and admission control,
 //! - a local [`bucket::TokenBucket`] primitive, the building block of both
 //!   the write-bandwidth admission bucket and the per-tenant distributed
-//!   quota bucket.
+//!   quota bucket,
+//! - shared degradation primitives ([`retry`]): budgeted backoff policies,
+//!   propagated request [`retry::Deadline`]s, and per-target circuit
+//!   breakers.
 
 #![warn(missing_docs)]
 
@@ -20,10 +23,12 @@ pub mod bucket;
 pub mod clock;
 pub mod hist;
 pub mod ids;
+pub mod retry;
 pub mod stats;
 pub mod time;
 
 pub use clock::Clock;
 pub use hist::Histogram;
 pub use ids::{NodeId, RangeId, RegionId, SqlInstanceId, TenantId};
+pub use retry::{Breaker, BreakerConfig, BreakerState, Deadline, RetryPolicy};
 pub use time::SimTime;

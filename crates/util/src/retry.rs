@@ -1,0 +1,489 @@
+//! Shared retry, deadline, and circuit-breaker primitives (the
+//! degradation side of the failure-domain layer).
+//!
+//! Every component that retries a downstream call — the KV client's
+//! DistSender loops, the warm pool's pod-start retries, the proxy's
+//! auth throttle — expresses its policy as a [`RetryPolicy`]: one
+//! backoff formula with an explicit budget, instead of ad-hoc
+//! constants scattered per call site. Policies are pure functions of
+//! the attempt number (plus an optional deterministic hash jitter), so
+//! same-seed simulation runs stay byte-identical.
+//!
+//! A [`Deadline`] is an absolute virtual-time bound carried with a
+//! request as it descends proxy → SQL coordinator → KV client → KV
+//! node. The single enforcement rule: **no component may schedule a
+//! retry that lands past the caller's deadline** —
+//! [`RetryPolicy::next_delay`] is the one place that rule is applied.
+//!
+//! A [`Breaker`] is a per-target circuit breaker
+//! (Closed → Open → HalfOpen) that converts repeated downstream
+//! failures into fast local failures, bounding the blast radius of a
+//! dark zone or region.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// An absolute deadline in virtual time, carried with a request across
+/// component boundaries.
+///
+/// [`Deadline::NONE`] (the default) means "no deadline" and behaves as
+/// an infinitely-late bound.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Deadline(SimTime);
+
+impl Deadline {
+    /// No deadline: an infinitely-late bound.
+    pub const NONE: Deadline = Deadline(SimTime::MAX);
+
+    /// A deadline at the given absolute instant.
+    pub fn at(t: SimTime) -> Deadline {
+        Deadline(t)
+    }
+
+    /// The absolute instant of this deadline ([`SimTime::MAX`] for
+    /// [`Deadline::NONE`]).
+    pub fn time(self) -> SimTime {
+        self.0
+    }
+
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(self, now: SimTime) -> bool {
+        now >= self.0
+    }
+
+    /// Time remaining until the deadline (zero once expired).
+    pub fn remaining(self, now: SimTime) -> Duration {
+        self.0.duration_since(now)
+    }
+
+    /// The earlier of two deadlines.
+    pub fn min(self, other: Deadline) -> Deadline {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Whether an action scheduled `delay` from `now` would still land
+    /// at or before the deadline.
+    pub fn allows(self, now: SimTime, delay: Duration) -> bool {
+        now.saturating_add(delay) <= self.0
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::NONE
+    }
+}
+
+/// How the backoff grows with the attempt number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Growth {
+    /// `base * 2^attempt`, saturating.
+    Exponential,
+    /// `base + step * attempt`, saturating.
+    Linear {
+        /// Additive increment per attempt.
+        step: Duration,
+    },
+}
+
+/// A bounded retry policy: one backoff formula plus an explicit budget.
+///
+/// `delay(n)` is the pause scheduled *after* the `n`-th failed attempt
+/// (0-based). Once `n >= budget` the policy is exhausted and returns
+/// `None` — the caller must fail the operation instead of retrying.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Growth curve.
+    pub growth: Growth,
+    /// Maximum number of retries (not counting the initial attempt).
+    pub budget: u32,
+    /// Deterministic jitter amplitude in percent of the computed delay
+    /// (0 = no jitter). Jitter is derived by hashing `seed ^ attempt`,
+    /// so same-seed runs reproduce byte-identically.
+    pub jitter_pct: u32,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// An exponential policy `base * 2^n`, capped, with the given
+    /// retry budget and no jitter.
+    pub fn exponential(base: Duration, cap: Duration, budget: u32) -> RetryPolicy {
+        RetryPolicy { base, cap, growth: Growth::Exponential, budget, jitter_pct: 0, seed: 0 }
+    }
+
+    /// A linear policy `base + step * n`, capped, with the given retry
+    /// budget and no jitter.
+    pub fn linear(base: Duration, step: Duration, cap: Duration, budget: u32) -> RetryPolicy {
+        RetryPolicy { base, cap, growth: Growth::Linear { step }, budget, jitter_pct: 0, seed: 0 }
+    }
+
+    /// Sets deterministic jitter: +/- up to `pct`% of the computed
+    /// delay, derived from `seed` and the attempt number.
+    pub fn with_jitter(mut self, pct: u32, seed: u64) -> RetryPolicy {
+        self.jitter_pct = pct;
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff to schedule after failed attempt `attempt`
+    /// (0-based), or `None` when the retry budget is exhausted.
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt >= self.budget {
+            return None;
+        }
+        let base = self.base.as_nanos().min(u64::MAX as u128) as u64;
+        let cap = self.cap.as_nanos().min(u64::MAX as u128) as u64;
+        let raw = match self.growth {
+            Growth::Exponential => {
+                if attempt >= 64 {
+                    u64::MAX
+                } else {
+                    base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                }
+            }
+            Growth::Linear { step } => {
+                let step = step.as_nanos().min(u64::MAX as u128) as u64;
+                base.saturating_add(step.saturating_mul(attempt as u64))
+            }
+        };
+        let mut nanos = raw.min(cap);
+        if self.jitter_pct > 0 && nanos > 0 {
+            // splitmix64 over (seed, attempt): deterministic, seed-scoped.
+            let h = splitmix64(self.seed ^ (0x9e37_79b9_7f4a_7c15 ^ attempt as u64));
+            // Signed offset in [-jitter_pct, +jitter_pct]% of the delay.
+            let span = (nanos / 100).saturating_mul(self.jitter_pct as u64);
+            let offset = if span > 0 { (h % (2 * span + 1)) as i64 - span as i64 } else { 0 };
+            nanos = nanos.saturating_add_signed(offset);
+        }
+        Some(Duration::from_nanos(nanos))
+    }
+
+    /// The backoff after failed attempt `attempt`, additionally
+    /// refusing any retry that would land past `deadline`. This is the
+    /// deadline-propagation enforcement point: a `None` here means the
+    /// caller must surface a terminal error (budget exhausted or
+    /// deadline would be violated), never sleep past the deadline.
+    pub fn next_delay(&self, attempt: u32, now: SimTime, deadline: Deadline) -> Option<Duration> {
+        let d = self.delay(attempt)?;
+        if !deadline.allows(now, d) {
+            return None;
+        }
+        Some(d)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Circuit-breaker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a probe.
+    pub cooldown: Duration,
+    /// Successful probes required in half-open before closing.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(3),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Observable breaker state at a given instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: limited probes are allowed through.
+    HalfOpen,
+}
+
+/// A per-target circuit breaker: after `failure_threshold` consecutive
+/// failures it opens and [`Breaker::allow`] answers `false` (the caller
+/// fails fast with `Unavailable`) until `cooldown` has elapsed, at
+/// which point probe requests are let through; a probe success closes
+/// the breaker, a probe failure re-opens it for another cooldown.
+///
+/// Time is passed in explicitly so the breaker stays clock-agnostic
+/// and deterministic under simulation.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    consecutive_failures: Cell<u32>,
+    open_until: Cell<Option<SimTime>>,
+    half_open_successes: Cell<u32>,
+    probes_in_flight: Cell<u32>,
+    trips: Cell<u64>,
+}
+
+impl Breaker {
+    /// A closed breaker with the given configuration.
+    pub fn new(config: BreakerConfig) -> Breaker {
+        Breaker {
+            config,
+            consecutive_failures: Cell::new(0),
+            open_until: Cell::new(None),
+            half_open_successes: Cell::new(0),
+            probes_in_flight: Cell::new(0),
+            trips: Cell::new(0),
+        }
+    }
+
+    /// The breaker's state at `now`.
+    pub fn state(&self, now: SimTime) -> BreakerState {
+        match self.open_until.get() {
+            None => BreakerState::Closed,
+            Some(until) if now < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a request may be sent at `now`. In half-open state only
+    /// `half_open_probes` concurrent probes are admitted.
+    pub fn allow(&self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight.get() < self.config.half_open_probes {
+                    self.probes_in_flight.set(self.probes_in_flight.get() + 1);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful response observed at `now`.
+    pub fn record_success(&self, now: SimTime) {
+        self.consecutive_failures.set(0);
+        if self.state(now) == BreakerState::HalfOpen {
+            self.probes_in_flight.set(self.probes_in_flight.get().saturating_sub(1));
+            let ok = self.half_open_successes.get() + 1;
+            if ok >= self.config.half_open_probes {
+                self.open_until.set(None);
+                self.half_open_successes.set(0);
+                self.probes_in_flight.set(0);
+            } else {
+                self.half_open_successes.set(ok);
+            }
+        } else {
+            self.open_until.set(None);
+        }
+    }
+
+    /// Records a failed response (or timeout) observed at `now`.
+    pub fn record_failure(&self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                // Failed probe: back to a full cooldown.
+                self.probes_in_flight.set(0);
+                self.half_open_successes.set(0);
+                self.open_until.set(Some(now + self.config.cooldown));
+                self.trips.set(self.trips.get() + 1);
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                let n = self.consecutive_failures.get() + 1;
+                self.consecutive_failures.set(n);
+                if n >= self.config.failure_threshold {
+                    self.open_until.set(Some(now + self.config.cooldown));
+                    self.half_open_successes.set(0);
+                    self.probes_in_flight.set(0);
+                    self.trips.set(self.trips.get() + 1);
+                }
+            }
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::dur;
+
+    // Satellite 1 regression anchors: each policy below must reproduce
+    // the pre-existing hand-rolled backoff formula bit-for-bit.
+
+    #[test]
+    fn exponential_matches_kv_routing_formula() {
+        // Legacy: dur::ms((50u64 << n.min(5)).min(1600)), 16 retries.
+        let p = RetryPolicy::exponential(dur::ms(50), dur::ms(1600), 16);
+        for n in 0..16u32 {
+            let legacy = dur::ms((50u64 << n.min(5)).min(1600));
+            assert_eq!(p.delay(n), Some(legacy), "attempt {n}");
+        }
+        assert_eq!(p.delay(16), None);
+    }
+
+    #[test]
+    fn linear_matches_kv_conflict_formula() {
+        // Legacy: dur::ms((1 + 2*n).min(32)), 32 retries.
+        let p = RetryPolicy::linear(dur::ms(1), dur::ms(2), dur::ms(32), 32);
+        for n in 0..32u32 {
+            let legacy = dur::ms((1 + 2 * n as u64).min(32));
+            assert_eq!(p.delay(n), Some(legacy), "attempt {n}");
+        }
+        assert_eq!(p.delay(32), None);
+    }
+
+    #[test]
+    fn exponential_matches_pool_start_formula() {
+        // Legacy: (250ms * 2^attempt.min(6)).min(4s), unbounded budget.
+        let p = RetryPolicy::exponential(dur::ms(250), dur::secs(4), u32::MAX);
+        for n in 0..20u32 {
+            let legacy = (dur::ms(250) * 2u32.pow(n.min(6))).min(dur::secs(4));
+            assert_eq!(p.delay(n), Some(legacy), "attempt {n}");
+        }
+    }
+
+    #[test]
+    fn exponential_matches_proxy_auth_formula() {
+        // Legacy: exp = failures.saturating_sub(1).min(10);
+        // (1s * 2^exp).min(60s). Attempt n = failures - 1.
+        let p = RetryPolicy::exponential(dur::secs(1), dur::secs(60), u32::MAX);
+        for failures in 1..20u32 {
+            let exp = failures.saturating_sub(1).min(10);
+            let legacy = (dur::secs(1) * 2u32.pow(exp)).min(dur::secs(60));
+            assert_eq!(p.delay(failures - 1), Some(legacy), "failures {failures}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let p = RetryPolicy::exponential(dur::ms(10), dur::ms(100), 3);
+        assert!(p.delay(0).is_some());
+        assert!(p.delay(2).is_some());
+        assert_eq!(p.delay(3), None);
+        assert_eq!(p.delay(100), None);
+    }
+
+    #[test]
+    fn next_delay_refuses_retry_past_deadline() {
+        let p = RetryPolicy::exponential(dur::ms(100), dur::secs(10), 10);
+        let now = SimTime::from_nanos(0);
+        let deadline = Deadline::at(now + dur::ms(150));
+        // First retry (100ms) fits; second (200ms) would land past.
+        assert_eq!(p.next_delay(0, now, deadline), Some(dur::ms(100)));
+        assert_eq!(p.next_delay(1, now, deadline), None);
+        // An already-expired deadline refuses everything.
+        let late = now + dur::secs(1);
+        assert_eq!(p.next_delay(0, late, deadline), None);
+        // No deadline allows everything the budget allows.
+        assert_eq!(p.next_delay(1, now, Deadline::NONE), Some(dur::ms(200)));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::exponential(dur::ms(100), dur::secs(10), 10).with_jitter(20, 42);
+        let a = p.delay(3).unwrap();
+        let b = p.delay(3).unwrap();
+        assert_eq!(a, b, "same seed+attempt must give identical jitter");
+        let nominal = dur::ms(800);
+        assert!(
+            a >= nominal.mul_f64(0.8) && a <= nominal.mul_f64(1.2),
+            "jitter out of band: {a:?}"
+        );
+        let other = RetryPolicy::exponential(dur::ms(100), dur::secs(10), 10).with_jitter(20, 43);
+        // Different seeds should (for this pair) give different delays.
+        assert_ne!(a, other.delay(3).unwrap());
+    }
+
+    #[test]
+    fn deadline_basics() {
+        let t0 = SimTime::from_nanos(0);
+        let t1 = t0 + dur::secs(1);
+        let d = Deadline::at(t1);
+        assert!(!d.expired(t0));
+        assert!(d.expired(t1));
+        assert_eq!(d.remaining(t0), dur::secs(1));
+        assert_eq!(d.remaining(t1 + dur::secs(1)), Duration::ZERO);
+        assert_eq!(d.min(Deadline::NONE), d);
+        assert_eq!(Deadline::NONE.min(d), d);
+        assert!(Deadline::NONE.allows(t0, dur::secs(1_000_000)));
+        assert!(d.allows(t0, dur::secs(1)));
+        assert!(!d.allows(t0, dur::secs(1) + Duration::from_nanos(1)));
+        assert!(!Deadline::NONE.expired(t0 + dur::secs(1_000_000)));
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_recovers() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: dur::secs(3),
+            half_open_probes: 1,
+        });
+        let t0 = SimTime::from_nanos(0);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(!b.allow(t0 + dur::secs(1)));
+        assert_eq!(b.trips(), 1);
+        // Cooldown elapsed: half-open, one probe admitted.
+        let t1 = t0 + dur::secs(3);
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        assert!(b.allow(t1));
+        assert!(!b.allow(t1), "only one concurrent probe in half-open");
+        // Probe failure re-opens for another cooldown.
+        b.record_failure(t1);
+        assert_eq!(b.state(t1), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Next probe succeeds: closed again.
+        let t2 = t1 + dur::secs(3);
+        assert!(b.allow(t2));
+        b.record_success(t2);
+        assert_eq!(b.state(t2), BreakerState::Closed);
+        assert!(b.allow(t2));
+    }
+
+    #[test]
+    fn breaker_success_resets_failure_streak() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: dur::secs(3),
+            half_open_probes: 1,
+        });
+        let t = SimTime::from_nanos(0);
+        b.record_failure(t);
+        b.record_failure(t);
+        b.record_success(t);
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(t), BreakerState::Closed, "streak must reset on success");
+    }
+}
