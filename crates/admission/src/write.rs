@@ -148,6 +148,13 @@ impl WriteController {
         if l0_files >= self.config.l0_overload_files && l0_cap > 0.0 {
             rate = rate.min(l0_cap * 0.5);
         }
+        // Write stalls are the engine's own overload verdict — the
+        // foreground was actually blocked on flush/compaction backlog
+        // this interval, so halve intake like an L0 backlog even if the
+        // file count alone looks healthy (e.g. a frozen-memtable pileup).
+        if delta.stall_events > 0 {
+            rate *= 0.5;
+        }
         rate = rate.max(self.config.min_rate);
         self.bucket.set_rate(now, rate);
     }
@@ -215,6 +222,30 @@ mod tests {
         let healthy = c.rate();
         c.estimate_capacity(t(30.0), metrics(300 << 20, 20, 300 << 20), 20);
         assert!(c.rate() < healthy, "throttled under L0 backlog: {} < {healthy}", c.rate());
+    }
+
+    #[test]
+    fn write_stalls_throttle_rate() {
+        let mut c = WriteController::new(WriteConfig::default());
+        c.estimate_capacity(t(15.0), metrics(150 << 20, 10, 0), 0);
+        let healthy = c.rate();
+        // Same flush throughput, but the engine reported foreground
+        // stalls this interval: intake halves even with L0 looking fine.
+        let mut m = metrics(300 << 20, 20, 0);
+        m.stall_events = 3;
+        m.stall_micros = 3_000;
+        c.estimate_capacity(t(30.0), m, 0);
+        assert!(
+            c.rate() <= healthy * 0.75,
+            "stalls must throttle intake: {} vs healthy {healthy}",
+            c.rate()
+        );
+        // A stall-free interval recovers the rate.
+        let mut m2 = metrics(450 << 20, 30, 0);
+        m2.stall_events = 3; // cumulative counter unchanged vs last interval
+        m2.stall_micros = 3_000;
+        c.estimate_capacity(t(45.0), m2, 0);
+        assert!(c.rate() > healthy * 0.75, "recovered: {}", c.rate());
     }
 
     #[test]

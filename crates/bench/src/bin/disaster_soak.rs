@@ -30,6 +30,7 @@ fn print_report(report: &DisasterReport) {
     println!("  warm slots burned:    {}", report.slots_lost);
     println!("  statements shed:      {}", report.shed_statements);
     println!("  breaker fast-fails:   {}", report.breaker_fast_fails);
+    println!("  partition fast-fails: {}", report.partition_fast_fails);
     println!("  deadline exceeded:    {}", report.deadline_exceeded);
     for (tag, p99) in &report.healthy_p99 {
         println!("  healthy p99 ({tag}):   {p99:?}");

@@ -1,0 +1,197 @@
+//! Write-path benchmark: group commit + pipelined flush/compaction vs the
+//! serial per-batch-fsync path, on the storage crate's deterministic
+//! virtual clock ([`crdb_storage::pipeline`]) — no wall time anywhere, so
+//! every number here is reproducible bit-for-bit from the seed.
+//!
+//! Emits `BENCH_WRITEPATH.json` in the working directory. Self-gates:
+//!
+//! - **throughput**: pipelined sustained ingest ≥ 5× serial on the same
+//!   seeded workload (group commit amortizes the fsync; flushes and
+//!   compactions leave the foreground);
+//! - **bounded stalls**: pipelined p99 commit latency stays within a few
+//!   group-commit windows, and total foreground stall time is a bounded
+//!   fraction of the run;
+//! - **byte accounting**: flush and compaction byte totals (total, L0,
+//!   and per-level) are **exactly equal** between the serial and
+//!   pipelined runs — backgrounding the work moved *when* bytes are
+//!   attributed, never *how many*, which is what the §5.1.3 write-token
+//!   estimator depends on.
+//!
+//! A non-gated sweep over compaction lane counts shows where concurrent
+//! per-level compaction pays: stall time collapses as lanes are added.
+
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+use crdb_storage::pipeline::{run_pipelined, run_serial, DriveReport, PipelineConfig};
+use crdb_storage::{LsmConfig, WriteBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xC0FFEE;
+const BATCHES: usize = 20_000;
+const KEY_SPACE: u32 = 4096;
+
+/// Seeded ingest: small multi-key batches over a bounded keyspace (so L1
+/// reaches a steady overwrite regime), with occasional deletes.
+fn workload() -> Vec<WriteBatch> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    (0..BATCHES)
+        .map(|_| {
+            let mut b = WriteBatch::new();
+            for _ in 0..rng.gen_range(1usize..4) {
+                let k = Bytes::from(format!("acct{:06}", rng.gen_range(0u32..KEY_SPACE)));
+                if rng.gen_range(0u32..16) == 0 {
+                    b.delete(k);
+                } else {
+                    let len = rng.gen_range(24usize..96);
+                    b.put(k, Bytes::from("x".repeat(len)));
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+/// The gate configuration: L1 is large enough that every compaction is an
+/// L0→L1 job, the regime where serial and pipelined job multisets are
+/// identical by construction (oldest-T claims + level-pair locking).
+fn gate_config() -> LsmConfig {
+    LsmConfig {
+        memtable_size: 64 << 10,
+        l0_compaction_threshold: 4,
+        level_base_size: 1 << 30,
+        level_size_multiplier: 10,
+        sst_target_size: 64 << 10,
+        num_levels: 4,
+        max_frozen_memtables: 2,
+        l0_stall_threshold: 12,
+    }
+}
+
+fn row_json(name: &str, pc: &PipelineConfig, r: &DriveReport) -> String {
+    format!(
+        "{{\"driver\": \"{name}\", \"compaction_slots\": {}, \"batches\": {}, \
+         \"elapsed_micros\": {}, \"throughput_per_sec\": {:.0}, \"fsyncs\": {}, \
+         \"batches_per_fsync\": {:.2}, \"commit_p50_micros\": {}, \"commit_p99_micros\": {}, \
+         \"stall_micros\": {}, \"stall_events\": {}, \"flush_bytes\": {}, \
+         \"compact_bytes_in\": {}, \"compact_bytes_out\": {}, \"l0_compact_bytes\": {}}}",
+        pc.compaction_slots,
+        r.batches,
+        r.elapsed_micros,
+        r.throughput_per_sec(),
+        r.metrics.fsyncs,
+        r.metrics.batches_per_fsync(),
+        r.latency_quantile(0.50),
+        r.latency_quantile(0.99),
+        r.stall_micros,
+        r.metrics.stall_events,
+        r.metrics.flush_bytes,
+        r.metrics.compact_bytes_in,
+        r.metrics.compact_bytes_out,
+        r.metrics.l0_compact_bytes,
+    )
+}
+
+fn main() {
+    crdb_bench::header("Write path: group commit + pipelined flush/compaction vs serial");
+
+    let input = workload();
+    let pc = PipelineConfig::default();
+
+    let serial = run_serial(gate_config(), &pc, &input);
+    let piped = run_pipelined(gate_config(), &pc, &input);
+    for (name, r) in [("serial", &serial), ("pipelined", &piped)] {
+        println!(
+            "{name:<10} {:>9.0} batches/s  fsyncs {:>6} ({:>5.1} batches/fsync)  \
+             commit p99 {:>6}us  stall {:>8}us  flush {:>8}B  compact-in {:>9}B",
+            r.throughput_per_sec(),
+            r.metrics.fsyncs,
+            r.metrics.batches_per_fsync(),
+            r.latency_quantile(0.99),
+            r.stall_micros,
+            r.metrics.flush_bytes,
+            r.metrics.compact_bytes_in,
+        );
+    }
+
+    // Gate 1: sustained-ingest throughput, ≥5×.
+    let speedup = piped.throughput_per_sec() / serial.throughput_per_sec();
+    println!("\ningest speedup:        {speedup:.1}x (gate: >= 5x)");
+    assert!(speedup >= 5.0, "write-path speedup gate failed: {speedup:.2}x");
+
+    // Gate 2: bounded foreground stalls. Commit latency stays within a
+    // few group-commit windows even while flushes and compactions run,
+    // and total stall time is a small fraction of the run.
+    let p99 = piped.latency_quantile(0.99);
+    let p99_bound = 4 * pc.fsync_micros;
+    let stall_frac = piped.stall_micros as f64 / piped.elapsed_micros.max(1) as f64;
+    println!("pipelined commit p99:  {p99}us (gate: <= {p99_bound}us)");
+    println!("pipelined stall frac:  {:.3} (gate: <= 0.25)", stall_frac);
+    assert!(p99 <= p99_bound, "commit p99 {p99}us above {p99_bound}us");
+    assert!(stall_frac <= 0.25, "stall fraction {stall_frac:.3} above 0.25");
+
+    // Gate 3: exact byte accounting. Same input, same config ⇒ the same
+    // flush and compaction bytes, to the byte, at every level.
+    let (s, p) = (&serial.metrics, &piped.metrics);
+    assert_eq!(s.flush_bytes, p.flush_bytes, "flush byte totals diverged");
+    assert_eq!(s.flush_count, p.flush_count, "flush counts diverged");
+    assert_eq!(s.compact_bytes_in, p.compact_bytes_in, "compaction input bytes diverged");
+    assert_eq!(s.compact_bytes_out, p.compact_bytes_out, "compaction output bytes diverged");
+    assert_eq!(s.l0_compact_bytes, p.l0_compact_bytes, "L0 compaction bytes diverged");
+    assert_eq!(s.compact_bytes_per_level, p.compact_bytes_per_level, "per-level bytes diverged");
+    println!(
+        "byte accounting:       exact (flush {}B, compact-in {}B, compact-out {}B)",
+        p.flush_bytes, p.compact_bytes_in, p.compact_bytes_out
+    );
+
+    // Non-gated sweep: compaction lanes vs stall time, on a deeper tree
+    // (small L1 so multi-level jobs actually queue up).
+    let sweep_config = LsmConfig {
+        memtable_size: 32 << 10,
+        l0_compaction_threshold: 4,
+        level_base_size: 64 << 10,
+        level_size_multiplier: 2,
+        sst_target_size: 32 << 10,
+        num_levels: 5,
+        max_frozen_memtables: 2,
+        l0_stall_threshold: 8,
+    };
+    let mut sweep_rows = Vec::new();
+    println!();
+    for slots in [1usize, 2, 4] {
+        // A slower disk than the gate run, so per-level jobs overlap and
+        // extra lanes have queued work to pick up.
+        let spc =
+            PipelineConfig { compaction_slots: slots, disk_bytes_per_micro: 50, ..pc.clone() };
+        let r = run_pipelined(sweep_config.clone(), &spc, &input);
+        println!(
+            "slots={slots}  {:>9.0} batches/s  stall {:>8}us  commit p99 {:>6}us",
+            r.throughput_per_sec(),
+            r.stall_micros,
+            r.latency_quantile(0.99),
+        );
+        sweep_rows.push((spc, r));
+    }
+
+    let mut json = String::from("{\n  \"gate\": [\n");
+    let _ = writeln!(json, "    {},", row_json("serial", &pc, &serial));
+    let _ = writeln!(json, "    {}", row_json("pipelined", &pc, &piped));
+    json.push_str("  ],\n  \"lane_sweep\": [\n");
+    for (i, (spc, r)) in sweep_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            row_json("pipelined", spc, r),
+            if i + 1 < sweep_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"gates\": {{\"ingest_speedup\": {speedup:.2}, \
+         \"commit_p99_micros\": {p99}, \"stall_fraction\": {stall_frac:.4}, \
+         \"bytes_exactly_equal\": true}}\n}}\n"
+    );
+    std::fs::write("BENCH_WRITEPATH.json", &json).expect("write BENCH_WRITEPATH.json");
+    println!("\nwrote BENCH_WRITEPATH.json");
+}

@@ -90,6 +90,8 @@ pub struct DisasterReport {
     pub shed_statements: u64,
     /// KV-client fast-fails from open per-node breakers.
     pub breaker_fast_fails: u64,
+    /// KV-client fast-fails against targets across a known partition.
+    pub partition_fast_fails: u64,
     /// KV batches terminated by a propagated deadline.
     pub deadline_exceeded: u64,
     /// Healthy-region per-statement p99s (tenant tag → p99).
@@ -242,15 +244,17 @@ pub fn run_disaster(opts: &DisasterOptions) -> DisasterReport {
 
     // Degradation must be *visible*: the outage burned the dark region's
     // warm slots, and at least one bounded-failure mechanism (deadline,
-    // breaker fast-fail, proxy shed) actually fired.
+    // breaker or partition fast-fail, proxy shed) actually fired.
     let degrade = cluster.kv.degrade();
     let slots_lost = cluster.pool.slots_lost.get();
     let shed = cluster.proxy.shed_statements.get();
     if slots_lost == 0 {
         violations.push("region outage burned no warm-pool slots".to_string());
     }
-    let bounded_failures =
-        degrade.deadline_exceeded.get() + degrade.breaker_fast_fails.get() + shed;
+    let bounded_failures = degrade.deadline_exceeded.get()
+        + degrade.breaker_fast_fails.get()
+        + degrade.partition_fast_fails.get()
+        + shed;
     if bounded_failures == 0 {
         violations.push(
             "no bounded-failure mechanism fired during a full region outage: failures were \
@@ -267,6 +271,7 @@ pub fn run_disaster(opts: &DisasterOptions) -> DisasterReport {
         slots_lost,
         shed_statements: shed,
         breaker_fast_fails: degrade.breaker_fast_fails.get(),
+        partition_fast_fails: degrade.partition_fast_fails.get(),
         deadline_exceeded: degrade.deadline_exceeded.get(),
         healthy_p99,
         violations,

@@ -241,6 +241,7 @@ impl ServerlessCluster {
         s.counter("kv.degrade.deadline_exceeded", d.deadline_exceeded.get());
         s.counter("kv.degrade.breaker_trips", d.breaker_trips.get());
         s.counter("kv.degrade.breaker_fast_fails", d.breaker_fast_fails.get());
+        s.counter("kv.degrade.partition_fast_fails", d.partition_fast_fails.get());
         s.counter("kv.degrade.quorum_losses", d.quorum_losses.get());
         s.counter("kv.degrade.txn_pushes", d.txn_pushes.get());
 
@@ -260,6 +261,12 @@ impl ServerlessCluster {
             s.counter(&format!("{p}.storage.compact_bytes_in"), m.compact_bytes_in);
             s.counter(&format!("{p}.storage.compact_bytes_out"), m.compact_bytes_out);
             s.counter(&format!("{p}.storage.compact_count"), m.compact_count);
+            s.counter(&format!("{p}.storage.l0_compact_bytes"), m.l0_compact_bytes);
+            s.counter(&format!("{p}.storage.wal_batches"), m.wal_batches);
+            s.counter(&format!("{p}.storage.fsyncs"), m.fsyncs);
+            s.counter(&format!("{p}.storage.batches_synced"), m.batches_synced);
+            s.counter(&format!("{p}.storage.stall_events"), m.stall_events);
+            s.counter(&format!("{p}.storage.stall_micros"), m.stall_micros);
             s.counter(&format!("{p}.storage.point_gets"), m.point_gets);
             s.counter(&format!("{p}.storage.tables_probed"), m.tables_probed);
             s.counter(&format!("{p}.storage.bloom_probes"), m.bloom_probes);

@@ -434,6 +434,8 @@ impl DispatchState {
         // will not move, so surface the typed error immediately instead
         // of letting the request time out retry after retry.
         if !topo.is_reachable(my_loc, node_loc) {
+            let degrade = cluster.degrade();
+            degrade.partition_fast_fails.set(degrade.partition_fast_fails.get() + 1);
             rpc.end();
             self.fail(KvError::Unavailable);
             return;

@@ -83,6 +83,14 @@ pub struct KvNode {
     ts_cache: RefCell<BTreeMap<Bytes, Timestamp>>,
     /// Low-water mark applied when the cache is compacted.
     ts_cache_floor: Cell<Timestamp>,
+    /// Group-commit window: writes ack at the next modeled fsync.
+    fsync_interval: Duration,
+    /// Concurrent background compaction jobs this node may run.
+    compaction_slots: usize,
+    /// Write acks waiting on the next group commit, in arrival order.
+    commit_acks: RefCell<Vec<Box<dyn FnOnce()>>>,
+    /// Whether a group-commit fsync is already scheduled.
+    commit_timer_armed: Cell<bool>,
 }
 
 impl KvNode {
@@ -95,15 +103,25 @@ impl KvNode {
         disk_rate: f64,
         admission_config: AdmissionConfig,
         lsm_config: LsmConfig,
+        fsync_interval: Duration,
+        compaction_slots: usize,
         cluster: Weak<RefCell<ClusterInner>>,
     ) -> Rc<KvNode> {
         let cpu = CpuScheduler::new(sim.clone(), vcpus);
+        // Pipelined write path: the node drives rotation/flush/compaction
+        // as disk-metered background jobs and amortizes fsyncs across
+        // group commits; the engine must not do either inline.
+        let engine = Engine::new(lsm_config);
+        engine.with_lsm(|lsm| {
+            lsm.set_auto_maintain(false);
+            lsm.set_group_durability(true);
+        });
         let node = Rc::new(KvNode {
             id,
             location,
             cpu: cpu.clone(),
             disk: RateResource::new(sim.clone(), disk_rate),
-            engine: Engine::new(lsm_config),
+            engine,
             admission: RefCell::new(AdmissionController::new(admission_config)),
             hlc: Hlc::new(),
             cluster,
@@ -115,6 +133,10 @@ impl KvNode {
             last_tick: Cell::new((0.0, 0.0, sim.now())),
             ts_cache: RefCell::new(BTreeMap::new()),
             ts_cache_floor: Cell::new(Timestamp::ZERO),
+            fsync_interval,
+            compaction_slots,
+            commit_acks: RefCell::new(Vec::new()),
+            commit_timer_armed: Cell::new(false),
             sim,
         });
         node.start_tick_loop();
@@ -156,6 +178,81 @@ impl KvNode {
             node.admission.borrow_mut().estimate_write_capacity(now, metrics, l0);
             true
         });
+        // Storage sweeper: mirrored follower writes land in this engine
+        // without going through `execute`, so a coarse tick commits any
+        // straggling WAL group and starts background jobs their rotation
+        // produced. Leader-driven writes don't wait for this — they arm
+        // the group-commit timer and kick maintenance directly.
+        let node = Rc::clone(self);
+        self.sim.schedule_periodic(dur::ms(50), move || {
+            if node.engine.with_lsm(|lsm| lsm.wal_unsynced_batches() > 0)
+                && !node.commit_timer_armed.get()
+            {
+                node.engine.with_lsm(|lsm| {
+                    lsm.group_commit();
+                });
+            }
+            node.maintain_storage();
+            true
+        });
+    }
+
+    /// Queues a write ack behind the next group commit and arms the fsync
+    /// timer if it isn't already. Every ack queued inside one window is
+    /// released by a single modeled fsync — the group-commit amortization.
+    fn enqueue_commit_ack(self: &Rc<Self>, ack: Box<dyn FnOnce()>) {
+        self.commit_acks.borrow_mut().push(ack);
+        if !self.commit_timer_armed.get() {
+            self.commit_timer_armed.set(true);
+            let node = Rc::clone(self);
+            self.sim.schedule_after(self.fsync_interval, move || {
+                node.commit_timer_armed.set(false);
+                node.fire_group_commit();
+            });
+        }
+    }
+
+    /// Commits the current WAL group (one modeled fsync) and releases
+    /// every ack that was waiting on it. Fires even across a node crash:
+    /// an ack enqueued before the crash was backed by a WAL append whose
+    /// data survives in the engine, so releasing it never loses a commit.
+    fn fire_group_commit(self: &Rc<Self>) {
+        let acks: Vec<Box<dyn FnOnce()>> = self.commit_acks.borrow_mut().drain(..).collect();
+        self.engine.with_lsm(|lsm| {
+            lsm.group_commit();
+        });
+        for ack in acks {
+            ack();
+        }
+        self.maintain_storage();
+    }
+
+    /// Starts any background storage work that is due, charging it to the
+    /// node's disk: at most one memtable flush plus up to
+    /// `compaction_slots` compactions on disjoint level pairs. Bytes are
+    /// attributed in `StorageMetrics` when each job's disk I/O completes,
+    /// which is what the §5.1.3 write-capacity estimator samples.
+    pub(crate) fn maintain_storage(self: &Rc<Self>) {
+        if let Some(job) = self.engine.with_lsm(|lsm| lsm.begin_flush()) {
+            let node = Rc::clone(self);
+            let bytes = job.bytes_estimate().max(1) as f64;
+            self.disk.submit(bytes, move || {
+                node.engine.with_lsm(|lsm| lsm.finish_flush(job));
+                node.maintain_storage();
+            });
+        }
+        while self.engine.with_lsm(|lsm| lsm.compactions_in_flight()) < self.compaction_slots {
+            let job = self
+                .engine
+                .with_lsm(|lsm| lsm.pick_compaction().map(|pick| lsm.begin_compaction(&pick)));
+            let Some(job) = job else { break };
+            let node = Rc::clone(self);
+            let bytes = job.bytes_in().max(1) as f64;
+            self.disk.submit(bytes, move || {
+                node.engine.with_lsm(|lsm| lsm.finish_compaction(job));
+                node.maintain_storage();
+            });
+        }
     }
 
     /// Whether the node is up.
@@ -366,6 +463,21 @@ impl KvNode {
             }
         }
 
+        // Write-stall backpressure: a write arriving while the engine has
+        // a flush or L0 backlog pays a modeled stall delay before its ack.
+        // The stall is recorded in `StorageMetrics`, so admission control
+        // sees it at the next capacity estimation, and maintenance is
+        // kicked so the backlog is actually draining while the write
+        // waits.
+        let stall_delay = if batch.is_write() && self.engine.write_stall().is_some() {
+            let d = dur::ms(1);
+            self.engine.with_lsm(|lsm| lsm.note_stall(d.as_micros() as u64));
+            self.maintain_storage();
+            d
+        } else {
+            Duration::ZERO
+        };
+
         let storage_span = span.child("storage.mvcc");
         storage_span.tag("requests", batch.requests.len());
         let result = self.execute_requests(&cluster, &batch);
@@ -391,6 +503,10 @@ impl KvNode {
         let actual_bytes = if write_payload > 0 {
             let physical = 2.0 * write_payload as f64 + 96.0;
             self.disk.submit(physical, || {});
+            // Rotation may have produced a frozen memtable; start its
+            // flush (and any compaction now due) immediately rather than
+            // waiting for the sweeper tick.
+            self.maintain_storage();
             Some(physical)
         } else {
             None
@@ -408,7 +524,7 @@ impl KvNode {
         // Only *live* followers can ack — with a domain down, the commit
         // waits for the surviving (possibly slower) replicas instead of
         // crediting acks from dead ones.
-        let delay = if write_payload > 0 {
+        let repl_delay = if write_payload > 0 {
             let (leader, followers, follower_cost) = {
                 let inner = cluster.borrow();
                 let anchor = Self::batch_anchor_key(&batch).expect("anchored");
@@ -448,18 +564,41 @@ impl KvNode {
             Duration::ZERO
         };
 
+        let delay = stall_delay + repl_delay;
         if delay.is_zero() {
-            span.end();
-            respond(response);
+            self.deliver_response(write_payload > 0, span, response, respond);
         } else {
             let repl_span = span.child("replication.quorum");
+            let node = Rc::clone(self);
             self.sim.schedule_after(delay, move || {
                 repl_span.end();
-                span.end();
-                respond(response);
+                node.deliver_response(write_payload > 0, span, response, respond);
             });
         }
         self.pump();
+    }
+
+    /// Delivers a batch response — successful writes ride the next group
+    /// commit (their WAL append becomes durable at that fsync); reads and
+    /// errors respond immediately.
+    fn deliver_response(
+        self: &Rc<Self>,
+        via_group_commit: bool,
+        span: trace::MaybeSpan,
+        response: BatchResponse,
+        respond: Box<dyn FnOnce(BatchResponse)>,
+    ) {
+        if via_group_commit {
+            let commit_span = span.child("wal.group_commit");
+            self.enqueue_commit_ack(Box::new(move || {
+                commit_span.end();
+                span.end();
+                respond(response);
+            }));
+        } else {
+            span.end();
+            respond(response);
+        }
     }
 
     /// Runs the MVCC work of a batch against this node's engine, mirroring

@@ -31,9 +31,22 @@ impl Engine {
         Engine { inner: Arc::new(Mutex::new(lsm)) }
     }
 
-    /// Applies a write batch atomically.
-    pub fn apply(&self, batch: &WriteBatch) {
-        self.inner.lock().apply(batch);
+    /// Applies a write batch atomically. Returns the batch's WAL sequence
+    /// number; with group durability enabled the batch is committed by the
+    /// first [`Engine::group_commit`] whose group covers that sequence.
+    pub fn apply(&self, batch: &WriteBatch) -> u64 {
+        self.inner.lock().apply(batch)
+    }
+
+    /// Models one fsync committing every batch appended since the last
+    /// one; returns the committed group (see [`Lsm::group_commit`]).
+    pub fn group_commit(&self) -> crate::wal::GroupCommit {
+        self.inner.lock().group_commit()
+    }
+
+    /// Current write-stall condition, if any (see [`Lsm::write_stall`]).
+    pub fn write_stall(&self) -> Option<crate::lsm::StallReason> {
+        self.inner.lock().write_stall()
     }
 
     /// Writes a single key.

@@ -27,13 +27,15 @@ pub mod iter;
 pub mod lsm;
 pub mod memtable;
 pub mod metrics;
+pub mod pipeline;
 pub mod sstable;
 pub mod wal;
 
 pub use engine::Engine;
-pub use lsm::{Lsm, LsmConfig, LsmIter};
+pub use lsm::{CompactionJob, CompactionPick, FlushJob, Lsm, LsmConfig, LsmIter, StallReason};
 pub use memtable::WriteBatch;
-pub use metrics::StorageMetrics;
+pub use metrics::{StorageMetrics, COMPACT_LEVELS_TRACKED};
+pub use wal::{GroupCommit, WalWriter};
 
 use bytes::Bytes;
 

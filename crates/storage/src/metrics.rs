@@ -8,6 +8,11 @@
 //! the raw counters, and [`LinearModel`] the incremental least-squares fit
 //! used by admission control.
 
+/// Number of per-source-level compaction byte counters kept (source level
+/// 0 = L0). Configurations with more levels fold the excess into the last
+/// slot.
+pub const COMPACT_LEVELS_TRACKED: usize = 8;
+
 /// Cumulative counters maintained by the LSM engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StorageMetrics {
@@ -15,6 +20,18 @@ pub struct StorageMetrics {
     pub logical_bytes_written: u64,
     /// Bytes appended to the WAL.
     pub wal_bytes: u64,
+    /// Write batches appended to the WAL.
+    pub wal_batches: u64,
+    /// Modeled fsyncs (group commits that covered at least one batch).
+    pub fsyncs: u64,
+    /// Batches made durable by group commits — `batches_synced / fsyncs`
+    /// is the average group size (commits per fsync).
+    pub batches_synced: u64,
+    /// Times a write observed a stall condition (frozen-memtable or L0
+    /// backlog) before being admitted.
+    pub stall_events: u64,
+    /// Total modeled time writes spent stalled, in microseconds.
+    pub stall_micros: u64,
     /// Bytes flushed from memtables into L0 tables.
     pub flush_bytes: u64,
     /// Number of memtable flushes.
@@ -27,6 +44,8 @@ pub struct StorageMetrics {
     pub compact_count: u64,
     /// Bytes compacted out of L0 specifically (the §5.1.3 bottleneck).
     pub l0_compact_bytes: u64,
+    /// Compaction input bytes per source level (`[0]` = L0→L1 jobs).
+    pub compact_bytes_per_level: [u64; COMPACT_LEVELS_TRACKED],
     /// Point lookups served (`Lsm::get`).
     pub point_gets: u64,
     /// Tables whose entries were actually binary-searched by point gets.
@@ -90,12 +109,32 @@ impl StorageMetrics {
         }
     }
 
+    /// Average number of batches committed per modeled fsync — the group
+    /// commit ratio. 1.0 means no grouping (one fsync per batch).
+    pub fn batches_per_fsync(&self) -> f64 {
+        if self.fsyncs == 0 {
+            0.0
+        } else {
+            self.batches_synced as f64 / self.fsyncs as f64
+        }
+    }
+
     /// Difference of two snapshots (`self` minus `earlier`), for interval
     /// rate estimation.
     pub fn delta(&self, earlier: &StorageMetrics) -> StorageMetrics {
+        let mut compact_bytes_per_level = [0u64; COMPACT_LEVELS_TRACKED];
+        for (i, slot) in compact_bytes_per_level.iter_mut().enumerate() {
+            *slot = self.compact_bytes_per_level[i] - earlier.compact_bytes_per_level[i];
+        }
         StorageMetrics {
             logical_bytes_written: self.logical_bytes_written - earlier.logical_bytes_written,
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            wal_batches: self.wal_batches - earlier.wal_batches,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            batches_synced: self.batches_synced - earlier.batches_synced,
+            stall_events: self.stall_events - earlier.stall_events,
+            stall_micros: self.stall_micros - earlier.stall_micros,
+            compact_bytes_per_level,
             flush_bytes: self.flush_bytes - earlier.flush_bytes,
             flush_count: self.flush_count - earlier.flush_count,
             compact_bytes_in: self.compact_bytes_in - earlier.compact_bytes_in,
@@ -192,11 +231,24 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = StorageMetrics { flush_bytes: 100, flush_count: 2, ..Default::default() };
-        let b = StorageMetrics { flush_bytes: 350, flush_count: 5, ..Default::default() };
+        let mut a = StorageMetrics { flush_bytes: 100, flush_count: 2, ..Default::default() };
+        a.fsyncs = 3;
+        a.compact_bytes_per_level[0] = 10;
+        let mut b = StorageMetrics { flush_bytes: 350, flush_count: 5, ..Default::default() };
+        b.fsyncs = 10;
+        b.compact_bytes_per_level[0] = 250;
         let d = b.delta(&a);
         assert_eq!(d.flush_bytes, 250);
         assert_eq!(d.flush_count, 3);
+        assert_eq!(d.fsyncs, 7);
+        assert_eq!(d.compact_bytes_per_level[0], 240);
+    }
+
+    #[test]
+    fn batches_per_fsync_is_group_size() {
+        let m = StorageMetrics { fsyncs: 4, batches_synced: 32, ..Default::default() };
+        assert!((m.batches_per_fsync() - 8.0).abs() < 1e-9);
+        assert_eq!(StorageMetrics::default().batches_per_fsync(), 0.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! length-prefixed, CRC-32-checksummed records that can actually be
 //! replayed after a crash.
 
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
@@ -150,6 +151,110 @@ impl WalSink for FileWal {
 
     fn size(&self) -> u64 {
         self.bytes
+    }
+}
+
+/// Aggregate result of one group commit: the batches a single modeled
+/// fsync made durable. `batches == 0` means the sync had nothing to cover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Number of write batches made durable by this sync.
+    pub batches: u64,
+    /// WAL record bytes (including framing) made durable by this sync.
+    pub bytes: u64,
+    /// Sequence number of the last batch covered (0 when `batches == 0`).
+    pub last_seq: u64,
+}
+
+/// A group-commit front end over a [`WalSink`].
+///
+/// Batches are appended immediately (each gets a monotonically increasing
+/// sequence number) but only become durable when a sync covers them. One
+/// `sync_through`/`sync_all` call models one fsync: every batch appended
+/// since the previous sync rides the same flush, so the fsync cost is
+/// amortized across the group and all of them commit together.
+pub struct WalWriter {
+    sink: Box<dyn WalSink>,
+    /// Sequence number the next appended batch will receive.
+    next_seq: u64,
+    /// All batches with `seq <= synced_seq` are durable.
+    synced_seq: u64,
+    /// Appended-but-unsynced batches: `(seq, record bytes)`, oldest first.
+    pending: VecDeque<(u64, u64)>,
+}
+
+impl WalWriter {
+    /// Wraps a sink; the first appended batch gets sequence number 1.
+    pub fn new(sink: Box<dyn WalSink>) -> Self {
+        WalWriter { sink, next_seq: 1, synced_seq: 0, pending: VecDeque::new() }
+    }
+
+    /// Appends one batch without syncing. Returns its sequence number and
+    /// the encoded record length (framing included).
+    pub fn append(&mut self, batch: &WriteBatch) -> io::Result<(u64, u64)> {
+        let record = encode_batch(batch);
+        self.sink.append(&record)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = record.len() as u64;
+        self.pending.push_back((seq, bytes));
+        Ok((seq, bytes))
+    }
+
+    /// Syncs the sink and commits every pending batch with `seq <= seq`.
+    /// Batches appended after the modeled fsync began ride the next group.
+    pub fn sync_through(&mut self, seq: u64) -> io::Result<GroupCommit> {
+        if seq <= self.synced_seq {
+            return Ok(GroupCommit::default());
+        }
+        self.sink.sync()?;
+        let mut group = GroupCommit::default();
+        while let Some(&(s, b)) = self.pending.front() {
+            if s > seq {
+                break;
+            }
+            self.pending.pop_front();
+            group.batches += 1;
+            group.bytes += b;
+            group.last_seq = s;
+        }
+        self.synced_seq = seq.min(self.next_seq - 1);
+        Ok(group)
+    }
+
+    /// Syncs everything appended so far as one group.
+    pub fn sync_all(&mut self) -> io::Result<GroupCommit> {
+        self.sync_through(self.next_seq.saturating_sub(1))
+    }
+
+    /// Discards all records. Batches that were appended but never synced
+    /// are reported back as a final group: the caller only truncates once
+    /// their data is durable elsewhere (flushed to data files).
+    pub fn truncate(&mut self) -> io::Result<GroupCommit> {
+        self.sink.truncate()?;
+        let mut group = GroupCommit::default();
+        while let Some((s, b)) = self.pending.pop_front() {
+            group.batches += 1;
+            group.bytes += b;
+            group.last_seq = s;
+        }
+        self.synced_seq = self.next_seq - 1;
+        Ok(group)
+    }
+
+    /// Sequence number of the most recently appended batch (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Number of appended batches not yet covered by a sync.
+    pub fn unsynced_batches(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Total bytes in the underlying sink since its last truncate.
+    pub fn size(&self) -> u64 {
+        self.sink.size()
     }
 }
 
@@ -344,6 +449,57 @@ mod tests {
         wal.sync().unwrap();
         assert_eq!(FileWal::replay(&path).unwrap(), vec![b"keep".to_vec(), b"post-crash".to_vec()]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn batch_of(k: &str) -> WriteBatch {
+        let mut b = WriteBatch::new();
+        b.put(k.as_bytes().to_vec(), &b"v"[..]);
+        b
+    }
+
+    #[test]
+    fn wal_writer_groups_batches_per_sync() {
+        let mut w = WalWriter::new(Box::new(MemWal::new()));
+        let (s1, _) = w.append(&batch_of("a")).unwrap();
+        let (s2, _) = w.append(&batch_of("b")).unwrap();
+        let (s3, _) = w.append(&batch_of("c")).unwrap();
+        assert_eq!((s1, s2, s3), (1, 2, 3));
+        assert_eq!(w.unsynced_batches(), 3);
+        let g = w.sync_all().unwrap();
+        assert_eq!(g.batches, 3, "one fsync committed the whole group");
+        assert_eq!(g.last_seq, 3);
+        assert!(g.bytes > 0);
+        assert_eq!(w.unsynced_batches(), 0);
+        // A second sync with nothing pending is a no-op group.
+        assert_eq!(w.sync_all().unwrap(), GroupCommit::default());
+    }
+
+    #[test]
+    fn wal_writer_sync_through_splits_groups() {
+        let mut w = WalWriter::new(Box::new(MemWal::new()));
+        for k in ["a", "b", "c", "d"] {
+            w.append(&batch_of(k)).unwrap();
+        }
+        let g1 = w.sync_through(2).unwrap();
+        assert_eq!((g1.batches, g1.last_seq), (2, 2));
+        assert_eq!(w.unsynced_batches(), 2, "later appends ride the next group");
+        let g2 = w.sync_all().unwrap();
+        assert_eq!((g2.batches, g2.last_seq), (2, 4));
+    }
+
+    #[test]
+    fn wal_writer_truncate_reports_unsynced_residue() {
+        let mut w = WalWriter::new(Box::new(MemWal::new()));
+        w.append(&batch_of("a")).unwrap();
+        w.sync_all().unwrap();
+        w.append(&batch_of("b")).unwrap();
+        let g = w.truncate().unwrap();
+        assert_eq!(g.batches, 1, "the unsynced batch is surfaced at truncate");
+        assert_eq!(w.unsynced_batches(), 0);
+        assert_eq!(w.size(), 0);
+        // Sequence numbers keep rising across a truncate.
+        let (s, _) = w.append(&batch_of("c")).unwrap();
+        assert_eq!(s, 3);
     }
 
     #[test]
