@@ -1,16 +1,19 @@
 //! The estimated-CPU model (§5.2.1).
 //!
 //! Each SQL query becomes a batched sequence of KV requests. The model
-//! predicts KV-layer CPU from six features of that traffic:
+//! predicts KV-layer CPU from seven features of that traffic:
 //!
 //! 1. number of read batches,
 //! 2. number of requests in each read batch,
 //! 3. number of bytes in each read batch,
 //! 4. number of write batches,
 //! 5. number of requests in each write batch,
-//! 6. number of bytes in each write batch.
+//! 6. number of bytes in each write batch,
+//! 7. number of bounded (limit-pushed) scan requests — the plan class
+//!    the cost-based planner emits for `LIMIT` queries, which returns
+//!    few bytes but still pays a seek.
 //!
-//! The total estimate is the *sum of six sub-model predictions*. Each
+//! The total estimate is the *sum of the sub-model predictions*. Each
 //! sub-model is a piecewise-linear function of the feature's per-second
 //! rate, because CPU efficiency improves with batching (Fig. 5: "the more
 //! write batches that a given CRDB node processes per second, the more
@@ -131,9 +134,11 @@ pub struct WorkloadFeatures {
     pub write_requests_per_batch: f64,
     /// Mean bytes per write batch.
     pub write_bytes_per_batch: f64,
+    /// Bounded (limit-pushed) scan requests per second.
+    pub bounded_scans_per_sec: f64,
 }
 
-/// The six-sub-model estimated-CPU model.
+/// The seven-sub-model estimated-CPU model.
 #[derive(Debug, Clone)]
 pub struct EcpuModel {
     /// Read batches: batches per vCPU-second vs batch rate.
@@ -148,6 +153,9 @@ pub struct EcpuModel {
     pub write_request: FeatureModel,
     /// Write payload bytes.
     pub write_bytes: FeatureModel,
+    /// Bounded (limit-pushed) scan requests: the seek overhead a bounded
+    /// scan pays beyond its (small) byte count.
+    pub bounded_scan: FeatureModel,
 }
 
 impl EcpuModel {
@@ -173,6 +181,9 @@ impl EcpuModel {
             ])),
             write_request: FeatureModel::new(PiecewiseLinear::constant(96_000.0)),
             write_bytes: FeatureModel::new(PiecewiseLinear::constant(78.0e6)),
+            // A bounded scan is a seek plus a short forward read; the
+            // premium over an ordinary read request is small.
+            bounded_scan: FeatureModel::new(PiecewiseLinear::constant(800_000.0)),
         }
     }
 
@@ -193,10 +204,11 @@ impl EcpuModel {
             write_batch: scale(&self.write_batch),
             write_request: scale(&self.write_request),
             write_bytes: scale(&self.write_bytes),
+            bounded_scan: scale(&self.bounded_scan),
         }
     }
 
-    /// Predicted KV vCPUs for a sustained workload (the sum of the six
+    /// Predicted KV vCPUs for a sustained workload (the sum of the seven
     /// sub-model predictions).
     pub fn estimate_vcpus(&self, f: &WorkloadFeatures) -> f64 {
         let read_req_rate = f.read_batches_per_sec * (f.read_requests_per_batch - 1.0).max(0.0);
@@ -209,6 +221,7 @@ impl EcpuModel {
             + self.write_batch.vcpus_at_rate(f.write_batches_per_sec)
             + self.write_request.vcpus_at_rate(write_req_rate)
             + self.write_bytes.vcpus_at_rate(write_byte_rate)
+            + self.bounded_scan.vcpus_at_rate(f.bounded_scans_per_sec)
     }
 
     /// eCPU-seconds charged for one batch, assuming the tenant currently
@@ -300,9 +313,23 @@ mod tests {
             write_batches_per_sec: 1000.0,
             write_requests_per_batch: 1.0,
             write_bytes_per_batch: 64.0,
+            bounded_scans_per_sec: 0.0,
         };
         let sum = m.estimate_vcpus(&reads_only) + m.estimate_vcpus(&writes_only);
         assert!((m.estimate_vcpus(&both) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_scans_add_cost() {
+        let m = EcpuModel::default_model();
+        let base = WorkloadFeatures {
+            read_batches_per_sec: 1000.0,
+            read_requests_per_batch: 1.0,
+            read_bytes_per_batch: 64.0,
+            ..Default::default()
+        };
+        let with = WorkloadFeatures { bounded_scans_per_sec: 1000.0, ..base };
+        assert!(m.estimate_vcpus(&with) > m.estimate_vcpus(&base));
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub enum Feature {
     WriteRequest,
     /// Bytes per write batch.
     WriteBytes,
+    /// Bounded (limit-pushed) scan requests per second.
+    BoundedScan,
 }
 
 /// Sweep grid for batch-rate features (batches per second).
@@ -47,6 +49,7 @@ pub fn sweep_workload(feature: Feature, value: f64) -> WorkloadFeatures {
         write_batches_per_sec: 500.0,
         write_requests_per_batch: 1.0,
         write_bytes_per_batch: 64.0,
+        bounded_scans_per_sec: 0.0,
     };
     match feature {
         Feature::ReadBatch => w.read_batches_per_sec = value,
@@ -55,6 +58,7 @@ pub fn sweep_workload(feature: Feature, value: f64) -> WorkloadFeatures {
         Feature::WriteBatch => w.write_batches_per_sec = value,
         Feature::WriteRequest => w.write_requests_per_batch = value,
         Feature::WriteBytes => w.write_bytes_per_batch = value,
+        Feature::BoundedScan => w.bounded_scans_per_sec = value,
     }
     w
 }
@@ -102,7 +106,7 @@ fn fit_per_unit_feature(
     FeatureModel::new(PiecewiseLinear::constant(units_per_vcpu))
 }
 
-/// Trains a full six-feature model against a ground-truth oracle.
+/// Trains a full seven-feature model against a ground-truth oracle.
 pub fn train_model(mut oracle: impl FnMut(&WorkloadFeatures) -> f64) -> EcpuModel {
     let read_batch = fit_batch_feature(Feature::ReadBatch, &mut oracle);
     let write_batch = fit_batch_feature(Feature::WriteBatch, &mut oracle);
@@ -134,7 +138,19 @@ pub fn train_model(mut oracle: impl FnMut(&WorkloadFeatures) -> f64) -> EcpuMode
         |w| w.write_batches_per_sec,
         &mut oracle,
     );
-    EcpuModel { read_batch, read_request, read_bytes, write_batch, write_request, write_bytes }
+    // Bounded scans are already a per-second rate, so the "batch rate"
+    // multiplier is identity.
+    let bounded_scan =
+        fit_per_unit_feature(Feature::BoundedScan, 0.0, 2_000.0, |_| 1.0, &mut oracle);
+    EcpuModel {
+        read_batch,
+        read_request,
+        read_bytes,
+        write_batch,
+        write_request,
+        write_bytes,
+        bounded_scan,
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +174,7 @@ mod tests {
             + w.write_batches_per_sec * (w.write_requests_per_batch - 1.0).max(0.0) / 150_000.0
             + w.read_batches_per_sec * w.read_bytes_per_batch / 400.0e6
             + w.write_batches_per_sec * w.write_bytes_per_batch / 120.0e6
+            + w.bounded_scans_per_sec / 600_000.0
     }
 
     #[test]
@@ -184,6 +201,7 @@ mod tests {
                 write_batches_per_sec: 2_000.0,
                 write_requests_per_batch: 3.0,
                 write_bytes_per_batch: 512.0,
+                bounded_scans_per_sec: 500.0,
             },
             WorkloadFeatures {
                 read_batches_per_sec: 30_000.0,
@@ -192,6 +210,7 @@ mod tests {
                 write_batches_per_sec: 15_000.0,
                 write_requests_per_batch: 8.0,
                 write_bytes_per_batch: 2_048.0,
+                bounded_scans_per_sec: 0.0,
             },
         ];
         for w in &mixes {

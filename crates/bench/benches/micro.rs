@@ -192,6 +192,7 @@ fn bench_ecpu(c: &mut Criterion) {
         write_batches_per_sec: 4_000.0,
         write_requests_per_batch: 5.0,
         write_bytes_per_batch: 900.0,
+        ..Default::default()
     };
     c.bench_function("ecpu/estimate", |b| {
         b.iter(|| black_box(model.estimate_vcpus(black_box(&w))));

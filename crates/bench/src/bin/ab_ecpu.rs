@@ -94,6 +94,7 @@ fn main() {
                 write_batches_per_sec: 2_000.0,
                 write_requests_per_batch: 4.0,
                 write_bytes_per_batch: 700.0,
+                ..Default::default()
             },
         ),
         (

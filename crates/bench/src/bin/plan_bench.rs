@@ -1,0 +1,274 @@
+//! Planner benchmark: cost-based plans (index seeks + LIMIT pushdown,
+//! from ANALYZE statistics) against forced full-table scans, measured in
+//! *simulated* time and KV rows read on TPC-C-shaped data.
+//!
+//! Emits `BENCH_PLANPATH.json` (hand-rolled JSON, no serde) in the
+//! working directory. Self-gates:
+//!
+//! - every benchmark query must beat its forced-full-scan twin by ≥10×
+//!   on BOTH rows read and simulated latency;
+//! - both plans must return identical row sets;
+//! - `EXPLAIN` output must be byte-identical across two same-seed runs
+//!   (the "same query, same plan" contract, §6.7).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crdb_kv::client::KvClient;
+use crdb_kv::cluster::{KvCluster, KvClusterConfig};
+use crdb_sim::{Location, Sim, Topology};
+use crdb_sql::exec::QueryOutput;
+use crdb_sql::node::{NodeState, SqlNode, SqlNodeConfig};
+use crdb_sql::system_db::SystemDatabase;
+use crdb_util::time::dur;
+use crdb_util::{RegionId, SqlInstanceId, TenantId};
+
+const WAREHOUSES: i64 = 2;
+const ITEMS: i64 = 8000;
+const DISTRICTS: i64 = 5;
+const ORDERS_PER_DISTRICT: i64 = 300;
+const INSERT_BATCH: i64 = 100;
+
+struct Fixture {
+    sim: Sim,
+    node: Rc<SqlNode>,
+    session: u64,
+}
+
+fn setup(seed: u64) -> Fixture {
+    let sim = Sim::new(seed);
+    let cluster =
+        KvCluster::new(&sim, Topology::single_region("us-east1", 3), KvClusterConfig::default());
+    let cert = cluster.create_tenant(TenantId(2));
+    let client = KvClient::new(cluster.clone(), cert, Location::new(RegionId(0), 0));
+    let node = SqlNode::new(&sim, SqlInstanceId(1), client, SqlNodeConfig::default());
+    let system_db = SystemDatabase::optimized(RegionId(0), vec![RegionId(0)]);
+    let ready = Rc::new(RefCell::new(false));
+    {
+        let r = Rc::clone(&ready);
+        node.start(&system_db, move || *r.borrow_mut() = true);
+    }
+    sim.run_for(dur::secs(5));
+    assert!(*ready.borrow(), "node became ready");
+    assert_eq!(node.state(), NodeState::Ready);
+    let session = node.open_session("plan_bench").unwrap();
+    Fixture { sim, node, session }
+}
+
+/// Runs one statement to completion; returns the output plus the span of
+/// simulated time from dispatch to the result callback.
+fn exec_timed(f: &Fixture, sql: &str) -> (QueryOutput, Duration) {
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    let sim = f.sim.clone();
+    let t0 = f.sim.now();
+    f.node.execute(f.session, sql, vec![], move |r| *o.borrow_mut() = Some((r, sim.now())));
+    f.sim.run_for(dur::secs(120));
+    let (r, t1) = out.borrow_mut().take().unwrap_or_else(|| panic!("{sql}: did not complete"));
+    (r.unwrap_or_else(|e| panic!("{sql}: {e}")), t1 - t0)
+}
+
+fn exec(f: &Fixture, sql: &str) -> QueryOutput {
+    exec_timed(f, sql).0
+}
+
+fn row_set(out: &QueryOutput) -> Vec<String> {
+    let mut v: Vec<String> = out.rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+/// Multi-row INSERTs in batches so loading stays cheap in simulated time.
+fn batch_insert(f: &Fixture, table: &str, rows: &[String]) {
+    for chunk in rows.chunks(INSERT_BATCH as usize) {
+        exec(f, &format!("INSERT INTO {table} VALUES {}", chunk.join(", ")));
+    }
+}
+
+fn load_tpcc_lite(f: &Fixture) {
+    exec(f, "CREATE TABLE item (i_id INT PRIMARY KEY, i_name STRING, i_price FLOAT)");
+    exec(
+        f,
+        "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, \
+         PRIMARY KEY (s_w_id, s_i_id))",
+    );
+    exec(
+        f,
+        "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, \
+         PRIMARY KEY (o_w_id, o_d_id, o_id))",
+    );
+
+    // i_price cycles 0.5 .. 999.5 so `i_price < P` selects ~P/1000 of rows.
+    let items: Vec<String> =
+        (0..ITEMS).map(|i| format!("({i}, 'item-{i}', {}.5)", i % 1000)).collect();
+    batch_insert(f, "item", &items);
+
+    let stock: Vec<String> = (1..=WAREHOUSES)
+        .flat_map(|w| (0..ITEMS / 2).map(move |i| format!("({w}, {i}, {})", (i * 7) % 91)))
+        .collect();
+    batch_insert(f, "stock", &stock);
+
+    let orders: Vec<String> = (1..=WAREHOUSES)
+        .flat_map(|w| {
+            (1..=DISTRICTS).flat_map(move |d| {
+                (0..ORDERS_PER_DISTRICT).map(move |o| format!("({w}, {d}, {o}, {})", o % 97))
+            })
+        })
+        .collect();
+    batch_insert(f, "orders", &orders);
+
+    exec(f, "CREATE INDEX item_price ON item (i_price)");
+    for t in ["item", "stock", "orders"] {
+        exec(f, &format!("ANALYZE {t}"));
+    }
+}
+
+struct QueryRow {
+    name: &'static str,
+    sql: &'static str,
+    plan_rows_read: u64,
+    full_rows_read: u64,
+    rows_read_ratio: f64,
+    plan_latency_ms: f64,
+    full_latency_ms: f64,
+    latency_speedup: f64,
+}
+
+/// Runs `sql` under the chosen plan and under a forced full scan (one
+/// warm-up each, then one measured run — the sim is deterministic, so a
+/// single measurement is exact), asserting identical row sets.
+fn bench_query(f: &Fixture, name: &'static str, sql: &'static str) -> QueryRow {
+    f.node.catalog().borrow_mut().set_force_full_scan(false);
+    exec(f, sql);
+    let (chosen, plan_lat) = exec_timed(f, sql);
+
+    f.node.catalog().borrow_mut().set_force_full_scan(true);
+    exec(f, sql);
+    let (full, full_lat) = exec_timed(f, sql);
+    f.node.catalog().borrow_mut().set_force_full_scan(false);
+
+    assert_eq!(row_set(&chosen), row_set(&full), "{name}: plans returned different rows");
+    assert!(!chosen.rows.is_empty(), "{name}: benchmark query matched nothing");
+
+    QueryRow {
+        name,
+        sql,
+        plan_rows_read: chosen.stats.rows_read,
+        full_rows_read: full.stats.rows_read,
+        rows_read_ratio: full.stats.rows_read as f64 / chosen.stats.rows_read.max(1) as f64,
+        plan_latency_ms: plan_lat.as_secs_f64() * 1e3,
+        full_latency_ms: full_lat.as_secs_f64() * 1e3,
+        latency_speedup: full_lat.as_secs_f64() / plan_lat.as_secs_f64().max(1e-9),
+    }
+}
+
+/// `EXPLAIN` text for a fixed statement list on a fresh same-seed fixture.
+fn explain_snapshot(seed: u64) -> String {
+    let f = setup(seed);
+    load_tpcc_lite(&f);
+    let mut text = String::new();
+    for sql in [
+        "EXPLAIN SELECT * FROM stock WHERE s_w_id = 2 AND s_i_id = 1234",
+        "EXPLAIN SELECT * FROM orders WHERE o_w_id = 1 AND o_d_id = 3 AND o_id = 177",
+        "EXPLAIN SELECT * FROM item WHERE i_price < 10",
+        "EXPLAIN SELECT * FROM orders WHERE o_w_id = 2 AND o_d_id = 1 LIMIT 7",
+    ] {
+        let out = exec(&f, sql);
+        for row in &out.rows {
+            let _ = writeln!(text, "{}", row[0]);
+        }
+    }
+    text
+}
+
+fn main() {
+    crdb_bench::header("Plan path: cost-based plans vs forced full scans (simulated time)");
+
+    let f = setup(42);
+    load_tpcc_lite(&f);
+
+    let mut rows = Vec::new();
+    for (name, sql) in [
+        ("stock_point_lookup", "SELECT * FROM stock WHERE s_w_id = 2 AND s_i_id = 1234"),
+        (
+            "order_point_lookup",
+            "SELECT * FROM orders WHERE o_w_id = 1 AND o_d_id = 3 AND o_id = 177",
+        ),
+        ("item_price_range", "SELECT * FROM item WHERE i_price < 10"),
+    ] {
+        let row = bench_query(&f, name, sql);
+        println!(
+            "{:20} rows_read {:>6} vs {:>6} ({:>7.1}x)   latency {:>8.3}ms vs {:>8.3}ms ({:>6.1}x)",
+            row.name,
+            row.plan_rows_read,
+            row.full_rows_read,
+            row.rows_read_ratio,
+            row.plan_latency_ms,
+            row.full_latency_ms,
+            row.latency_speedup
+        );
+        rows.push(row);
+    }
+
+    // LIMIT pushdown rides the same gate: bounded scan vs full drain.
+    let row = bench_query(
+        &f,
+        "order_limit_scan",
+        "SELECT * FROM orders WHERE o_w_id = 2 AND o_d_id = 1 LIMIT 7",
+    );
+    println!(
+        "{:20} rows_read {:>6} vs {:>6} ({:>7.1}x)   latency {:>8.3}ms vs {:>8.3}ms ({:>6.1}x)",
+        row.name,
+        row.plan_rows_read,
+        row.full_rows_read,
+        row.rows_read_ratio,
+        row.plan_latency_ms,
+        row.full_latency_ms,
+        row.latency_speedup
+    );
+    rows.push(row);
+
+    let explain_a = explain_snapshot(42);
+    let explain_b = explain_snapshot(42);
+    let explain_deterministic = explain_a == explain_b;
+    println!("\nEXPLAIN byte-identical across same-seed runs: {explain_deterministic}");
+
+    let min_rows_ratio = rows.iter().map(|r| r.rows_read_ratio).fold(f64::INFINITY, f64::min);
+    let min_speedup = rows.iter().map(|r| r.latency_speedup).fold(f64::INFINITY, f64::min);
+    println!("min rows-read ratio:  {min_rows_ratio:.1}x (gate: >= 10x)");
+    println!("min latency speedup:  {min_speedup:.1}x (gate: >= 10x)");
+    assert!(min_rows_ratio >= 10.0, "rows-read gate failed: {min_rows_ratio:.2}x");
+    assert!(min_speedup >= 10.0, "latency gate failed: {min_speedup:.2}x");
+    assert!(explain_deterministic, "EXPLAIN output differed between same-seed runs");
+
+    // Hand-rolled JSON: stable key order, no external deps.
+    let mut json = String::from("{\n  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"sql\": \"{}\", \"plan_rows_read\": {}, \
+             \"full_rows_read\": {}, \"rows_read_ratio\": {:.2}, \
+             \"plan_latency_ms\": {:.4}, \"full_latency_ms\": {:.4}, \
+             \"latency_speedup\": {:.2}}}{}",
+            r.name,
+            r.sql,
+            r.plan_rows_read,
+            r.full_rows_read,
+            r.rows_read_ratio,
+            r.plan_latency_ms,
+            r.full_latency_ms,
+            r.latency_speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"gates\": {{\"min_rows_read_ratio\": {min_rows_ratio:.2}, \
+         \"min_latency_speedup\": {min_speedup:.2}, \
+         \"explain_deterministic\": {explain_deterministic}}}\n}}\n"
+    );
+    std::fs::write("BENCH_PLANPATH.json", &json).expect("write BENCH_PLANPATH.json");
+    println!("\nwrote BENCH_PLANPATH.json");
+}

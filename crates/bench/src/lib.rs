@@ -59,10 +59,12 @@ pub fn dedicated_fixture(
     (cluster, Rc::new(DedicatedExec(ex)) as Rc<dyn SqlExecutor>)
 }
 
-/// Loads a schema + data through an executor.
+/// Loads a schema + data through an executor, then ANALYZEs every table so
+/// the cost-based planner runs from fresh statistics.
 pub fn load(sim: &Sim, ex: &Rc<dyn SqlExecutor>, schema: &[&str], data: &[String]) {
     let mut stmts: Vec<String> = schema.iter().map(|s| s.to_string()).collect();
     stmts.extend(data.iter().cloned());
+    stmts.extend(crdb_workload::analyze_statements(schema));
     run_setup(sim, ex, &stmts);
 }
 

@@ -334,6 +334,7 @@ impl ServerlessCluster {
                     traffic.write_batches += t.write_batches;
                     traffic.write_requests += t.write_requests;
                     traffic.write_bytes += t.write_bytes;
+                    traffic.bounded_scan_requests += t.bounded_scan_requests;
                 }
             }
             let delta = traffic.delta(&info.last_traffic.borrow());

@@ -154,6 +154,7 @@ pub fn estimated_kv_cpu_seconds(
         write_batches_per_sec: rates.write_batches_per_sec,
         write_requests_per_batch: rates.write_requests_per_batch,
         write_bytes_per_batch: rates.write_bytes_per_batch,
+        bounded_scans_per_sec: rates.bounded_scans_per_sec,
     };
     model.estimate_vcpus(&features) * interval_secs
 }
@@ -218,6 +219,7 @@ mod tests {
             write_batches: 5_000,
             write_requests: 5_000,
             write_bytes: 500_000,
+            bounded_scan_requests: 0,
         };
         let secs = estimated_kv_cpu_seconds(&model, &delta, 10.0);
         assert!(secs > 0.0);
@@ -229,6 +231,7 @@ mod tests {
             write_batches: 10_000,
             write_requests: 10_000,
             write_bytes: 1_000_000,
+            bounded_scan_requests: 0,
         };
         let secs2 = estimated_kv_cpu_seconds(&model, &double, 10.0);
         assert!(secs2 > secs * 1.5);

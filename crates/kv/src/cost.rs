@@ -9,7 +9,7 @@
 //! any tenant — so the Fig. 11 model-accuracy experiment compares a
 //! trained approximation against a genuinely different function.
 
-use crate::batch::BatchRequest;
+use crate::batch::{BatchRequest, RequestKind};
 
 /// Cost model parameters. Times are in CPU-seconds.
 #[derive(Debug, Clone)]
@@ -165,6 +165,10 @@ pub struct TrafficStats {
     pub write_requests: u64,
     /// Total write payload bytes.
     pub write_bytes: u64,
+    /// Scan requests carrying a planner-pushed row limit (bounded scans —
+    /// the LIMIT-pushdown plan class, priced separately by the eCPU
+    /// model).
+    pub bounded_scan_requests: u64,
 }
 
 impl TrafficStats {
@@ -180,6 +184,11 @@ impl TrafficStats {
                 write_bytes += r.payload_bytes() as u64;
             } else {
                 reads += 1;
+                if let RequestKind::Scan { limit, .. } = r {
+                    if *limit != usize::MAX {
+                        self.bounded_scan_requests += 1;
+                    }
+                }
             }
         }
         if reads > 0 {
@@ -220,6 +229,7 @@ impl TrafficStats {
             } else {
                 0.0
             },
+            bounded_scans_per_sec: self.bounded_scan_requests as f64 / interval_secs,
         }
     }
 
@@ -232,6 +242,7 @@ impl TrafficStats {
             write_batches: self.write_batches - earlier.write_batches,
             write_requests: self.write_requests - earlier.write_requests,
             write_bytes: self.write_bytes - earlier.write_bytes,
+            bounded_scan_requests: self.bounded_scan_requests - earlier.bounded_scan_requests,
         }
     }
 }
@@ -252,6 +263,8 @@ pub struct FeatureRates {
     pub write_requests_per_batch: f64,
     /// Mean bytes per write batch.
     pub write_bytes_per_batch: f64,
+    /// Bounded (limit-pushed) scan requests per second.
+    pub bounded_scans_per_sec: f64,
 }
 
 #[cfg(test)]
@@ -330,6 +343,20 @@ mod tests {
         assert!((follower / leader - 0.3).abs() < 1e-9);
     }
 
+    fn scan_batch(limit: usize) -> BatchRequest {
+        BatchRequest {
+            tenant: TenantId(2),
+            read_ts: Timestamp::ZERO,
+            txn: None,
+            deadline: crdb_util::Deadline::NONE,
+            requests: vec![RequestKind::Scan {
+                start: keys::make_key(TenantId(2), b"a"),
+                end: keys::make_key(TenantId(2), b"z"),
+                limit,
+            }],
+        }
+    }
+
     #[test]
     fn traffic_stats_aggregate_and_convert() {
         let mut s = TrafficStats::default();
@@ -347,6 +374,19 @@ mod tests {
         assert_eq!(f.write_batches_per_sec, 0.5);
         let d = s.delta(&TrafficStats::default());
         assert_eq!(d.read_batches, s.read_batches);
+    }
+
+    #[test]
+    fn bounded_scans_counted_separately() {
+        let mut s = TrafficStats::default();
+        s.record(&scan_batch(10), 64);
+        s.record(&scan_batch(usize::MAX), 4096);
+        assert_eq!(s.read_batches, 2);
+        assert_eq!(s.bounded_scan_requests, 1, "only the limit-pushed scan counts");
+        let f = s.to_features(2.0);
+        assert_eq!(f.bounded_scans_per_sec, 0.5);
+        let d = s.delta(&TrafficStats::default());
+        assert_eq!(d.bounded_scan_requests, 1);
     }
 
     #[test]

@@ -925,6 +925,7 @@ impl KvNode {
             total.write_batches += s.write_batches;
             total.write_requests += s.write_requests;
             total.write_bytes += s.write_bytes;
+            total.bounded_scan_requests += s.bounded_scan_requests;
         }
         total
     }

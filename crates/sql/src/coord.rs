@@ -306,12 +306,28 @@ impl Txn {
         let pstart = self.prefixed(&start);
         let pend = self.prefixed(&end);
         let this = self.clone();
+        // Push the limit down to the KV layer. Buffered deletes in the
+        // span may knock out returned pairs, so widen the KV limit by the
+        // delete count to guarantee `limit` survivors when they exist;
+        // buffered puts only ever add pairs, so they need no headroom.
+        let kv_limit = if limit == usize::MAX {
+            usize::MAX
+        } else {
+            let buffered_deletes = self
+                .inner
+                .borrow()
+                .writes
+                .range(start.clone()..end.clone())
+                .filter(|(_, v)| v.is_none())
+                .count();
+            limit.saturating_add(buffered_deletes)
+        };
         let batch = BatchRequest {
             tenant,
             read_ts,
             txn: Some(meta),
             deadline: self.deadline(),
-            requests: vec![RequestKind::Scan { start: pstart, end: pend, limit: usize::MAX }],
+            requests: vec![RequestKind::Scan { start: pstart, end: pend, limit: kv_limit }],
         };
         let outer = trace::current();
         let span = trace::child("txn.scan");

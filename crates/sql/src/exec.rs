@@ -115,6 +115,48 @@ fn eval_bound(e: &Expr, params: &[Datum]) -> Result<Datum, SqlError> {
     e.eval(&Vec::new(), params).map_err(SqlError::Eval)
 }
 
+/// The role a span datum plays, selecting the safe coercion direction.
+#[derive(Clone, Copy)]
+enum BoundKind {
+    Eq,
+    Lower,
+    Upper,
+}
+
+/// Coerces an evaluated span datum to the key encoding of its column.
+///
+/// Key encodings are typed (an INT key byte never compares equal to a
+/// FLOAT key byte), so a parameter of the "wrong" numeric type must be
+/// re-typed or the span silently misses every row. Equality coerces
+/// exactly where lossless; range bounds round toward the *superset*
+/// (floor for lower, ceil for upper) — always safe because range
+/// conjuncts stay in the residual filter.
+fn coerce_span_datum(d: Datum, ct: crate::value::ColumnType, kind: BoundKind) -> Datum {
+    use crate::value::ColumnType;
+    match (ct, &d) {
+        (ColumnType::Float, Datum::Int(i)) => Datum::Float(*i as f64),
+        (ColumnType::Int, Datum::Float(f)) => match kind {
+            // Lossless only: a fractional equality value keeps its FLOAT
+            // encoding, yielding an empty span — correct, since no INT
+            // row equals it.
+            BoundKind::Eq if f.fract() == 0.0 && f.abs() < 9.0e18 => Datum::Int(*f as i64),
+            BoundKind::Eq => d,
+            BoundKind::Lower => Datum::Int(f.floor() as i64),
+            BoundKind::Upper => Datum::Int(f.ceil() as i64),
+        },
+        _ => d,
+    }
+}
+
+/// The column ordinals of an index, in index-key order.
+fn index_ordinals(table: &TableDescriptor, index_id: u64) -> &[usize] {
+    if index_id == PRIMARY_INDEX_ID {
+        &table.primary_key
+    } else {
+        table.indexes.iter().find(|i| i.id == index_id).map(|i| i.columns.as_slice()).unwrap_or(&[])
+    }
+}
+
 /// Computes the KV span for a scan constraint.
 fn constraint_span(
     table: &TableDescriptor,
@@ -122,15 +164,26 @@ fn constraint_span(
     c: &ScanConstraint,
     params: &[Datum],
 ) -> Result<(Bytes, Bytes), SqlError> {
+    let ordinals = index_ordinals(table, index_id);
+    let col_type = |pos: usize| ordinals.get(pos).map(|&o| table.columns[o].ty);
     let mut eq_datums = Vec::with_capacity(c.eq_prefix.len());
-    for e in &c.eq_prefix {
-        eq_datums.push(eval_bound(e, params)?);
+    for (pos, e) in c.eq_prefix.iter().enumerate() {
+        let d = eval_bound(e, params)?;
+        eq_datums.push(match col_type(pos) {
+            Some(ct) => coerce_span_datum(d, ct, BoundKind::Eq),
+            None => d,
+        });
     }
     let prefix = rowcodec::key_with_prefix(table, index_id, &eq_datums);
     let mut start = prefix.clone();
     let mut end = rowcodec::prefix_span_end(&prefix);
+    let range_type = col_type(eq_datums.len());
     if let Some(lower) = &c.lower {
         let d = eval_bound(&lower.expr, params)?;
+        let d = match range_type {
+            Some(ct) => coerce_span_datum(d, ct, BoundKind::Lower),
+            None => d,
+        };
         let mut datums = eq_datums.clone();
         datums.push(d);
         let key = rowcodec::key_with_prefix(table, index_id, &datums);
@@ -138,6 +191,10 @@ fn constraint_span(
     }
     if let Some(upper) = &c.upper {
         let d = eval_bound(&upper.expr, params)?;
+        let d = match range_type {
+            Some(ct) => coerce_span_datum(d, ct, BoundKind::Upper),
+            None => d,
+        };
         let mut datums = eq_datums;
         datums.push(d);
         let key = rowcodec::key_with_prefix(table, index_id, &datums);
@@ -171,7 +228,7 @@ fn run_node(
             }
             cb(Ok(out));
         }
-        PlanNode::Scan { table, index_id, index_cols, constraint, filter, .. } => {
+        PlanNode::Scan { table, index_id, index_cols, constraint, filter, limit, .. } => {
             let span = match constraint_span(&table, index_id, &constraint, &params) {
                 Ok(s) => s,
                 Err(e) => {
@@ -188,6 +245,7 @@ fn run_node(
                 index_id,
                 index_cols.len(),
                 span,
+                limit,
                 st,
                 Box::new(move |rows| {
                     let rows = match rows {
@@ -428,18 +486,25 @@ fn run_node(
 
 /// Fetches the rows of one index span, resolving secondary-index entries
 /// to full rows via batched PK lookups.
+///
+/// `limit` is the planner-pushed LIMIT: when set, at most that many KV
+/// pairs (or index entries) are fetched, so `LIMIT n` on an unfiltered
+/// scan reads ≤ n rows instead of the whole span.
+#[allow(clippy::too_many_arguments)]
 fn fetch_span(
     txn: Txn,
     table: TableDescriptor,
     index_id: u64,
     n_indexed: usize,
     span: (Bytes, Bytes),
+    limit: Option<u64>,
     stats: Rc<RefCell<ExecStats>>,
     cb: RowsCb,
 ) {
     let (start, end) = span;
+    let max_pairs = limit.map_or(usize::MAX, |n| n as usize);
     if index_id == PRIMARY_INDEX_ID {
-        txn.scan(start, end, usize::MAX, move |pairs| {
+        txn.scan(start, end, max_pairs, move |pairs| {
             let pairs = match pairs {
                 Ok(p) => p,
                 Err(e) => {
@@ -461,7 +526,7 @@ fn fetch_span(
     }
     // Secondary index: scan entries, then batched primary lookups.
     let txn2 = txn.clone();
-    txn.scan(start, end, usize::MAX, move |pairs| {
+    txn.scan(start, end, max_pairs, move |pairs| {
         let pairs = match pairs {
             Ok(p) => p,
             Err(e) => {
@@ -685,13 +750,6 @@ fn execute_insert(
             }
         };
         if existing.iter().any(|v| v.is_some()) {
-            if std::env::var("CRDB_DEBUG_DUP").is_ok() {
-                for (k, v) in pk_keys.iter().zip(&existing) {
-                    if v.is_some() {
-                        eprintln!("DUP key={:?} table={}", k, table2.name);
-                    }
-                }
-            }
             cb(Err(SqlError::Constraint("duplicate primary key".into())));
             return;
         }
@@ -742,7 +800,9 @@ fn execute_update(
                     return;
                 }
             };
-            let mut affected = 0u64;
+            // Phase 1: evaluate and validate every row before touching the
+            // write buffer, so an error mid-statement leaves nothing behind.
+            let mut updates: Vec<(Row, Row)> = Vec::with_capacity(rows.len());
             for old in rows {
                 let mut new = old.clone();
                 for (col, e) in &sets {
@@ -765,20 +825,38 @@ fn execute_update(
                     cb(Err(e));
                     return;
                 }
-                let old_key = rowcodec::primary_key(&table, &old);
-                let new_key = rowcodec::primary_key(&table, &new);
+                updates.push((old, new));
+            }
+            // Phase 2: delete all vacated keys, THEN write all new rows.
+            // Interleaving delete+put per row is wrong when the UPDATE
+            // changes the primary key: `SET pk = pk + 1` over pks 1..n
+            // would clobber row k+1's freshly-written value with row k's
+            // delete-then-put sequence.
+            for (old, new) in &updates {
+                let old_key = rowcodec::primary_key(&table, old);
+                let new_key = rowcodec::primary_key(&table, new);
                 if old_key != new_key {
-                    txn2.delete(old_key.clone());
+                    txn2.delete(old_key);
                 }
-                let value = rowcodec::encode_row_value(&table, &new);
+                for idx in &table.indexes {
+                    let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, old);
+                    let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, new);
+                    if old_entry != new_entry {
+                        txn2.delete(old_entry);
+                    }
+                }
+            }
+            let mut affected = 0u64;
+            for (old, new) in &updates {
+                let new_key = rowcodec::primary_key(&table, new);
+                let value = rowcodec::encode_row_value(&table, new);
                 st.borrow_mut().rows_written += 1;
                 st.borrow_mut().bytes_written += (new_key.len() + value.len()) as u64;
                 txn2.put(new_key, value);
                 for idx in &table.indexes {
-                    let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &old);
-                    let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, &new);
+                    let old_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, old);
+                    let new_entry = rowcodec::index_entry_key(&table, idx.id, &idx.columns, new);
                     if old_entry != new_entry {
-                        txn2.delete(old_entry);
                         txn2.put(new_entry, Bytes::new());
                     }
                 }

@@ -11,9 +11,11 @@
 //! - [`lexer`], [`parser`], [`expr`] — a SQL dialect sufficient for the
 //!   paper's workloads (DDL, DML, filters, aggregates, order/limit,
 //!   joins).
-//! - [`plan`], [`exec`] — logical planning (span extraction from
-//!   predicates, index selection, lookup joins) and a callback-driven
-//!   executor over the KV client.
+//! - [`plan`], [`exec`] — cost-based logical planning (span extraction
+//!   from predicates, statistics-driven index selection, lookup joins,
+//!   LIMIT pushdown) and a callback-driven executor over the KV client.
+//! - [`stats`] — per-table statistics collected by `ANALYZE` and
+//!   persisted in the tenant keyspace for the cost model.
 //! - [`coord`] — the transaction coordinator: buffered writes,
 //!   read-your-writes, parallel intent writes, commit via transaction
 //!   record flip, intent resolution.
@@ -40,6 +42,7 @@ pub mod plan;
 pub mod rowcodec;
 pub mod schema;
 pub mod session;
+pub mod stats;
 pub mod system_db;
 pub mod value;
 

@@ -13,7 +13,7 @@
 //! the multi-region locality arithmetic of Fig. 10b.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 use bytes::{BufMut, Bytes, BytesMut};
@@ -31,7 +31,12 @@ use crate::plan::{plan_statement, Catalog, Plan};
 use crate::rowcodec;
 use crate::schema::TableDescriptor;
 use crate::session::{Session, SessionSnapshot};
+use crate::stats::TableStatistics;
 use crate::system_db::SystemDatabase;
+
+/// KV pairs fetched per ANALYZE chunk: the statistics scan streams the
+/// table instead of materializing it in one response.
+const ANALYZE_CHUNK: usize = 1024;
 
 /// Where query execution runs relative to the KV process (§6.1): the
 /// Traditional deployment fuses SQL and KV in one process; Serverless
@@ -127,6 +132,15 @@ pub enum NodeState {
     Draining,
     /// Shut down.
     Stopped,
+}
+
+/// Running accumulator for one ANALYZE scan.
+struct AnalyzeAcc {
+    row_count: u64,
+    key_bytes: u64,
+    value_bytes: u64,
+    /// (index id, prefix length) → distinct encoded key prefixes.
+    distinct: BTreeMap<(u64, u64), BTreeSet<Bytes>>,
 }
 
 /// A per-tenant SQL node.
@@ -291,7 +305,25 @@ impl SqlNode {
                         }
                     }
                 }
-                cb();
+                // Table statistics live beside the descriptors and feed the
+                // cost-based planner; load them in the same refresh.
+                let node2 = Rc::clone(&node);
+                node.client.scan(
+                    crdb_kv::keys::make_key(node.tenant, &rowcodec::stats_span_start()),
+                    crdb_kv::keys::make_key(node.tenant, &rowcodec::stats_span_end()),
+                    usize::MAX,
+                    move |pairs| {
+                        if let Ok(pairs) = pairs {
+                            let mut catalog = node2.catalog.borrow_mut();
+                            for (_, v) in pairs {
+                                if let Some(stats) = TableStatistics::decode(&v) {
+                                    catalog.install_stats(stats);
+                                }
+                            }
+                        }
+                        cb();
+                    },
+                );
             },
         );
     }
@@ -527,6 +559,20 @@ impl SqlNode {
             Plan::DropTable(desc) => {
                 self.drop_table(desc, cb);
             }
+            Plan::Analyze(desc) => {
+                self.analyze_table(desc, cb);
+            }
+            Plan::Explain { lines } => {
+                // EXPLAIN never executes: it renders the chosen plan tree
+                // with estimated costs, one row per line.
+                let rows: Vec<Vec<crate::value::Datum>> =
+                    lines.into_iter().map(|l| vec![crate::value::Datum::Str(l)]).collect();
+                cb(Ok(QueryOutput {
+                    columns: vec!["plan".to_string()],
+                    rows,
+                    ..Default::default()
+                }));
+            }
             Plan::Begin | Plan::Commit | Plan::Rollback => unreachable!("handled above"),
             other => {
                 // Query / DML.
@@ -730,6 +776,8 @@ impl SqlNode {
             dkey.put_slice(b"desc/");
             dkey.put_u64(desc.id);
             txn2.delete(dkey.freeze());
+            // Any persisted statistics go with the table.
+            txn2.delete(rowcodec::stats_key(desc.id));
             let name = desc.name.clone();
             let node2 = Rc::clone(&node);
             txn2.commit(move |r| match r {
@@ -740,6 +788,135 @@ impl SqlNode {
                 }
             });
         });
+    }
+
+    /// `ANALYZE <table>`: streams the primary index in chunks, collecting
+    /// row count, average key/value bytes, and per-index distinct-prefix
+    /// counts, then persists the result under `tstat/<table_id>` and
+    /// installs it in the catalog for the cost-based planner.
+    fn analyze_table(
+        self: &Rc<Self>,
+        table: TableDescriptor,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        let start = crdb_kv::keys::make_key(
+            self.tenant,
+            &rowcodec::index_prefix(table.id, crate::schema::PRIMARY_INDEX_ID).freeze(),
+        );
+        let end = crdb_kv::keys::make_key(
+            self.tenant,
+            &rowcodec::index_prefix_end(table.id, crate::schema::PRIMARY_INDEX_ID),
+        );
+        let acc = Rc::new(RefCell::new(AnalyzeAcc {
+            row_count: 0,
+            key_bytes: 0,
+            value_bytes: 0,
+            distinct: BTreeMap::new(),
+        }));
+        self.analyze_chunk(table, start, end, acc, cb);
+    }
+
+    /// One ANALYZE scan chunk; recurses until the span is exhausted.
+    fn analyze_chunk(
+        self: &Rc<Self>,
+        table: TableDescriptor,
+        start: Bytes,
+        end: Bytes,
+        acc: Rc<RefCell<AnalyzeAcc>>,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        let node = Rc::clone(self);
+        self.client.scan(start, end.clone(), ANALYZE_CHUNK, move |pairs| {
+            let pairs = match pairs {
+                Ok(p) => p,
+                Err(e) => {
+                    cb(Err(SqlError::Kv(e)));
+                    return;
+                }
+            };
+            let done = pairs.len() < ANALYZE_CHUNK;
+            let mut next_start = None;
+            {
+                let mut a = acc.borrow_mut();
+                // Index column sets whose prefixes are counted, primary
+                // first.
+                let mut index_cols: Vec<(u64, Vec<usize>)> =
+                    vec![(crate::schema::PRIMARY_INDEX_ID, table.primary_key.clone())];
+                for idx in &table.indexes {
+                    index_cols.push((idx.id, idx.columns.clone()));
+                }
+                for (k, v) in &pairs {
+                    // The raw client scan returns tenant-prefixed keys.
+                    let Some(user_key) = crdb_kv::keys::strip_prefix(node.tenant, k) else {
+                        continue;
+                    };
+                    let Some(row) = rowcodec::decode_row(&table, &user_key, v) else {
+                        continue;
+                    };
+                    a.row_count += 1;
+                    a.key_bytes += user_key.len() as u64;
+                    a.value_bytes += v.len() as u64;
+                    for (index_id, cols) in &index_cols {
+                        for plen in 1..=cols.len() {
+                            let datums: Vec<crate::value::Datum> =
+                                cols[..plen].iter().map(|&c| row[c].clone()).collect();
+                            let prefix = rowcodec::key_with_prefix(&table, *index_id, &datums);
+                            a.distinct.entry((*index_id, plen as u64)).or_default().insert(prefix);
+                        }
+                    }
+                }
+                if let Some((k, _)) = pairs.last() {
+                    // Resume strictly after the last key seen.
+                    let mut nk = BytesMut::with_capacity(k.len() + 1);
+                    nk.put_slice(k);
+                    nk.put_u8(0);
+                    next_start = Some(nk.freeze());
+                }
+            }
+            match next_start {
+                Some(ns) if !done => node.analyze_chunk(table, ns, end, acc, cb),
+                _ => node.finish_analyze(table, acc, cb),
+            }
+        });
+    }
+
+    /// Builds, persists and installs the statistics once the scan is done.
+    fn finish_analyze(
+        self: &Rc<Self>,
+        table: TableDescriptor,
+        acc: Rc<RefCell<AnalyzeAcc>>,
+        cb: Box<dyn FnOnce(Result<QueryOutput, SqlError>)>,
+    ) {
+        let a = acc.borrow();
+        let row_count = a.row_count;
+        // (index, plen) keys iterate in plen order per index, so pushing
+        // yields distinct counts indexed by prefix length - 1.
+        let mut distinct_prefixes: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for ((index_id, _plen), set) in a.distinct.iter() {
+            distinct_prefixes.entry(*index_id).or_default().push(set.len() as u64);
+        }
+        let stats = TableStatistics {
+            table_id: table.id,
+            row_count,
+            avg_key_bytes: a.key_bytes.checked_div(row_count).unwrap_or(0),
+            avg_value_bytes: a.value_bytes.checked_div(row_count).unwrap_or(0),
+            distinct_prefixes,
+            created_at_nanos: self.sim.now().as_nanos(),
+        };
+        drop(a);
+        let node = Rc::clone(self);
+        let stats2 = stats.clone();
+        self.client.put(
+            crdb_kv::keys::make_key(self.tenant, &rowcodec::stats_key(table.id)),
+            Bytes::from(stats.encode()),
+            move |r| match r {
+                Err(e) => cb(Err(SqlError::Kv(e))),
+                Ok(()) => {
+                    node.catalog.borrow_mut().install_stats(stats2);
+                    cb(Ok(QueryOutput { rows_affected: row_count, ..Default::default() }));
+                }
+            },
+        );
     }
 
     /// Serializes an idle session for migration (§4.2.4).

@@ -130,6 +130,13 @@ pub enum Statement {
         /// WHERE clause.
         filter: Option<Expr>,
     },
+    /// ANALYZE: collect statistics for one table.
+    Analyze {
+        /// Table name.
+        table: String,
+    },
+    /// EXPLAIN: render the chosen plan for a SELECT without running it.
+    Explain(SelectStmt),
     /// BEGIN.
     Begin,
     /// COMMIT.
@@ -239,6 +246,13 @@ impl Parser {
             let table = self.ident()?;
             let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
             return Ok(Statement::Delete { table, filter });
+        }
+        if self.eat_kw("analyze") {
+            return Ok(Statement::Analyze { table: self.ident()? });
+        }
+        if self.eat_kw("explain") {
+            self.expect_kw("select")?;
+            return Ok(Statement::Explain(self.select()?));
         }
         if self.eat_kw("begin") {
             self.eat_kw("transaction");
@@ -747,6 +761,23 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_and_explain() {
+        let s = parse("ANALYZE stock").unwrap();
+        assert_eq!(s, Statement::Analyze { table: "stock".into() });
+        let s = parse("EXPLAIN SELECT i_id FROM item WHERE i_price < 10.0").unwrap();
+        match s {
+            Statement::Explain(sel) => {
+                assert!(sel.filter.is_some());
+                assert_eq!(sel.from, Some(("item".into(), None)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN only covers SELECT.
+        assert!(parse("EXPLAIN UPDATE t SET a = 1").is_err());
+        assert!(parse("ANALYZE").is_err());
     }
 
     #[test]

@@ -1,24 +1,35 @@
-//! Logical planning.
+//! Cost-based logical planning.
 //!
 //! The planner binds names, extracts KV spans from primary-key (or
-//! secondary-index) constraints, chooses between full scans, index scans
-//! and lookup joins, and produces the [`PlanNode`] tree the executor
-//! walks. Span endpoints stay as expressions so one prepared plan serves
-//! every parameter binding ("same query, same plan" — §6.7).
+//! secondary-index) constraints, enumerates scan candidates (full scan /
+//! equality seek / range seek per index, lookup vs hash join direction)
+//! and costs them with `ANALYZE` statistics from the catalog, producing
+//! the [`PlanNode`] tree the executor walks. Span endpoints stay as
+//! expressions so one prepared plan serves every parameter binding
+//! ("same query, same plan" — §6.7). The cost model is integer-only
+//! (u64) so plan choice can never depend on float rounding, and
+//! candidates are enumerated in a fixed order with strict-`<`
+//! replacement, so ties break deterministically toward the primary
+//! index.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::coord::SqlError;
 use crate::expr::{resolve_name, BinOp, Expr};
 use crate::parser::{AggFunc, SelectItem, SelectStmt, Statement};
 use crate::schema::{Column, IndexDescriptor, TableDescriptor, PRIMARY_INDEX_ID};
-use crate::value::ColumnType;
+use crate::stats::TableStatistics;
+use crate::value::{ColumnType, Datum};
 
-/// The per-tenant table catalog (a cache of `system.descriptor`).
+/// The per-tenant table catalog (a cache of `system.descriptor` plus the
+/// `ANALYZE` statistics stored beside the descriptors).
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, TableDescriptor>,
+    stats: BTreeMap<u64, TableStatistics>,
     next_table_id: u64,
+    force_full_scan: bool,
 }
 
 /// First table ID for user tables (lower IDs are reserved for system
@@ -28,7 +39,12 @@ pub const FIRST_USER_TABLE_ID: u64 = 100;
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Catalog { tables: BTreeMap::new(), next_table_id: FIRST_USER_TABLE_ID }
+        Catalog {
+            tables: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            next_table_id: FIRST_USER_TABLE_ID,
+            force_full_scan: false,
+        }
     }
 
     /// Looks up a table.
@@ -42,9 +58,13 @@ impl Catalog {
         self.tables.insert(desc.name.clone(), desc);
     }
 
-    /// Removes a table.
+    /// Removes a table (and its statistics).
     pub fn remove(&mut self, name: &str) -> Option<TableDescriptor> {
-        self.tables.remove(name)
+        let desc = self.tables.remove(name);
+        if let Some(d) = &desc {
+            self.stats.remove(&d.id);
+        }
+        desc
     }
 
     /// Allocates the next table ID.
@@ -57,6 +77,33 @@ impl Catalog {
     /// All descriptors.
     pub fn tables(&self) -> impl Iterator<Item = &TableDescriptor> {
         self.tables.values()
+    }
+
+    /// Statistics for a table, if `ANALYZE` has run.
+    pub fn stats(&self, table_id: u64) -> Option<&TableStatistics> {
+        self.stats.get(&table_id)
+    }
+
+    /// Installs statistics (from `ANALYZE` or a catalog load).
+    pub fn install_stats(&mut self, stats: TableStatistics) {
+        self.stats.insert(stats.table_id, stats);
+    }
+
+    /// Drops statistics for a table.
+    pub fn remove_stats(&mut self, table_id: u64) {
+        self.stats.remove(&table_id);
+    }
+
+    /// When set, the planner ignores every index and plans unconstrained
+    /// primary full scans with the whole predicate as a residual filter.
+    /// Used by differential tests and benches as the oracle plan.
+    pub fn set_force_full_scan(&mut self, force: bool) {
+        self.force_full_scan = force;
+    }
+
+    /// Whether full scans are being forced (see [`Self::set_force_full_scan`]).
+    pub fn force_full_scan(&self) -> bool {
+        self.force_full_scan
     }
 }
 
@@ -103,6 +150,9 @@ pub enum PlanNode {
         constraint: ScanConstraint,
         /// Residual filter applied after the scan.
         filter: Option<Expr>,
+        /// Row limit pushed down from an enclosing `LIMIT` (only set
+        /// when no residual filter or sort sits in between).
+        limit: Option<u64>,
         /// Output scope (qualified `alias.col` names).
         scope: Vec<String>,
     },
@@ -236,6 +286,13 @@ pub enum Plan {
     },
     /// DROP TABLE.
     DropTable(TableDescriptor),
+    /// ANALYZE: scan the primary index and persist table statistics.
+    Analyze(TableDescriptor),
+    /// EXPLAIN: the rendered plan of a SELECT, one line per node.
+    Explain {
+        /// Indented plan-tree lines with integer cost annotations.
+        lines: Vec<String>,
+    },
     /// BEGIN.
     Begin,
     /// COMMIT.
@@ -343,12 +400,23 @@ pub fn plan_statement(catalog: &mut Catalog, stmt: &Statement) -> Result<Plan, S
             Ok(Plan::Insert { table: desc, rows })
         }
         Statement::Select(sel) => Ok(Plan::Query(plan_select(catalog, sel)?)),
+        Statement::Analyze { table } => {
+            let desc = catalog
+                .table(table)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
+            Ok(Plan::Analyze(desc))
+        }
+        Statement::Explain(sel) => {
+            let node = plan_select(catalog, sel)?;
+            Ok(Plan::Explain { lines: explain_plan(catalog, &node) })
+        }
         Statement::Update { table, sets, filter } => {
             let desc = catalog
                 .table(table)
                 .cloned()
                 .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
-            let scan = plan_table_scan(&desc, None, filter.clone())?;
+            let scan = plan_table_scan(catalog, &desc, None, filter.clone())?;
             let scope = scan.scope();
             let mut bound_sets = Vec::new();
             for (col, e) in sets {
@@ -366,7 +434,7 @@ pub fn plan_statement(catalog: &mut Catalog, stmt: &Statement) -> Result<Plan, S
                 .table(table)
                 .cloned()
                 .ok_or_else(|| SqlError::Plan(format!("unknown table {table}")))?;
-            let scan = plan_table_scan(&desc, None, filter.clone())?;
+            let scan = plan_table_scan(catalog, &desc, None, filter.clone())?;
             Ok(Plan::Delete { scan: Box::new(scan), table: desc })
         }
     }
@@ -419,9 +487,173 @@ fn as_col_cmp(e: &Expr, scope: &[String]) -> Option<ColCmp> {
     None
 }
 
-/// Plans a scan of `table` (aliased) with an optional filter: picks the
-/// primary index or a secondary index based on equality prefixes.
+// ---------------------------------------------------------------------
+// Cost model. All integer arithmetic: plan choice must be bit-stable
+// across runs and platforms, so no floats enter the comparison.
+// ---------------------------------------------------------------------
+
+/// Cost of streaming one row out of a scan.
+const COST_PER_ROW: u64 = 10;
+/// Extra cost per row of a secondary-index plan (the PK lookup join back
+/// into the primary index) or of a lookup-join probe.
+const COST_PER_LOOKUP: u64 = 20;
+/// Fixed cost of positioning a scan (per seek).
+const SEEK_COST: u64 = 20;
+/// Per-row cost of materializing and hashing the build side of a hash
+/// join. In the separated architecture every build-side byte crosses the
+/// SQL/KV process boundary and is held in pod memory, so this is charged
+/// well above streaming.
+const COST_PER_HASH_BUILD: u64 = 200;
+/// Assumed table cardinality when `ANALYZE` has not run.
+const DEFAULT_ROW_COUNT: u64 = 1000;
+/// Without statistics, each equality column is assumed to divide the row
+/// count by this much.
+const DEFAULT_EQ_SELECTIVITY: u64 = 10;
+/// Each range bound (lower or upper) is assumed to divide the remaining
+/// row count by this much.
+const RANGE_SELECTIVITY: u64 = 4;
+
+/// Estimated rows a span with `eq_len` equality columns and
+/// `n_range_bounds` range bounds reads from `index_id`.
+fn estimated_span_rows(
+    stats: Option<&TableStatistics>,
+    index_id: u64,
+    eq_len: usize,
+    n_range_bounds: usize,
+) -> u64 {
+    let row_count = stats.map(|s| s.row_count).unwrap_or(DEFAULT_ROW_COUNT);
+    let mut est = if eq_len == 0 {
+        row_count
+    } else {
+        match stats.and_then(|s| s.distinct_prefix(index_id, eq_len)) {
+            Some(d) if d > 0 => row_count / d,
+            // No stats, or an index created after the last ANALYZE
+            // (stale stats don't know its prefixes): fall back to the
+            // default per-column selectivity.
+            _ => {
+                let mut e = row_count;
+                for _ in 0..eq_len {
+                    e /= DEFAULT_EQ_SELECTIVITY;
+                }
+                e
+            }
+        }
+    }
+    .max(1);
+    for _ in 0..n_range_bounds {
+        est = (est / RANGE_SELECTIVITY).max(1);
+    }
+    est
+}
+
+/// Cost of scanning `est_rows` via `index_id`: secondary-index plans pay
+/// a PK lookup per row on top of streaming.
+fn scan_cost(index_id: u64, est_rows: u64) -> u64 {
+    let per_row =
+        if index_id == PRIMARY_INDEX_ID { COST_PER_ROW } else { COST_PER_ROW + COST_PER_LOOKUP };
+    SEEK_COST.saturating_add(est_rows.saturating_mul(per_row))
+}
+
+/// Rough output-cardinality estimate for a plan subtree (used for join
+/// direction costing and EXPLAIN annotations).
+fn estimate_output_rows(catalog: &Catalog, node: &PlanNode) -> u64 {
+    match node {
+        PlanNode::Values { rows, .. } => rows.len() as u64,
+        PlanNode::Scan { table, index_id, constraint, filter, limit, .. } => {
+            let n_bounds =
+                constraint.lower.is_some() as usize + constraint.upper.is_some() as usize;
+            let mut est = estimated_span_rows(
+                catalog.stats(table.id),
+                *index_id,
+                constraint.eq_prefix.len(),
+                n_bounds,
+            );
+            if filter.is_some() {
+                est = (est / 2).max(1);
+            }
+            if let Some(n) = limit {
+                est = est.min(*n);
+            }
+            est
+        }
+        PlanNode::LookupJoin { input, .. } => estimate_output_rows(catalog, input),
+        PlanNode::HashJoin { left, .. } => estimate_output_rows(catalog, left),
+        PlanNode::Filter { input, .. } => (estimate_output_rows(catalog, input) / 2).max(1),
+        PlanNode::Project { input, .. } => estimate_output_rows(catalog, input),
+        PlanNode::Aggregate { input, group, .. } => {
+            if group.is_empty() {
+                1
+            } else {
+                (estimate_output_rows(catalog, input) / DEFAULT_EQ_SELECTIVITY).max(1)
+            }
+        }
+        PlanNode::Sort { input, .. } => estimate_output_rows(catalog, input),
+        PlanNode::Limit { input, n } => estimate_output_rows(catalog, input).min(*n),
+    }
+}
+
+/// An equality value usable as a span key for a column of type `ct`.
+/// Returns the (possibly type-coerced) span expression and whether the
+/// originating conjunct may be dropped from the residual filter.
+///
+/// Droppability is the NULL-safety rule: a conjunct leaves the residual
+/// only when its value is a non-NULL literal of the column's exact (or
+/// losslessly coerced) type. Params stay in the residual because a NULL
+/// param encodes to a real key byte (`0x00`) at execution and the span
+/// would wrongly match stored NULLs — the kept residual `col = NULL`
+/// evaluates to NULL (not true) and filters them out.
+fn eq_span_value(value: &Expr, ct: ColumnType) -> Option<(Expr, bool)> {
+    match value {
+        Expr::Param(_) => Some((value.clone(), false)),
+        Expr::Literal(Datum::Null) => None,
+        Expr::Literal(d) => match (ct, d) {
+            (ColumnType::Float, Datum::Int(i)) => {
+                Some((Expr::Literal(Datum::Float(*i as f64)), true))
+            }
+            (ColumnType::Int, Datum::Float(f)) if f.fract() == 0.0 && f.abs() < 9.0e18 => {
+                Some((Expr::Literal(Datum::Int(*f as i64)), true))
+            }
+            _ if d.column_type() == Some(ct) => Some((value.clone(), true)),
+            // Type mismatch (e.g. string on an int column): leave the
+            // conjunct to residual evaluation, no span.
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A range-bound value usable as a span endpoint for a column of type
+/// `ct`. Range conjuncts always stay in the residual (an unbounded side
+/// of the span still starts at the index prefix, which covers stored
+/// NULL keys), so only span usability is decided here.
+fn range_span_value(value: &Expr, ct: ColumnType) -> Option<Expr> {
+    match value {
+        Expr::Param(_) => Some(value.clone()),
+        Expr::Literal(Datum::Null) => None,
+        Expr::Literal(d) => match (ct, d) {
+            (ColumnType::Float, Datum::Int(i)) => Some(Expr::Literal(Datum::Float(*i as f64))),
+            _ if d.column_type() == Some(ct) => Some(value.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// One costed scan candidate.
+struct ScanCandidate {
+    index_id: u64,
+    index_cols: Vec<usize>,
+    eq_len: usize,
+    lower: Option<SpanBound>,
+    upper: Option<SpanBound>,
+    cost: u64,
+}
+
+/// Plans a scan of `table` (aliased) with an optional filter: enumerates
+/// a candidate per index (full scan, equality seek, range seek) and
+/// keeps the cheapest under the statistics-driven cost model.
 fn plan_table_scan(
+    catalog: &Catalog,
     table: &TableDescriptor,
     alias: Option<&str>,
     filter: Option<Expr>,
@@ -429,80 +661,102 @@ fn plan_table_scan(
     let alias = alias.unwrap_or(&table.name);
     let scope: Vec<String> = table.columns.iter().map(|c| format!("{alias}.{}", c.name)).collect();
 
-    let mut residual: Vec<Expr> = Vec::new();
-    let mut eq: HashMap<usize, Expr> = HashMap::new();
-    let mut ranges: Vec<ColCmp> = Vec::new();
+    // Classify conjuncts. `eq` maps a column to its span value, the
+    // conjunct's position, and whether that conjunct may leave the
+    // residual when the column is consumed into the chosen eq prefix.
+    let mut all: Vec<Expr> = Vec::new();
+    let mut eq: BTreeMap<usize, (Expr, usize, bool)> = BTreeMap::new();
+    let mut ranges: Vec<(usize, BinOp, Expr)> = Vec::new();
     if let Some(f) = filter {
         for c in conjuncts(f) {
-            match as_col_cmp(&c, &scope) {
-                Some(cmp) if cmp.op == BinOp::Eq && !eq.contains_key(&cmp.col) => {
-                    eq.insert(cmp.col, cmp.value.clone());
-                    residual.push(c); // keep as residual for correctness
+            if !catalog.force_full_scan() {
+                if let Some(cmp) = as_col_cmp(&c, &scope) {
+                    let ct = table.columns[cmp.col].ty;
+                    match cmp.op {
+                        BinOp::Eq => {
+                            if let Entry::Vacant(slot) = eq.entry(cmp.col) {
+                                if let Some((value, droppable)) = eq_span_value(&cmp.value, ct) {
+                                    slot.insert((value, all.len(), droppable));
+                                }
+                            }
+                        }
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                            if let Some(value) = range_span_value(&cmp.value, ct) {
+                                ranges.push((cmp.col, cmp.op, value));
+                            }
+                        }
+                        _ => {}
+                    }
                 }
-                Some(cmp) if matches!(cmp.op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) => {
-                    ranges.push(cmp);
-                    residual.push(c);
-                }
-                _ => residual.push(c),
             }
+            all.push(c);
         }
     }
 
-    // Choose the index with the longest equality prefix; primary wins ties.
-    let score = |cols: &[usize]| -> usize {
-        let mut n = 0;
-        for c in cols {
+    // Enumerate one candidate per index, primary first; strict `<`
+    // replacement keeps ties on the earliest (primary) candidate.
+    let stats = catalog.stats(table.id);
+    let mut order: Vec<(u64, Vec<usize>)> = vec![(PRIMARY_INDEX_ID, table.primary_key.clone())];
+    for idx in &table.indexes {
+        order.push((idx.id, idx.columns.clone()));
+    }
+    let mut best: Option<ScanCandidate> = None;
+    for (index_id, index_cols) in order {
+        let mut eq_len = 0;
+        for c in &index_cols {
             if eq.contains_key(c) {
-                n += 1;
+                eq_len += 1;
             } else {
                 break;
             }
         }
-        n
-    };
-    let pk_score = score(&table.primary_key);
-    let mut best: (u64, Vec<usize>, usize) =
-        (PRIMARY_INDEX_ID, table.primary_key.clone(), pk_score);
-    for idx in &table.indexes {
-        let s = score(&idx.columns);
-        if s > best.2 {
-            best = (idx.id, idx.columns.clone(), s);
+        // A range on the first unconstrained index column tightens the
+        // span — including eq_len == 0, a range-only index seek.
+        let mut lower = None;
+        let mut upper = None;
+        if let Some(&next_col) = index_cols.get(eq_len) {
+            for (col, op, value) in &ranges {
+                if *col != next_col {
+                    continue;
+                }
+                match op {
+                    BinOp::Ge => lower = Some(SpanBound { expr: value.clone(), inclusive: true }),
+                    BinOp::Gt => lower = Some(SpanBound { expr: value.clone(), inclusive: false }),
+                    BinOp::Le => upper = Some(SpanBound { expr: value.clone(), inclusive: true }),
+                    BinOp::Lt => upper = Some(SpanBound { expr: value.clone(), inclusive: false }),
+                    _ => {}
+                }
+            }
+        }
+        let n_bounds = lower.is_some() as usize + upper.is_some() as usize;
+        let est = estimated_span_rows(stats, index_id, eq_len, n_bounds);
+        let cost = scan_cost(index_id, est);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(ScanCandidate { index_id, index_cols, eq_len, lower, upper, cost });
         }
     }
-    let (index_id, index_cols, eq_len) = best;
+    let chosen = best.expect("at least the primary candidate");
 
+    // Build the span constraint and decide which conjuncts it covers.
     let mut constraint = ScanConstraint::default();
-    for &c in index_cols.iter().take(eq_len) {
-        constraint.eq_prefix.push(eq[&c].clone());
-    }
-    // A range constraint on the next index column tightens the span.
-    if let Some(&next_col) = index_cols.get(eq_len) {
-        for cmp in &ranges {
-            if cmp.col != next_col {
-                continue;
-            }
-            match cmp.op {
-                BinOp::Ge => {
-                    constraint.lower = Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
-                }
-                BinOp::Gt => {
-                    constraint.lower = Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
-                }
-                BinOp::Le => {
-                    constraint.upper = Some(SpanBound { expr: cmp.value.clone(), inclusive: true })
-                }
-                BinOp::Lt => {
-                    constraint.upper = Some(SpanBound { expr: cmp.value.clone(), inclusive: false })
-                }
-                _ => {}
-            }
+    let mut dropped: BTreeSet<usize> = BTreeSet::new();
+    for &c in chosen.index_cols.iter().take(chosen.eq_len) {
+        let (value, conjunct_idx, droppable) = &eq[&c];
+        constraint.eq_prefix.push(value.clone());
+        if *droppable {
+            dropped.insert(*conjunct_idx);
         }
     }
+    constraint.lower = chosen.lower;
+    constraint.upper = chosen.upper;
 
-    // Bind the residual filter.
-    let filter = residual
+    // Bind the residual filter (everything the span doesn't provably
+    // cover, in original conjunct order).
+    let filter = all
         .into_iter()
-        .map(|mut e| {
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, mut e)| {
             e.bind(&scope).map_err(SqlError::Plan)?;
             Ok(e)
         })
@@ -510,7 +764,154 @@ fn plan_table_scan(
         .into_iter()
         .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
 
-    Ok(PlanNode::Scan { table: table.clone(), index_id, index_cols, constraint, filter, scope })
+    Ok(PlanNode::Scan {
+        table: table.clone(),
+        index_id: chosen.index_id,
+        index_cols: chosen.index_cols,
+        constraint,
+        filter,
+        limit: None,
+        scope,
+    })
+}
+
+/// Pushes a top-level LIMIT into its scan when every node in between
+/// preserves rows one-for-one (projections) and the scan itself has no
+/// residual filter. Sorts, filters, joins and aggregates block pushdown.
+fn push_limit_down(node: PlanNode) -> PlanNode {
+    fn push_into(node: PlanNode, n: u64) -> PlanNode {
+        match node {
+            PlanNode::Scan {
+                table,
+                index_id,
+                index_cols,
+                constraint,
+                filter: None,
+                limit,
+                scope,
+            } => PlanNode::Scan {
+                table,
+                index_id,
+                index_cols,
+                constraint,
+                filter: None,
+                limit: Some(limit.map_or(n, |l| l.min(n))),
+                scope,
+            },
+            PlanNode::Project { input, exprs, scope } => {
+                PlanNode::Project { input: Box::new(push_into(*input, n)), exprs, scope }
+            }
+            other => other,
+        }
+    }
+    match node {
+        PlanNode::Limit { input, n } => {
+            PlanNode::Limit { input: Box::new(push_into(*input, n)), n }
+        }
+        other => other,
+    }
+}
+
+/// The display name of an index for EXPLAIN output.
+fn index_name(table: &TableDescriptor, index_id: u64) -> String {
+    if index_id == PRIMARY_INDEX_ID {
+        "primary".to_string()
+    } else {
+        table
+            .indexes
+            .iter()
+            .find(|i| i.id == index_id)
+            .map(|i| i.name.clone())
+            .unwrap_or_else(|| format!("index{index_id}"))
+    }
+}
+
+/// Renders a plan tree as indented text lines with integer cost
+/// annotations. All numbers are u64 so the output is byte-identical for
+/// identical (catalog, statement) inputs — the testable face of the
+/// "same query, same plan" contract.
+pub fn explain_plan(catalog: &Catalog, node: &PlanNode) -> Vec<String> {
+    fn render(catalog: &Catalog, node: &PlanNode, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        match node {
+            PlanNode::Values { rows, .. } => {
+                out.push(format!("{pad}values (rows={})", rows.len()));
+            }
+            PlanNode::Scan { table, index_id, constraint, filter, limit, .. } => {
+                let n_bounds =
+                    constraint.lower.is_some() as usize + constraint.upper.is_some() as usize;
+                let est = estimated_span_rows(
+                    catalog.stats(table.id),
+                    *index_id,
+                    constraint.eq_prefix.len(),
+                    n_bounds,
+                );
+                let cost = scan_cost(*index_id, est);
+                let mut span = if constraint.eq_prefix.is_empty() && n_bounds == 0 {
+                    "full".to_string()
+                } else {
+                    let mut parts = Vec::new();
+                    if !constraint.eq_prefix.is_empty() {
+                        parts.push(format!("eq={}", constraint.eq_prefix.len()));
+                    }
+                    if constraint.lower.is_some() {
+                        parts.push("lower".to_string());
+                    }
+                    if constraint.upper.is_some() {
+                        parts.push("upper".to_string());
+                    }
+                    parts.join(",")
+                };
+                if let Some(n) = limit {
+                    span.push_str(&format!(" limit={n}"));
+                }
+                let residual = if filter.is_some() { " +filter" } else { "" };
+                out.push(format!(
+                    "{pad}scan {}@{} [{span}]{residual} (est_rows={est} cost={cost})",
+                    table.name,
+                    index_name(table, *index_id),
+                ));
+            }
+            PlanNode::LookupJoin { input, table, .. } => {
+                let est = estimate_output_rows(catalog, node);
+                out.push(format!("{pad}lookup-join {}@primary (est_rows={est})", table.name));
+                render(catalog, input, depth + 1, out);
+            }
+            PlanNode::HashJoin { left, right, .. } => {
+                let est = estimate_output_rows(catalog, node);
+                out.push(format!("{pad}hash-join (est_rows={est})"));
+                render(catalog, left, depth + 1, out);
+                render(catalog, right, depth + 1, out);
+            }
+            PlanNode::Filter { input, .. } => {
+                out.push(format!("{pad}filter"));
+                render(catalog, input, depth + 1, out);
+            }
+            PlanNode::Project { input, exprs, .. } => {
+                out.push(format!("{pad}project (exprs={})", exprs.len()));
+                render(catalog, input, depth + 1, out);
+            }
+            PlanNode::Aggregate { input, group, aggs, .. } => {
+                out.push(format!("{pad}aggregate (groups={} aggs={})", group.len(), aggs.len()));
+                render(catalog, input, depth + 1, out);
+            }
+            PlanNode::Sort { input, keys } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|(i, desc)| format!("{}{}", i, if *desc { "-" } else { "+" }))
+                    .collect();
+                out.push(format!("{pad}sort (keys={})", keys.join(",")));
+                render(catalog, input, depth + 1, out);
+            }
+            PlanNode::Limit { input, n } => {
+                out.push(format!("{pad}limit {n}"));
+                render(catalog, input, depth + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    render(catalog, node, 0, &mut out);
+    out
 }
 
 fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError> {
@@ -541,9 +942,9 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
     // Push the WHERE clause into the base scan when there are no joins;
     // with joins, the filter applies after the join (simpler and correct).
     let mut node = if sel.joins.is_empty() {
-        plan_table_scan(&base_desc, base_alias.as_deref(), sel.filter.clone())?
+        plan_table_scan(catalog, &base_desc, base_alias.as_deref(), sel.filter.clone())?
     } else {
-        plan_table_scan(&base_desc, base_alias.as_deref(), None)?
+        plan_table_scan(catalog, &base_desc, base_alias.as_deref(), None)?
     };
 
     // Joins, left-deep.
@@ -598,10 +999,23 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
             .into_iter()
             .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
 
-        // Lookup join when the eq pairs cover the right PK.
+        // Lookup join when the eq pairs cover the right PK *and* the
+        // cost model favors per-row probes over materializing the right
+        // side: batched point lookups cost `COST_PER_LOOKUP` per left
+        // row, while a hash join pays a full right scan plus the build.
         let covers_pk = right.primary_key.len() <= eq_pairs.len()
             && right.primary_key.iter().all(|pkc| eq_pairs.iter().any(|(_, rc)| rc == pkc));
-        if covers_pk {
+        let lookup_is_cheaper = {
+            let left_est = estimate_output_rows(catalog, &node);
+            let right_rows =
+                catalog.stats(right.id).map(|s| s.row_count).unwrap_or(DEFAULT_ROW_COUNT);
+            let lookup_cost = left_est.saturating_mul(COST_PER_LOOKUP);
+            let hash_cost = SEEK_COST
+                .saturating_add(right_rows.saturating_mul(COST_PER_HASH_BUILD))
+                .saturating_add(left_est.saturating_mul(COST_PER_ROW));
+            lookup_cost <= hash_cost
+        };
+        if covers_pk && lookup_is_cheaper {
             let mut left_key_cols = Vec::new();
             for pkc in &right.primary_key {
                 let (lc, _) = eq_pairs.iter().find(|(_, rc)| rc == pkc).unwrap();
@@ -629,7 +1043,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
                     None => e,
                 });
             }
-            let right_node = plan_table_scan(&right, Some(&right_alias), None)?;
+            let right_node = plan_table_scan(catalog, &right, Some(&right_alias), None)?;
             node = PlanNode::HashJoin {
                 left: Box::new(node),
                 right: Box::new(right_node),
@@ -793,6 +1207,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<PlanNode, SqlError
 
     if let Some(n) = sel.limit {
         node = PlanNode::Limit { input: Box::new(node), n };
+        node = push_limit_down(node);
     }
     Ok(node)
 }
@@ -989,6 +1404,192 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    fn install_index(c: &mut Catalog, sql: &str) {
+        let parsed = parse(sql).unwrap();
+        match plan_statement(c, &parsed).unwrap() {
+            Plan::CreateIndex { table, .. } => c.install(table),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn scan_of(p: Plan) -> (u64, ScanConstraint, Option<Expr>, Option<u64>) {
+        match p {
+            Plan::Query(PlanNode::Scan { index_id, constraint, filter, limit, .. }) => {
+                (index_id, constraint, filter, limit)
+            }
+            other => panic!("expected bare scan: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_only_secondary_index_chosen() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX price_idx ON item (i_price)");
+        // A range predicate alone (no equality) must still admit the
+        // secondary index: the span is bounded above, reading ~1/4 of
+        // the index instead of the whole primary.
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_price < 100.0");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_ne!(index_id, PRIMARY_INDEX_ID, "range-only secondary seek");
+        assert!(constraint.eq_prefix.is_empty());
+        assert_eq!(constraint.upper.as_ref().map(|b| b.inclusive), Some(false));
+        assert!(constraint.lower.is_none());
+        assert!(filter.is_some(), "range conjunct stays in the residual");
+    }
+
+    #[test]
+    fn literal_eq_conjunct_dropped_from_residual() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = 'widget'");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_ne!(index_id, PRIMARY_INDEX_ID);
+        assert_eq!(constraint.eq_prefix.len(), 1);
+        assert!(filter.is_none(), "span provably covers the literal equality");
+    }
+
+    #[test]
+    fn param_eq_conjunct_kept_in_residual() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        // A param may be NULL at execution: NULL encodes to a real key
+        // byte, so the span would match stored NULLs. The residual
+        // `i_name = NULL` evaluates to NULL (not true) and filters them.
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = $1");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_ne!(index_id, PRIMARY_INDEX_ID, "param still drives the span");
+        assert_eq!(constraint.eq_prefix.len(), 1);
+        assert!(filter.is_some(), "param equality stays in the residual");
+    }
+
+    #[test]
+    fn null_literal_never_constrains_span() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        // `= NULL` is never true; a span on the NULL key byte would
+        // wrongly return stored NULLs, so no candidate may use it.
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = null");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_eq!(index_id, PRIMARY_INDEX_ID);
+        assert!(constraint.eq_prefix.is_empty());
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn int_literal_coerces_on_float_column() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX price_idx ON item (i_price)");
+        // An INT literal against a FLOAT column must seek with the
+        // FLOAT key encoding (the raw INT encoding misses every row).
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_price = 100");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_ne!(index_id, PRIMARY_INDEX_ID);
+        assert_eq!(constraint.eq_prefix, vec![Expr::Literal(Datum::Float(100.0))]);
+        assert!(filter.is_none(), "coerced literal is provably covered");
+    }
+
+    #[test]
+    fn stats_override_default_index_choice() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        let item_id = c.table("item").unwrap().id;
+        let name_idx_id = c.table("item").unwrap().indexes[0].id;
+        // Every row shares one i_name: the index seek reads the whole
+        // table *plus* a PK lookup per row — worse than the full scan.
+        let mut distinct = BTreeMap::new();
+        distinct.insert(name_idx_id, vec![1]);
+        c.install_stats(TableStatistics {
+            table_id: item_id,
+            row_count: 1000,
+            avg_key_bytes: 16,
+            avg_value_bytes: 32,
+            distinct_prefixes: distinct,
+            created_at_nanos: 0,
+        });
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = 'widget'");
+        let (index_id, _, filter, _) = scan_of(p);
+        assert_eq!(index_id, PRIMARY_INDEX_ID, "stats demote the useless index");
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn limit_pushdown_into_scan() {
+        let mut c = catalog();
+        let p = plan(&mut c, "SELECT * FROM item LIMIT 5");
+        match p {
+            Plan::Query(PlanNode::Limit { input, n: 5 }) => match *input {
+                PlanNode::Scan { limit, filter, .. } => {
+                    assert_eq!(limit, Some(5));
+                    assert!(filter.is_none());
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // A residual filter blocks pushdown (the scan may need to read
+        // more than n rows to produce n matches).
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_price > 1.0 LIMIT 5");
+        match p {
+            Plan::Query(PlanNode::Limit { input, n: 5 }) => {
+                fn scan_limit(n: &PlanNode) -> Option<u64> {
+                    match n {
+                        PlanNode::Scan { limit, .. } => *limit,
+                        PlanNode::Project { input, .. }
+                        | PlanNode::Filter { input, .. }
+                        | PlanNode::Sort { input, .. } => scan_limit(input),
+                        _ => None,
+                    }
+                }
+                assert_eq!(scan_limit(&input), None, "filter blocks pushdown");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A sort blocks pushdown too.
+        let p = plan(&mut c, "SELECT i_id FROM item ORDER BY i_name LIMIT 2");
+        match p {
+            Plan::Query(PlanNode::Limit { input, .. }) => {
+                assert!(
+                    !matches!(*input, PlanNode::Scan { limit: Some(_), .. }),
+                    "sort blocks pushdown"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn force_full_scan_ignores_indexes() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX name_idx ON item (i_name)");
+        c.set_force_full_scan(true);
+        let p = plan(&mut c, "SELECT * FROM item WHERE i_name = 'widget'");
+        let (index_id, constraint, filter, _) = scan_of(p);
+        assert_eq!(index_id, PRIMARY_INDEX_ID);
+        assert!(constraint.eq_prefix.is_empty());
+        assert!(constraint.lower.is_none() && constraint.upper.is_none());
+        assert!(filter.is_some(), "whole predicate is residual");
+    }
+
+    #[test]
+    fn explain_is_deterministic_and_costed() {
+        let mut c = catalog();
+        install_index(&mut c, "CREATE INDEX price_idx ON item (i_price)");
+        let sql = "EXPLAIN SELECT i_id FROM item WHERE i_price < 100.0";
+        let a = match plan(&mut c, sql) {
+            Plan::Explain { lines } => lines,
+            other => panic!("{other:?}"),
+        };
+        let b = match plan(&mut c, sql) {
+            Plan::Explain { lines } => lines,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a, b, "byte-identical across plannings");
+        let text = a.join("\n");
+        assert!(text.contains("price_idx"), "{text}");
+        assert!(text.contains("cost="), "{text}");
+        assert!(text.contains("est_rows="), "{text}");
     }
 
     #[test]

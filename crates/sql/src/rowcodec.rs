@@ -87,6 +87,27 @@ pub fn index_prefix_end(table_id: u64, index_id: u64) -> Bytes {
     index_prefix(table_id, index_id + 1).freeze()
 }
 
+/// The key a table's `ANALYZE` statistics are stored under:
+/// `tstat/<table_id>`. Lives next to the `desc/` descriptor keys inside
+/// the tenant keyspace so catalog loads pick statistics up with the
+/// same scan machinery.
+pub fn stats_key(table_id: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(16);
+    b.put_slice(b"tstat/");
+    kvkeys::encode_u64(&mut b, table_id);
+    b.freeze()
+}
+
+/// Inclusive start of the span holding every table's statistics.
+pub fn stats_span_start() -> Bytes {
+    Bytes::from_static(b"tstat/")
+}
+
+/// Exclusive end of the statistics span.
+pub fn stats_span_end() -> Bytes {
+    Bytes::from_static(b"tstat0")
+}
+
 /// Encodes a row's primary key: `tbl/<id>/1/<pk datums>`.
 pub fn primary_key(table: &TableDescriptor, row: &Row) -> Bytes {
     let mut b = index_prefix(table.id, PRIMARY_INDEX_ID);

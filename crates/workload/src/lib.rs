@@ -29,3 +29,29 @@ pub mod ycsb;
 
 pub use driver::{Driver, DriverConfig, SqlExecutor, TxnStats};
 pub use executors::{DedicatedExec, DedicatedExecutor, ServerlessExec, ServerlessExecutor};
+
+/// `ANALYZE` statements for every table of a schema, derived from its
+/// `CREATE TABLE` statements. Run after loading so the cost-based planner
+/// starts from fresh statistics instead of defaults.
+pub fn analyze_statements(schema: &[&str]) -> Vec<String> {
+    schema
+        .iter()
+        .filter_map(|s| s.strip_prefix("CREATE TABLE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(|t| format!("ANALYZE {t}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn analyze_statements_cover_every_table() {
+        let stmts = super::analyze_statements(&super::tpcc::schema());
+        assert_eq!(stmts.len(), 7, "one ANALYZE per TPC-C table");
+        assert!(stmts.contains(&"ANALYZE warehouse".to_string()));
+        assert!(stmts.contains(&"ANALYZE order_line".to_string()));
+        // CREATE INDEX statements in a schema are skipped.
+        let with_index = ["CREATE TABLE t (a INT PRIMARY KEY)", "CREATE INDEX i ON t (a)"];
+        assert_eq!(super::analyze_statements(&with_index), vec!["ANALYZE t".to_string()]);
+    }
+}
