@@ -37,7 +37,7 @@ fn panel_a() {
         "{:>10} {:>16} {:>16} {:>16}",
         "tenants", "mem KiB/tenant", "cpu s/s/tenant", "storage KiB/tenant"
     );
-    for &n in &[100usize, 250, 500, 1000, 2000, 4000] {
+    for &n in &[100usize, 250, 500, 1000, 2000, 4000, 8000, 20000] {
         let sim = Sim::new(7_000 + n as u64);
         let mut config = ServerlessConfig::default();
         // The paper's fixed storage overhead per tenant is 195 KiB.

@@ -1,0 +1,192 @@
+//! Paper-scale soak: Fig. 7(a) at 20,000 suspended tenants, a 1,000-idle
+//! fleet, 100,000-session proxy churn, and the scheduler hot-loop
+//! microbench — all self-gating.
+//!
+//! ```sh
+//! cargo run --release --bin scale_soak            # full paper scale
+//! cargo run --release --bin scale_soak -- --smoke # CI scale (2K/100/10K)
+//! ```
+//!
+//! Gates (all scales):
+//!
+//! - **scheduler speedup**: the hierarchical timer wheel sustains ≥ 5×
+//!   the retained heap model's events/sec on cancel-heavy churn over a
+//!   4K-tenant-scale pending-timer population;
+//! - **throughput floor**: the churn phase executes simulation events at
+//!   or above a fixed events/sec floor;
+//! - **memory asymptote**: resident-set growth per suspended tenant stays
+//!   at or below the paper's 262 KiB figure, and absolute peak RSS stays
+//!   under a hard ceiling;
+//! - **reproducibility**: running the churn phase twice with the same
+//!   seed yields byte-identical progress logs and metrics snapshots.
+//!
+//! Emits `BENCH_SCALE.json` in the working directory.
+
+use std::fmt::Write as _;
+
+use crdb_bench::header;
+use crdb_bench::scale::{
+    rss_bytes, run_churn_phase, run_idle_phase, run_suspended_phase, scheduler_microbench,
+    ScaleOptions,
+};
+
+/// Paper Fig. 7(a): per-tenant memory approaches 262 KiB at 20K tenants.
+const RSS_PER_TENANT_CEILING: u64 = 262 * 1024;
+/// Absolute peak-RSS ceiling for the whole soak.
+const PEAK_RSS_CEILING: u64 = 8 << 30;
+/// Churn-phase simulation throughput floor, events per wall second.
+const EVENTS_PER_SEC_FLOOR: f64 = 20_000.0;
+/// Scheduler microbench gate: wheel ≥ 5× the heap model.
+const SPEEDUP_FLOOR: f64 = 5.0;
+
+fn main() {
+    let mut seed = 11u64;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seed requires an integer");
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other} (usage: scale_soak [--smoke] [--seed N])"),
+        }
+    }
+    let opts = if smoke { ScaleOptions::smoke(seed) } else { ScaleOptions::full(seed) };
+    let label = if smoke { "smoke" } else { "full" };
+
+    header(&format!(
+        "Scale soak ({label}, seed {seed}): {} suspended / {} idle / {} churn sessions",
+        opts.suspended_tenants, opts.idle_tenants, opts.churn_sessions
+    ));
+
+    // Phase 1 — Fig. 7(a): suspended tenants. Runs first so its RSS delta
+    // is not masked by an earlier phase's high-water mark.
+    let suspended = run_suspended_phase(opts.seed, opts.suspended_tenants);
+    println!(
+        "suspended: {} tenants in {:.2}s wall  ({} steady events in {:.3}s, {} active, \
+         {} KiB storage/tenant, {} KiB RSS/tenant)",
+        suspended.tenants,
+        suspended.wall_secs,
+        suspended.steady_events,
+        suspended.steady_wall_secs,
+        suspended.active_tenants,
+        suspended.storage_kib_per_tenant,
+        suspended.rss_per_tenant_bytes / 1024,
+    );
+    assert_eq!(suspended.active_tenants, 0, "suspended tenants must not be active");
+    assert!(
+        suspended.rss_per_tenant_bytes <= RSS_PER_TENANT_CEILING,
+        "per-tenant RSS {} KiB above the paper's {} KiB asymptote",
+        suspended.rss_per_tenant_bytes / 1024,
+        RSS_PER_TENANT_CEILING / 1024
+    );
+
+    // Phase 2 — scheduler hot loop: wheel vs retained heap model at a
+    // 4K-tenant-scale pending population.
+    // Same 2M-op script at both scales: shorter scripts spend too large a
+    // fraction in the tax-free warmup before tombstones start coming due,
+    // and their ~0.1s timings are noise-dominated on shared CI runners.
+    let sched = scheduler_microbench(opts.seed, 4_000 * 33, 2_000_000);
+    println!(
+        "scheduler: wheel {:.0} ev/s vs heap {:.0} ev/s  ({:.1}x, gate >= {SPEEDUP_FLOOR}x, \
+         {} pending, {} ops)",
+        sched.wheel_events_per_sec,
+        sched.heap_events_per_sec,
+        sched.speedup,
+        sched.pending,
+        sched.ops
+    );
+    assert!(
+        sched.speedup >= SPEEDUP_FLOOR,
+        "scheduler speedup gate failed: {:.2}x < {SPEEDUP_FLOOR}x",
+        sched.speedup
+    );
+
+    // Phase 3 — idle fleet: one open connection per tenant, no queries.
+    let idle = run_idle_phase(opts.seed + 1, opts.idle_tenants);
+    println!(
+        "idle:      {} tenants, {} connections held, {} events in {:.2}s wall",
+        idle.tenants, idle.connections, idle.events, idle.wall_secs
+    );
+    assert_eq!(idle.connections, idle.tenants, "every idle tenant holds one connection");
+
+    // Phase 4 — proxy churn, run twice for the reproducibility gate.
+    let churn = run_churn_phase(opts.seed + 2, opts.churn_sessions);
+    println!(
+        "churn:     {} sessions, {} connects, {} events in {:.2}s wall ({:.0} ev/s, \
+         floor {EVENTS_PER_SEC_FLOOR:.0})",
+        churn.sessions, churn.connects, churn.events, churn.wall_secs, churn.events_per_sec
+    );
+    assert!(
+        churn.events_per_sec >= EVENTS_PER_SEC_FLOOR,
+        "churn events/sec {:.0} below floor {EVENTS_PER_SEC_FLOOR:.0}",
+        churn.events_per_sec
+    );
+    let again = run_churn_phase(opts.seed + 2, opts.churn_sessions);
+    assert_eq!(churn.log, again.log, "same-seed churn runs must produce byte-identical logs");
+    assert_eq!(
+        churn.metrics_snapshot, again.metrics_snapshot,
+        "same-seed churn runs must produce byte-identical metrics snapshots"
+    );
+    println!(
+        "repro:     {} log lines and {} snapshot bytes, identical across runs",
+        churn.log.lines().count(),
+        churn.metrics_snapshot.len()
+    );
+
+    let (peak_rss, _) = rss_bytes();
+    println!("peak RSS:  {} MiB (ceiling {} MiB)", peak_rss >> 20, PEAK_RSS_CEILING >> 20);
+    assert!(
+        peak_rss <= PEAK_RSS_CEILING,
+        "peak RSS {} MiB above ceiling {} MiB",
+        peak_rss >> 20,
+        PEAK_RSS_CEILING >> 20
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"mode\": \"{label}\", \"seed\": {seed},");
+    let _ = writeln!(
+        json,
+        "  \"suspended\": {{\"tenants\": {}, \"wall_secs\": {:.3}, \"steady_events\": {}, \
+         \"rss_per_tenant_bytes\": {}, \"storage_kib_per_tenant\": {}, \"active_tenants\": {}}},",
+        suspended.tenants,
+        suspended.wall_secs,
+        suspended.steady_events,
+        suspended.rss_per_tenant_bytes,
+        suspended.storage_kib_per_tenant,
+        suspended.active_tenants
+    );
+    let _ = writeln!(
+        json,
+        "  \"scheduler\": {{\"pending\": {}, \"ops\": {}, \"wheel_events_per_sec\": {:.0}, \
+         \"heap_events_per_sec\": {:.0}, \"speedup\": {:.2}}},",
+        sched.pending,
+        sched.ops,
+        sched.wheel_events_per_sec,
+        sched.heap_events_per_sec,
+        sched.speedup
+    );
+    let _ = writeln!(
+        json,
+        "  \"idle\": {{\"tenants\": {}, \"connections\": {}, \"events\": {}, \"wall_secs\": {:.3}}},",
+        idle.tenants, idle.connections, idle.events, idle.wall_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"churn\": {{\"sessions\": {}, \"connects\": {}, \"events\": {}, \"wall_secs\": {:.3}, \
+         \"events_per_sec\": {:.0}, \"log_identical\": true, \"snapshot_identical\": true}},",
+        churn.sessions, churn.connects, churn.events, churn.wall_secs, churn.events_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"speedup_floor\": {SPEEDUP_FLOOR}, \"events_per_sec_floor\": \
+         {EVENTS_PER_SEC_FLOOR}, \"rss_per_tenant_ceiling\": {RSS_PER_TENANT_CEILING}, \
+         \"peak_rss_ceiling\": {PEAK_RSS_CEILING}, \"peak_rss_bytes\": {peak_rss}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_SCALE.json", &json).expect("write BENCH_SCALE.json");
+    println!("\nwrote BENCH_SCALE.json");
+    println!("OK: scale soak clean ({label}, seed {seed})");
+}

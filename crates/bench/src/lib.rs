@@ -8,6 +8,7 @@
 
 pub mod chaos;
 pub mod disaster;
+pub mod scale;
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -7,7 +7,7 @@
 //! accounting loop that feeds each tenant's distributed token bucket.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ use crdb_sql::exec::QueryOutput;
 use crdb_sql::node::{ExecMode, SqlNodeConfig};
 use crdb_sql::system_db::SystemDatabase;
 use crdb_sql::value::Datum;
+use crdb_util::slab::{Slab, Slot};
 use crdb_util::time::dur;
 use crdb_util::{RegionId, SqlInstanceId, TenantId};
 
@@ -77,6 +78,34 @@ impl Default for ServerlessConfig {
     }
 }
 
+/// Dense per-tenant billing/identity records: a generational [`Slab`]
+/// holds the `TenantInfo` handles (one small slab slot per tenant, no
+/// per-tenant map node) with a `BTreeMap` index used only where id-ordered
+/// iteration is required (metric snapshots).
+struct TenantTable {
+    entries: Slab<Rc<TenantInfo>>,
+    index: BTreeMap<TenantId, Slot>,
+}
+
+impl TenantTable {
+    fn new() -> Self {
+        TenantTable { entries: Slab::new(), index: BTreeMap::new() }
+    }
+
+    fn insert(&mut self, id: TenantId, info: Rc<TenantInfo>) {
+        let slot = self.entries.insert(info);
+        self.index.insert(id, slot);
+    }
+
+    fn get(&self, id: TenantId) -> Option<&Rc<TenantInfo>> {
+        self.index.get(&id).and_then(|&slot| self.entries.get(slot))
+    }
+
+    fn ids(&self) -> Vec<TenantId> {
+        self.index.keys().copied().collect()
+    }
+}
+
 /// A running serverless deployment.
 pub struct ServerlessCluster {
     /// The simulation.
@@ -96,23 +125,25 @@ pub struct ServerlessCluster {
     /// Unified observability registry: every layer's counters, gauges and
     /// histograms, sampled deterministically at snapshot time.
     pub obs: crdb_obs::Registry,
-    tenants: Rc<RefCell<BTreeMap<TenantId, Rc<TenantInfo>>>>,
+    tenants: Rc<RefCell<TenantTable>>,
     /// Preferred placement for a tenant's next SQL nodes (set by probers
     /// and multi-region tests before connecting).
-    preferred_location: Rc<RefCell<HashMap<TenantId, Location>>>,
+    preferred_location: Rc<RefCell<BTreeMap<TenantId, Location>>>,
     ecpu_model: Rc<EcpuModel>,
     config: ServerlessConfig,
     next_tenant: Cell<u64>,
+    /// Tenants accounted at the previous tick; a tenant that suspends
+    /// mid-interval still gets its final interval billed.
+    last_accounted: RefCell<Vec<TenantId>>,
 }
 
 impl ServerlessCluster {
     /// Builds and starts a deployment on `sim`.
     pub fn new(sim: &Sim, config: ServerlessConfig) -> Rc<ServerlessCluster> {
         let kv = KvCluster::new(sim, config.topology.clone(), config.kv.clone());
-        let tenants: Rc<RefCell<BTreeMap<TenantId, Rc<TenantInfo>>>> =
+        let tenants: Rc<RefCell<TenantTable>> = Rc::new(RefCell::new(TenantTable::new()));
+        let preferred_location: Rc<RefCell<BTreeMap<TenantId, Location>>> =
             Rc::new(RefCell::new(BTreeMap::new()));
-        let preferred_location: Rc<RefCell<HashMap<TenantId, Location>>> =
-            Rc::new(RefCell::new(HashMap::new()));
         let next_instance = Rc::new(Cell::new(1u64));
 
         // SQL node factory: certificate from tenant state, placement from
@@ -127,7 +158,7 @@ impl ServerlessCluster {
             Rc::new(move |tenant: TenantId| {
                 let info = tenants
                     .borrow()
-                    .get(&tenant)
+                    .get(tenant)
                     .cloned()
                     .expect("factory called for unknown tenant");
                 let location = preferred
@@ -151,7 +182,7 @@ impl ServerlessCluster {
             let optimized = config.multi_region_optimized;
             Rc::new(move |tenant: TenantId| {
                 let tenants = tenants.borrow();
-                let info = tenants.get(&tenant);
+                let info = tenants.get(tenant);
                 let (home, regions) = info
                     .map(|i| (i.home_region, i.regions.clone()))
                     .unwrap_or((RegionId(0), vec![RegionId(0)]));
@@ -198,6 +229,7 @@ impl ServerlessCluster {
             ecpu_model: Rc::new(config.ecpu_model.clone()),
             config,
             next_tenant: Cell::new(TenantId::FIRST_APP.raw()),
+            last_accounted: RefCell::new(Vec::new()),
         });
         // One registry source for the whole deployment: sampled fresh at
         // every snapshot, so registration order cannot affect the output.
@@ -277,13 +309,19 @@ impl ServerlessCluster {
         }
 
         // Per-tenant accounting: bucket server grants, client spend/stalls,
-        // cumulative estimated CPU. Tenant iteration is sorted for
-        // determinism.
+        // cumulative estimated CPU. Tenant iteration is sorted (index
+        // order) for determinism. Untouched tenants — no quota configured
+        // and never charged a single eCPU-second — emit nothing, so a
+        // snapshot over 20K suspended-from-birth tenants costs (and
+        // prints) only the handful that ever ran. Whether a tenant has
+        // been touched is a deterministic function of the workload, so
+        // same-seed snapshots stay byte-identical.
         let tenants = self.tenants.borrow();
-        // BTreeMap: key order is already deterministic.
-        let ids: Vec<TenantId> = tenants.keys().copied().collect();
-        for id in ids {
-            let info = &tenants[&id];
+        for id in tenants.ids() {
+            let info = tenants.get(id).expect("indexed tenant");
+            if info.quota.is_none() && *info.ecpu_seconds.borrow() == 0.0 {
+                continue;
+            }
             let p = format!("tenant.{}", id.raw());
             if let Some(q) = &info.quota {
                 s.counter(
@@ -322,7 +360,20 @@ impl ServerlessCluster {
     fn run_accounting_step(&self, interval_secs: f64) {
         let now = self.sim.now();
         let kv_node_ids = self.kv.node_ids();
-        for (tenant, info) in self.tenants.borrow().iter() {
+        // Bill active tenants plus any active at the previous tick, so a
+        // tenant that suspends mid-interval still has its final traffic
+        // delta accounted. Suspended tenants have no SQL nodes and issue
+        // no KV traffic, so skipping them loses nothing — and the 1-second
+        // loop costs O(running tenants), not O(registered).
+        let active = self.registry.active_tenant_ids();
+        let mut ids = active.clone();
+        ids.extend(self.last_accounted.borrow().iter().copied());
+        ids.sort_unstable();
+        ids.dedup();
+        *self.last_accounted.borrow_mut() = active;
+        let tenants = self.tenants.borrow();
+        for tenant in &ids {
+            let Some(info) = tenants.get(*tenant) else { continue };
             // KV traffic delta across all KV nodes.
             let mut traffic = TrafficStats::default();
             for &nid in &kv_node_ids {
@@ -383,7 +434,7 @@ impl ServerlessCluster {
 
     /// Tenant state.
     pub fn tenant(&self, id: TenantId) -> Option<Rc<TenantInfo>> {
-        self.tenants.borrow().get(&id).cloned()
+        self.tenants.borrow().get(id).cloned()
     }
 
     /// Sets where a tenant's next SQL nodes should start (used by

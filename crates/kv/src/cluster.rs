@@ -15,7 +15,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use crdb_admission::AdmissionConfig;
 use crdb_sim::{Location, Sim, Topology};
-use crdb_storage::LsmConfig;
+use crdb_storage::{LsmConfig, WriteBatch};
 use crdb_util::time::dur;
 use crdb_util::{NodeId, RangeId, TenantId};
 
@@ -112,6 +112,11 @@ pub struct ClusterInner {
     /// quorum losses) — `Rc` so nodes and clients bump them without
     /// borrowing the cluster state.
     pub(crate) degrade: Rc<DegradeCounters>,
+    /// Encoded tenant-metadata row value, built once and refcount-shared
+    /// by every metadata row of every tenant ever created (the rows are
+    /// identical filler): creating 20K tenants must not allocate
+    /// 20K × rows × replicas copies of a 4 KiB payload.
+    meta_row_value: Option<Bytes>,
 }
 
 /// Cluster-wide degradation counters: retry, deadline, and breaker
@@ -174,6 +179,7 @@ impl KvCluster {
             next_txn_id: 1,
             lease_transfers: 0,
             degrade: Rc::new(DegradeCounters::default()),
+            meta_row_value: None,
             config,
         }));
         let cluster = KvCluster { sim: sim.clone(), inner };
@@ -535,20 +541,31 @@ impl KvCluster {
         let mut state = RangeState::new(desc, epoch);
 
         // Fixed per-tenant system metadata (settings, descriptors, users…):
-        // written straight to the replica engines — tenant creation is a
-        // control-plane operation by the system tenant.
+        // bulk-loaded straight into the replica engines — tenant creation
+        // is a control-plane operation by the system tenant. All rows
+        // share one encoded payload buffer (cached across creations), and
+        // each tenant stages a single batch that is ingested per replica
+        // with no per-row WAL record or inline-GC scan: the keys are
+        // write-once and the recovery story is re-running creation.
         let ts = Timestamp::at(now);
         let row_bytes = 4096;
         let rows = inner.config.tenant_metadata_bytes / row_bytes;
-        let payload = Bytes::from(vec![0x5a; row_bytes - 32]);
+        let value = inner
+            .meta_row_value
+            .get_or_insert_with(|| {
+                crate::mvcc::encode_version_value(Some(&Bytes::from(vec![0x5a; row_bytes - 32])))
+            })
+            .clone();
+        let mut batch = WriteBatch::new();
         for i in 0..rows {
             let key = keys::make_key(tenant, format!("system/meta/{i:04}").as_bytes());
-            for n in &replicas {
-                if let Some(node) = inner.nodes.get(n) {
-                    crate::mvcc::put_version(&node.engine, &key, ts, Some(&payload));
-                }
-            }
+            crate::mvcc::stage_version(&mut batch, &key, ts, value.clone());
             state.size_bytes += (row_bytes) as u64;
+        }
+        for n in &replicas {
+            if let Some(node) = inner.nodes.get(n) {
+                node.engine.ingest(&batch);
+            }
         }
         inner.directory.insert(state);
         cert

@@ -151,6 +151,25 @@ pub enum ReadResult {
     Intent(Intent),
 }
 
+/// Pre-encodes a value for [`stage_version`]; the result is a plain
+/// `Bytes` the caller can refcount-clone across many staged rows.
+pub(crate) fn encode_version_value(value: Option<&Bytes>) -> Bytes {
+    encode_value(value)
+}
+
+/// Stages a committed version into `batch` without applying it. Bulk
+/// loads (tenant-creation metadata) build one batch covering many keys
+/// and ingest it per replica engine, instead of one WAL'd apply — and
+/// one inline GC scan — per key.
+pub(crate) fn stage_version(
+    batch: &mut WriteBatch,
+    key: &[u8],
+    ts: Timestamp,
+    encoded_value: Bytes,
+) {
+    batch.put(version_key(key, ts), encoded_value);
+}
+
 /// Writes a committed version directly (non-transactional path, and the
 /// final step of intent resolution).
 pub fn put_version(engine: &Engine, key: &[u8], ts: Timestamp, value: Option<&Bytes>) {

@@ -137,14 +137,12 @@ impl Autoscaler {
         ScaleInputs { avg, max }
     }
 
-    /// One reconcile pass over every tenant.
+    /// One reconcile pass over every *active* tenant. Suspended tenants
+    /// never appear here — resume is connection-driven (proxy) — so a
+    /// pass costs O(running tenants) even with 20K suspended.
     pub fn reconcile(&self) {
         let now = self.sim.now();
-        for tenant in self.registry.tenant_ids() {
-            let suspended = self.registry.is_suspended(tenant);
-            if suspended {
-                continue; // resume is connection-driven (proxy)
-            }
+        for tenant in self.registry.active_tenant_ids() {
             // Crashed pods leave Stopped nodes behind; drop them from the
             // books so `current` reflects real capacity and is backfilled.
             self.registry.prune_stopped(tenant);
@@ -273,6 +271,10 @@ impl Autoscaler {
             }
             e.suspended = true;
         });
+        // The pipeline stops sampling suspended tenants; drop the series
+        // so a later resume starts from a clean window (equivalent to the
+        // zeros a kept-on sampler would have recorded).
+        self.pipeline.forget_tenant(tenant);
         self.suspensions.set(self.suspensions.get() + 1);
     }
 

@@ -95,7 +95,11 @@ impl MetricsPipeline {
                 return true;
             }
             let mut all = series.borrow_mut();
-            for tenant in registry.tenant_ids() {
+            // Only active tenants are scraped: a generation tick costs
+            // O(running tenants), not O(registered). Suspended tenants'
+            // series are dropped at suspension (`forget_tenant`), so a
+            // resume starts a fresh window.
+            for tenant in registry.active_tenant_ids() {
                 let cpu_total: f64 = registry
                     .with_tenant(tenant, |e| {
                         e.nodes
@@ -167,6 +171,14 @@ impl MetricsPipeline {
             .collect()
     }
 
+    /// Drops a tenant's series (called at suspension). Equivalent, from
+    /// the autoscaler's point of view, to the all-zero window a
+    /// keep-sampling pipeline would have accumulated, at O(1) instead of
+    /// O(suspended tenants) per tick.
+    pub fn forget_tenant(&self, tenant: TenantId) {
+        self.series.borrow_mut().remove(&tenant);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -192,6 +204,8 @@ mod tests {
         let sim = Sim::new(1);
         let r = registry();
         r.add_tenant(TenantId(2), sim.now());
+        // Only active (non-suspended) tenants are scraped.
+        r.with_tenant(TenantId(2), |e| e.suspended = false);
         let p = MetricsPipeline::start(&sim, r, PipelineConfig::direct());
         sim.run_for(dur::secs(10));
         let (t, v) = p.visible_usage(TenantId(2), sim.now()).expect("sample visible");
@@ -205,6 +219,7 @@ mod tests {
         let sim = Sim::new(1);
         let r = registry();
         r.add_tenant(TenantId(2), sim.now());
+        r.with_tenant(TenantId(2), |e| e.suspended = false);
         let p = MetricsPipeline::start(&sim, r, PipelineConfig::prometheus());
         sim.run_for(dur::secs(25));
         // Generated at 10 and 20; visible only those generated <= now-20.
@@ -229,6 +244,7 @@ mod tests {
         let sim = Sim::new(1);
         let r = registry();
         r.add_tenant(TenantId(2), sim.now());
+        r.with_tenant(TenantId(2), |e| e.suspended = false);
         let cfg = PipelineConfig {
             generation_interval: dur::ms(10),
             propagation_delay: Duration::ZERO,
@@ -249,6 +265,7 @@ mod tests {
         let sim = Sim::new(1);
         let r = registry();
         r.add_tenant(TenantId(2), sim.now());
+        r.with_tenant(TenantId(2), |e| e.suspended = false);
         let cfg = PipelineConfig {
             generation_interval: dur::secs(10),
             propagation_delay: dur::secs(20),
@@ -268,6 +285,7 @@ mod tests {
         let sim = Sim::new(1);
         let r = registry();
         r.add_tenant(TenantId(2), sim.now());
+        r.with_tenant(TenantId(2), |e| e.suspended = false);
         let p = MetricsPipeline::start(&sim, r.clone(), PipelineConfig::direct());
         sim.run_for(dur::secs(31));
         let samples = p.visible_window(TenantId(2), sim.now(), dur::secs(30));

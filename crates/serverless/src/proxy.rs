@@ -9,7 +9,7 @@
 //! sessions between SQL nodes using the serialized-session protocol.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -22,6 +22,7 @@ use crdb_sql::node::{NodeState, SqlNode};
 use crdb_sql::session::SessionSnapshot;
 use crdb_sql::system_db::SystemDatabase;
 use crdb_sql::value::Datum;
+use crdb_util::slab::{Slab, Slot};
 use crdb_util::time::{dur, SimTime};
 use crdb_util::{Breaker, BreakerConfig, Deadline, RetryPolicy, TenantId};
 
@@ -95,6 +96,9 @@ pub struct Connection {
     /// is observed idle. If the backend dies abruptly the proxy revives
     /// the session from this on another node (§4.2.4).
     snapshot: RefCell<Option<SessionSnapshot>>,
+    /// The connection's slot in the proxy's connection slab (packed
+    /// [`Slot`] bits), making close O(1) with no map lookup.
+    slot: Cell<u64>,
 }
 
 impl Connection {
@@ -124,15 +128,18 @@ pub struct Proxy {
     registry: Registry,
     pool: Rc<WarmPool>,
     system_db: SystemDbProvider,
-    conns: RefCell<BTreeMap<u64, Rc<Connection>>>,
+    /// Open connections in a generational slab: a 100K-session churn
+    /// phase allocates no map nodes, and close is an O(1) slot free.
+    conns: RefCell<Slab<Rc<Connection>>>,
     next_conn: Cell<u64>,
-    throttle: RefCell<HashMap<String, ThrottleState>>,
+    /// Keyed by source IP; BTreeMap so any future iteration is ordered.
+    throttle: RefCell<BTreeMap<String, ThrottleState>>,
     /// Per-tenant allowlist (None = all allowed).
-    allowlist: RefCell<HashMap<TenantId, Vec<String>>>,
+    allowlist: RefCell<BTreeMap<TenantId, Vec<String>>>,
     /// Per-tenant denylist (co-specified by intrusion detection, §4.2.2).
-    denylist: RefCell<HashMap<TenantId, Vec<String>>>,
+    denylist: RefCell<BTreeMap<TenantId, Vec<String>>>,
     /// Tenants with a resume in flight and the connects waiting on it.
-    resuming: RefCell<HashMap<TenantId, Vec<ResumeWaiter>>>,
+    resuming: RefCell<BTreeMap<TenantId, Vec<ResumeWaiter>>>,
     /// Total connections accepted.
     pub connects: Cell<u64>,
     /// Total session migrations performed.
@@ -171,12 +178,12 @@ impl Proxy {
             registry,
             pool,
             system_db,
-            conns: RefCell::new(BTreeMap::new()),
+            conns: RefCell::new(Slab::new()),
             next_conn: Cell::new(1),
-            throttle: RefCell::new(HashMap::new()),
-            allowlist: RefCell::new(HashMap::new()),
-            denylist: RefCell::new(HashMap::new()),
-            resuming: RefCell::new(HashMap::new()),
+            throttle: RefCell::new(BTreeMap::new()),
+            allowlist: RefCell::new(BTreeMap::new()),
+            denylist: RefCell::new(BTreeMap::new()),
+            resuming: RefCell::new(BTreeMap::new()),
             connects: Cell::new(0),
             migrations: Cell::new(0),
             cold_starts: Cell::new(0),
@@ -340,8 +347,10 @@ impl Proxy {
                                 session: Cell::new(session),
                                 migrations: Cell::new(0),
                                 snapshot: RefCell::new(snapshot),
+                                slot: Cell::new(0),
                             });
-                            this2.conns.borrow_mut().insert(id, Rc::clone(&conn));
+                            let slot = this2.conns.borrow_mut().insert(Rc::clone(&conn));
+                            conn.slot.set(slot.to_bits());
                             this2.registry.with_tenant(tenant, |e| {
                                 e.connections += 1;
                                 e.last_active = this2.sim.now();
@@ -625,7 +634,7 @@ impl Proxy {
     /// Closes a connection.
     pub fn close(&self, conn: &Rc<Connection>) {
         conn.node().close_session(conn.session());
-        self.conns.borrow_mut().remove(&conn.id);
+        self.conns.borrow_mut().remove(Slot::from_bits(conn.slot.get()));
         self.registry.with_tenant(conn.tenant, |e| {
             e.connections = e.connections.saturating_sub(1);
         });
@@ -656,10 +665,12 @@ impl Proxy {
     /// Periodic connection rebalancing (§4.2.2): drains first, then
     /// smooths imbalance across ready nodes.
     pub fn rebalance(self: &Rc<Self>) {
-        // The conn map is a BTreeMap keyed by connection id, so migration
-        // order (and thus pod placement) is deterministic. Collected up
-        // front because migrating re-enters the conn map.
-        let conns: Vec<Rc<Connection>> = self.conns.borrow().values().cloned().collect();
+        // The slab iterates in slot-index order, which is deterministic
+        // (LIFO slot reuse) — migration order and thus pod placement
+        // reproduce exactly under the same seed. Collected up front
+        // because migrating re-enters the conn slab.
+        let conns: Vec<Rc<Connection>> =
+            self.conns.borrow().iter().map(|(_, c)| c.clone()).collect();
         for conn in conns {
             let node = conn.node();
             if node.state() == NodeState::Stopped {

@@ -5,12 +5,21 @@
 //! is suspended (scaled to zero, §4.2.3), and a factory for creating new
 //! SQL nodes — injected by the deployment layer so this crate stays
 //! independent of tenant provisioning details.
+//!
+//! Entries live in a generational [`Slab`] (dense storage, no per-tenant
+//! map nodes) with a `BTreeMap` index for id-ordered iteration where
+//! snapshots demand it. The registry also maintains the **active set** —
+//! tenants not scaled to zero — so the periodic loops (autoscaler,
+//! metrics pipeline, accounting) cost O(active), not O(all tenants):
+//! with 20,000 suspended tenants and a handful of live ones, a 3-second
+//! reconcile tick must not walk 20,000 entries.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use crdb_sql::node::{NodeState, SqlNode};
+use crdb_util::slab::{Slab, Slot};
 use crdb_util::time::SimTime;
 use crdb_util::TenantId;
 
@@ -57,42 +66,92 @@ impl TenantEntry {
     }
 }
 
+struct Inner {
+    /// Dense per-tenant storage; a suspended tenant is just this entry.
+    entries: Slab<TenantEntry>,
+    /// Id-ordered index into the slab.
+    index: BTreeMap<TenantId, Slot>,
+    /// Tenants not scaled to zero; kept in lockstep with
+    /// `TenantEntry::suspended` by [`Registry::with_tenant`].
+    active: BTreeSet<TenantId>,
+}
+
 /// The shared registry.
 #[derive(Clone)]
 pub struct Registry {
-    inner: Rc<RefCell<BTreeMap<TenantId, TenantEntry>>>,
+    inner: Rc<RefCell<Inner>>,
     factory: NodeFactory,
 }
 
 impl Registry {
     /// Creates a registry with a node factory.
     pub fn new(factory: NodeFactory) -> Registry {
-        Registry { inner: Rc::new(RefCell::new(BTreeMap::new())), factory }
+        Registry {
+            inner: Rc::new(RefCell::new(Inner {
+                entries: Slab::new(),
+                index: BTreeMap::new(),
+                active: BTreeSet::new(),
+            })),
+            factory,
+        }
     }
 
     /// Registers a tenant (starts suspended).
     pub fn add_tenant(&self, tenant: TenantId, now: SimTime) {
-        self.inner.borrow_mut().entry(tenant).or_insert_with(|| TenantEntry::new(now));
+        let mut inner = self.inner.borrow_mut();
+        if inner.index.contains_key(&tenant) {
+            return;
+        }
+        let slot = inner.entries.insert(TenantEntry::new(now));
+        inner.index.insert(tenant, slot);
     }
 
     /// Whether the tenant exists.
     pub fn has_tenant(&self, tenant: TenantId) -> bool {
-        self.inner.borrow().contains_key(&tenant)
+        self.inner.borrow().index.contains_key(&tenant)
     }
 
-    /// Runs `f` with the tenant's entry.
+    /// Runs `f` with the tenant's entry. Suspension flips inside `f` are
+    /// mirrored into the active set here — this is the single choke point
+    /// through which all entry mutation flows.
     pub fn with_tenant<T>(
         &self,
         tenant: TenantId,
         f: impl FnOnce(&mut TenantEntry) -> T,
     ) -> Option<T> {
-        self.inner.borrow_mut().get_mut(&tenant).map(f)
+        let mut inner = self.inner.borrow_mut();
+        let slot = *inner.index.get(&tenant)?;
+        let entry = inner.entries.get_mut(slot).expect("indexed tenant entry is live");
+        let was_suspended = entry.suspended;
+        let out = f(entry);
+        let now_suspended = entry.suspended;
+        if was_suspended != now_suspended {
+            if now_suspended {
+                inner.active.remove(&tenant);
+            } else {
+                inner.active.insert(tenant);
+            }
+        }
+        Some(out)
     }
 
-    /// All tenant IDs.
+    /// All tenant IDs, in id order. O(all tenants) — the periodic loops
+    /// use [`Registry::active_tenant_ids`] instead.
     pub fn tenant_ids(&self) -> Vec<TenantId> {
-        // BTreeMap: already in tenant-id order.
-        self.inner.borrow().keys().copied().collect()
+        self.inner.borrow().index.keys().copied().collect()
+    }
+
+    /// IDs of tenants not scaled to zero, in id order. This is what the
+    /// autoscaler, metrics pipeline, and accounting loops iterate: cost
+    /// is proportional to *running* tenants, independent of how many
+    /// thousands sit suspended.
+    pub fn active_tenant_ids(&self) -> Vec<TenantId> {
+        self.inner.borrow().active.iter().copied().collect()
+    }
+
+    /// Number of tenants not scaled to zero.
+    pub fn active_tenant_count(&self) -> usize {
+        self.inner.borrow().active.len()
     }
 
     /// Creates a fresh SQL node for `tenant` via the injected factory.
@@ -102,29 +161,34 @@ impl Registry {
 
     /// Total SQL nodes across tenants (ready + draining).
     pub fn total_sql_nodes(&self) -> usize {
-        self.inner.borrow().values().map(|e| e.nodes.len() + e.draining.len()).sum()
+        self.inner.borrow().entries.iter().map(|(_, e)| e.nodes.len() + e.draining.len()).sum()
     }
 
     /// Ready node count for a tenant.
     pub fn node_count(&self, tenant: TenantId) -> usize {
-        self.inner.borrow().get(&tenant).map_or(0, |e| e.nodes.len())
+        let inner = self.inner.borrow();
+        match inner.index.get(&tenant) {
+            Some(&slot) => inner.entries.get(slot).map_or(0, |e| e.nodes.len()),
+            None => 0,
+        }
     }
 
     /// Whether a tenant is suspended.
     pub fn is_suspended(&self, tenant: TenantId) -> bool {
-        self.inner.borrow().get(&tenant).is_none_or(|e| e.suspended)
+        !self.inner.borrow().active.contains(&tenant)
     }
 
     /// Drops crashed/stopped nodes from a tenant's bookkeeping so the
     /// autoscaler sees the reduced capacity and backfills. Returns how
     /// many nodes were pruned.
     pub fn prune_stopped(&self, tenant: TenantId) -> usize {
-        let mut inner = self.inner.borrow_mut();
-        let Some(entry) = inner.get_mut(&tenant) else { return 0 };
-        let before = entry.nodes.len() + entry.draining.len();
-        entry.nodes.retain(|n| n.state() != NodeState::Stopped);
-        entry.draining.retain(|(n, _)| n.state() != NodeState::Stopped);
-        before - (entry.nodes.len() + entry.draining.len())
+        self.with_tenant(tenant, |entry| {
+            let before = entry.nodes.len() + entry.draining.len();
+            entry.nodes.retain(|n| n.state() != NodeState::Stopped);
+            entry.draining.retain(|(n, _)| n.state() != NodeState::Stopped);
+            before - (entry.nodes.len() + entry.draining.len())
+        })
+        .unwrap_or(0)
     }
 }
 

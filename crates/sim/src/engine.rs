@@ -1,56 +1,36 @@
 //! The discrete-event engine.
 //!
-//! A [`Sim`] owns a priority queue of scheduled closures and a
-//! [`ManualClock`] shared (via the [`Clock`] trait) with every component.
-//! Execution is single-threaded and deterministic: ties in firing time are
-//! broken by schedule order, and all randomness flows from one seeded RNG.
+//! A [`Sim`] owns a hierarchical timer wheel of scheduled closures (see
+//! [`crate::wheel`]) and a [`ManualClock`] shared (via the [`Clock`]
+//! trait) with every component. Execution is single-threaded and
+//! deterministic: ties in firing time are broken by schedule order, and
+//! all randomness flows from one seeded RNG. Scheduling and cancellation
+//! are O(1); cancelled events are removed eagerly rather than tombstoned.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crdb_util::clock::ManualClock;
+use crdb_util::slab::Slot;
 use crdb_util::time::SimTime;
 use crdb_util::Clock;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Identifies a scheduled event so it can be cancelled.
+use crate::wheel::TimerWheel;
+
+/// Identifies a scheduled event so it can be cancelled. Packs the wheel's
+/// generational slot token; a fired or cancelled id goes stale and
+/// cancelling it again is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 type Callback = Box<dyn FnOnce()>;
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    id: EventId,
-    callback: Callback,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 struct Core {
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    cancelled: HashSet<EventId>,
+    wheel: TimerWheel<Callback>,
     next_seq: u64,
     executed: u64,
 }
@@ -70,8 +50,7 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             core: Rc::new(RefCell::new(Core {
-                queue: BinaryHeap::new(),
-                cancelled: HashSet::new(),
+                wheel: TimerWheel::new(),
                 next_seq: 0,
                 executed: 0,
             })),
@@ -103,9 +82,8 @@ impl Sim {
         let at = at.max(self.clock.now());
         let seq = core.next_seq;
         core.next_seq += 1;
-        let id = EventId(seq);
-        core.queue.push(Reverse(Scheduled { at, seq, id, callback: Box::new(callback) }));
-        id
+        let token = core.wheel.insert(at, seq, Box::new(callback));
+        EventId(token.to_bits())
     }
 
     /// Schedules `callback` to run after `delay`.
@@ -116,7 +94,7 @@ impl Sim {
     /// Cancels a scheduled event. Cancelling an already-fired or unknown
     /// event is a no-op.
     pub fn cancel(&self, id: EventId) {
-        self.core.borrow_mut().cancelled.insert(id);
+        self.core.borrow_mut().wheel.cancel(Slot::from_bits(id.0));
     }
 
     /// Schedules `callback` to run every `period`, starting one period from
@@ -138,42 +116,24 @@ impl Sim {
     /// Executes the next event, advancing the clock to its firing time.
     /// Returns `false` when the queue is empty.
     pub fn step(&self) -> bool {
-        loop {
-            let scheduled = {
-                let mut core = self.core.borrow_mut();
-                match core.queue.pop() {
-                    None => return false,
-                    Some(Reverse(s)) => {
-                        if core.cancelled.remove(&s.id) {
-                            continue;
-                        }
-                        core.executed += 1;
-                        s
-                    }
+        let (at, callback) = {
+            let mut core = self.core.borrow_mut();
+            match core.wheel.pop_min() {
+                None => return false,
+                Some((at, _seq, callback)) => {
+                    core.executed += 1;
+                    (at, callback)
                 }
-            };
-            self.clock.advance_to(scheduled.at);
-            (scheduled.callback)();
-            return true;
-        }
+            }
+        };
+        self.clock.advance_to(at);
+        callback();
+        true
     }
 
-    /// The firing time of the next live (non-cancelled) event, pruning
-    /// cancelled tombstones from the head of the queue.
+    /// The firing time of the next pending event.
     fn peek_next_at(&self) -> Option<SimTime> {
-        let mut core = self.core.borrow_mut();
-        loop {
-            let (at, id) = match core.queue.peek() {
-                None => return None,
-                Some(Reverse(s)) => (s.at, s.id),
-            };
-            if core.cancelled.contains(&id) {
-                core.queue.pop();
-                core.cancelled.remove(&id);
-            } else {
-                return Some(at);
-            }
-        }
+        self.core.borrow_mut().wheel.peek_min_at()
     }
 
     /// Runs events until virtual time would exceed `until`, leaving later
@@ -210,9 +170,10 @@ impl Sim {
         self.core.borrow().executed
     }
 
-    /// Number of events currently queued (including cancelled tombstones).
+    /// Number of live events currently queued (cancelled events are
+    /// removed eagerly, so they never count).
     pub fn events_pending(&self) -> usize {
-        self.core.borrow().queue.len()
+        self.core.borrow().wheel.len()
     }
 }
 

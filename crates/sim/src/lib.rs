@@ -31,9 +31,11 @@
 pub mod cpu;
 pub mod engine;
 pub mod fault;
+pub mod modelheap;
 pub mod resource;
 pub mod timeseries;
 pub mod topology;
+pub mod wheel;
 
 pub use engine::{EventId, Sim};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSchedule};

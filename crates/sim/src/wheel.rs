@@ -1,0 +1,404 @@
+//! Hierarchical timer wheel — the simulator's event queue.
+//!
+//! The engine previously kept every pending event in one
+//! `BinaryHeap<Reverse<Scheduled>>` with a `HashSet` of cancellation
+//! tombstones. That is O(log n) per operation with n = *all* pending
+//! events, and cancelled events still pay a full pop each — ruinous at
+//! paper scale, where 20,000 suspended tenants keep hundreds of thousands
+//! of timers pending and the proxy cancels idle-disconnect timers on
+//! every session touch. The wheel replaces it with the classic
+//! hierarchical design (Varghese & Lauck; the layout used by kernel
+//! timers and Tokio's driver):
+//!
+//! - Time is bucketed at **integer-microsecond** granularity into
+//!   [`LEVELS`] levels of [`SLOTS`] slots. Level *l* spans deltas in
+//!   `[64^l, 64^(l+1))` µs, so the wheel covers ~8.9 years of virtual
+//!   time; anything further out sits in a `BTreeMap` overflow.
+//! - Insert and cancel are O(1): an entry lives in exactly one slot
+//!   `Vec`, addressed by a slab token; cancellation `swap_remove`s it and
+//!   patches the displaced entry's position — no tombstones.
+//! - A per-level 64-bit occupancy mask finds the next populated slot with
+//!   one `rotate_right` + `trailing_zeros`, so an advance is O(levels)
+//!   regardless of how many million timers are parked further out.
+//!
+//! # Exact ordering
+//!
+//! The heap fired events in `(at, seq)` order — nanosecond timestamps,
+//! ties broken by schedule order — and every same-seed byte-identity
+//! invariant in the workspace depends on that. Buckets are µs-granular
+//! and unordered, so expiry alone cannot reproduce it. The wheel
+//! therefore drains expiring buckets into a small ordered `due` set keyed
+//! by `(at_ns, seq)` and pops from it. Correctness: every event still in
+//! a bucket has `at_us > current_us`, hence `at_ns ≥ (current_us+1)·1000`,
+//! strictly later than every due entry — so the due minimum is the global
+//! minimum. Cascades redistribute a slot's entries strictly to lower
+//! levels (delta shrinks below `64^l` once the wheel reaches the slot),
+//! which bounds advance work and guarantees termination.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crdb_util::slab::{Slab, Slot};
+use crdb_util::time::SimTime;
+
+/// Bits per level: 64 slots.
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Levels; level 7 spans up to `64^8` µs ≈ 8.9 years of virtual time.
+const LEVELS: usize = 8;
+const MASK: u64 = SLOTS as u64 - 1;
+
+/// Where an entry currently lives, so cancellation is O(1).
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    /// In the ordered due set (expired bucket, not yet popped).
+    Due,
+    /// In `buckets[level][slot]` at position `pos`.
+    Bucket { level: u8, slot: u8, pos: u32 },
+    /// In the overflow map (more than the wheel span away).
+    Overflow,
+}
+
+struct Entry<T> {
+    at_ns: u64,
+    seq: u64,
+    loc: Loc,
+    value: T,
+}
+
+/// A hierarchical timer wheel holding values of type `T`, ordered by
+/// `(SimTime, seq)` exactly like the binary-heap scheduler it replaces.
+pub struct TimerWheel<T> {
+    entries: Slab<Entry<T>>,
+    buckets: Box<[[Vec<Slot>; SLOTS]; LEVELS]>,
+    /// Per-level bitmask of non-empty slots.
+    occupancy: [u64; LEVELS],
+    /// Expired-but-unpopped events: `(at_ns, seq, token bits)`.
+    due: BTreeSet<(u64, u64, u64)>,
+    /// Events beyond the wheel span, keyed by `at_us`.
+    overflow: BTreeMap<u64, Vec<Slot>>,
+    /// The wheel's notion of "now", in µs. Only ever advances, and never
+    /// past a pending event's bucket time.
+    current_us: u64,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel at virtual time zero.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            entries: Slab::new(),
+            buckets: Box::new(std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()))),
+            occupancy: [0; LEVELS],
+            due: BTreeSet::new(),
+            overflow: BTreeMap::new(),
+            current_us: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events (cancelled events leave immediately —
+    /// there are no tombstones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an event firing at `at` with tie-break sequence `seq`
+    /// (must be unique per wheel; the engine uses its schedule counter).
+    /// Returns a token for [`TimerWheel::cancel`].
+    pub fn insert(&mut self, at: SimTime, seq: u64, value: T) -> Slot {
+        let at_ns = at.as_nanos();
+        let token = self.entries.insert(Entry { at_ns, seq, loc: Loc::Due, value });
+        self.len += 1;
+        self.place(token);
+        token
+    }
+
+    /// Removes the event addressed by `token`, returning its value.
+    /// Stale tokens (already fired or cancelled) return `None`.
+    pub fn cancel(&mut self, token: Slot) -> Option<T> {
+        let (loc, at_ns, seq) = {
+            let e = self.entries.get(token)?;
+            (e.loc, e.at_ns, e.seq)
+        };
+        match loc {
+            Loc::Due => {
+                self.due.remove(&(at_ns, seq, token.to_bits()));
+            }
+            Loc::Bucket { level, slot, pos } => {
+                self.bucket_swap_remove(level as usize, slot as usize, pos as usize);
+            }
+            Loc::Overflow => {
+                let at_us = at_ns / 1000;
+                let v = self.overflow.get_mut(&at_us).expect("overflow entry missing");
+                let pos = v.iter().position(|&t| t == token).expect("token not in overflow");
+                v.swap_remove(pos);
+                if v.is_empty() {
+                    self.overflow.remove(&at_us);
+                }
+            }
+        }
+        self.len -= 1;
+        Some(self.entries.remove(token).expect("live token").value)
+    }
+
+    /// Pops the globally earliest event by `(at, seq)`.
+    pub fn pop_min(&mut self) -> Option<(SimTime, u64, T)> {
+        self.advance();
+        let (at_ns, seq, bits) = self.due.pop_first()?;
+        let token = Slot::from_bits(bits);
+        let e = self.entries.remove(token).expect("due token live");
+        self.len -= 1;
+        Some((SimTime::from_nanos(at_ns), seq, e.value))
+    }
+
+    /// The firing time of the earliest pending event. Advances internal
+    /// cursors (cascading buckets) but fires nothing.
+    pub fn peek_min_at(&mut self) -> Option<SimTime> {
+        self.advance();
+        self.due.first().map(|&(at_ns, _, _)| SimTime::from_nanos(at_ns))
+    }
+
+    /// Files `token` into due / a bucket / overflow based on its delta
+    /// from the wheel's current time.
+    fn place(&mut self, token: Slot) {
+        let (at_ns, seq) = {
+            let e = self.entries.get(token).expect("placing live token");
+            (e.at_ns, e.seq)
+        };
+        let at_us = at_ns / 1000;
+        if at_us <= self.current_us {
+            self.entries.get_mut(token).expect("live").loc = Loc::Due;
+            self.due.insert((at_ns, seq, token.to_bits()));
+            return;
+        }
+        let delta = at_us - self.current_us;
+        let level = ((u64::BITS - 1 - delta.leading_zeros()) / BITS) as usize;
+        if level >= LEVELS {
+            self.entries.get_mut(token).expect("live").loc = Loc::Overflow;
+            self.overflow.entry(at_us).or_default().push(token);
+            return;
+        }
+        let slot = ((at_us >> (BITS * level as u32)) & MASK) as usize;
+        let bucket = &mut self.buckets[level][slot];
+        let pos = bucket.len() as u32;
+        bucket.push(token);
+        self.occupancy[level] |= 1 << slot;
+        self.entries.get_mut(token).expect("live").loc =
+            Loc::Bucket { level: level as u8, slot: slot as u8, pos };
+    }
+
+    /// Removes the entry at `pos` from a bucket, patching the displaced
+    /// entry's recorded position and the occupancy mask.
+    fn bucket_swap_remove(&mut self, level: usize, slot: usize, pos: usize) {
+        let bucket = &mut self.buckets[level][slot];
+        bucket.swap_remove(pos);
+        if let Some(&moved) = bucket.get(pos) {
+            match &mut self.entries.get_mut(moved).expect("bucketed token live").loc {
+                Loc::Bucket { pos: p, .. } => *p = pos as u32,
+                other => unreachable!("bucketed entry mislocated: {other:?}"),
+            }
+        }
+        if self.buckets[level][slot].is_empty() {
+            self.occupancy[level] &= !(1 << slot);
+        }
+    }
+
+    /// Advances the wheel until the due set is non-empty (or the wheel is
+    /// empty). Each iteration jumps `current_us` straight to the earliest
+    /// candidate bucket time — a lower bound on every pending event — and
+    /// expires/cascades exactly the structures sitting at that time.
+    fn advance(&mut self) {
+        while self.due.is_empty() && self.len > 0 {
+            let mut t = u64::MAX;
+            // Level 0: occupied slot s holds events at exactly
+            // current + delta(s), delta(s) ∈ [1, 63].
+            let mut t0 = u64::MAX;
+            if self.occupancy[0] != 0 {
+                let cur0 = (self.current_us & MASK) as u32;
+                let rot = self.occupancy[0].rotate_right((cur0 + 1) & 63);
+                t0 = self.current_us + rot.trailing_zeros() as u64 + 1;
+                t = t.min(t0);
+            }
+            // Levels ≥ 1: the earliest occupied slot's *start* time. A slot
+            // index equal to the cursor means one full revolution ahead.
+            let mut tl = [u64::MAX; LEVELS];
+            for (level, level_t) in tl.iter_mut().enumerate().skip(1) {
+                if self.occupancy[level] == 0 {
+                    continue;
+                }
+                let shift = BITS * level as u32;
+                let cur = self.current_us >> shift;
+                let rot = self.occupancy[level].rotate_right(((cur as u32 & 63) + 1) & 63);
+                let offset = rot.trailing_zeros() as u64 + 1;
+                *level_t = (cur + offset) << shift;
+                t = t.min(*level_t);
+            }
+            if let Some((&k, _)) = self.overflow.first_key_value() {
+                t = t.min(k);
+            }
+            debug_assert!(t != u64::MAX, "len > 0 but no candidate");
+            debug_assert!(t > self.current_us, "advance must move forward");
+            self.current_us = t;
+            // Cascade every higher-level slot whose window starts at t.
+            // Re-placed entries land strictly below (their delta from t is
+            // < 64^level) or in due, never back at a slot starting ≤ t.
+            for level in (1..LEVELS).rev() {
+                if tl[level] != t {
+                    continue;
+                }
+                let shift = BITS * level as u32;
+                let slot = ((t >> shift) & MASK) as usize;
+                let drained = std::mem::take(&mut self.buckets[level][slot]);
+                self.occupancy[level] &= !(1 << slot);
+                for token in drained {
+                    self.place(token);
+                }
+            }
+            // Overflow events at exactly t are due now; later keys keep
+            // competing as candidates on subsequent iterations.
+            while let Some(entry) = self.overflow.first_entry() {
+                if *entry.key() != t {
+                    break;
+                }
+                for token in entry.remove() {
+                    let e = self.entries.get_mut(token).expect("overflow token live");
+                    e.loc = Loc::Due;
+                    let key = (e.at_ns, e.seq, token.to_bits());
+                    self.due.insert(key);
+                }
+            }
+            // The level-0 slot at t: every entry fires at exactly t.
+            if t0 == t {
+                let slot = (t & MASK) as usize;
+                let drained = std::mem::take(&mut self.buckets[0][slot]);
+                self.occupancy[0] &= !(1 << slot);
+                for token in drained {
+                    let e = self.entries.get_mut(token).expect("level-0 token live");
+                    debug_assert_eq!(e.at_ns / 1000, t, "level-0 slot is homogeneous");
+                    e.loc = Loc::Due;
+                    let key = (e.at_ns, e.seq, token.to_bits());
+                    self.due.insert(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut w = TimerWheel::new();
+        w.insert(ns(3_000_000), 0, "c");
+        w.insert(ns(1_000_000), 1, "a");
+        w.insert(ns(2_000_000), 2, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop_min().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_ties_break_by_seq() {
+        let mut w = TimerWheel::new();
+        for (seq, v) in [(5u64, "f"), (1, "s"), (9, "l")] {
+            w.insert(ns(42_000), seq, v);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop_min().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["s", "f", "l"]);
+    }
+
+    #[test]
+    fn sub_microsecond_ordering_within_one_bucket() {
+        let mut w = TimerWheel::new();
+        // All three land in the same µs bucket but differ in ns.
+        w.insert(ns(5_900), 0, "late");
+        w.insert(ns(5_100), 1, "early");
+        w.insert(ns(5_500), 2, "mid");
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop_min().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn cancel_removes_without_tombstone() {
+        let mut w = TimerWheel::new();
+        let a = w.insert(ns(1_000), 0, "a");
+        w.insert(ns(2_000), 1, "b");
+        assert_eq!(w.cancel(a), Some("a"));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.cancel(a), None, "stale token");
+        assert_eq!(w.pop_min().map(|(_, _, v)| v), Some("b"));
+    }
+
+    #[test]
+    fn far_future_and_cross_level_cascades() {
+        let mut w = TimerWheel::new();
+        // One event per level, plus one past the wheel span (overflow).
+        let mut expect = Vec::new();
+        for level in 0..=LEVELS {
+            let at_us = 3 * 64u64.pow(level as u32);
+            w.insert(ns(at_us * 1000), level as u64, level);
+            expect.push(level);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| w.pop_min().map(|(_, _, v)| v)).collect();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn insert_in_the_past_fires_immediately_in_order() {
+        let mut w = TimerWheel::new();
+        w.insert(ns(10_000_000), 0, "future");
+        assert_eq!(w.pop_min().map(|(_, _, v)| v), Some("future"));
+        // The wheel's now is 10ms; these are in its past.
+        w.insert(ns(1_000), 1, "old-b");
+        w.insert(ns(500), 2, "old-a");
+        w.insert(ns(20_000_000), 3, "next");
+        assert_eq!(w.pop_min().map(|(_, _, v)| v), Some("old-a"));
+        assert_eq!(w.pop_min().map(|(_, _, v)| v), Some("old-b"));
+        assert_eq!(w.pop_min().map(|(_, _, v)| v), Some("next"));
+    }
+
+    #[test]
+    fn dense_same_slot_churn() {
+        let mut w = TimerWheel::new();
+        let mut tokens = Vec::new();
+        for seq in 0..100u64 {
+            tokens.push(w.insert(ns(7_000 + seq), seq, seq));
+        }
+        // Cancel every third; the swap_remove position patching must keep
+        // the rest addressable.
+        for (i, &t) in tokens.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(w.cancel(t).is_some());
+            }
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| w.pop_min().map(|(_, _, v)| v)).collect();
+        let expect: Vec<u64> = (0..100).filter(|s| s % 3 != 0).collect();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut w = TimerWheel::new();
+        w.insert(ns(123_456_789), 0, ());
+        assert_eq!(w.peek_min_at(), Some(ns(123_456_789)));
+        assert_eq!(w.pop_min().map(|(at, _, _)| at), Some(ns(123_456_789)));
+        assert_eq!(w.peek_min_at(), None);
+    }
+}

@@ -44,6 +44,11 @@ impl Engine {
         self.inner.lock().group_commit()
     }
 
+    /// Bulk-ingests a batch with no WAL record (see [`Lsm::ingest`]).
+    pub fn ingest(&self, batch: &WriteBatch) {
+        self.inner.lock().ingest(batch)
+    }
+
     /// Current write-stall condition, if any (see [`Lsm::write_stall`]).
     pub fn write_stall(&self) -> Option<crate::lsm::StallReason> {
         self.inner.lock().write_stall()

@@ -287,6 +287,22 @@ impl Lsm {
         seq
     }
 
+    /// Bulk-ingests a batch with no WAL record — the AddSSTable-style
+    /// load path. Entries land in the memtable and are flushed/compacted
+    /// like any other write, but pay no per-batch WAL append or fsync:
+    /// control-plane bulk loads (fixed tenant metadata at creation)
+    /// recover by re-running the creating operation, not by WAL replay.
+    pub fn ingest(&mut self, batch: &WriteBatch) {
+        self.metrics.ingest_batches += 1;
+        self.metrics.logical_bytes_written += batch.payload_bytes() as u64;
+        self.memtable.apply_batch(batch);
+        if self.auto_maintain {
+            self.maybe_maintain();
+        } else {
+            self.rotate_if_full();
+        }
+    }
+
     /// Convenience single-key put.
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
         let mut b = WriteBatch::new();

@@ -22,6 +22,8 @@ pub struct StorageMetrics {
     pub wal_bytes: u64,
     /// Write batches appended to the WAL.
     pub wal_batches: u64,
+    /// Batches bulk-ingested without a WAL record (`Lsm::ingest`).
+    pub ingest_batches: u64,
     /// Modeled fsyncs (group commits that covered at least one batch).
     pub fsyncs: u64,
     /// Batches made durable by group commits — `batches_synced / fsyncs`
@@ -130,6 +132,7 @@ impl StorageMetrics {
             logical_bytes_written: self.logical_bytes_written - earlier.logical_bytes_written,
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
             wal_batches: self.wal_batches - earlier.wal_batches,
+            ingest_batches: self.ingest_batches - earlier.ingest_batches,
             fsyncs: self.fsyncs - earlier.fsyncs,
             batches_synced: self.batches_synced - earlier.batches_synced,
             stall_events: self.stall_events - earlier.stall_events,

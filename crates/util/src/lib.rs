@@ -15,7 +15,9 @@
 //!   quota bucket,
 //! - shared degradation primitives ([`retry`]): budgeted backoff policies,
 //!   propagated request [`retry::Deadline`]s, and per-target circuit
-//!   breakers.
+//!   breakers,
+//! - a generational [`slab::Slab`] arena with dense `u32` handles and
+//!   deterministic slot reuse, backing per-entity state at paper scale.
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod clock;
 pub mod hist;
 pub mod ids;
 pub mod retry;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
@@ -31,4 +34,5 @@ pub use clock::Clock;
 pub use hist::Histogram;
 pub use ids::{NodeId, RangeId, RegionId, SqlInstanceId, TenantId};
 pub use retry::{Breaker, BreakerConfig, BreakerState, Deadline, RetryPolicy};
+pub use slab::{Slab, Slot};
 pub use time::SimTime;
