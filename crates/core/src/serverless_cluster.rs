@@ -251,6 +251,7 @@ impl ServerlessCluster {
         // Proxy.
         s.counter("proxy.connects", self.proxy.connects.get());
         s.counter("proxy.migrations", self.proxy.migrations.get());
+        s.counter("proxy.migration_failures", self.proxy.migration_failures.get());
         s.counter("proxy.cold_starts", self.proxy.cold_starts.get());
         s.gauge("proxy.connections", self.proxy.connection_count() as f64);
         s.histogram("proxy.statement_latency", &self.proxy.statement_latency.borrow());

@@ -144,6 +144,9 @@ pub struct Proxy {
     pub connects: Cell<u64>,
     /// Total session migrations performed.
     pub migrations: Cell<u64>,
+    /// Rebalance migrations that failed (serialize/restore error); the
+    /// connection stays on its current node and is retried next sweep.
+    pub migration_failures: Cell<u64>,
     /// Connects that triggered a tenant resume (cold start).
     pub cold_starts: Cell<u64>,
     /// Client-observed per-statement latency (one sample per attempt).
@@ -186,6 +189,7 @@ impl Proxy {
             resuming: RefCell::new(BTreeMap::new()),
             connects: Cell::new(0),
             migrations: Cell::new(0),
+            migration_failures: Cell::new(0),
             cold_starts: Cell::new(0),
             statement_latency: RefCell::new(crdb_util::Histogram::new()),
             tenant_latency: RefCell::new(BTreeMap::new()),
@@ -684,7 +688,11 @@ impl Proxy {
                 let ready =
                     self.registry.with_tenant(conn.tenant, |e| e.ready_nodes()).unwrap_or_default();
                 if let Some(target) = ready.iter().min_by_key(|n| n.session_count()) {
-                    let _ = self.migrate(&conn, target);
+                    if self.migrate(&conn, target).is_err() {
+                        // Drain migration is best-effort: the conn stays on
+                        // the draining node and the next sweep retries.
+                        self.migration_failures.set(self.migration_failures.get() + 1);
+                    }
                 }
                 continue;
             }
@@ -697,8 +705,10 @@ impl Proxy {
             if let Some(target) = ready.iter().min_by_key(|n| n.session_count()) {
                 let here = node.session_count() as u64;
                 let there = target.session_count() as u64;
-                if here > there + self.config.rebalance_threshold {
-                    let _ = self.migrate(&conn, target);
+                if here > there + self.config.rebalance_threshold
+                    && self.migrate(&conn, target).is_err()
+                {
+                    self.migration_failures.set(self.migration_failures.get() + 1);
                 }
             }
         }

@@ -17,6 +17,8 @@
 //! line, the line above, the guard's declaration site (for
 //! `reentrant-borrow`), or file-wide via `allow-file`.
 
+// simlint: allow-file(panic-path) — linter internals slice indices derived from find()/len() on the same in-memory buffer; a panic here is a tool bug caught by the fixture tests, not a simulated chaos path.
+
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -37,11 +39,14 @@ pub struct Finding {
     pub snippet: String,
     /// `Some(reason)` when a valid directive suppresses this finding.
     pub suppress_reason: Option<String>,
+    /// True when a committed ratchet baseline grandfathers this finding
+    /// (only `panic-path` is baselined; see `baseline.rs`).
+    pub baselined: bool,
 }
 
 impl Finding {
     pub fn is_active(&self) -> bool {
-        self.suppress_reason.is_none()
+        self.suppress_reason.is_none() && !self.baselined
     }
 }
 
@@ -93,6 +98,7 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
                 message: format!("malformed simlint directive: {problem}"),
                 snippet: snippet_of(&raw, d.line),
                 suppress_reason: None,
+                baselined: false,
             });
         }
     }
@@ -178,7 +184,7 @@ fn looks_like_float_literal(s: &str) -> bool {
 
 /// Given the text left of a type token, decides whether it reads as
 /// `name: [& mut] [wrappers<]` and extracts `name`.
-fn annotated_name(before: &str) -> Option<String> {
+pub(crate) fn annotated_name(before: &str) -> Option<String> {
     let mut s = before.trim_end();
     loop {
         let prev = s;
@@ -253,7 +259,7 @@ fn strip_trailing_ident(s: &str) -> Option<&str> {
 }
 
 /// Extracts `name` from a `let [mut] name [: ty]` prefix.
-fn let_bound_name(before: &str) -> Option<String> {
+pub(crate) fn let_bound_name(before: &str) -> Option<String> {
     let let_pos = *word_positions(before, "let").first()?;
     let mut rest = before[let_pos + 3..].trim_start();
     if let Some(r) = rest.strip_prefix("mut ") {
@@ -331,6 +337,7 @@ impl<'a> Scan<'a> {
             message,
             snippet: snippet_of(self.raw, line),
             suppress_reason: None,
+            baselined: false,
         }
     }
 
@@ -665,6 +672,7 @@ impl<'a> Scan<'a> {
                         ),
                         snippet: snippet_of(self.raw, lineno),
                         suppress_reason: None,
+                        baselined: false,
                     });
                 }
             }
@@ -779,7 +787,7 @@ fn self_method_calls(line: &str) -> Vec<(String, usize)> {
 // Suppression
 // ---------------------------------------------------------------------------
 
-fn apply_suppressions(findings: &mut [Finding], directives: &[Directive]) {
+pub(crate) fn apply_suppressions(findings: &mut [Finding], directives: &[Directive]) {
     for f in findings.iter_mut() {
         if f.rule == "bad-directive" {
             continue;
@@ -814,26 +822,41 @@ fn apply_suppressions(findings: &mut [Finding], directives: &[Directive]) {
 
 /// Directories never scanned.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
-/// Directory names that mark test/bench code (exempt from the contract).
-const TEST_DIRS: &[&str] = &["tests", "benches", "fixtures"];
+/// Directory names whose files are test/bench code: exempt from the
+/// product-code contract, but still modeled for cross-file facts
+/// (metric lookups live in bench/integration tests).
+const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+/// Deliberate-violation corpora: never scanned, never modeled.
+const FIXTURE_DIRS: &[&str] = &["fixtures"];
 
-/// Recursively collects `.rs` files under `paths` in sorted (deterministic)
-/// order, skipping build output, vendored stand-ins, and test trees.
+/// Recursively collects product-code `.rs` files under `paths` in sorted
+/// (deterministic) order, skipping build output, vendored stand-ins, and
+/// test trees.
 pub fn collect_files(paths: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+    Ok(collect_files_classified(paths)?
+        .into_iter()
+        .filter(|(_, is_test)| !is_test)
+        .map(|(p, _)| p)
+        .collect())
+}
+
+/// Like [`collect_files`] but also yields test-tree files, tagged
+/// `(path, is_test)`. Fixture corpora stay excluded.
+pub fn collect_files_classified(paths: &[PathBuf]) -> std::io::Result<Vec<(PathBuf, bool)>> {
     let mut files = Vec::new();
     for p in paths {
-        walk(p, &mut files)?;
+        walk(p, false, &mut files)?;
     }
     files.sort();
     files.dedup();
     Ok(files)
 }
 
-fn walk(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn walk(path: &Path, in_test: bool, out: &mut Vec<(PathBuf, bool)>) -> std::io::Result<()> {
     let meta = fs::metadata(path)?;
     if meta.is_file() {
         if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path.to_path_buf());
+            out.push((path.to_path_buf(), in_test));
         }
         return Ok(());
     }
@@ -843,23 +866,63 @@ fn walk(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in entries {
         let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if entry.is_dir() {
-            if SKIP_DIRS.contains(&name) || TEST_DIRS.contains(&name) {
+            if SKIP_DIRS.contains(&name) || FIXTURE_DIRS.contains(&name) {
                 continue;
             }
-            walk(&entry, out)?;
+            walk(&entry, in_test || TEST_DIRS.contains(&name), out)?;
         } else if name.ends_with(".rs") {
-            out.push(entry);
+            out.push((entry, in_test));
         }
     }
     Ok(())
 }
 
-/// Runs the full analysis over every non-test `.rs` file under `paths`.
-pub fn check_paths(paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+/// Runs the full two-phase analysis over in-memory sources
+/// `(path, source, is_test)`: v1 per-file rules on product files, then
+/// the workspace-wide v2 rules over the merged models (test files
+/// contribute cross-file facts — metric lookups, fn signatures — but
+/// only their metric lookups can themselves be findings). Used directly
+/// by fixture tests; the filesystem entry points feed it.
+pub fn analyze_sources(sources: &[(String, String, bool)]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in collect_files(paths)? {
+    let mut models = Vec::new();
+    for (path, src, is_test) in sources {
+        if !is_test {
+            findings.extend(analyze_source(path, src));
+        }
+        models.push(crate::model::FileModel::build(path, src, *is_test));
+    }
+    let mut xfindings = crate::xrules::run(&models);
+    for f in xfindings.iter_mut() {
+        if let Some(m) = models.iter().find(|m| m.path == f.path) {
+            apply_suppressions(std::slice::from_mut(f), &m.directives);
+        }
+    }
+    findings.extend(xfindings);
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// Runs the full analysis over every `.rs` file under `paths`, with no
+/// baseline: every `panic-path` occurrence reports as active.
+pub fn check_paths(paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    check_paths_with_baseline(paths, None)
+}
+
+/// Runs the full analysis and, when a baseline is given, marks
+/// grandfathered `panic-path` findings as `baselined` (inactive).
+pub fn check_paths_with_baseline(
+    paths: &[PathBuf],
+    baseline: Option<&crate::baseline::Baseline>,
+) -> std::io::Result<Vec<Finding>> {
+    let mut sources = Vec::new();
+    for (file, is_test) in collect_files_classified(paths)? {
         let src = fs::read_to_string(&file)?;
-        findings.extend(analyze_source(&file.display().to_string(), &src));
+        sources.push((file.display().to_string(), src, is_test));
+    }
+    let mut findings = analyze_sources(&sources);
+    if let Some(b) = baseline {
+        b.apply(&mut findings);
     }
     Ok(findings)
 }

@@ -9,6 +9,8 @@
 //! comments, raw strings (`r#"…"#`), byte strings, and the
 //! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`) are handled.
 
+// simlint: allow-file(panic-path) — linter internals slice indices derived from find()/len() on the same in-memory buffer; a panic here is a tool bug caught by the fixture tests, not a simulated chaos path.
+
 /// Strips comments and string/char-literal contents from `source`,
 /// preserving line and column structure (stripped characters become
 /// spaces; string delimiters are kept so quoting stays visible).

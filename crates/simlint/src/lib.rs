@@ -13,11 +13,19 @@
 //! the historical bug behind each rule; `crdb-simlint list` prints the
 //! same from the registry.
 
+pub mod baseline;
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod xrules;
 
-pub use engine::{analyze_source, check_paths, collect_files, Finding};
+pub use baseline::{ratchet, Baseline, RatchetReport, RATCHETED_RULES};
+pub use engine::{
+    analyze_source, analyze_sources, check_paths, check_paths_with_baseline, collect_files,
+    collect_files_classified, Finding,
+};
+pub use model::FileModel;
 pub use rules::{rule, Rule, RULES};
 
 /// Renders findings as a JSON array (hand-rolled — the workspace is
@@ -29,7 +37,7 @@ pub fn to_json(findings: &[Finding]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"suppressed\":{}}}",
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"suppressed\":{},\"baselined\":{}}}",
             json_str(f.rule),
             json_str(&f.path),
             f.line,
@@ -38,7 +46,8 @@ pub fn to_json(findings: &[Finding]) -> String {
             match &f.suppress_reason {
                 Some(r) => json_str(r),
                 None => "null".to_string(),
-            }
+            },
+            f.baselined
         ));
     }
     out.push_str("\n]");
@@ -81,10 +90,12 @@ mod tests {
             message: "m".into(),
             snippet: "s".into(),
             suppress_reason: None,
+            baselined: false,
         };
         let j = to_json(&[f]);
         assert!(j.starts_with('[') && j.ends_with(']'));
         assert!(j.contains("\"rule\":\"wall-clock\""));
         assert!(j.contains("\"suppressed\":null"));
+        assert!(j.contains("\"baselined\":false"));
     }
 }

@@ -1,25 +1,41 @@
-//! CLI for the determinism & re-entrancy linter.
+//! CLI for the determinism & invariant linter.
 //!
 //! ```text
-//! crdb-simlint check [--format text|json] [--show-suppressed] [PATH...]
-//! crdb-simlint list
+//! crdb-simlint check [--format text|json] [--show-suppressed]
+//!                    [--baseline FILE | --no-baseline] [PATH...]
+//! crdb-simlint ratchet [--init] [--baseline FILE] [PATH...]
+//! crdb-simlint list [--rule NAME]
 //! ```
 //!
 //! `check` exits 0 only when every finding is suppressed by a valid,
-//! reason-carrying `simlint: allow` directive; CI runs it over
-//! `crates/`. `list` prints each rule with the historical bug that
-//! motivated it. (`--check`/`--list` flag spellings are accepted too.)
+//! reason-carrying `simlint: allow` directive or grandfathered by the
+//! ratchet baseline (`simlint-baseline.json`, auto-detected in the
+//! working directory); CI runs it over `crates/`. `ratchet` compares
+//! current `panic-path` counts against the baseline: any per-file
+//! increase fails, any decrease rewrites the baseline in place so the
+//! count can only shrink; `ratchet --init` (re)writes the baseline from
+//! the current findings. `list` prints each rule with the historical
+//! bug that motivated it. (`--check`/`--list` flag spellings are
+//! accepted too.)
+
+// simlint: allow-file(panic-path) — linter internals slice indices derived from find()/len() on the same in-memory buffer; a panic here is a tool bug caught by the fixture tests, not a simulated chaos path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use crdb_simlint::{check_paths, to_json, RULES};
+use crdb_simlint::{check_paths_with_baseline, ratchet, rule, to_json, Baseline, RULES};
+
+const DEFAULT_BASELINE: &str = "simlint-baseline.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<&str> = None;
     let mut format = "text".to_string();
     let mut show_suppressed = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut init = false;
+    let mut rule_filter: Option<String> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     let mut it = args.iter();
@@ -27,11 +43,22 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "check" | "--check" => mode = Some("check"),
             "list" | "--list" => mode = Some("list"),
+            "ratchet" | "--ratchet" => mode = Some("ratchet"),
             "--format" => match it.next() {
                 Some(f) if f == "text" || f == "json" => format = f.clone(),
                 _ => return usage("--format requires `text` or `json`"),
             },
             "--show-suppressed" => show_suppressed = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline requires a file path"),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--init" => init = true,
+            "--rule" => match it.next() {
+                Some(r) => rule_filter = Some(r.clone()),
+                None => return usage("--rule requires a rule name"),
+            },
             "--help" | "-h" => return usage(""),
             p if !p.starts_with('-') => paths.push(PathBuf::from(p)),
             other => return usage(&format!("unknown flag `{other}`")),
@@ -40,7 +67,20 @@ fn main() -> ExitCode {
 
     match mode {
         Some("list") => {
-            for r in RULES {
+            let shown: Vec<_> = match &rule_filter {
+                Some(name) => match rule(name) {
+                    Some(r) => vec![r],
+                    None => {
+                        eprintln!(
+                            "simlint: unknown rule `{name}` (run `crdb-simlint list` for all {})",
+                            RULES.len()
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => RULES.iter().collect(),
+            };
+            for r in shown {
                 println!("{:<17} {}", r.name, r.summary);
                 println!("{:<17} motivation: {}", "", r.motivation);
             }
@@ -50,17 +90,21 @@ fn main() -> ExitCode {
             if paths.is_empty() {
                 paths.push(PathBuf::from("crates"));
             }
-            let findings = match check_paths(&paths) {
+            let baseline = match load_baseline(baseline_path, no_baseline) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            let findings = match check_paths_with_baseline(&paths, baseline.as_ref()) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("simlint: io error: {e}");
                     return ExitCode::from(2);
                 }
             };
-            let (active, suppressed): (Vec<_>, Vec<_>) =
+            let (active, inactive): (Vec<_>, Vec<_>) =
                 findings.into_iter().partition(|f| f.is_active());
             let shown: Vec<_> = if show_suppressed {
-                active.iter().chain(suppressed.iter()).cloned().collect()
+                active.iter().chain(inactive.iter()).cloned().collect()
             } else {
                 active.clone()
             };
@@ -68,17 +112,21 @@ fn main() -> ExitCode {
                 println!("{}", to_json(&shown));
             } else {
                 for f in &shown {
-                    let tag = match &f.suppress_reason {
-                        Some(r) => format!(" (suppressed: {r})"),
-                        None => String::new(),
+                    let tag = match (&f.suppress_reason, f.baselined) {
+                        (Some(r), _) => format!(" (suppressed: {r})"),
+                        (None, true) => " (baselined)".to_string(),
+                        (None, false) => String::new(),
                     };
                     println!("{}:{}: [{}] {}{}", f.path, f.line, f.rule, f.message, tag);
                     println!("    {}", f.snippet);
                 }
+                let (suppressed, baselined): (Vec<_>, Vec<_>) =
+                    inactive.iter().partition(|f| f.suppress_reason.is_some());
                 eprintln!(
-                    "simlint: {} finding(s), {} suppressed with reasons",
+                    "simlint: {} finding(s), {} suppressed with reasons, {} baselined",
                     active.len(),
-                    suppressed.len()
+                    suppressed.len(),
+                    baselined.len()
                 );
             }
             if active.is_empty() {
@@ -87,7 +135,102 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-        _ => usage("expected a mode: `check` or `list`"),
+        Some("ratchet") => {
+            if paths.is_empty() {
+                paths.push(PathBuf::from("crates"));
+            }
+            let bpath = baseline_path.unwrap_or_else(|| PathBuf::from(DEFAULT_BASELINE));
+            // Compare against raw (un-baselined) findings.
+            let findings = match check_paths_with_baseline(&paths, None) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("simlint: io error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if init {
+                let root = bpath.parent().filter(|p| !p.as_os_str().is_empty());
+                let fresh =
+                    Baseline::from_findings(&findings, root.unwrap_or(std::path::Path::new(".")));
+                if let Err(e) = std::fs::write(&bpath, fresh.to_json()) {
+                    eprintln!("simlint: cannot write baseline {}: {e}", bpath.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "simlint: baseline initialized with {} grandfathered finding(s) in {}",
+                    fresh.total(),
+                    bpath.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            let base = match Baseline::load(&bpath) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("simlint: cannot load baseline {}: {e}", bpath.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let report = ratchet(&base, &findings);
+            if !report.regressions.is_empty() {
+                for (rule, file, was, now) in &report.regressions {
+                    eprintln!(
+                        "simlint: ratchet violation [{rule}] {file}: {now} finding(s), \
+                         baseline allows {was} — fix the new site or convert the file"
+                    );
+                }
+                return ExitCode::FAILURE;
+            }
+            if report.shrunk {
+                if let Err(e) = std::fs::write(&bpath, report.updated.to_json()) {
+                    eprintln!("simlint: cannot rewrite baseline {}: {e}", bpath.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "simlint: ratchet improved — baseline rewritten ({} → {} grandfathered)",
+                    base.total(),
+                    report.updated.total()
+                );
+            } else {
+                eprintln!("simlint: ratchet holds ({} grandfathered)", base.total());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage("expected a mode: `check`, `ratchet`, or `list`"),
+    }
+}
+
+/// Resolves the baseline for `check`: an explicit `--baseline` must load;
+/// otherwise `simlint-baseline.json` in the working directory is used when
+/// present, and `--no-baseline` disables even that.
+fn load_baseline(
+    explicit: Option<PathBuf>,
+    no_baseline: bool,
+) -> Result<Option<Baseline>, ExitCode> {
+    if no_baseline {
+        return Ok(None);
+    }
+    match explicit {
+        Some(p) => match Baseline::load(&p) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) => {
+                eprintln!("simlint: cannot load baseline {}: {e}", p.display());
+                Err(ExitCode::from(2))
+            }
+        },
+        None => {
+            let p = PathBuf::from(DEFAULT_BASELINE);
+            if p.is_file() {
+                match Baseline::load(&p) {
+                    Ok(b) => Ok(Some(b)),
+                    Err(e) => {
+                        eprintln!("simlint: cannot load baseline {}: {e}", p.display());
+                        Err(ExitCode::from(2))
+                    }
+                }
+            } else {
+                Ok(None)
+            }
+        }
     }
 }
 
@@ -96,8 +239,10 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("simlint: {err}");
     }
     eprintln!(
-        "usage: crdb-simlint check [--format text|json] [--show-suppressed] [PATH...]\n\
-         \u{20}      crdb-simlint list"
+        "usage: crdb-simlint check [--format text|json] [--show-suppressed]\n\
+         \u{20}                         [--baseline FILE | --no-baseline] [PATH...]\n\
+         \u{20}      crdb-simlint ratchet [--init] [--baseline FILE] [PATH...]\n\
+         \u{20}      crdb-simlint list [--rule NAME]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -4,6 +4,8 @@
 //! linter exists so the next instance is caught by machine instead of
 //! by a reviewer re-deriving the determinism contract from scratch.
 
+// simlint: allow-file(panic-path) — linter internals slice indices derived from find()/len() on the same in-memory buffer; a panic here is a tool bug caught by the fixture tests, not a simulated chaos path.
+
 use crate::lexer::is_ident;
 
 /// A lint rule: stable name, what it matches, and the historical bug
@@ -35,10 +37,26 @@ pub const RULES: &[Rule] = &[
                      HashMap order produced run-to-run drift in billing snapshots",
     },
     Rule {
+        name: "metric-name",
+        summary: "registered metric name outside `component[.entity].metric` shape, or a \
+                  snapshot lookup string matching no registration in the workspace",
+        motivation: "a metric-lookup typo in a sql::node assertion silently probed a name \
+                     nobody registers — the check passed vacuously; names are stringly, so \
+                     only a workspace-wide cross-reference catches the drift",
+    },
+    Rule {
         name: "nondet-iter",
         summary: "iterating / draining / collecting from a HashMap or HashSet in non-test code",
         motivation: "PR 1: proxy rebalance and lease-rebalancer tie-breaks depended on \
                      HashMap iteration order, breaking byte-identical same-seed fault logs",
+    },
+    Rule {
+        name: "panic-path",
+        summary: "unwrap/expect/panic!-family/range-slice-index in non-test product code \
+                  (ratcheted via simlint-baseline.json — the count may only shrink)",
+        motivation: "PR 6's chaos schedules expect graceful degradation; a panic on a torn \
+                     WAL tail or a missing map entry kills the whole simulated node instead \
+                     of exercising the retry/lease machinery the paper's §4 depends on",
     },
     Rule {
         name: "reentrant-borrow",
@@ -47,6 +65,30 @@ pub const RULES: &[Rule] = &[
         motivation: "PR 3: sql::node planning held the catalog RefMut in a match scrutinee \
                      across a synchronous catalog-refresh retry and panicked under chaos; \
                      PR 1 fixed the same class in the kv range cache",
+    },
+    Rule {
+        name: "swallowed-result",
+        summary: "`let _ =` or a bare-statement call discarding a workspace fn's `Result` \
+                  in product code",
+        motivation: "PR 7's group-commit sweep found a dropped `Result` that hid WAL sink \
+                     failures for several commits; errors must be handled, note()d, or \
+                     suppressed with a written reason",
+    },
+    Rule {
+        name: "unbalanced-pair",
+        summary: "begin_*/slab-insert/span-open called without the matching \
+                  finish/remove/end in the same fn body or a visible guard hand-off",
+        motivation: "PR 7: an early-return path left `begin_flush`'s in-flight flag set \
+                     forever, wedging the LSM; paired claim APIs leak silently unless the \
+                     guard's disposition is mechanically checked",
+    },
+    Rule {
+        name: "unit-mismatch",
+        summary: "arithmetic/comparison mixing µs/ms/sec-named identifiers, or a unit-named \
+                  call fed a value whose name carries a different unit",
+        motivation: "the sim clock is integer microseconds end-to-end; a `_ms` value \
+                     compared against a `_us` deadline is a silent ×1000 drift that no \
+                     test notices until a lease expires 1000× early under chaos",
     },
     Rule {
         name: "wall-clock",

@@ -1,0 +1,951 @@
+//! Phase 2 of the cross-file analysis: workspace-wide rule families.
+//!
+//! Five rule families run over the merged per-file models
+//! ([`FileModel`]):
+//!
+//! - **`panic-path`** — `unwrap()`/`expect(…)`/`panic!`-family macros /
+//!   range slice-indexing in non-test product code. Panics on chaos
+//!   paths void the harness's degradation contract, so the *count* is
+//!   ratcheted via `simlint-baseline.json`: existing occurrences are
+//!   grandfathered per file, new ones fail CI, and the baseline only
+//!   shrinks (see [`baseline`](crate::baseline)).
+//! - **`unit-mismatch`** — arithmetic or comparison mixing identifiers
+//!   whose names carry different time units (`_us`/`_micros` vs
+//!   `_ms`/`_millis` vs `_secs`), or passing a `_ms`-named value to a
+//!   `*_micros(…)`-named call. The simulator's clock is integer
+//!   microseconds; a stray ms-as-µs is silent ×1000 drift.
+//! - **`metric-name`** — every registered metric name (including
+//!   `format!` templates) must match the `component[.entity].metric`
+//!   shape, and every lookup string probed against a snapshot must
+//!   match a registration *somewhere in the workspace* (templates match
+//!   with `{}` holes standing for one or more segments).
+//! - **`unbalanced-pair`** — a fn body that claims a paired resource
+//!   (`begin_*` jobs, slab `insert`, span open) must either call the
+//!   matching finish/remove/end in the same body or visibly hand the
+//!   guard off (bind it and use the binding, or embed it in a larger
+//!   expression). Discarding the guard leaks the claim: pair locks
+//!   stay held, slots leak, spans never close.
+//! - **`swallowed-result`** — `let _ = …` or a bare-statement call on a
+//!   workspace fn returning `Result`: errors silently vanish. Name
+//!   resolution is textual: only names that *every* workspace
+//!   declaration agrees return `Result` participate (ambiguous and
+//!   std-collection-like names are dropped).
+
+// simlint: allow-file(panic-path) — linter internals slice indices derived from find()/len() on the same in-memory buffer; a panic here is a tool bug caught by the fixture tests, not a simulated chaos path.
+
+use std::collections::BTreeSet;
+
+use crate::engine::Finding;
+use crate::lexer::is_ident;
+use crate::model::{is_metric_shaped, FileModel, MetricString};
+
+/// Runs every workspace rule over the merged models, returning raw
+/// (unsuppressed) findings. Suppression and baselining are applied by
+/// the caller (`engine::check`), which owns the per-file directives.
+pub fn run(files: &[FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !f.test_file {
+            panic_path(f, &mut findings);
+            unit_mismatch(f, &mut findings);
+            unbalanced_pair(f, &mut findings);
+        }
+    }
+    metric_name(files, &mut findings);
+    swallowed_result(files, &mut findings);
+    findings
+}
+
+fn finding(rule: &'static str, f: &FileModel, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        path: f.path.clone(),
+        line,
+        message,
+        snippet: f.raw.get(line - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+        suppress_reason: None,
+        baselined: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------------
+
+/// Macros that abort the process on a supposedly-unreachable path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_path(f: &FileModel, findings: &mut Vec<Finding>) {
+    for (idx, line) in f.clean.iter().enumerate() {
+        if f.is_test_line(idx + 1) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut hits = 0usize;
+        let mut start = 0;
+        while let Some(rel) = line[start..].find(".unwrap()") {
+            start += rel + ".unwrap()".len();
+            hits += 1;
+            findings.push(finding(
+                "panic-path",
+                f,
+                lineno,
+                "`unwrap()` panics on the failure path; return a typed error or handle it"
+                    .to_string(),
+            ));
+        }
+        for pos in crate::lexer::word_positions(line, "expect") {
+            let before_dot = line[..pos].ends_with('.');
+            let after = &line[pos + "expect".len()..];
+            if before_dot && after.starts_with('(') {
+                hits += 1;
+                findings.push(finding(
+                    "panic-path",
+                    f,
+                    lineno,
+                    "`expect(…)` panics on the failure path; return a typed error or handle it"
+                        .to_string(),
+                ));
+            }
+        }
+        for mac in PANIC_MACROS {
+            for pos in crate::lexer::word_positions(line, mac) {
+                let after = &line[pos + mac.len()..];
+                if after.starts_with("!(") || after.starts_with("!{") {
+                    hits += 1;
+                    findings.push(finding(
+                        "panic-path",
+                        f,
+                        lineno,
+                        format!(
+                            "`{mac}!` aborts the simulation; chaos paths must degrade, not die"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Range slice-indexing (`buf[pos..pos + 4]`): out-of-bounds panics
+        // are exactly the torn-record decode hazard. Plain `v[i]` indexing
+        // is left to the (much larger) baseline of explicit panics.
+        if hits == 0 {
+            for (pos, text) in range_index_sites(line) {
+                let _ = (pos, text);
+                findings.push(finding(
+                    "panic-path",
+                    f,
+                    lineno,
+                    "range slice-indexing panics when the slice is short; use `.get(a..b)` \
+                     and handle the miss"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `ident[…..…]` sites: byte position of the `[` plus the bracket body.
+fn range_index_sites(line: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if !(is_ident(prev) || prev == ')' || prev == ']') {
+            continue; // array literal / attribute / type position
+        }
+        // Attribute lines (`#[cfg(…)]`) never have ident-adjacent `[`.
+        let mut depth = 1i32;
+        let mut j = i + 1;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            continue;
+        }
+        let body = &line[i + 1..j - 1];
+        if body.contains("..") {
+            out.push((i, body.to_string()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// unit-mismatch
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Nanos,
+    Micros,
+    Millis,
+    Secs,
+}
+
+impl Unit {
+    fn label(self) -> &'static str {
+        match self {
+            Unit::Nanos => "ns",
+            Unit::Micros => "µs",
+            Unit::Millis => "ms",
+            Unit::Secs => "s",
+        }
+    }
+}
+
+/// The time unit an identifier's name advertises, if any. Matches
+/// suffixes (`deadline_ms`, `as_micros`) and bare unit words (`micros`).
+fn unit_of(ident: &str) -> Option<Unit> {
+    let suffixes: &[(&str, Unit)] = &[
+        ("_nanos", Unit::Nanos),
+        ("_ns", Unit::Nanos),
+        ("_us", Unit::Micros),
+        ("_usec", Unit::Micros),
+        ("_usecs", Unit::Micros),
+        ("_micros", Unit::Micros),
+        ("_micro", Unit::Micros),
+        ("_ms", Unit::Millis),
+        ("_msec", Unit::Millis),
+        ("_msecs", Unit::Millis),
+        ("_millis", Unit::Millis),
+        ("_sec", Unit::Secs),
+        ("_secs", Unit::Secs),
+        ("_seconds", Unit::Secs),
+    ];
+    for (suf, u) in suffixes {
+        if let Some(stem) = ident.strip_suffix(suf) {
+            if !stem.is_empty() {
+                return Some(*u);
+            }
+        }
+    }
+    match ident {
+        "nanos" => Some(Unit::Nanos),
+        "micros" => Some(Unit::Micros),
+        "millis" => Some(Unit::Millis),
+        "secs" => Some(Unit::Secs),
+        _ => None,
+    }
+}
+
+/// Binary operators whose operands must share a unit.
+const MIX_OPS: &[&str] = &["+", "-", "<", ">", "<=", ">=", "==", "!=", "+=", "-=", "%"];
+
+fn unit_mismatch(f: &FileModel, findings: &mut Vec<Finding>) {
+    for (idx, line) in f.clean.iter().enumerate() {
+        if f.is_test_line(idx + 1) {
+            continue;
+        }
+        let lineno = idx + 1;
+        // A visible ×1000-family conversion factor (or a PER_ constant)
+        // on the line means the mixing is deliberate unit conversion.
+        let lower = line.to_ascii_lowercase();
+        if lower.contains("1000") || lower.contains("1_000") || lower.contains("per_") {
+            continue;
+        }
+        let tokens = path_tokens(line);
+        // `a_us <op> b_ms` between adjacent path tokens.
+        for w in tokens.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let (Some(ua), Some(ub)) = (a.unit, b.unit) else { continue };
+            if ua == ub {
+                continue;
+            }
+            let between = &line[a.end..b.start];
+            let between = between.replace("()", "");
+            let between = between.trim();
+            if MIX_OPS.contains(&between) {
+                findings.push(finding(
+                    "unit-mismatch",
+                    f,
+                    lineno,
+                    format!(
+                        "`{}` ({}) is combined with `{}` ({}) without a conversion; the \
+                         sim clock is integer µs — convert explicitly",
+                        a.last,
+                        ua.label(),
+                        b.last,
+                        ub.label()
+                    ),
+                ));
+            }
+        }
+        // `from_micros(x_ms)`-style: a unit-named call fed a single
+        // identifier of a different unit.
+        for t in &tokens {
+            let Some(fu) = t.unit else { continue };
+            let after = &line[t.end..];
+            if !after.starts_with('(') {
+                continue;
+            }
+            let Some(close) = matching_paren(after) else { continue };
+            let arg = after[1..close].trim();
+            if arg.is_empty() || !arg.chars().all(|c| is_ident(c) || c == '.' || c == ':') {
+                continue;
+            }
+            let last_seg = arg.rsplit(['.', ':']).next().unwrap_or(arg);
+            let Some(au) = unit_of(last_seg) else { continue };
+            if au != fu {
+                findings.push(finding(
+                    "unit-mismatch",
+                    f,
+                    lineno,
+                    format!(
+                        "`{}` expects {} but is passed `{}` ({}); convert explicitly",
+                        t.last,
+                        fu.label(),
+                        last_seg,
+                        au.label()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A maximal path expression (`self.x.deadline_ms`, `t.as_micros`) on a
+/// line: byte span, last segment, and the unit the last segment carries.
+struct PathToken {
+    start: usize,
+    end: usize,
+    last: String,
+    unit: Option<Unit>,
+}
+
+fn path_tokens(line: &str) -> Vec<PathToken> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if is_ident(c) && !c.is_ascii_digit() {
+            let start = i;
+            let mut last_start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if is_ident(ch) {
+                    i += 1;
+                } else if ch == '.'
+                    && i + 1 < bytes.len()
+                    && is_ident(bytes[i + 1] as char)
+                    && !(bytes[i + 1] as char).is_ascii_digit()
+                {
+                    i += 1;
+                    last_start = i;
+                } else if ch == ':'
+                    && i + 2 < bytes.len()
+                    && bytes[i + 1] == b':'
+                    && is_ident(bytes[i + 2] as char)
+                {
+                    i += 2;
+                    last_start = i;
+                } else {
+                    break;
+                }
+            }
+            let last = line[last_start..i].to_string();
+            let unit = unit_of(&last);
+            out.push(PathToken { start, end: i, last, unit });
+        } else if is_ident(c) {
+            // Digit-led run (numeric literal): skip it whole.
+            while i < bytes.len() && is_ident(bytes[i] as char) {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Byte offset of the `)` matching the `(` at offset 0 of `s`.
+fn matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// metric-name
+// ---------------------------------------------------------------------------
+
+fn metric_name(files: &[FileModel], findings: &mut Vec<Finding>) {
+    // Shape-check product registrations; collect every registration
+    // (test ones too — obs unit tests register names their own lookups
+    // probe) as the match universe.
+    let mut universe: Vec<&MetricString> = Vec::new();
+    for f in files {
+        for reg in &f.metric_regs {
+            universe.push(reg);
+            if reg.in_test || f.test_file {
+                continue;
+            }
+            let shape_probe =
+                if reg.template { reg.text.replace("{}", "x") } else { reg.text.clone() };
+            if !is_metric_shaped(&shape_probe) {
+                findings.push(finding(
+                    "metric-name",
+                    f,
+                    reg.line,
+                    format!(
+                        "registered metric name {:?} does not match `component[.entity].metric` \
+                         (lowercase dotted segments, ≥ 2)",
+                        reg.text
+                    ),
+                ));
+            }
+        }
+    }
+    // Every lookup string must match a registration somewhere.
+    for f in files {
+        for lk in &f.metric_lookups {
+            let matched =
+                universe.iter().any(|reg| metric_matches(&reg.text, reg.template, &lk.text));
+            if !matched {
+                findings.push(finding(
+                    "metric-name",
+                    f,
+                    lk.line,
+                    format!(
+                        "metric lookup {:?} matches no registration anywhere in the workspace \
+                         (typo, or the metric was renamed)",
+                        lk.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether lookup `name` matches registration `reg` (a literal, or a
+/// template whose `{}` holes each stand for one or more segments).
+fn metric_matches(reg: &str, template: bool, name: &str) -> bool {
+    if !template {
+        return reg == name;
+    }
+    let rsegs: Vec<&str> = reg.split('.').collect();
+    let nsegs: Vec<&str> = name.split('.').collect();
+    match_segments(&rsegs, &nsegs)
+}
+
+fn match_segments(reg: &[&str], name: &[&str]) -> bool {
+    match (reg.first(), name.first()) {
+        (None, None) => true,
+        (None, Some(_)) | (Some(_), None) => false,
+        (Some(r), Some(_)) => {
+            if r.contains("{}") {
+                // A hole eats 1..=N segments.
+                (1..=name.len()).any(|n| match_segments(&reg[1..], &name[n..]))
+            } else if *r == name[0] {
+                match_segments(&reg[1..], &name[1..])
+            } else {
+                false
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unbalanced-pair
+// ---------------------------------------------------------------------------
+
+fn unbalanced_pair(f: &FileModel, findings: &mut Vec<Finding>) {
+    for func in &f.fns {
+        if func.in_test {
+            continue;
+        }
+        let body: Vec<(usize, &str)> = (func.body_start..=func.body_end)
+            .filter_map(|ln| f.clean.get(ln - 1).map(|l| (ln, l.as_str())))
+            .collect();
+        let body_text: String = body.iter().map(|(_, l)| *l).collect::<Vec<_>>().join("\n");
+
+        for (ln, line) in &body {
+            // Family 1: begin_X(…) ↔ finish_X.
+            let mut search = 0;
+            while let Some(rel) = line[search..].find("begin_") {
+                let pos = search + rel;
+                search = pos + "begin_".len();
+                let before_ok =
+                    pos == 0 || !is_ident(line[..pos].chars().next_back().unwrap_or(' '));
+                if !before_ok {
+                    continue;
+                }
+                let name: String = line[pos..].chars().take_while(|c| is_ident(*c)).collect();
+                let after = &line[pos + name.len()..];
+                if !after.trim_start().starts_with('(') {
+                    continue;
+                }
+                let suffix = &name["begin_".len()..];
+                if suffix.is_empty() {
+                    continue;
+                }
+                let pair = format!("finish_{suffix}");
+                check_site(f, func, &body, &body_text, *ln, line, pos, &name, &pair, findings);
+            }
+            // Family 2: slab insert ↔ remove.
+            for slab in &f.slab_names {
+                let pat = format!("{slab}.insert(");
+                let mut search = 0;
+                while let Some(rel) = line[search..].find(&pat) {
+                    let pos = search + rel;
+                    search = pos + pat.len();
+                    let before_ok =
+                        pos == 0 || !is_ident(line[..pos].chars().next_back().unwrap_or(' '));
+                    if !before_ok && !line[..pos].ends_with('.') {
+                        continue;
+                    }
+                    let pair = format!("{slab}.remove");
+                    let call = format!("{slab}.insert");
+                    check_site(f, func, &body, &body_text, *ln, line, pos, &call, &pair, findings);
+                }
+            }
+            // Family 3: span open ↔ end.
+            for open_pat in [".child(", ".child_at("] {
+                let mut search = 0;
+                while let Some(rel) = line[search..].find(open_pat) {
+                    let pos = search + rel;
+                    search = pos + open_pat.len();
+                    check_site(
+                        f,
+                        func,
+                        &body,
+                        &body_text,
+                        *ln,
+                        line,
+                        pos,
+                        &open_pat[1..open_pat.len() - 1],
+                        ".end",
+                        findings,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shared disposition check for one paired-claim call site.
+#[allow(clippy::too_many_arguments)]
+fn check_site(
+    f: &FileModel,
+    func: &crate::model::FnModel,
+    body: &[(usize, &str)],
+    body_text: &str,
+    lineno: usize,
+    line: &str,
+    pos: usize,
+    call: &str,
+    pair: &str,
+    findings: &mut Vec<Finding>,
+) {
+    // 1. The matching finish/remove/end appears somewhere in this body.
+    if body_text.contains(pair) {
+        return;
+    }
+    // 2. The claim is bound: `let [mut] NAME =`, `let Some(NAME) =`,
+    //    `while let Some(NAME)`… — the binding must be *used* later.
+    if let Some(bind) = binding_before(line, pos) {
+        let used_later = body.iter().any(|(ln, l)| {
+            if *ln < lineno {
+                return false;
+            }
+            let hay = if *ln == lineno { &l[pos..] } else { l };
+            crate::lexer::word_positions(hay, &bind)
+                .iter()
+                .any(|p| *ln > lineno || pos + p > pos + call.len())
+        });
+        if used_later {
+            return;
+        }
+        findings.push(finding(
+            "unbalanced-pair",
+            f,
+            lineno,
+            format!(
+                "`{call}` claims a paired resource in `{}` but `{bind}` is never finished \
+                 with `{pair}` nor handed off — the claim leaks on this path",
+                func.name
+            ),
+        ));
+        return;
+    }
+    // 3. Unbound: consumed by an enclosing expression (struct literal,
+    //    argument, return value) counts as a hand-off; a bare statement
+    //    discards the guard. A line without a trailing `;` is a tail
+    //    expression or a multi-line expression — the value escapes.
+    if statement_position(line, pos) && line.trim_end().ends_with(';') {
+        findings.push(finding(
+            "unbalanced-pair",
+            f,
+            lineno,
+            format!(
+                "`{call}` claims a paired resource in `{}` and discards the guard — call \
+                 `{pair}` or keep the guard",
+                func.name
+            ),
+        ));
+    }
+}
+
+/// Extracts the binding name when the text before `pos` reads as a
+/// `let`-binding of this call's result.
+fn binding_before(line: &str, pos: usize) -> Option<String> {
+    let before = &line[..pos];
+    let let_pos = crate::lexer::word_positions(before, "let").last().copied()?;
+    let mut rest = before[let_pos + 3..].trim_start();
+    for pat in ["mut ", "Some(", "Ok(", "Some (", "Ok ("] {
+        if let Some(r) = rest.strip_prefix(pat) {
+            rest = r.trim_start();
+        }
+    }
+    let name: String = rest.chars().take_while(|c| is_ident(*c)).collect();
+    if name.is_empty() || name == "_" || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    // The `=` must sit between the binding and the call.
+    if before[let_pos..].contains('=') {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Whether the call chain containing byte `pos` starts a statement (so
+/// its value is dropped).
+fn statement_position(line: &str, pos: usize) -> bool {
+    // Walk back over the receiver chain: idents, `.`, `::`, whitespace.
+    let bytes = line.as_bytes();
+    let mut i = pos;
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if is_ident(c) || c == '.' || c == ':' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let lead = line[..i].trim_end();
+    lead.is_empty() || lead.ends_with(';') || lead.ends_with('{') || lead.ends_with('}')
+}
+
+// ---------------------------------------------------------------------------
+// swallowed-result
+// ---------------------------------------------------------------------------
+
+/// Names shared with std collection/IO traits whose std variants return
+/// non-`Result` values — textual name resolution cannot tell a workspace
+/// `Wal::append` from `Vec::append`, so these never participate.
+const STD_AMBIGUOUS: &[&str] = &[
+    "get",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "append",
+    "extend",
+    "clear",
+    "retain",
+    "sort",
+    "truncate",
+    "take",
+    "replace",
+    "next",
+    "send",
+    "recv",
+    "write",
+    "read",
+    "flush",
+    "clone",
+    "drain",
+    "contains",
+    "split_off",
+    "reserve",
+    "sync",
+    "from_str",
+    "parse",
+    "new",
+    "default",
+    "into",
+    "from",
+    "try_into",
+    "try_from",
+    // `.expect(…)`/`.unwrap()` consume the Result (by panicking) — that's
+    // `panic-path`'s jurisdiction, not a swallowed error.
+    "expect",
+    "unwrap",
+];
+
+/// Statement-leading keywords that are never call statements.
+const STMT_KEYWORDS: &[&str] = &[
+    "if",
+    "match",
+    "for",
+    "while",
+    "loop",
+    "return",
+    "break",
+    "continue",
+    "use",
+    "pub",
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "const",
+    "static",
+    "type",
+    "else",
+    "unsafe",
+    "where",
+    "assert",
+    "debug_assert",
+];
+
+fn swallowed_result(files: &[FileModel], findings: &mut Vec<Finding>) {
+    // Workspace-wide Result-returning fn names, minus every name any
+    // product file declares with a non-Result return, minus std-alikes.
+    let mut result_names: BTreeSet<&str> = BTreeSet::new();
+    let mut non_result: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        result_names.extend(f.result_fns.iter().map(String::as_str));
+        non_result.extend(f.non_result_fns.iter().map(String::as_str));
+    }
+    let result_names: BTreeSet<&str> = result_names
+        .difference(&non_result)
+        .copied()
+        .filter(|n| !STD_AMBIGUOUS.contains(n))
+        .collect();
+
+    for f in files {
+        if f.test_file {
+            continue;
+        }
+        let mut prev_nonblank: Option<usize> = None;
+        for (idx, line) in f.clean.iter().enumerate() {
+            let lineno = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let prev = prev_nonblank;
+            prev_nonblank = Some(idx);
+            if f.is_test_line(lineno) {
+                continue;
+            }
+            // A statement on a single line: balanced, `;`-terminated, and
+            // the previous line ended a statement/block (not mid-expression).
+            if !trimmed.ends_with(';') || !balanced(trimmed) {
+                continue;
+            }
+            if let Some(p) = prev {
+                let pt = f.clean[p].trim_end();
+                let continues = !(pt.ends_with(';')
+                    || pt.ends_with('{')
+                    || pt.ends_with('}')
+                    || pt.is_empty()
+                    || pt.ends_with("*/"));
+                if continues {
+                    continue;
+                }
+            }
+            let (expr, discarded) = match trimmed.strip_prefix("let _ =") {
+                Some(rest) => (rest.trim(), true),
+                None => (trimmed, false),
+            };
+            let expr = expr.strip_suffix(';').unwrap_or(expr).trim_end();
+            if !expr.ends_with(')') {
+                continue;
+            }
+            if !discarded {
+                let head: String = expr.chars().take_while(|c| is_ident(*c)).collect();
+                if STMT_KEYWORDS.contains(&head.as_str()) || head.is_empty() {
+                    continue;
+                }
+                if has_toplevel_assign(expr) {
+                    continue;
+                }
+            }
+            let Some(callee) = final_call_name(expr) else { continue };
+            if !result_names.contains(callee.as_str()) {
+                continue;
+            }
+            let how = if discarded { "`let _ =` discards" } else { "a bare statement drops" };
+            findings.push(finding(
+                "swallowed-result",
+                f,
+                lineno,
+                format!(
+                    "{how} the `Result` of `{callee}(…)`; handle it, log it via `note()`, \
+                     or add a reasoned allow(swallowed-result) directive"
+                ),
+            ));
+        }
+    }
+}
+
+/// Paren/bracket balance of one line.
+fn balanced(s: &str) -> bool {
+    let (mut p, mut b) = (0i32, 0i32);
+    for c in s.chars() {
+        match c {
+            '(' => p += 1,
+            ')' => p -= 1,
+            '[' => b += 1,
+            ']' => b -= 1,
+            _ => {}
+        }
+    }
+    p == 0 && b == 0
+}
+
+/// A top-level `=` (not `==`, `!=`, `<=`, `>=`, `+=`, …) outside parens
+/// marks an assignment statement.
+fn has_toplevel_assign(expr: &str) -> bool {
+    let bytes = expr.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'=' if depth == 0 => {
+                let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+                let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+                if !matches!(
+                    prev,
+                    b'=' | b'!'
+                        | b'<'
+                        | b'>'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ) && next != b'='
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The name of the call producing the expression's final value: the
+/// identifier directly before the `(` that matches the trailing `)`.
+/// Returns `None` for macros (`name!(…)`) and non-ident callees.
+fn final_call_name(expr: &str) -> Option<String> {
+    if !expr.ends_with(')') {
+        return None;
+    }
+    let bytes = expr.as_bytes();
+    let mut depth = 0i32;
+    let mut open = None;
+    for i in (0..bytes.len()).rev() {
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let open = open?;
+    if open == 0 {
+        return None;
+    }
+    // `::<Turbo>` fish between name and paren is not worth chasing.
+    let before = &expr[..open];
+    if before.ends_with('!') {
+        return None; // macro
+    }
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| is_ident(*c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units() {
+        assert_eq!(unit_of("deadline_ms"), Some(Unit::Millis));
+        assert_eq!(unit_of("as_micros"), Some(Unit::Micros));
+        assert_eq!(unit_of("x_secs"), Some(Unit::Secs));
+        assert_eq!(unit_of("plain"), None);
+        assert_eq!(unit_of("_ms"), None, "bare suffix is not a unit name");
+    }
+
+    #[test]
+    fn template_matching() {
+        assert!(metric_matches(
+            "kv.node.{}.storage.flush_bytes",
+            true,
+            "kv.node.3.storage.flush_bytes"
+        ));
+        assert!(metric_matches("{}.storage.flush_bytes", true, "kv.node.3.storage.flush_bytes"));
+        assert!(!metric_matches("{}.storage.flush_bytes", true, "kv.node.3.storage.flush_byte"));
+        assert!(metric_matches("proxy.connects", false, "proxy.connects"));
+        assert!(!metric_matches("proxy.connects", false, "proxy.connect"));
+    }
+
+    #[test]
+    fn final_call_names() {
+        assert_eq!(final_call_name("self.migrate(&conn, target)").as_deref(), Some("migrate"));
+        assert_eq!(final_call_name("mvcc::write_intent(e, key)").as_deref(), Some("write_intent"));
+        assert_eq!(final_call_name("writeln!(log, \"x\")"), None, "macros skipped");
+        assert_eq!(final_call_name("x"), None);
+    }
+
+    #[test]
+    fn range_index_detection() {
+        assert_eq!(range_index_sites("let x = buf[pos..pos + 4];").len(), 1);
+        assert!(range_index_sites("let x = buf[pos];").is_empty(), "plain index exempt");
+        assert!(range_index_sites("#[cfg(test)]").is_empty());
+        assert!(range_index_sites("let a: [u8; 4] = x;").is_empty());
+    }
+
+    #[test]
+    fn statement_position_detection() {
+        assert!(statement_position("        self.slab.insert(v);", 13));
+        assert!(!statement_position("let j = self.slab.insert(v);", 21));
+        assert!(!statement_position("f(self.slab.insert(v));", 11));
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: known-negative cases for `metric-name`.
+// Not compiled — scanned by tests/fixtures_test.rs, together with
+// metric_name_regs.rs as the registration universe.
+
+pub fn check_rollup(snapshot: &Snapshot, metrics: &Snapshot) -> bool {
+    // Exact match against a registration in metric_name_regs.rs.
+    snapshot.contains("sql.node.exec_count")
+        // Matches the `kv.range_{}.latency_ms` format! template.
+        && metrics.contains("kv.range_7.latency_ms")
+}
+
+pub fn not_a_metric_probe(allowed: &std::collections::BTreeSet<String>) -> bool {
+    // Receiver gives no snapshot/metrics/registry hint: ignored even
+    // though the string is dotted.
+    allowed.contains("sql.node.unrelated_probe")
+}
+
+pub struct Snapshot;
+impl Snapshot {
+    pub fn contains(&self, _name: &str) -> bool {
+        false
+    }
+}

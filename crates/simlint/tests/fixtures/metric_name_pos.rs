@@ -1,0 +1,24 @@
+// Fixture: known-positive cases for `metric-name`.
+// Not compiled — scanned by tests/fixtures_test.rs, together with
+// metric_name_regs.rs as the registration universe.
+
+pub fn bad_registrations(s: &mut Sampler, n: u64) {
+    // Not metric-shaped: camel-case segment.
+    s.counter("sql.node.ExecCount", n);
+    // Not metric-shaped: single segment, no component prefix.
+    s.gauge("queue_depth", n);
+}
+
+pub fn check_rollup(snapshot: &Snapshot) -> bool {
+    // The real-world typo shape: the registration (in
+    // metric_name_regs.rs) says `exec_count`, the dashboard probe says
+    // `exec_cnt`, and the chart silently flatlines.
+    snapshot.contains("sql.node.exec_cnt")
+}
+
+pub struct Snapshot;
+impl Snapshot {
+    pub fn contains(&self, _name: &str) -> bool {
+        false
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: well-shaped metric registrations for `metric-name`.
+// Not compiled — scanned by tests/fixtures_test.rs. Pairs with the
+// lookup fixtures: cross-file matching resolves lookups against the
+// registrations collected here.
+
+pub fn sample_metrics(s: &mut Sampler, execs: u64, conns: u64, id: u64, lat: u64) {
+    s.counter("sql.node.exec_count", execs);
+    s.counter("sql.node.mem_bytes", execs);
+    s.gauge("proxy.conns_active", conns);
+    s.histogram(&format!("kv.range_{}.latency_ms", id), lat);
+}
+
+pub struct Sampler;
+impl Sampler {
+    pub fn counter(&mut self, _name: &str, _v: u64) {}
+    pub fn gauge(&mut self, _name: &str, _v: u64) {}
+    pub fn histogram(&mut self, _name: &str, _v: u64) {}
+}

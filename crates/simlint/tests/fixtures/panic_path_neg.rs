@@ -1,0 +1,39 @@
+// Fixture: known-negative cases for `panic-path`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub enum DecodeError {
+    Truncated,
+}
+
+pub fn decode_header(buf: &[u8]) -> Result<u32, DecodeError> {
+    // The typed-error shape the rule pushes toward.
+    let bytes = buf.get(0..4).ok_or(DecodeError::Truncated)?;
+    let mut le = [0u8; 4];
+    le.copy_from_slice(bytes);
+    Ok(u32::from_le_bytes(le))
+}
+
+pub fn lease_holder(map: &std::collections::BTreeMap<u64, u64>, id: u64) -> Option<u64> {
+    map.get(&id).copied()
+}
+
+pub fn unwrap_or_is_fine(v: Option<u64>) -> u64 {
+    // `unwrap_or` / `unwrap_or_default` never panic.
+    v.unwrap_or(0)
+}
+
+pub fn expected_version(v: u64) -> bool {
+    // A word `expect` without a `.expect(` call shape.
+    let expect = v + 1;
+    expect > v
+}
+
+pub fn plain_index(buf: &[u8]) -> u8 {
+    // Plain (non-range) indexing is outside this rule's scope.
+    buf[0]
+}
+
+pub fn array_type_not_index() {
+    // `[u8; 4]` in type position and `#[derive]` attributes never match.
+    let _x: [u8; 4] = [0; 4];
+}

@@ -1,0 +1,48 @@
+// Fixture: known-positive cases for `panic-path`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub fn decode_header(buf: &[u8]) -> u32 {
+    // unwrap on a fallible conversion.
+    u32::from_le_bytes(buf[0..4].try_into().unwrap())
+}
+
+pub fn lease_holder(map: &std::collections::BTreeMap<u64, u64>, id: u64) -> u64 {
+    // expect on a lookup that chaos can empty out.
+    *map.get(&id).expect("lease must exist")
+}
+
+pub fn apply(state: u8) {
+    match state {
+        0 => {}
+        1 => {}
+        _ => panic!("unknown replica state"),
+    }
+}
+
+pub fn merge_ranges(done: bool) {
+    if !done {
+        unreachable!("merge queue drained out of order");
+    }
+}
+
+pub fn split_at_tenant(key: &[u8], prefix: usize) -> (&[u8], &[u8]) {
+    // range slice-index: panics on a short (torn) key.
+    (&key[..prefix], &key[prefix..])
+}
+
+pub fn todo_path() {
+    todo!("changefeed resume");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: every pattern above is fine here.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let buf = [0u8; 8];
+        let _ = &buf[0..4];
+        panic!("even this is test-only control flow");
+    }
+}

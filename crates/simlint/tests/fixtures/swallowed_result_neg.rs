@@ -1,0 +1,33 @@
+// Fixture: known-negative cases for `swallowed-result`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub fn flush_wal(buf: &[u8]) -> Result<(), WalError> {
+    write_all(buf)
+}
+
+pub fn checkpoint(buf: &[u8]) -> Result<(), WalError> {
+    // Propagated with `?`.
+    flush_wal(buf)?;
+    Ok(())
+}
+
+pub fn best_effort(buf: &[u8], failures: &mut u64) {
+    // Inspected and accounted for.
+    if flush_wal(buf).is_err() {
+        *failures += 1;
+    }
+}
+
+pub fn bound_and_used(buf: &[u8]) -> bool {
+    let r = flush_wal(buf);
+    r.is_ok()
+}
+
+pub fn tick() {}
+
+pub fn run(buf: &[u8]) {
+    // Unit-returning call: nothing to swallow.
+    tick();
+    // Macro statements are exempt.
+    println!("flushed {} bytes", buf.len());
+}

@@ -1,0 +1,23 @@
+// Fixture: known-positive cases for `swallowed-result`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub fn flush_wal(buf: &[u8]) -> Result<(), WalError> {
+    write_all(buf)
+}
+
+pub fn checkpoint(buf: &[u8]) {
+    // Explicitly discarded: a failed flush vanishes.
+    let _ = flush_wal(buf);
+}
+
+pub struct Engine;
+impl Engine {
+    pub fn migrate_conn(&self, id: u64) -> Result<(), ProxyError> {
+        relocate(id)
+    }
+
+    pub fn shutdown(&self, id: u64) {
+        // Bare statement: the Result is dropped without a glance.
+        self.migrate_conn(id);
+    }
+}

@@ -1,0 +1,47 @@
+// Fixture: known-negative cases for `unbalanced-pair`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub struct Pool {
+    conns: Slab<Conn>,
+    index: Index,
+}
+
+impl Lsm {
+    pub fn compact(&mut self, level: usize) {
+        // Balanced: the finish call is in the same body.
+        self.begin_compaction(level);
+        self.merge(level);
+        self.finish_compaction(level);
+    }
+}
+
+impl Pool {
+    pub fn admit(&mut self, c: Conn) -> usize {
+        // Slot index bound and handed off — freeing is the caller's job.
+        let id = self.conns.insert(c);
+        self.index.note(id);
+        id
+    }
+
+    pub fn evict(&mut self, id: usize) {
+        self.conns.remove(id);
+    }
+}
+
+pub fn span_ok(tr: &Trace) {
+    // Bound, used, and explicitly ended.
+    let span = tr.child("hop");
+    work();
+    span.end();
+}
+
+pub fn open_span(tr: &Trace) -> Span {
+    // Tail expression: the guard escapes to the caller.
+    tr.child("handoff")
+}
+
+impl Txn {
+    pub fn start(&mut self) -> Guard {
+        self.begin_txn()
+    }
+}

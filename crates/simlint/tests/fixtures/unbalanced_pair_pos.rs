@@ -1,0 +1,34 @@
+// Fixture: known-positive cases for `unbalanced-pair`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub struct Pool {
+    conns: Slab<Conn>,
+}
+
+impl Lsm {
+    pub fn compact(&mut self, level: usize) {
+        // Claims the compaction slot, then returns without the matching
+        // finish call: the level stays locked forever.
+        self.begin_compaction(level);
+        self.merge(level);
+    }
+}
+
+impl Pool {
+    pub fn admit(&mut self, c: Conn) {
+        // Slot index discarded: nothing can ever free this entry.
+        self.conns.insert(c);
+    }
+}
+
+pub fn trace_region(tr: &Trace) {
+    // Span opened and immediately dropped on the floor.
+    tr.child("region_hop");
+    hop();
+}
+
+pub fn guard_leak(tr: &Trace) {
+    // Bound but never used again: neither ended nor handed off.
+    let span = tr.child("apply");
+    step();
+}

@@ -1,0 +1,33 @@
+// Fixture: known-negative cases for `unit-mismatch`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub fn deadline_check(now_ms: u64, deadline_ms: u64) -> bool {
+    // Same unit on both sides.
+    now_ms > deadline_ms
+}
+
+pub fn convert(elapsed_us: u64, budget_ms: u64) -> u64 {
+    // An explicit conversion factor on the line waives the rule.
+    elapsed_us + budget_ms * 1000
+}
+
+pub fn convert_sep(elapsed_ns: u64, budget_ms: u64) -> u64 {
+    // Underscore-grouped factor counts too.
+    elapsed_ns / 1_000_000 + budget_ms
+}
+
+pub fn rates(bytes_per_sec: u64, window_ms: u64) -> u64 {
+    // `per_` marks a rate computation, where cross-unit math is the point.
+    bytes_per_sec * window_ms
+}
+
+pub fn arm(timeout_ms: u64) {
+    set_deadline_ms(timeout_ms);
+}
+
+fn set_deadline_ms(_deadline_ms: u64) {}
+
+pub fn unitless(count: u64, limit: u64) -> bool {
+    // No unit suffixes at all.
+    count < limit
+}

@@ -1,0 +1,28 @@
+// Fixture: known-positive cases for `unit-mismatch`.
+// Not compiled — scanned by tests/fixtures_test.rs.
+
+pub fn deadline_check(now_ms: u64, deadline_ns: u64) -> bool {
+    // ms compared against ns — off by 10^6.
+    now_ms > deadline_ns
+}
+
+pub fn budget_left(elapsed_us: u64, budget_ms: u64) -> u64 {
+    // us added to ms without conversion.
+    elapsed_us + budget_ms
+}
+
+pub struct Pacer {
+    pub tick_ns: u64,
+    pub slice_ms: u64,
+}
+
+pub fn pace(p: &Pacer) -> u64 {
+    // Struct-field paths mix ns and ms across `-`.
+    p.tick_ns - p.slice_ms
+}
+
+pub fn arm(timeout_sec: u64) {
+    set_deadline_ms(timeout_sec);
+}
+
+fn set_deadline_ms(_deadline_ms: u64) {}

@@ -5,12 +5,27 @@
 use std::fs;
 use std::path::PathBuf;
 
-use crdb_simlint::{analyze_source, Finding};
+use crdb_simlint::{analyze_source, analyze_sources, Finding};
 
 fn analyze(name: &str) -> (String, Vec<Finding>) {
     let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
     let src = fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
     (src.clone(), analyze_source(&p.display().to_string(), &src))
+}
+
+/// Runs the cross-file v2 pipeline over a set of fixtures, all treated
+/// as product (non-test) files.
+fn analyze_v2(names: &[&str]) -> Vec<Finding> {
+    let sources: Vec<(String, String, bool)> = names
+        .iter()
+        .map(|n| {
+            let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(n);
+            let src =
+                fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+            (p.display().to_string(), src, false)
+        })
+        .collect();
+    analyze_sources(&sources)
 }
 
 fn active<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
@@ -115,6 +130,109 @@ fn doc_comment_directive_is_inert() {
     let (_, f) = analyze("suppression.rs");
     // The Instant::now() under the doc comment must still be reported.
     assert_eq!(active(&f, "wall-clock").len(), 1, "got: {f:#?}");
+}
+
+// ---------------------------------------------------------------------------
+// v2 cross-file rules
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_path_positive() {
+    let f = analyze_v2(&["panic_path_pos.rs"]);
+    let hits = active(&f, "panic-path");
+    // unwrap, expect, panic!, unreachable!, range slice-index (x2 on one
+    // line collapses to other hits), todo!.
+    assert!(hits.len() >= 6, "expected >=6 panic-path findings, got: {hits:#?}");
+    // Nothing inside #[cfg(test)] may fire.
+    let src = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/panic_path_pos.rs"),
+    )
+    .unwrap();
+    let test_start = src.lines().position(|l| l.contains("#[cfg(test)]")).unwrap() + 1;
+    assert!(
+        hits.iter().all(|h| h.line < test_start),
+        "panic-path fired inside test code: {hits:#?}"
+    );
+}
+
+#[test]
+fn panic_path_negative() {
+    let f = analyze_v2(&["panic_path_neg.rs"]);
+    assert!(active(&f, "panic-path").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn unit_mismatch_positive() {
+    let f = analyze_v2(&["unit_mismatch_pos.rs"]);
+    // ms>ns compare, us+ms add, ns-ms field math, sec arg into _ms call.
+    assert!(active(&f, "unit-mismatch").len() >= 4, "got: {f:#?}");
+}
+
+#[test]
+fn unit_mismatch_negative() {
+    let f = analyze_v2(&["unit_mismatch_neg.rs"]);
+    assert!(active(&f, "unit-mismatch").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn metric_name_lookup_typo_is_caught_cross_file() {
+    // Registration lives in one file, the typo'd dashboard probe in
+    // another — the sql.node shape that motivated the rule.
+    let f = analyze_v2(&["metric_name_regs.rs", "metric_name_pos.rs"]);
+    let hits = active(&f, "metric-name");
+    assert!(
+        hits.iter().any(|h| h.message.contains("sql.node.exec_cnt")),
+        "cross-file lookup typo not caught: {hits:#?}"
+    );
+    // Plus the two badly-shaped registrations.
+    assert!(hits.len() >= 3, "expected >=3 metric-name findings, got: {hits:#?}");
+}
+
+#[test]
+fn metric_name_negative() {
+    let f = analyze_v2(&["metric_name_regs.rs", "metric_name_neg.rs"]);
+    assert!(active(&f, "metric-name").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn unbalanced_pair_positive_includes_begin_compaction() {
+    let f = analyze_v2(&["unbalanced_pair_pos.rs"]);
+    let hits = active(&f, "unbalanced-pair");
+    assert!(
+        hits.iter().any(|h| h.message.contains("begin_compaction")),
+        "unbalanced begin_compaction body not caught: {hits:#?}"
+    );
+    // begin/finish, slab insert, dropped span, leaked bound span.
+    assert!(hits.len() >= 4, "expected >=4 unbalanced-pair findings, got: {hits:#?}");
+}
+
+#[test]
+fn unbalanced_pair_negative() {
+    let f = analyze_v2(&["unbalanced_pair_neg.rs"]);
+    assert!(active(&f, "unbalanced-pair").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn swallowed_result_positive() {
+    let f = analyze_v2(&["swallowed_result_pos.rs"]);
+    let hits = active(&f, "swallowed-result");
+    // `let _ = flush_wal(..)` and bare `self.migrate_conn(..);`.
+    assert!(hits.len() >= 2, "expected >=2 swallowed-result findings, got: {hits:#?}");
+}
+
+#[test]
+fn swallowed_result_negative() {
+    let f = analyze_v2(&["swallowed_result_neg.rs"]);
+    assert!(active(&f, "swallowed-result").is_empty(), "false positives: {f:#?}");
+}
+
+#[test]
+fn test_files_are_modeled_but_exempt_from_v2_rules() {
+    // The same positive corpus marked as test files must fire nothing.
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/panic_path_pos.rs");
+    let src = fs::read_to_string(&p).unwrap();
+    let f = analyze_sources(&[(p.display().to_string(), src, true)]);
+    assert!(active(&f, "panic-path").is_empty(), "test file fired panic-path: {f:#?}");
 }
 
 #[test]

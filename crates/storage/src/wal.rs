@@ -8,11 +8,87 @@
 //! replayed after a crash.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::memtable::WriteBatch;
+
+/// A structural failure on the WAL read path. Replay treats any of these
+/// at the log tail as crash residue (stop, keep the intact prefix);
+/// anywhere else they are surfaced to the caller as typed errors rather
+/// than panics, so chaos schedules exercise recovery instead of aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The buffer ends before the bytes its framing promises.
+    Truncated {
+        /// Byte offset the missing bytes were expected at.
+        at: usize,
+        /// Bytes the framing promised from `at`.
+        needed: usize,
+        /// Bytes actually available from `at`.
+        have: usize,
+    },
+    /// A record's payload fails its CRC.
+    Corrupt {
+        /// Byte offset of the record's header.
+        at: usize,
+        /// CRC the header carries.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// A batch entry's has-value tag is neither 0 nor 1.
+    BadTag {
+        /// Byte offset of the tag.
+        at: usize,
+        /// The tag byte found.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Truncated { at, needed, have } => {
+                write!(f, "wal record truncated at byte {at}: need {needed} bytes, have {have}")
+            }
+            WalError::Corrupt { at, expected, actual } => write!(
+                f,
+                "wal record at byte {at} corrupt: crc {expected:#010x} expected, {actual:#010x} read"
+            ),
+            WalError::BadTag { at, tag } => {
+                write!(f, "wal batch entry at byte {at} has invalid has-value tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Reads a little-endian `u32` at `pos`, typed-error on short buffers.
+fn read_u32(buf: &[u8], pos: usize) -> Result<u32, WalError> {
+    match buf.get(pos..pos + 4) {
+        Some(b) => {
+            let mut le = [0u8; 4];
+            le.copy_from_slice(b);
+            Ok(u32::from_le_bytes(le))
+        }
+        None => {
+            Err(WalError::Truncated { at: pos, needed: 4, have: buf.len().saturating_sub(pos) })
+        }
+    }
+}
+
+/// Borrows `len` bytes at `pos`, typed-error on short buffers.
+fn read_bytes(buf: &[u8], pos: usize, len: usize) -> Result<&[u8], WalError> {
+    buf.get(pos..pos + len).ok_or(WalError::Truncated {
+        at: pos,
+        needed: len,
+        have: buf.len().saturating_sub(pos),
+    })
+}
 
 /// Destination for WAL records.
 pub trait WalSink: Send {
@@ -109,21 +185,38 @@ impl FileWal {
         file.read_to_end(&mut buf)?;
         let mut records = Vec::new();
         let mut pos = 0usize;
-        while pos + 8 <= buf.len() {
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-            if pos + 8 + len > buf.len() {
-                break; // torn tail record
+        loop {
+            match frame_record(&buf, pos) {
+                Ok(Some((payload, next))) => {
+                    records.push(payload.to_vec());
+                    pos = next;
+                }
+                // Clean end of log.
+                Ok(None) => break,
+                // Torn tail or corrupt record: crash residue — stop here
+                // and recover everything before it.
+                Err(_) => break,
             }
-            let payload = &buf[pos + 8..pos + 8 + len];
-            if crc32(payload) != crc {
-                break; // corruption: stop replay here
-            }
-            records.push(payload.to_vec());
-            pos += 8 + len;
         }
         Ok(records)
     }
+}
+
+/// Frames the record at `pos`: `Ok(Some((payload, next_pos)))` for an
+/// intact record, `Ok(None)` at the clean end of the buffer, and a typed
+/// [`WalError`] when the framing is torn or the payload fails its CRC.
+fn frame_record(buf: &[u8], pos: usize) -> Result<Option<(&[u8], usize)>, WalError> {
+    if pos >= buf.len() {
+        return Ok(None);
+    }
+    let len = read_u32(buf, pos)? as usize;
+    let crc = read_u32(buf, pos + 4)?;
+    let payload = read_bytes(buf, pos + 8, len)?;
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(WalError::Corrupt { at: pos, expected: crc, actual });
+    }
+    Ok(Some((payload, pos + 8 + len)))
 }
 
 impl WalSink for FileWal {
@@ -278,30 +371,43 @@ pub fn encode_batch(batch: &WriteBatch) -> Vec<u8> {
     out
 }
 
-/// Decodes a WAL record produced by [`encode_batch`].
-pub fn decode_batch(record: &[u8]) -> Option<WriteBatch> {
+/// Decodes a WAL record produced by [`encode_batch`], reporting *where*
+/// and *how* a malformed record fails instead of a bare `None`.
+pub fn decode_batch_strict(record: &[u8]) -> Result<WriteBatch, WalError> {
     let mut batch = WriteBatch::new();
     let mut pos = 0usize;
-    let count = u32::from_le_bytes(record.get(0..4)?.try_into().ok()?) as usize;
+    let count = read_u32(record, pos)? as usize;
     pos += 4;
     for _ in 0..count {
-        let klen = u32::from_le_bytes(record.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        let klen = read_u32(record, pos)? as usize;
         pos += 4;
-        let key = record.get(pos..pos + klen)?.to_vec();
+        let key = read_bytes(record, pos, klen)?.to_vec();
         pos += klen;
-        let has_value = *record.get(pos)?;
+        let has_value =
+            *record.get(pos).ok_or(WalError::Truncated { at: pos, needed: 1, have: 0 })?;
         pos += 1;
-        if has_value == 1 {
-            let vlen = u32::from_le_bytes(record.get(pos..pos + 4)?.try_into().ok()?) as usize;
-            pos += 4;
-            let value = record.get(pos..pos + vlen)?.to_vec();
-            pos += vlen;
-            batch.put(key, value);
-        } else {
-            batch.delete(key);
+        match has_value {
+            1 => {
+                let vlen = read_u32(record, pos)? as usize;
+                pos += 4;
+                let value = read_bytes(record, pos, vlen)?.to_vec();
+                pos += vlen;
+                batch.put(key, value);
+            }
+            0 => {
+                batch.delete(key);
+            }
+            tag => return Err(WalError::BadTag { at: pos - 1, tag }),
         }
     }
-    Some(batch)
+    Ok(batch)
+}
+
+/// Decodes a WAL record produced by [`encode_batch`]. Thin `Option`
+/// wrapper over [`decode_batch_strict`] for callers that only care
+/// whether the record is intact.
+pub fn decode_batch(record: &[u8]) -> Option<WriteBatch> {
+    decode_batch_strict(record).ok()
 }
 
 #[cfg(test)]
